@@ -1,0 +1,53 @@
+// Tiny command-line helpers shared by the figure-reproduction benches.
+//
+// Flags:
+//   --fast        smaller sweep for smoke runs
+//   --paper       closer to the paper's scale (slow: minutes)
+//   --seed N      master seed
+//   --csv PATH    also write the table as CSV
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+namespace ceta::bench {
+
+struct CliOptions {
+  bool fast = false;
+  bool paper = false;
+  std::uint64_t seed = 0;  // 0 = keep the harness default
+  std::string csv_path;
+};
+
+inline CliOptions parse_cli(int argc, char** argv) {
+  CliOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fast") {
+      opt.fast = true;
+    } else if (arg == "--paper") {
+      opt.paper = true;
+    } else if (arg == "--seed" && i + 1 < argc) {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--csv" && i + 1 < argc) {
+      opt.csv_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0]
+                << " [--fast|--paper] [--seed N] [--csv PATH]\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      std::exit(2);
+    }
+  }
+  if (opt.fast && opt.paper) {
+    std::cerr << "--fast and --paper are mutually exclusive\n";
+    std::exit(2);
+  }
+  return opt;
+}
+
+}  // namespace ceta::bench

@@ -1,0 +1,74 @@
+// Fig. 6(a) — absolute worst-case time disparity on random single-sink
+// cause-effect graphs: P-diff (Theorem 1) vs S-diff (Theorem 2) vs Sim
+// (simulated lower bound).  Values are means over graphs per point, in ms.
+//
+// The paper does not pin down the random-graph density or single-sink
+// procedure, and the size of the P-diff/S-diff gap depends on how much
+// fork-join structure chain pairs share, so the harness reports two
+// topologies: the literal GNM reading, and the Fig. 1-shaped "funnel"
+// (parallel front + shared tail pipeline) that the S-diff analysis
+// targets.  Expected shape in both: P-diff >= S-diff >= Sim; on the
+// funnel topology S-diff is far tighter than P-diff.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "experiments/fig6ab.hpp"
+#include "experiments/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ceta;
+  const bench::CliOptions cli = bench::parse_cli(argc, argv);
+
+  bool all_ok = true;
+  std::string csv;
+  for (const Fig6Topology topology :
+       {Fig6Topology::kGnm, Fig6Topology::kFunnel}) {
+    Fig6abConfig cfg;
+    cfg.topology = topology;
+    cfg.path_cap = 2'000;
+    cfg.graphs_per_point = 5;
+    cfg.offsets_per_graph = 5;
+    cfg.sim_duration = Duration::s(10);
+    if (cli.fast) {
+      cfg.task_counts = {5, 15, 25};
+      cfg.graphs_per_point = 2;
+      cfg.offsets_per_graph = 2;
+      cfg.sim_duration = Duration::ms(500);
+    } else if (cli.paper) {
+      cfg.graphs_per_point = 10;
+      cfg.offsets_per_graph = 10;
+      cfg.sim_duration = Duration::s(60);
+    }
+    if (cli.seed) cfg.seed = cli.seed;
+
+    const char* name =
+        topology == Fig6Topology::kGnm ? "gnm" : "funnel (Fig. 1-shaped)";
+    std::cout << "Fig 6(a) [" << name << "]: absolute time disparity "
+              << "(mean over " << cfg.graphs_per_point << " graphs, "
+              << cfg.offsets_per_graph << " offset runs of "
+              << to_string(cfg.sim_duration) << " each)\n\n";
+
+    const auto points = run_fig6ab(cfg, [](const std::string& msg) {
+      std::cerr << "  [" << msg << "]\n";
+    });
+
+    ConsoleTable table({"tasks", "P-diff[ms]", "S-diff[ms]", "Sim[ms]"});
+    for (const Fig6abPoint& p : points) {
+      table.add_row({std::to_string(p.num_tasks), fmt_double(p.pdiff_ms),
+                     fmt_double(p.sdiff_ms), fmt_double(p.sim_ms)});
+      all_ok = all_ok && p.pdiff_ms >= p.sdiff_ms && p.sdiff_ms >= p.sim_ms;
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+    csv += std::string("# topology: ") + name + "\n" + table.to_csv();
+  }
+
+  std::cout << "shape check (P-diff >= S-diff >= Sim at every point): "
+            << (all_ok ? "OK" : "VIOLATED") << '\n';
+  if (!cli.csv_path.empty()) {
+    write_file(cli.csv_path, csv);
+    std::cout << "csv written to " << cli.csv_path << '\n';
+  }
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+// Fig. 6(b) — incremental ratio of the analytical bounds over the
+// simulated lower bound: (bound − Sim) / Sim, per method, on both the GNM
+// and the Fig. 1-shaped funnel topology (see fig6a_disparity_abs.cpp for
+// why both are reported).
+//
+// Expected shape (paper): S-diff's ratio markedly below P-diff's and
+// generally under ~50% — most visible on the funnel topology.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "experiments/fig6ab.hpp"
+#include "experiments/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ceta;
+  const bench::CliOptions cli = bench::parse_cli(argc, argv);
+
+  bool all_ok = true;
+  std::string csv;
+  for (const Fig6Topology topology :
+       {Fig6Topology::kGnm, Fig6Topology::kFunnel}) {
+    Fig6abConfig cfg;
+    cfg.topology = topology;
+    cfg.path_cap = 2'000;
+    cfg.graphs_per_point = 5;
+    cfg.offsets_per_graph = 5;
+    cfg.sim_duration = Duration::s(10);
+    if (cli.fast) {
+      cfg.task_counts = {5, 15, 25};
+      cfg.graphs_per_point = 2;
+      cfg.offsets_per_graph = 2;
+      cfg.sim_duration = Duration::ms(500);
+    } else if (cli.paper) {
+      cfg.graphs_per_point = 10;
+      cfg.offsets_per_graph = 10;
+      cfg.sim_duration = Duration::s(60);
+    }
+    if (cli.seed) cfg.seed = cli.seed;
+
+    const char* name =
+        topology == Fig6Topology::kGnm ? "gnm" : "funnel (Fig. 1-shaped)";
+    std::cout << "Fig 6(b) [" << name << "]: incremental ratio vs Sim "
+              << "(mean over " << cfg.graphs_per_point << " graphs)\n\n";
+
+    const auto points = run_fig6ab(cfg, [](const std::string& msg) {
+      std::cerr << "  [" << msg << "]\n";
+    });
+
+    ConsoleTable table({"tasks", "P-diff ratio", "S-diff ratio"});
+    for (const Fig6abPoint& p : points) {
+      table.add_row({std::to_string(p.num_tasks), fmt_percent(p.pdiff_ratio),
+                     fmt_percent(p.sdiff_ratio)});
+      all_ok = all_ok && p.sdiff_ratio <= p.pdiff_ratio;
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+    csv += std::string("# topology: ") + name + "\n" + table.to_csv();
+  }
+
+  std::cout << "shape check (S-diff ratio <= P-diff ratio): "
+            << (all_ok ? "OK" : "VIOLATED") << '\n';
+  if (!cli.csv_path.empty()) {
+    write_file(cli.csv_path, csv);
+    std::cout << "csv written to " << cli.csv_path << '\n';
+  }
+  return all_ok ? 0 : 1;
+}

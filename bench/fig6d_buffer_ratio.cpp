@@ -1,0 +1,52 @@
+// Fig. 6(d) — incremental ratio of the optimized bound over the optimized
+// simulation: (S-diff-B − Sim-B) / Sim-B, compared with the unoptimized
+// (S-diff − Sim)/Sim ratio.
+//
+// Expected shape (paper): the optimized ratio stays small (below ~25% in
+// most settings).
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "experiments/fig6cd.hpp"
+#include "experiments/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ceta;
+  const bench::CliOptions cli = bench::parse_cli(argc, argv);
+
+  Fig6cdConfig cfg;
+  cfg.instances_per_point = 5;
+  cfg.offsets_per_instance = 10;
+  cfg.sim_measure_window = Duration::s(10);
+  if (cli.fast) {
+    cfg.chain_lengths = {5, 15};
+    cfg.instances_per_point = 2;
+    cfg.offsets_per_instance = 2;
+    cfg.sim_measure_window = Duration::ms(500);
+  } else if (cli.paper) {
+    cfg.instances_per_point = 10;
+    cfg.offsets_per_instance = 10;
+    cfg.sim_measure_window = Duration::s(60);
+  }
+  if (cli.seed) cfg.seed = cli.seed;
+
+  std::cout << "Fig 6(d): buffer optimization, incremental ratios (mean over "
+            << cfg.instances_per_point << " instances)\n\n";
+
+  const auto points = run_fig6cd(
+      cfg, [](const std::string& msg) { std::cerr << "  [" << msg << "]\n"; });
+
+  ConsoleTable table(
+      {"chain len", "S-diff ratio", "S-diff-B ratio"});
+  for (const Fig6cdPoint& p : points) {
+    table.add_row({std::to_string(p.chain_length), fmt_percent(p.sdiff_ratio),
+                   fmt_percent(p.sdiff_b_ratio)});
+  }
+  table.print(std::cout);
+  if (!cli.csv_path.empty()) {
+    write_file(cli.csv_path, table.to_csv());
+    std::cout << "csv written to " << cli.csv_path << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,167 @@
+// Performance microbenchmarks of the analysis path: response-time
+// analysis, chain enumeration, Theorem 1/2 pair bounds, task-level
+// disparity analysis and Algorithm 1, across graph sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "chain/critical.hpp"
+#include "common/rng.hpp"
+#include "disparity/analyzer.hpp"
+#include "disparity/buffer_opt.hpp"
+#include "disparity/exact.hpp"
+#include "disparity/sensitivity.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generator.hpp"
+#include "graph/paths.hpp"
+#include "sched/audsley.hpp"
+#include "sched/npfp_rta.hpp"
+#include "sched/priority.hpp"
+#include "waters/generator.hpp"
+
+namespace {
+
+using namespace ceta;
+
+/// Deterministic admissible instance per (size, seed).
+TaskGraph make_graph(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  for (;;) {
+    GnmDagOptions gopt;
+    gopt.num_tasks = n;
+    TaskGraph g = gnm_random_dag(gopt, rng);
+    WatersAssignOptions wopt;
+    wopt.num_ecus = 4;
+    assign_waters_parameters(g, wopt, rng);
+    const TaskId sink = g.sinks().front();
+    const std::size_t chains = count_source_chains(g, sink);
+    if (chains >= 2 && chains <= 500 &&
+        analyze_response_times(g).all_schedulable) {
+      return g;
+    }
+  }
+}
+
+void BM_ResponseTimeAnalysis(benchmark::State& state) {
+  const TaskGraph g = make_graph(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze_response_times(g));
+  }
+}
+BENCHMARK(BM_ResponseTimeAnalysis)->Arg(10)->Arg(20)->Arg(35);
+
+void BM_ChainEnumeration(benchmark::State& state) {
+  const TaskGraph g = make_graph(static_cast<std::size_t>(state.range(0)), 2);
+  const TaskId sink = g.sinks().front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enumerate_source_chains(g, sink));
+  }
+}
+BENCHMARK(BM_ChainEnumeration)->Arg(10)->Arg(20)->Arg(35);
+
+void BM_SdiffPairBound(benchmark::State& state) {
+  const TaskGraph g = make_graph(static_cast<std::size_t>(state.range(0)), 3);
+  const RtaResult rta = analyze_response_times(g);
+  const auto chains = enumerate_source_chains(g, g.sinks().front());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sdiff_pair_bound(g, chains[0], chains[1], rta.response_time));
+  }
+}
+BENCHMARK(BM_SdiffPairBound)->Arg(10)->Arg(20)->Arg(35);
+
+void BM_TaskDisparityPdiff(benchmark::State& state) {
+  const TaskGraph g = make_graph(static_cast<std::size_t>(state.range(0)), 4);
+  const RtaResult rta = analyze_response_times(g);
+  const TaskId sink = g.sinks().front();
+  DisparityOptions opt;
+  opt.method = DisparityMethod::kIndependent;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analyze_time_disparity(g, sink, rta.response_time, opt));
+  }
+}
+BENCHMARK(BM_TaskDisparityPdiff)->Arg(10)->Arg(20)->Arg(35);
+
+void BM_TaskDisparitySdiff(benchmark::State& state) {
+  const TaskGraph g = make_graph(static_cast<std::size_t>(state.range(0)), 4);
+  const RtaResult rta = analyze_response_times(g);
+  const TaskId sink = g.sinks().front();
+  DisparityOptions opt;
+  opt.method = DisparityMethod::kForkJoin;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analyze_time_disparity(g, sink, rta.response_time, opt));
+  }
+}
+BENCHMARK(BM_TaskDisparitySdiff)->Arg(10)->Arg(20)->Arg(35);
+
+void BM_BufferDesign(benchmark::State& state) {
+  Rng rng(5);
+  TaskGraph g = merge_chains_at_sink(static_cast<std::size_t>(state.range(0)),
+                                     static_cast<std::size_t>(state.range(0)));
+  WatersAssignOptions wopt;
+  assign_waters_parameters(g, wopt, rng);
+  const RtaResult rta = analyze_response_times(g);
+  const auto chains = enumerate_source_chains(g, g.sinks().front());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        design_buffer(g, chains[0], chains[1], rta.response_time));
+  }
+}
+BENCHMARK(BM_BufferDesign)->Arg(5)->Arg(15)->Arg(30);
+
+void BM_CriticalChain(benchmark::State& state) {
+  const TaskGraph g = make_graph(static_cast<std::size_t>(state.range(0)), 6);
+  const RtaResult rta = analyze_response_times(g);
+  const TaskId sink = g.sinks().front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(critical_chain(g, sink, rta.response_time));
+  }
+}
+BENCHMARK(BM_CriticalChain)->Arg(10)->Arg(20)->Arg(35);
+
+void BM_AudsleyAssignment(benchmark::State& state) {
+  const TaskGraph g = make_graph(static_cast<std::size_t>(state.range(0)), 7);
+  for (auto _ : state) {
+    TaskGraph copy = g;
+    benchmark::DoNotOptimize(assign_priorities_audsley(copy));
+  }
+}
+BENCHMARK(BM_AudsleyAssignment)->Arg(10)->Arg(20)->Arg(35);
+
+void BM_ExactLetDisparity(benchmark::State& state) {
+  Rng rng(8);
+  TaskGraph g = merge_chains_at_sink(static_cast<std::size_t>(state.range(0)),
+                                     static_cast<std::size_t>(state.range(0)));
+  WatersAssignOptions wopt;
+  assign_waters_parameters(g, wopt, rng);
+  g.set_comm_semantics(CommSemantics::kLet);
+  randomize_offsets(g, rng);
+  const TaskId sink = g.sinks().front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exact_let_disparity(g, sink));
+  }
+}
+BENCHMARK(BM_ExactLetDisparity)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_SensitivityScan(benchmark::State& state) {
+  const TaskGraph g = make_graph(12, 9);
+  const TaskId sink = g.sinks().front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(disparity_sensitivity(g, sink));
+  }
+}
+BENCHMARK(BM_SensitivityScan);
+
+void BM_AncestorSubgraph(benchmark::State& state) {
+  const TaskGraph g = make_graph(35, 10);
+  const TaskId sink = g.sinks().front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ancestor_subgraph(g, sink));
+  }
+}
+BENCHMARK(BM_AncestorSubgraph);
+
+}  // namespace
+
+BENCHMARK_MAIN();

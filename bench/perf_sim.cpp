@@ -1,0 +1,106 @@
+// Performance microbenchmarks of the discrete-event simulator: jobs per
+// second across graph sizes, channel modes and tracing.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "graph/generator.hpp"
+#include "sched/npfp_rta.hpp"
+#include "sim/engine.hpp"
+#include "waters/generator.hpp"
+
+namespace {
+
+using namespace ceta;
+
+TaskGraph make_graph(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  for (;;) {
+    GnmDagOptions gopt;
+    gopt.num_tasks = n;
+    TaskGraph g = gnm_random_dag(gopt, rng);
+    WatersAssignOptions wopt;
+    wopt.num_ecus = 4;
+    assign_waters_parameters(g, wopt, rng);
+    if (analyze_response_times(g).all_schedulable) return g;
+  }
+}
+
+std::int64_t total_jobs(const SimResult& res) {
+  return std::accumulate(res.jobs_finished.begin(), res.jobs_finished.end(),
+                         std::int64_t{0});
+}
+
+void BM_Simulate(benchmark::State& state) {
+  const TaskGraph g = make_graph(static_cast<std::size_t>(state.range(0)), 1);
+  SimOptions opt;
+  opt.duration = Duration::s(1);
+  std::int64_t jobs = 0;
+  for (auto _ : state) {
+    const SimResult res = simulate(g, opt);
+    jobs += total_jobs(res);
+    benchmark::DoNotOptimize(res.max_disparity.data());
+  }
+  state.counters["jobs/s"] = benchmark::Counter(
+      static_cast<double>(jobs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Simulate)->Arg(10)->Arg(20)->Arg(35);
+
+void BM_SimulateWithTrace(benchmark::State& state) {
+  const TaskGraph g = make_graph(static_cast<std::size_t>(state.range(0)), 1);
+  SimOptions opt;
+  opt.duration = Duration::s(1);
+  opt.record_trace = true;
+  std::int64_t jobs = 0;
+  for (auto _ : state) {
+    const SimResult res = simulate(g, opt);
+    jobs += total_jobs(res);
+    benchmark::DoNotOptimize(res.trace.tasks.data());
+  }
+  state.counters["jobs/s"] = benchmark::Counter(
+      static_cast<double>(jobs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateWithTrace)->Arg(10)->Arg(20);
+
+void BM_SimulateWorstCaseModel(benchmark::State& state) {
+  const TaskGraph g = make_graph(20, 2);
+  SimOptions opt;
+  opt.duration = Duration::s(1);
+  opt.exec_model = ExecTimeModel::kWorstCase;
+  std::int64_t jobs = 0;
+  for (auto _ : state) {
+    const SimResult res = simulate(g, opt);
+    jobs += total_jobs(res);
+  }
+  state.counters["jobs/s"] = benchmark::Counter(
+      static_cast<double>(jobs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateWorstCaseModel);
+
+void BM_SimulateBufferedChannels(benchmark::State& state) {
+  Rng rng(3);
+  TaskGraph g = merge_chains_at_sink(10, 10);
+  WatersAssignOptions wopt;
+  assign_waters_parameters(g, wopt, rng);
+  // FIFO on both head channels.
+  const auto sources = g.sources();
+  for (TaskId s : sources) {
+    g.set_buffer_size(s, g.successors(s).front(), 8);
+  }
+  SimOptions opt;
+  opt.duration = Duration::s(1);
+  std::int64_t jobs = 0;
+  for (auto _ : state) {
+    const SimResult res = simulate(g, opt);
+    jobs += total_jobs(res);
+  }
+  state.counters["jobs/s"] = benchmark::Counter(
+      static_cast<double>(jobs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateBufferedChannels);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,295 @@
+// A full-vehicle-scale system (~30 tasks, 6 ECUs + CAN bus) exercising the
+// whole toolbox on one model:
+//   * schedulability and per-ECU utilization (jitter-aware NP-FP RTA),
+//   * analysis scoping via ancestor subgraphs,
+//   * critical chains and end-to-end latency budgets,
+//   * worst-case time disparity at every fusion point,
+//   * parameter sensitivity (which knob actually moves the worst case),
+//   * disparity requirements with automatic buffer remediation,
+//   * a simulation cross-check and an ASCII Gantt of the first 100 ms.
+//
+// The topology follows the paper's Fig. 1 narrative: front/rear cameras,
+// LiDAR, radar, GNSS and wheel odometry feed perception pipelines that
+// fuse into tracking, prediction, planning and control.
+
+#include <iostream>
+
+#include "chain/critical.hpp"
+#include "chain/latency.hpp"
+#include "disparity/analyzer.hpp"
+#include "disparity/multi_buffer.hpp"
+#include "disparity/requirements.hpp"
+#include "disparity/sensitivity.hpp"
+#include "experiments/table.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/paths.hpp"
+#include "sched/bus.hpp"
+#include "sched/npfp_rta.hpp"
+#include "sched/priority.hpp"
+#include "sim/engine.hpp"
+#include "sim/gantt.hpp"
+
+int main() {
+  using namespace ceta;
+
+  TaskGraph g;
+  auto sensor = [&g](const char* name, Duration period,
+                     Duration jitter = Duration::zero()) {
+    Task t;
+    t.name = name;
+    t.period = period;
+    t.jitter = jitter;
+    return g.add_task(t);
+  };
+  auto stage = [&g](const char* name, Duration wcet, Duration bcet,
+                    Duration period, EcuId ecu) {
+    Task t;
+    t.name = name;
+    t.wcet = wcet;
+    t.bcet = bcet;
+    t.period = period;
+    t.ecu = ecu;
+    return g.add_task(t);
+  };
+
+  // --- Sensors (sources). Radar has acquisition jitter. ---------------
+  const TaskId cam_f = sensor("cam_front", Duration::ms(33));
+  const TaskId cam_r = sensor("cam_rear", Duration::ms(33));
+  const TaskId lidar = sensor("lidar", Duration::ms(100));
+  const TaskId radar = sensor("radar", Duration::ms(50), Duration::ms(5));
+  const TaskId gnss = sensor("gnss", Duration::ms(100));
+  const TaskId wheel = sensor("wheel_odo", Duration::ms(10));
+
+  // --- ECU 0/1: vision pipelines. --------------------------------------
+  const TaskId isp_f = stage("isp_front", Duration::ms(6), Duration::ms(3),
+                             Duration::ms(33), 0);
+  const TaskId det_f = stage("detect_front", Duration::ms(12), Duration::ms(6),
+                             Duration::ms(33), 0);
+  const TaskId lane = stage("lane_fit", Duration::ms(4), Duration::ms(2),
+                            Duration::ms(33), 0);
+  const TaskId isp_r = stage("isp_rear", Duration::ms(6), Duration::ms(3),
+                             Duration::ms(33), 1);
+  const TaskId det_r = stage("detect_rear", Duration::ms(12), Duration::ms(6),
+                             Duration::ms(33), 1);
+
+  // --- ECU 2: lidar/radar processing. ----------------------------------
+  const TaskId cloud = stage("cloud_filter", Duration::ms(18), Duration::ms(9),
+                             Duration::ms(100), 2);
+  const TaskId segm = stage("segmentation", Duration::ms(22), Duration::ms(12),
+                            Duration::ms(100), 2);
+  const TaskId r_trk = stage("radar_tracks", Duration::ms(4), Duration::ms(2),
+                             Duration::ms(50), 2);
+
+  // --- ECU 3: localization. --------------------------------------------
+  const TaskId ego = stage("ego_motion", Duration::ms(2), Duration::ms(1),
+                           Duration::ms(10), 3);
+  const TaskId local = stage("localization", Duration::ms(8), Duration::ms(4),
+                             Duration::ms(100), 3);
+
+  // --- ECU 4: fusion + prediction. --------------------------------------
+  const TaskId fusion = stage("obstacle_fusion", Duration::ms(8),
+                              Duration::ms(4), Duration::ms(50), 4);
+  const TaskId track = stage("tracking", Duration::ms(6), Duration::ms(3),
+                             Duration::ms(50), 4);
+  const TaskId predict = stage("prediction", Duration::ms(10), Duration::ms(5),
+                               Duration::ms(100), 4);
+
+  // --- ECU 5: planning + control. ---------------------------------------
+  const TaskId plan = stage("planner", Duration::ms(7), Duration::ms(4),
+                            Duration::ms(100), 5);
+  const TaskId control = stage("controller", Duration::ms(2), Duration::ms(1),
+                               Duration::ms(10), 5);
+
+  // --- Data flow. --------------------------------------------------------
+  g.add_edge(cam_f, isp_f);
+  g.add_edge(isp_f, det_f);
+  g.add_edge(isp_f, lane);
+  g.add_edge(cam_r, isp_r);
+  g.add_edge(isp_r, det_r);
+  g.add_edge(lidar, cloud);
+  g.add_edge(cloud, segm);
+  g.add_edge(radar, r_trk);
+  g.add_edge(wheel, ego);
+  g.add_edge(gnss, local);
+  g.add_edge(ego, local);
+  g.add_edge(det_f, fusion);
+  g.add_edge(det_r, fusion);
+  g.add_edge(segm, fusion);
+  g.add_edge(r_trk, fusion);
+  g.add_edge(local, fusion);
+  g.add_edge(fusion, track);
+  g.add_edge(track, predict);
+  g.add_edge(lane, plan);
+  g.add_edge(predict, plan);
+  g.add_edge(plan, control);
+  g.add_edge(ego, control);
+
+  assign_priorities_rate_monotonic(g);
+  g.validate();
+
+  // Inter-ECU edges travel over CAN.
+  BusConfig bus;
+  bus.bus_resource = 100;
+  bus.msg_wcet = Duration::us(400);
+  bus.msg_bcet = Duration::us(200);
+  const TaskGraph sys = insert_can_messages(g, bus);
+  std::cout << "System: " << sys.num_tasks() << " tasks ("
+            << sys.num_tasks() - g.num_tasks() << " CAN messages), "
+            << sys.num_edges() << " channels, "
+            << resources_of(sys).size() << " resources\n";
+
+  const RtaResult rta = analyze_response_times(sys);
+  if (!rta.all_schedulable) {
+    std::cerr << "system is not schedulable\n";
+    for (TaskId id = 0; id < sys.num_tasks(); ++id) {
+      if (!rta.schedulable[id]) {
+        std::cerr << "  deadline miss: " << sys.task(id).name << '\n';
+      }
+    }
+    return 1;
+  }
+  for (const EcuId ecu : resources_of(sys)) {
+    std::cout << "  resource " << ecu << ": "
+              << fmt_percent(resource_utilization(sys, ecu)) << " utilized\n";
+  }
+
+  // Scoping: the fusion analysis only needs fusion's ancestor closure.
+  const TaskId sys_fusion = fusion;  // ids preserved by insert_can_messages
+  const SubgraphExtract scope = ancestor_subgraph(sys, sys_fusion);
+  std::cout << "\nFusion ancestor closure: " << scope.graph.num_tasks()
+            << " of " << sys.num_tasks() << " tasks\n";
+
+  // Critical chain + latency budget at the controller.
+  const CriticalChain crit =
+      critical_chain(sys, control, rta.response_time);
+  std::cout << "Critical chain to controller (WCBT " << to_string(crit.wcbt)
+            << "):\n  ";
+  for (std::size_t i = 0; i < crit.chain.size(); ++i) {
+    std::cout << (i ? " -> " : "") << sys.task(crit.chain[i]).name;
+  }
+  std::cout << "\n  max data age: "
+            << to_string(max_data_age_bound(sys, crit.chain,
+                                            rta.response_time))
+            << ", max reaction: "
+            << to_string(max_reaction_time_bound(sys, crit.chain,
+                                                 rta.response_time))
+            << '\n';
+
+  // Disparity at the fusion points.
+  ConsoleTable disp({"task", "chains", "S-diff"});
+  for (const TaskId id : {fusion, track, plan, control}) {
+    const DisparityReport rep =
+        analyze_time_disparity(sys, id, rta.response_time);
+    disp.add_row({sys.task(id).name, std::to_string(rep.chains.size()),
+                  to_string(rep.worst_case)});
+  }
+  std::cout << "\nWorst-case time disparity:\n";
+  disp.print(std::cout);
+
+  // Sensitivity: which parameter moves the fusion disparity most?
+  const auto sens = disparity_sensitivity(sys, sys_fusion);
+  std::cout << "\nTop disparity sensitivities at obstacle_fusion "
+               "(halving period / WCET):\n";
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, sens.size()); ++i) {
+    const SensitivityEntry& e = sens[i];
+    std::cout << "  " << sys.task(e.task).name << ' '
+              << (e.param == PerturbedParam::kPeriod ? "period" : "WCET")
+              << ": " << to_string(e.baseline) << " -> "
+              << (e.schedulable ? to_string(e.perturbed) : "unschedulable")
+              << '\n';
+  }
+
+  // What can buffering achieve at the fusion point?
+  const MultiBufferDesign mbd =
+      design_buffers_for_task(sys, sys_fusion, rta.response_time);
+  std::cout << "\nBuffer design at obstacle_fusion: "
+            << to_string(mbd.baseline_bound) << " -> "
+            << to_string(mbd.optimized_bound) << " via "
+            << mbd.channels.size() << " buffered channel(s)\n";
+
+  // Requirement: fused sensor samples within 430ms.  Buffering barely
+  // helps here — the dominant pair's sampling windows (LiDAR vs GNSS
+  // localization) are each hundreds of ms *wide*, and window alignment
+  // shifts windows, it cannot shrink them.  The expected outcome is a
+  // violation; the sensitivity ranking above already points at the
+  // LiDAR/segmentation rate as the real knob.
+  const Duration budget = Duration::ms(430);
+  {
+    const RequirementsReport rr = verify_disparity_requirements(
+        sys, {{sys_fusion, budget}}, rta.response_time);
+    const RequirementOutcome& out = rr.outcomes.front();
+    std::cout << "\nRequirement: disparity(obstacle_fusion) <= "
+              << to_string(budget) << ": "
+              << (out.status == RequirementStatus::kViolated ? "VIOLATED"
+                                                             : "satisfied")
+              << " (bound " << to_string(out.final_bound)
+              << ") — buffers cannot shrink window widths\n";
+  }
+
+  // Apply the sensitivity-suggested fix: run the LiDAR pipeline at twice
+  // the rate (sensor, cloud filter, segmentation and its CAN message).
+  TaskGraph fixed = sys;
+  for (TaskId id = 0; id < fixed.num_tasks(); ++id) {
+    const std::string& name = fixed.task(id).name;
+    if (name == "lidar" || name == "cloud_filter" || name == "segmentation" ||
+        name == "msg_segmentation_obstacle_fusion") {
+      fixed.task(id).period = fixed.task(id).period / 2;
+    }
+  }
+  fixed.validate();
+  const RtaResult rta2 = analyze_response_times(fixed);
+  if (!rta2.all_schedulable) {
+    std::cerr << "fixed system is not schedulable\n";
+    return 1;
+  }
+  const RequirementsReport rr2 = verify_disparity_requirements(
+      fixed, {{sys_fusion, budget}}, rta2.response_time);
+  const RequirementOutcome& out2 = rr2.outcomes.front();
+  std::cout << "After doubling the LiDAR pipeline rate: ";
+  switch (out2.status) {
+    case RequirementStatus::kSatisfied:
+      std::cout << "satisfied (bound " << to_string(out2.bound) << ")\n";
+      break;
+    case RequirementStatus::kFixedByBuffers:
+      std::cout << "satisfied with buffers";
+      for (const ChannelBuffer& cb : out2.buffers) {
+        std::cout << ' ' << fixed.task(cb.from).name << "->"
+                  << fixed.task(cb.to).name << ":" << cb.buffer_size;
+      }
+      std::cout << " (bound " << to_string(out2.bound) << " -> "
+                << to_string(out2.final_bound) << ")\n";
+      break;
+    case RequirementStatus::kViolated:
+      std::cout << "still VIOLATED (bound " << to_string(out2.final_bound)
+                << ")\n";
+      return 1;
+  }
+
+  // Simulation cross-check on the final (fixed + possibly buffered) system.
+  SimOptions sopt;
+  sopt.warmup = Duration::s(4);
+  sopt.duration = Duration::s(12);
+  const SimResult sim = simulate(rr2.final_graph, sopt);
+  std::cout << "\nSimulated disparity at obstacle_fusion: "
+            << to_string(sim.max_disparity[sys_fusion]) << " (bound "
+            << to_string(out2.final_bound) << ")\n";
+  if (sim.max_disparity[sys_fusion] > out2.final_bound) {
+    std::cerr << "bound violated!\n";
+    return 1;
+  }
+
+  // Gantt of the first 100 ms of the original system (vision ECUs only
+  // would be cleaner, but the full picture is instructive).
+  SimOptions gopt;
+  gopt.duration = Duration::ms(100);
+  gopt.record_trace = true;
+  gopt.exec_model = ExecTimeModel::kWorstCase;
+  const SimResult gtrace = simulate(sys, gopt);
+  GanttOptions gv;
+  gv.from = Duration::zero();
+  gv.to = Duration::ms(100);
+  gv.width = 100;
+  std::cout << "\nFirst 100ms ('#' executing, '^' release):\n"
+            << render_gantt(sys, gtrace.trace, gv);
+  return 0;
+}

@@ -1,0 +1,175 @@
+#include "chain/backward_bounds.hpp"
+
+#include "common/error.hpp"
+
+namespace ceta {
+
+namespace {
+
+void check_chain(const TaskGraph& g, const Path& chain,
+                 const ResponseTimeMap& rtm) {
+  CETA_EXPECTS(!chain.empty(), "backward bounds: empty chain");
+  CETA_EXPECTS(rtm.size() == g.num_tasks(),
+               "backward bounds: response-time map size mismatch");
+  CETA_EXPECTS(is_path(g, chain), "backward bounds: not a path of the graph");
+  for (TaskId id : chain) {
+    CETA_EXPECTS(rtm[id] != Duration::max(),
+                 "backward bounds: task '" + g.task(id).name +
+                     "' has no finite WCRT (unschedulable?)");
+  }
+}
+
+/// Extra backward shift contributed by FIFO channels along the chain:
+/// Σ (buf_i − 1)·T(π^i), with the producer's release jitter widening the
+/// window by ±J (the n−1 release gaps telescope to (n−1)T ± J).  For the
+/// head channel this is Lemma 6; the same sliding-window argument applies
+/// hop-wise (each producer emits one token per period, and consumers read
+/// the oldest of the last n).
+Duration fifo_shift_upper(const TaskGraph& g, const Path& chain) {
+  Duration shift = Duration::zero();
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    const int n = g.channel(chain[i], chain[i + 1]).buffer_size;
+    if (n > 1) {
+      shift += g.task(chain[i]).period * (n - 1) + g.task(chain[i]).jitter;
+    }
+  }
+  return shift;
+}
+
+Duration fifo_shift_lower(const TaskGraph& g, const Path& chain) {
+  Duration shift = Duration::zero();
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    const int n = g.channel(chain[i], chain[i + 1]).buffer_size;
+    if (n > 1) {
+      shift += g.task(chain[i]).period * (n - 1) - g.task(chain[i]).jitter;
+    }
+  }
+  return shift;
+}
+
+}  // namespace
+
+Duration hop_bound(const TaskGraph& g, TaskId from, TaskId to,
+                   const ResponseTimeMap& rtm, HopBoundMethod method) {
+  CETA_EXPECTS(g.has_edge(from, to), "hop_bound: no such edge");
+  const Task& u = g.task(from);
+  const Task& v = g.task(to);
+  const Duration R = rtm.at(from);
+
+  // LET producer: the token read at time t was published at the producer's
+  // deadline p <= t with p > t − T, so r = p − T > t − 2T.  Holds for both
+  // read disciplines of the consumer (reads never happen before release).
+  if (!g.is_source(from) && u.comm == CommSemantics::kLet) {
+    return u.period * 2;
+  }
+
+  if (method == HopBoundMethod::kSchedulingAgnostic) {
+    return u.period + R;
+  }
+
+  // Lemma 4.  Source tasks live on no ECU, so a source hop takes the
+  // different-ECU branch and (with R(source) = 0) contributes exactly T
+  // plus the source's release jitter (R of a jittered source is J).
+  // The same-ECU refinements reason about the consumer's *start* time and
+  // strict periodicity, so they require an implicit, jitter-free pair
+  // (LET consumers read at release).
+  if (g.is_source(from)) {
+    return u.period + u.jitter;
+  }
+  const bool same_ecu = u.ecu != kNoEcu && u.ecu == v.ecu;
+  if (!same_ecu || v.comm == CommSemantics::kLet ||
+      u.jitter > Duration::zero() || v.jitter > Duration::zero()) {
+    return u.period + R;
+  }
+  if (higher_priority(u, v)) {
+    return u.period;
+  }
+  return u.period + R - (u.wcet + v.bcet);
+}
+
+Duration wcbt_bound(const TaskGraph& g, const Path& chain,
+                    const ResponseTimeMap& rtm, HopBoundMethod method) {
+  check_chain(g, chain, rtm);
+  // A one-task chain's immediate backward job chain is the job itself:
+  // len = 0 exactly.
+  if (chain.size() == 1) return Duration::zero();
+  Duration total = Duration::zero();
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    total += hop_bound(g, chain[i], chain[i + 1], rtm, method);
+  }
+  return total + fifo_shift_upper(g, chain);
+}
+
+Duration bcbt_bound(const TaskGraph& g, const Path& chain,
+                    const ResponseTimeMap& rtm) {
+  check_chain(g, chain, rtm);
+  if (chain.size() == 1) return Duration::zero();
+
+  bool all_implicit = true;
+  for (TaskId id : chain) {
+    if (!g.is_source(id) && g.task(id).comm == CommSemantics::kLet) {
+      all_implicit = false;
+      break;
+    }
+  }
+  if (all_implicit) {
+    // Lemma 5 (tighter than the per-hop decomposition below).
+    Duration total = Duration::zero();
+    for (TaskId id : chain) total += g.task(id).bcet;
+    return total - rtm.at(chain.back()) + fifo_shift_lower(g, chain);
+  }
+
+  // Mixed / LET chain: sum per-hop lower bounds on r(π^{i+1}) − r(π^i).
+  // A LET producer's token is at least one producer period old at any
+  // read; an implicit producer's token is at least B(producer) old at its
+  // write.  An implicit consumer reads at its start s <= r + R − B.
+  Duration total = Duration::zero();
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    const Task& u = g.task(chain[i]);
+    const Task& v = g.task(chain[i + 1]);
+    Duration b;
+    if (g.is_source(chain[i])) {
+      b = Duration::zero();
+    } else if (u.comm == CommSemantics::kLet) {
+      b = u.period;
+    } else {
+      b = u.bcet;
+    }
+    if (v.comm != CommSemantics::kLet) {
+      b -= rtm.at(chain[i + 1]) - v.bcet;  // read delay of the consumer
+    }
+    total += b;
+  }
+  return total + fifo_shift_lower(g, chain);
+}
+
+BackwardBounds backward_bounds(const TaskGraph& g, const Path& chain,
+                               const ResponseTimeMap& rtm,
+                               HopBoundMethod method) {
+  return BackwardBounds{wcbt_bound(g, chain, rtm, method),
+                        bcbt_bound(g, chain, rtm)};
+}
+
+BackwardBounds buffered_backward_bounds(const TaskGraph& g, const Path& chain,
+                                        const ResponseTimeMap& rtm,
+                                        int buffer_size,
+                                        HopBoundMethod method) {
+  CETA_EXPECTS(buffer_size >= 1,
+               "buffered_backward_bounds: buffer size must be >= 1");
+  BackwardBounds b = backward_bounds(g, chain, rtm, method);
+  if (chain.size() >= 2) {
+    // Lemma 6 relative to whatever the head channel already has: replace
+    // the graph-configured head-channel size with `buffer_size`.
+    const int existing = g.channel(chain[0], chain[1]).buffer_size;
+    const Duration delta =
+        g.task(chain[0]).period * (buffer_size - existing);
+    b.wcbt += delta;
+    b.bcbt += delta;
+  } else {
+    CETA_EXPECTS(buffer_size == 1,
+                 "buffered_backward_bounds: chain too short for a buffer");
+  }
+  return b;
+}
+
+}  // namespace ceta

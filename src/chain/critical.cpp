@@ -1,0 +1,62 @@
+#include "chain/critical.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "graph/algorithms.hpp"
+
+namespace ceta {
+
+CriticalChain critical_chain(const TaskGraph& g, TaskId task,
+                             const ResponseTimeMap& rtm,
+                             HopBoundMethod method) {
+  CETA_EXPECTS(task < g.num_tasks(), "critical_chain: unknown task id");
+  CETA_EXPECTS(rtm.size() == g.num_tasks(),
+               "critical_chain: response-time map size mismatch");
+
+  // Longest-path DP over the DAG: best[v] = max over predecessors p of
+  // best[p] + θ(p, v) + FIFO shift of the channel; sources are 0.
+  constexpr Duration kUnreached = Duration::min();
+  std::vector<Duration> best(g.num_tasks(), kUnreached);
+  std::vector<TaskId> via(g.num_tasks(), kNoTask);
+  for (TaskId v : g.topological_order()) {
+    if (g.is_source(v)) {
+      best[v] = Duration::zero();
+      continue;
+    }
+    for (TaskId p : g.predecessors(v)) {
+      if (best[p] == kUnreached) continue;
+      CETA_EXPECTS(rtm[p] != Duration::max(),
+                   "critical_chain: task '" + g.task(p).name +
+                       "' has no finite WCRT");
+      Duration hop = hop_bound(g, p, v, rtm, method);
+      const int buf = g.channel(p, v).buffer_size;
+      if (buf > 1) hop += g.task(p).period * (buf - 1);
+      if (best[p] + hop > best[v]) {
+        best[v] = best[p] + hop;
+        via[v] = p;
+      }
+    }
+  }
+
+  CriticalChain out;
+  if (best[task] == kUnreached) {
+    // No source reaches `task` (it is itself a source): trivial chain.
+    out.chain = {task};
+    out.wcbt = Duration::zero();
+    return out;
+  }
+  out.wcbt = best[task];
+  Path reversed{task};
+  TaskId cur = task;
+  while (via[cur] != kNoTask) {
+    cur = via[cur];
+    reversed.push_back(cur);
+  }
+  out.chain.assign(reversed.rbegin(), reversed.rend());
+  CETA_ASSERT(g.is_source(out.chain.front()),
+              "critical_chain: reconstruction did not reach a source");
+  return out;
+}
+
+}  // namespace ceta

@@ -1,0 +1,31 @@
+// Critical-chain identification: which source chain dominates a task's
+// worst-case data staleness.
+//
+// The chain to `task` maximizing the WCBT bound W(π) is the one a designer
+// should attack first (shorten periods, co-locate hops, or buffer the
+// *other* chains to align windows, §IV).  Computed by dynamic programming
+// over the DAG in O(V + E) — no chain enumeration.
+
+#pragma once
+
+#include "chain/backward_bounds.hpp"
+#include "graph/paths.hpp"
+#include "sched/npfp_rta.hpp"
+
+namespace ceta {
+
+struct CriticalChain {
+  /// A source→task chain attaining the maximum WCBT bound.
+  Path chain;
+  /// Its W(π) (Lemma 4 / Lemma 6 aware, like wcbt_bound).
+  Duration wcbt;
+};
+
+/// The chain with the largest WCBT bound among all source chains to
+/// `task`; `task` itself if it is a source (wcbt = 0).
+CriticalChain critical_chain(const TaskGraph& g, TaskId task,
+                             const ResponseTimeMap& rtm,
+                             HopBoundMethod method =
+                                 HopBoundMethod::kNonPreemptive);
+
+}  // namespace ceta

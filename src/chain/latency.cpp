@@ -1,0 +1,36 @@
+#include "chain/latency.hpp"
+
+#include "common/error.hpp"
+
+namespace ceta {
+
+Duration max_data_age_bound(const TaskGraph& g, const Path& chain,
+                            const ResponseTimeMap& rtm,
+                            HopBoundMethod method) {
+  return wcbt_bound(g, chain, rtm, method) + rtm.at(chain.back());
+}
+
+Duration min_data_age_bound(const TaskGraph& g, const Path& chain,
+                            const ResponseTimeMap& rtm) {
+  return bcbt_bound(g, chain, rtm) + g.task(chain.back()).bcet;
+}
+
+Duration max_reaction_time_bound(const TaskGraph& g, const Path& chain,
+                                 const ResponseTimeMap& rtm) {
+  CETA_EXPECTS(!chain.empty(), "max_reaction_time_bound: empty chain");
+  CETA_EXPECTS(is_path(g, chain),
+               "max_reaction_time_bound: not a path of the graph");
+  CETA_EXPECTS(rtm.size() == g.num_tasks(),
+               "max_reaction_time_bound: response-time map size mismatch");
+  Duration total = g.task(chain.front()).period;
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    const TaskId id = chain[i];
+    CETA_EXPECTS(rtm[id] != Duration::max(),
+                 "max_reaction_time_bound: task '" + g.task(id).name +
+                     "' has no finite WCRT");
+    total += g.task(id).period + rtm[id];
+  }
+  return total;
+}
+
+}  // namespace ceta

@@ -1,0 +1,41 @@
+// End-to-end latency metrics of a cause-effect chain: maximum data age
+// and maximum reaction time.
+//
+// The paper's backward time is "similar with the data age latency ... but
+// a little different" (footnote 2): the data age of the output produced by
+// the k-th tail job is f(π̄^{|π|}) − r(π̄^1) = len(π̄) + response time of
+// the tail job.  The reaction time is the dual, forward-looking metric:
+// how long until an external stimulus is first reflected in an output.
+// Both are classic cause-effect-chain metrics ([1]-[5] in the paper); they
+// are provided here because a disparity analysis is typically run next to
+// an end-to-end latency budget.
+
+#pragma once
+
+#include "chain/backward_bounds.hpp"
+#include "graph/paths.hpp"
+#include "sched/npfp_rta.hpp"
+
+namespace ceta {
+
+/// Upper bound on the data age of any output of the chain's tail task:
+/// age = len(π̄) + (f − r)(tail job) <= W(π) + R(π^{|π|}).
+Duration max_data_age_bound(const TaskGraph& g, const Path& chain,
+                            const ResponseTimeMap& rtm,
+                            HopBoundMethod method =
+                                HopBoundMethod::kNonPreemptive);
+
+/// Lower bound on the data age of any output: B(π) + B(π^{|π|}).
+Duration min_data_age_bound(const TaskGraph& g, const Path& chain,
+                            const ResponseTimeMap& rtm);
+
+/// Upper bound on the reaction time: the longest time from an external
+/// stimulus (arriving at the chain's source just after a sample) until
+/// some output of the tail task reflects data sampled at or after the
+/// stimulus:  T(π^1) + Σ_{i=2..|π|} (T(π^i) + R(π^i)).
+/// Overwritten samples are fine — a later sample also reflects the
+/// stimulus — so this holds for arbitrary (also non-harmonic) periods.
+Duration max_reaction_time_bound(const TaskGraph& g, const Path& chain,
+                                 const ResponseTimeMap& rtm);
+
+}  // namespace ceta

@@ -1,0 +1,62 @@
+#include "chain/subchain.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ceta {
+
+std::vector<TaskId> fork_join_joints(const Path& a, const Path& b) {
+  CETA_EXPECTS(!a.empty() && !b.empty(), "fork_join_joints: empty chain");
+  CETA_EXPECTS(a.back() == b.back(),
+               "fork_join_joints: chains must end at the same task");
+  std::vector<TaskId> joints = common_tasks(a, b);
+  // Exclude a shared head ("except the source tasks in them"): Theorem 2
+  // accounts for a shared head via the T(λ^1)-flooring case.
+  if (a.front() == b.front()) {
+    CETA_ASSERT(!joints.empty() && joints.front() == a.front(),
+                "fork_join_joints: shared head must be first common task");
+    joints.erase(joints.begin());
+  }
+  CETA_ASSERT(!joints.empty() && joints.back() == a.back(),
+              "fork_join_joints: analyzed task must be a joint");
+  return joints;
+}
+
+std::vector<Path> split_at_joints(const Path& chain,
+                                  const std::vector<TaskId>& joints) {
+  CETA_EXPECTS(!chain.empty(), "split_at_joints: empty chain");
+  CETA_EXPECTS(!joints.empty(), "split_at_joints: no joints");
+  CETA_EXPECTS(joints.back() == chain.back(),
+               "split_at_joints: last joint must be the chain tail");
+  std::vector<Path> out;
+  out.reserve(joints.size());
+  std::size_t begin = 0;  // start index of the current sub-chain
+  for (TaskId joint : joints) {
+    const auto it = std::find(chain.begin() +
+                                  static_cast<std::ptrdiff_t>(begin),
+                              chain.end(), joint);
+    CETA_EXPECTS(it != chain.end(),
+                 "split_at_joints: joint missing or out of order");
+    const auto end = static_cast<std::size_t>(it - chain.begin());
+    Path sub(chain.begin() + static_cast<std::ptrdiff_t>(
+                                 begin == 0 ? 0 : begin - 1),
+             chain.begin() + static_cast<std::ptrdiff_t>(end + 1));
+    // For i >= 2 the sub-chain starts at the previous joint (inclusive);
+    // the first sub-chain starts at the chain head.
+    out.push_back(std::move(sub));
+    begin = end + 1;
+  }
+  return out;
+}
+
+ForkJoinDecomposition decompose_fork_join(const Path& a, const Path& b) {
+  ForkJoinDecomposition d;
+  d.joints = fork_join_joints(a, b);
+  d.alpha = split_at_joints(a, d.joints);
+  d.beta = split_at_joints(b, d.joints);
+  d.shared_head = (a.front() == b.front());
+  return d;
+}
+
+}  // namespace ceta

@@ -1,0 +1,41 @@
+// Fork–join decomposition of a pair of chains (Theorem 2 setup).
+//
+// Two chains λ and ν ending at the same analyzed task are split at their
+// common tasks {o_1, ..., o_c} (o_c = analyzed task; a shared *head* is
+// excluded — Theorem 2 handles it with the period-flooring case instead).
+// λ splits into α_1..α_c with α_i ending at o_i and, for i >= 2, starting
+// at o_{i-1}; symmetrically for ν into β_1..β_c.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/paths.hpp"
+
+namespace ceta {
+
+/// The joint tasks used by Theorem 2: tasks common to a and b, in order,
+/// excluding a common head.  Both paths must be non-empty and end at the
+/// same task; the result therefore always contains that last task.
+std::vector<TaskId> fork_join_joints(const Path& a, const Path& b);
+
+/// Split `chain` at the given joints (which must appear in `chain` in
+/// order, with joints.back() == chain.back()).  Returns c sub-chains:
+/// the i-th ends at joints[i], and for i >= 1 starts at joints[i-1].
+/// A first joint equal to the chain head yields the degenerate
+/// single-task sub-chain {head}.
+std::vector<Path> split_at_joints(const Path& chain,
+                                  const std::vector<TaskId>& joints);
+
+/// Decomposition of a chain pair, ready for Theorem 2.
+struct ForkJoinDecomposition {
+  std::vector<TaskId> joints;   ///< o_1..o_c (o_c = analyzed task)
+  std::vector<Path> alpha;      ///< sub-chains of the first chain
+  std::vector<Path> beta;       ///< sub-chains of the second chain
+  bool shared_head = false;     ///< λ^1 == ν^1
+};
+
+/// Full decomposition of (a, b); both must end at the same task.
+ForkJoinDecomposition decompose_fork_join(const Path& a, const Path& b);
+
+}  // namespace ceta

@@ -1,0 +1,27 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace ceta::detail {
+
+namespace {
+std::string format(const char* kind, const char* expr, const char* file,
+                   int line, const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  return os.str();
+}
+}  // namespace
+
+void throw_precondition(const char* expr, const char* file, int line,
+                        const std::string& msg) {
+  throw PreconditionError(format("precondition", expr, file, line, msg));
+}
+
+void throw_invariant(const char* expr, const char* file, int line,
+                     const std::string& msg) {
+  throw InvariantError(format("invariant", expr, file, line, msg));
+}
+
+}  // namespace ceta::detail

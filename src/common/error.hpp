@@ -1,0 +1,65 @@
+// Error types and always-on assertion macro for the ceta library.
+//
+// Following the C++ Core Guidelines (E.2, E.3) we throw exceptions to signal
+// errors that the immediate caller cannot reasonably be expected to prevent
+// (I/O, capacity overflow) and use assertions for violated preconditions and
+// internal invariants.  Assertions are kept enabled in release builds: all
+// analyses here are offline design-time tools where a wrong answer is far
+// more costly than the check.
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ceta {
+
+/// Base class for all errors raised by the ceta library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition of a public API.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant of the library failed; indicates a bug in ceta.
+class InvariantError : public Error {
+ public:
+  explicit InvariantError(const std::string& what) : Error(what) {}
+};
+
+/// A configurable resource limit (path-enumeration cap, event cap, ...)
+/// was exceeded.
+class CapacityError : public Error {
+ public:
+  explicit CapacityError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(const char* expr, const char* file,
+                                     int line, const std::string& msg);
+[[noreturn]] void throw_invariant(const char* expr, const char* file, int line,
+                                  const std::string& msg);
+}  // namespace detail
+
+}  // namespace ceta
+
+/// Check a documented precondition of a public entry point.
+#define CETA_EXPECTS(cond, msg)                                           \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::ceta::detail::throw_precondition(#cond, __FILE__, __LINE__, msg); \
+    }                                                                     \
+  } while (false)
+
+/// Check an internal invariant; failure indicates a bug in ceta itself.
+#define CETA_ASSERT(cond, msg)                                         \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::ceta::detail::throw_invariant(#cond, __FILE__, __LINE__, msg); \
+    }                                                                  \
+  } while (false)

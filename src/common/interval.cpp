@@ -1,0 +1,18 @@
+#include "common/interval.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace ceta {
+
+std::string to_string(const Interval& iv) {
+  std::ostringstream os;
+  os << '[' << to_string(iv.lo()) << ", " << to_string(iv.hi()) << ']';
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+  return os << to_string(iv);
+}
+
+}  // namespace ceta

@@ -1,0 +1,75 @@
+// Closed time intervals [lo, hi].
+//
+// The analysis reasons about "sampling windows": a window [a, b] such that
+// the timestamp of a traced source token is guaranteed to lie within it
+// (Lemma 1, Lemma 2).  Algorithm 1 aligns two windows by comparing their
+// midpoints; since midpoints of integer-nanosecond windows can be
+// half-integers, `doubled_midpoint` exposes 2*mid exactly.
+
+#pragma once
+
+#include <algorithm>
+#include <iosfwd>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/time.hpp"
+
+namespace ceta {
+
+/// A closed interval [lo, hi] on the timeline; lo <= hi is an invariant.
+class Interval {
+ public:
+  constexpr Interval() = default;
+  constexpr Interval(Instant lo, Instant hi) : lo_(lo), hi_(hi) {
+    if (lo > hi) {
+      throw PreconditionError("Interval: lo must not exceed hi");
+    }
+  }
+
+  constexpr Instant lo() const { return lo_; }
+  constexpr Instant hi() const { return hi_; }
+  constexpr Duration width() const { return hi_ - lo_; }
+
+  /// 2*midpoint, exact in integer nanoseconds.
+  constexpr std::int64_t doubled_midpoint() const {
+    return lo_.count() + hi_.count();
+  }
+
+  constexpr bool contains(Instant t) const { return lo_ <= t && t <= hi_; }
+  constexpr bool contains(const Interval& o) const {
+    return lo_ <= o.lo_ && o.hi_ <= hi_;
+  }
+  constexpr bool overlaps(const Interval& o) const {
+    return lo_ <= o.hi_ && o.lo_ <= hi_;
+  }
+
+  /// Shift the whole interval by d (negative d shifts left).
+  constexpr Interval shifted(Duration d) const {
+    return Interval(lo_ + d, hi_ + d);
+  }
+
+  /// Smallest interval containing both.
+  constexpr Interval hull(const Interval& o) const {
+    return Interval(std::min(lo_, o.lo_), std::max(hi_, o.hi_));
+  }
+
+  /// Largest |x - y| over x in *this, y in o — the worst-case separation of
+  /// two points drawn from the two windows.
+  constexpr Duration max_separation(const Interval& o) const {
+    const Duration a = hi_ - o.lo_;       // this right, o left
+    const Duration b = o.hi_ - lo_;       // o right, this left
+    return std::max(a, b);
+  }
+
+  constexpr bool operator==(const Interval&) const = default;
+
+ private:
+  Instant lo_{};
+  Instant hi_{};
+};
+
+std::string to_string(const Interval& iv);
+std::ostream& operator<<(std::ostream& os, const Interval& iv);
+
+}  // namespace ceta

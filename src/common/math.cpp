@@ -1,0 +1,32 @@
+#include "common/math.hpp"
+
+#include <numeric>
+
+namespace ceta {
+
+std::int64_t gcd64(std::int64_t a, std::int64_t b) {
+  CETA_EXPECTS(a > 0 && b > 0, "gcd64 requires positive operands");
+  return std::gcd(a, b);
+}
+
+std::int64_t lcm64_checked(std::int64_t a, std::int64_t b) {
+  CETA_EXPECTS(a > 0 && b > 0, "lcm64_checked requires positive operands");
+  const std::int64_t g = std::gcd(a, b);
+  const std::int64_t a_red = a / g;
+  if (a_red > INT64_MAX / b) {
+    throw CapacityError("lcm64_checked: hyperperiod overflows int64");
+  }
+  return a_red * b;
+}
+
+Duration hyperperiod(const std::int64_t* periods_ns, std::size_t n) {
+  CETA_EXPECTS(n > 0, "hyperperiod of an empty set");
+  std::int64_t l = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    CETA_EXPECTS(periods_ns[i] > 0, "hyperperiod requires positive periods");
+    l = lcm64_checked(l, periods_ns[i]);
+  }
+  return Duration::ns(l);
+}
+
+}  // namespace ceta

@@ -1,0 +1,64 @@
+// Integer math helpers.
+//
+// The paper's formulas apply floor/ceil to ratios of (possibly negative)
+// time quantities, e.g. Theorem 2's x_j uses ceil((B(α)−W(β)+xT)/T(o)).
+// C++ integer division truncates toward zero, which is wrong for negative
+// numerators, so all analysis code must go through floor_div / ceil_div.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/time.hpp"
+
+namespace ceta {
+
+/// Floor division: largest q with q*b <= a.  Requires b > 0.
+constexpr std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  if (b <= 0) throw PreconditionError("floor_div: divisor must be positive");
+  std::int64_t q = a / b;
+  if (a % b != 0 && a < 0) --q;
+  return q;
+}
+
+/// Ceiling division: smallest q with q*b >= a.  Requires b > 0.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  if (b <= 0) throw PreconditionError("ceil_div: divisor must be positive");
+  std::int64_t q = a / b;
+  if (a % b != 0 && a > 0) ++q;
+  return q;
+}
+
+/// floor(a / b) for durations; b must be a positive duration.
+constexpr std::int64_t floor_div(Duration a, Duration b) {
+  return floor_div(a.count(), b.count());
+}
+
+/// ceil(a / b) for durations; b must be a positive duration.
+constexpr std::int64_t ceil_div(Duration a, Duration b) {
+  return ceil_div(a.count(), b.count());
+}
+
+/// Round a down to the nearest multiple of m (m > 0).  Matches the paper's
+/// repeated pattern floor(X / T) * T.
+constexpr Duration floor_to_multiple(Duration a, Duration m) {
+  return Duration::ns(floor_div(a, m) * m.count());
+}
+
+/// Euclidean remainder in [0, b): a - floor_div(a,b)*b.
+constexpr std::int64_t floor_mod(std::int64_t a, std::int64_t b) {
+  return a - floor_div(a, b) * b;
+}
+
+/// gcd of two positive int64 values.
+std::int64_t gcd64(std::int64_t a, std::int64_t b);
+
+/// lcm with overflow detection; throws CapacityError on overflow.
+std::int64_t lcm64_checked(std::int64_t a, std::int64_t b);
+
+/// Hyperperiod (lcm) of a set of periods; throws CapacityError on overflow
+/// and PreconditionError if any period is non-positive or the set is empty.
+Duration hyperperiod(const std::int64_t* periods_ns, std::size_t n);
+
+}  // namespace ceta

@@ -1,0 +1,44 @@
+#include "common/rng.hpp"
+
+#include <numeric>
+
+namespace ceta {
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  CETA_EXPECTS(!weights.empty(), "weighted_index: no weights");
+  double total = 0.0;
+  for (double w : weights) {
+    CETA_EXPECTS(w >= 0.0, "weighted_index: negative weight");
+    total += w;
+  }
+  CETA_EXPECTS(total > 0.0, "weighted_index: all weights zero");
+  double r = uniform_real(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;  // floating-point edge: return last nonzero
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  CETA_EXPECTS(k <= n, "sample_without_replacement: k exceeds n");
+  // Floyd's algorithm: O(k) expected insertions.
+  std::vector<std::size_t> result;
+  result.reserve(k);
+  for (std::size_t j = n - k; j < n; ++j) {
+    const auto t = static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(j)));
+    bool seen = false;
+    for (std::size_t v : result) {
+      if (v == t) {
+        seen = true;
+        break;
+      }
+    }
+    result.push_back(seen ? j : t);
+  }
+  return result;
+}
+
+}  // namespace ceta

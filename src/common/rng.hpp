@@ -1,0 +1,68 @@
+// Deterministic random number generation for workload synthesis and
+// simulation.
+//
+// Everything in ceta that is randomized takes an explicit `Rng&` (or a
+// seed), so every experiment is reproducible from its seed.  `split`
+// derives independent child streams, letting e.g. the per-graph generator
+// and the per-run offset sampler evolve independently of each other.
+
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/time.hpp"
+
+namespace ceta {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  std::uint64_t seed() const { return seed_; }
+
+  /// Uniform integer in [lo, hi], inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    CETA_EXPECTS(lo <= hi, "uniform_int: empty range");
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    CETA_EXPECTS(lo <= hi, "uniform_real: empty range");
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform duration in [lo, hi], inclusive, at nanosecond granularity.
+  Duration uniform_duration(Duration lo, Duration hi) {
+    return Duration::ns(uniform_int(lo.count(), hi.count()));
+  }
+
+  /// Bernoulli trial.
+  bool flip(double p) {
+    CETA_EXPECTS(p >= 0.0 && p <= 1.0, "flip: probability out of range");
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Index drawn from a discrete distribution given non-negative weights
+  /// (not necessarily normalized).
+  std::size_t weighted_index(std::span<const double> weights);
+
+  /// Sample k distinct values from [0, n) uniformly (order unspecified).
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  /// Derive an independent child stream; deterministic in (seed, calls).
+  Rng split() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ull); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace ceta

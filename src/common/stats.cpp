@@ -1,0 +1,62 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ceta {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::mean() const {
+  CETA_EXPECTS(n_ > 0, "OnlineStats::mean on empty accumulator");
+  return mean_;
+}
+
+double OnlineStats::min() const {
+  CETA_EXPECTS(n_ > 0, "OnlineStats::min on empty accumulator");
+  return min_;
+}
+
+double OnlineStats::max() const {
+  CETA_EXPECTS(n_ > 0, "OnlineStats::max on empty accumulator");
+  return max_;
+}
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double mean_of(std::span<const double> xs) {
+  CETA_EXPECTS(!xs.empty(), "mean_of on empty span");
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double percentile(std::vector<double> xs, double p) {
+  CETA_EXPECTS(!xs.empty(), "percentile on empty vector");
+  CETA_EXPECTS(p >= 0.0 && p <= 100.0, "percentile: p out of [0,100]");
+  std::sort(xs.begin(), xs.end());
+  if (p == 0.0) return xs.front();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(xs.size())));
+  return xs[std::min(rank, xs.size()) - 1];
+}
+
+}  // namespace ceta

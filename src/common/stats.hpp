@@ -1,0 +1,39 @@
+// Small statistics helpers used by the experiment harness and tests.
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ceta {
+
+/// Streaming accumulator (Welford) for count/mean/min/max/stddev.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean; throws PreconditionError on an empty span.
+double mean_of(std::span<const double> xs);
+
+/// Inclusive percentile (nearest-rank); p in [0, 100].
+double percentile(std::vector<double> xs, double p);
+
+}  // namespace ceta

@@ -1,0 +1,29 @@
+#include "common/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace ceta {
+
+std::string to_string(Duration d) {
+  const std::int64_t ns = d.count();
+  const std::int64_t mag = std::llabs(ns);
+  char buf[64];
+  if (mag >= 1'000'000'000 && mag % 1'000'000 == 0) {
+    std::snprintf(buf, sizeof buf, "%.3gs", static_cast<double>(ns) / 1e9);
+  } else if (mag >= 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.6gms", static_cast<double>(ns) / 1e6);
+  } else if (mag >= 1'000) {
+    std::snprintf(buf, sizeof buf, "%.6gus", static_cast<double>(ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns));
+  }
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, Duration d) {
+  return os << to_string(d);
+}
+
+}  // namespace ceta

@@ -1,0 +1,116 @@
+// Time representation used throughout ceta.
+//
+// All times — periods, execution times, release offsets, timestamps,
+// backward times and disparities — are signed 64-bit nanosecond counts
+// wrapped in the strong type `Duration`.  The paper's quantities freely mix
+// instants and spans (e.g. a backward time is a difference of release times
+// and may be negative, Lemma 5), so we deliberately use one signed type for
+// both; `Instant` is provided as an alias for readability at call sites.
+//
+// The WATERS 2015 execution times are fractional microseconds (e.g.
+// 5.00 us) and periods are milliseconds; both are exactly representable in
+// integer nanoseconds.  int64 nanoseconds cover ±292 years, far beyond any
+// hyperperiod or simulation horizon used here.
+
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace ceta {
+
+/// A signed span of time (or an instant on the global timeline), in
+/// integer nanoseconds.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  /// Named constructors.
+  static constexpr Duration ns(std::int64_t v) { return Duration(v); }
+  static constexpr Duration us(std::int64_t v) { return Duration(v * 1000); }
+  static constexpr Duration ms(std::int64_t v) {
+    return Duration(v * 1'000'000);
+  }
+  static constexpr Duration s(std::int64_t v) {
+    return Duration(v * 1'000'000'000);
+  }
+  static constexpr Duration zero() { return Duration(0); }
+  static constexpr Duration max() {
+    return Duration(INT64_MAX);
+  }
+  static constexpr Duration min() {
+    return Duration(INT64_MIN);
+  }
+
+  /// Raw nanosecond count.
+  constexpr std::int64_t count() const { return ns_; }
+
+  /// Value in the given unit, as a double (for reporting only).
+  constexpr double as_us() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double as_ms() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double as_s() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const {
+    return Duration(ns_ + o.ns_);
+  }
+  constexpr Duration operator-(Duration o) const {
+    return Duration(ns_ - o.ns_);
+  }
+  constexpr Duration operator-() const { return Duration(-ns_); }
+  constexpr Duration operator*(std::int64_t k) const {
+    return Duration(ns_ * k);
+  }
+  /// Truncating division by a scalar (used only where exact by construction).
+  constexpr Duration operator/(std::int64_t k) const {
+    return Duration(ns_ / k);
+  }
+  constexpr Duration& operator+=(Duration o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+
+  /// Ratio of two durations as a double (for reporting only).
+  constexpr double ratio(Duration denom) const {
+    return static_cast<double>(ns_) / static_cast<double>(denom.ns_);
+  }
+
+ private:
+  explicit constexpr Duration(std::int64_t v) : ns_(v) {}
+  std::int64_t ns_ = 0;
+};
+
+constexpr Duration operator*(std::int64_t k, Duration d) { return d * k; }
+
+/// An instant on the global timeline.  Alias of Duration by design; the
+/// paper anchors analyses at r(J) = 0 and instants are routinely negative.
+using Instant = Duration;
+
+inline namespace literals {
+constexpr Duration operator""_ns(unsigned long long v) {
+  return Duration::ns(static_cast<std::int64_t>(v));
+}
+constexpr Duration operator""_us(unsigned long long v) {
+  return Duration::us(static_cast<std::int64_t>(v));
+}
+constexpr Duration operator""_ms(unsigned long long v) {
+  return Duration::ms(static_cast<std::int64_t>(v));
+}
+constexpr Duration operator""_s(unsigned long long v) {
+  return Duration::s(static_cast<std::int64_t>(v));
+}
+}  // namespace literals
+
+/// Human-readable rendering with an auto-selected unit, e.g. "12.5ms".
+std::string to_string(Duration d);
+
+std::ostream& operator<<(std::ostream& os, Duration d);
+
+}  // namespace ceta

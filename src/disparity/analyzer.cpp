@@ -1,0 +1,145 @@
+#include "disparity/analyzer.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace ceta {
+
+namespace {
+
+bool should_truncate(const DisparityOptions& opt) {
+  return opt.truncation == JointTruncation::kAlways ||
+         (opt.truncation == JointTruncation::kAuto &&
+          opt.method == DisparityMethod::kForkJoin);
+}
+
+/// Theorem 1 from precomputed backward bounds (avoids re-walking chains
+/// for every pair; the analyzer visits O(|P|^2) pairs).
+Duration pdiff_from_bounds(const TaskGraph& g, const Path& a, const Path& b,
+                           const BackwardBounds& ba, const BackwardBounds& bb) {
+  const Duration o = independent_window_separation(ba, bb);
+  if (a.front() == b.front() &&
+      g.task(a.front()).jitter == Duration::zero()) {
+    return floor_to_multiple(o, g.task(a.front()).period);
+  }
+  return o;
+}
+
+/// True if a and b share only their common tail task and have distinct
+/// heads — the structure-free case where Theorem 2 degenerates to
+/// Theorem 1 and truncation is the identity.  O(|a|·|b|) without
+/// allocating; pays for itself because the analyzer visits O(|P|^2) pairs
+/// and most pairs in random DAGs are structure-free.
+bool structure_free(const Path& a, const Path& b) {
+  if (a.front() == b.front()) return false;
+  std::size_t common = 0;
+  for (TaskId x : a) {
+    for (TaskId y : b) {
+      if (x == y) {
+        ++common;
+        if (common > 1) return false;
+        break;
+      }
+    }
+  }
+  return common == 1;  // exactly the shared tail
+}
+
+/// One pair under the given options, reusing cached full-chain bounds.
+Duration pair_bound_cached(const TaskGraph& g, const Path& a, const Path& b,
+                           const BackwardBounds& full_a,
+                           const BackwardBounds& full_b,
+                           const ResponseTimeMap& rtm,
+                           const DisparityOptions& opt) {
+  const bool truncate = should_truncate(opt);
+  if (opt.method == DisparityMethod::kIndependent && !truncate) {
+    return pdiff_from_bounds(g, a, b, full_a, full_b);
+  }
+  if (structure_free(a, b)) {
+    return pdiff_from_bounds(g, a, b, full_a, full_b);
+  }
+
+  const Path* la = &a;
+  const Path* lb = &b;
+  Path ta, tb;
+  if (truncate) {
+    std::tie(ta, tb) = truncate_at_last_joint(a, b);
+    CETA_ASSERT(ta != tb,
+                "pair_disparity_bound: distinct chains truncated to equal");
+    la = &ta;
+    lb = &tb;
+  }
+  if (opt.method == DisparityMethod::kIndependent) {
+    return pdiff_pair_bound(g, *la, *lb, rtm, opt.hop_method);
+  }
+  // S-diff: Theorem 2, clamped by Theorem 1 (on the same truncated chains
+  // and on the full chains).  All three are safe bounds; Theorem 2 alone
+  // is not formally guaranteed to dominate pointwise — its sub-chain
+  // decomposition re-counts response-time slack at every joint and can
+  // exceed Theorem 1 by O(R) in rare instances — and the clamp keeps the
+  // reported S-diff <= P-diff by construction.
+  Duration best = sdiff_pair_bound(g, *la, *lb, rtm, opt.hop_method).bound;
+  best = std::min(best, pdiff_pair_bound(g, *la, *lb, rtm, opt.hop_method));
+  best = std::min(best, pdiff_from_bounds(g, a, b, full_a, full_b));
+  return best;
+}
+
+}  // namespace
+
+std::pair<Path, Path> truncate_at_last_joint(const Path& a, const Path& b) {
+  CETA_EXPECTS(!a.empty() && !b.empty(), "truncate_at_last_joint: empty");
+  CETA_EXPECTS(a.back() == b.back(),
+               "truncate_at_last_joint: chains must end at the same task");
+  // Length of the maximal common suffix.
+  std::size_t s = 0;
+  while (s < a.size() && s < b.size() &&
+         a[a.size() - 1 - s] == b[b.size() - 1 - s]) {
+    ++s;
+  }
+  CETA_ASSERT(s >= 1, "truncate_at_last_joint: no common suffix");
+  // Keep everything up to and including the first task of that suffix.
+  Path ta(a.begin(), a.end() - static_cast<std::ptrdiff_t>(s - 1));
+  Path tb(b.begin(), b.end() - static_cast<std::ptrdiff_t>(s - 1));
+  return {std::move(ta), std::move(tb)};
+}
+
+Duration pair_disparity_bound(const TaskGraph& g, const Path& a,
+                              const Path& b, const ResponseTimeMap& rtm,
+                              const DisparityOptions& opt) {
+  CETA_EXPECTS(a != b, "pair_disparity_bound: chains must differ");
+  const BackwardBounds full_a = backward_bounds(g, a, rtm, opt.hop_method);
+  const BackwardBounds full_b = backward_bounds(g, b, rtm, opt.hop_method);
+  return pair_bound_cached(g, a, b, full_a, full_b, rtm, opt);
+}
+
+DisparityReport analyze_time_disparity(const TaskGraph& g, TaskId task,
+                                       const ResponseTimeMap& rtm,
+                                       const DisparityOptions& opt) {
+  CETA_EXPECTS(task < g.num_tasks(), "analyze_time_disparity: bad task id");
+  DisparityReport report;
+  report.worst_case = Duration::zero();
+  report.chains = enumerate_source_chains(g, task, opt.path_cap);
+
+  const std::size_t n = report.chains.size();
+  std::vector<BackwardBounds> full;
+  full.reserve(n);
+  for (const Path& c : report.chains) {
+    full.push_back(backward_bounds(g, c, rtm, opt.hop_method));
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Duration bound =
+          pair_bound_cached(g, report.chains[i], report.chains[j], full[i],
+                            full[j], rtm, opt);
+      report.pairs.push_back(PairDisparity{i, j, bound});
+      report.worst_case = std::max(report.worst_case, bound);
+    }
+  }
+  return report;
+}
+
+}  // namespace ceta

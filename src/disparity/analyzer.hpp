@@ -1,0 +1,81 @@
+// Task-level worst-case time disparity analysis (Definition 2, §III).
+//
+// The worst-case time disparity of a task τ is bounded by enumerating all
+// chains P from a source to τ and maximizing the pairwise bound (Theorem 1
+// or Theorem 2) over all pairs.  Following the paper's closing remark of
+// §III, each pair is first truncated at its *last joint task* — the start
+// of the maximal common suffix — because the immediate backward job chain
+// on a common suffix is unique, so both chains reach the same job there
+// and contribute zero extra separation.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "chain/backward_bounds.hpp"
+#include "disparity/forkjoin.hpp"
+#include "disparity/pairwise.hpp"
+#include "graph/paths.hpp"
+#include "sched/npfp_rta.hpp"
+
+namespace ceta {
+
+enum class DisparityMethod {
+  kIndependent,  ///< Theorem 1, "P-diff"
+  /// Theorem 2 ("S-diff"), clamped by Theorem 1: both bounds are safe and
+  /// Theorem 2 can exceed Theorem 1 by O(WCRT) in rare instances because
+  /// its sub-chain decomposition re-counts response-time slack at joints.
+  kForkJoin,
+};
+
+/// Whether to apply the last-joint truncation (§III closing remark) before
+/// the pairwise bound.  kAuto matches the paper's evaluation: Theorem 2
+/// ("S-diff") uses it, Theorem 1 ("P-diff") is applied to the full chains
+/// — shared suffixes inflating Theorem 1 is precisely the imprecision the
+/// paper's S-diff improves on.
+enum class JointTruncation { kAuto, kAlways, kNever };
+
+struct DisparityOptions {
+  DisparityMethod method = DisparityMethod::kForkJoin;
+  HopBoundMethod hop_method = HopBoundMethod::kNonPreemptive;
+  /// Cap on |P| (path enumeration); CapacityError beyond it.
+  std::size_t path_cap = kDefaultPathCap;
+  JointTruncation truncation = JointTruncation::kAuto;
+};
+
+/// Bound for one chain pair, for reporting.
+struct PairDisparity {
+  std::size_t chain_a = 0;  ///< indices into DisparityReport::chains
+  std::size_t chain_b = 0;
+  Duration bound;
+};
+
+struct DisparityReport {
+  /// Upper bound on the worst-case time disparity of the analyzed task;
+  /// zero when it has fewer than two source chains.
+  Duration worst_case;
+  /// The enumerated chain set P (each from a source to the task).
+  std::vector<Path> chains;
+  /// Per-pair bounds (|chains| choose 2 entries, unordered pairs).
+  std::vector<PairDisparity> pairs;
+};
+
+/// Bound the worst-case time disparity of `task`.  `rtm` maps every task
+/// to a safe WCRT bound (see analyze_response_times); tasks on chains to
+/// `task` must have finite WCRTs.
+DisparityReport analyze_time_disparity(const TaskGraph& g, TaskId task,
+                                       const ResponseTimeMap& rtm,
+                                       const DisparityOptions& opt = {});
+
+/// Truncate both chains at the start of their maximal common suffix; both
+/// returned chains end at that joint.  Exposed for tests.
+std::pair<Path, Path> truncate_at_last_joint(const Path& a, const Path& b);
+
+/// Bound for a single pair of chains under the given options (after
+/// optional truncation).
+Duration pair_disparity_bound(const TaskGraph& g, const Path& a,
+                              const Path& b, const ResponseTimeMap& rtm,
+                              const DisparityOptions& opt = {});
+
+}  // namespace ceta

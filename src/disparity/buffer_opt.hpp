@@ -1,0 +1,52 @@
+// §IV — cutting down the worst-case time disparity by buffer design
+// (Lemma 6, Algorithm 1, Theorem 3).
+//
+// The pairwise disparity is governed by the relative offset of the two
+// sources' sampling windows.  Giving the input channel of the second task
+// of the "younger" chain (the one whose window sits further right) a FIFO
+// buffer of size n shifts that window left by (n−1)·T(head) (Lemma 6).
+// Algorithm 1 picks n so the two window *midpoints* align as closely as a
+// multiple of the head's period allows; Theorem 3 lowers the Theorem 2
+// bound by exactly the shift L.
+
+#pragma once
+
+#include "disparity/forkjoin.hpp"
+#include "graph/paths.hpp"
+#include "sched/npfp_rta.hpp"
+
+namespace ceta {
+
+/// Output of Algorithm 1 for one chain pair.
+struct BufferDesign {
+  /// True if the buffer goes on λ's head channel, false if on ν's.
+  bool buffer_on_lambda = true;
+  /// The buffered channel (head → second task of the chosen chain).
+  TaskId from = 0;
+  TaskId to = 0;
+  /// Designed FIFO size (>= 1; 1 means no change was useful).
+  int buffer_size = 1;
+  /// Window shift L achieved by the design (multiple of T(head)).
+  Duration shift;
+  /// Theorem 2 bound without buffering, for reference.
+  Duration baseline_bound;
+  /// Theorem 3 bound with the designed buffer: baseline − L.
+  Duration optimized_bound;
+  /// Sampling windows before buffering (anchored at λ's o_1 job release).
+  Interval window_lambda;
+  Interval window_nu;
+};
+
+/// Run Algorithm 1 on two non-identical chains of g ending at the same
+/// task.  A chain must have at least two tasks to host a buffer; if the
+/// chain that would be buffered is a single task, the design is trivial
+/// (size 1, L = 0).
+BufferDesign design_buffer(const TaskGraph& g, const Path& lambda,
+                           const Path& nu, const ResponseTimeMap& rtm,
+                           HopBoundMethod method =
+                               HopBoundMethod::kNonPreemptive);
+
+/// Apply a design to a graph (sets the channel's FIFO size).
+void apply_buffer_design(TaskGraph& g, const BufferDesign& design);
+
+}  // namespace ceta

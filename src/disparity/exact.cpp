@@ -1,0 +1,113 @@
+#include "disparity/exact.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "graph/algorithms.hpp"
+
+namespace ceta {
+
+namespace {
+
+/// Timestamp of the source sample a job released at `t_read` consumes
+/// through `chain` (deterministic LET arithmetic).  Asserts the system is
+/// past warm-up (all traced job indices non-negative).
+Instant trace_source_timestamp(const TaskGraph& g, const Path& chain,
+                               Instant t_read) {
+  Instant t = t_read;
+  for (std::size_t i = chain.size(); i-- > 1;) {
+    const TaskId producer = chain[i - 1];
+    const Task& p = g.task(producer);
+    const int buffer = g.channel(producer, chain[i]).buffer_size;
+    std::int64_t k;
+    if (g.is_source(producer)) {
+      // Latest sample at or before t (samples at offset + k·T).
+      k = floor_div(t - p.offset, p.period);
+    } else {
+      // Latest publish at or before t (publishes at offset + (k+1)·T).
+      k = floor_div(t - p.offset, p.period) - 1;
+    }
+    k -= buffer - 1;  // FIFO: read the oldest of the last n tokens
+    CETA_ASSERT(k >= 0, "exact_let_disparity: traced before warm-up");
+    t = p.offset + p.period * k;  // producer job's release = its read time
+  }
+  return t;
+}
+
+}  // namespace
+
+ExactLetResult exact_let_disparity(const TaskGraph& g, TaskId task,
+                                   std::size_t path_cap,
+                                   std::size_t max_releases) {
+  CETA_EXPECTS(task < g.num_tasks(), "exact_let_disparity: bad task id");
+  g.validate();
+
+  const std::vector<TaskId> closure = ancestors(g, task);
+  std::vector<std::int64_t> periods;
+  Duration warmup_span = Duration::zero();
+  int max_buffer = 1;
+  for (const TaskId id : closure) {
+    const Task& t = g.task(id);
+    CETA_EXPECTS(g.is_source(id) || t.comm == CommSemantics::kLet,
+                 "exact_let_disparity: task '" + t.name +
+                     "' is not LET; the analysis needs a deterministic "
+                     "(fully LET) ancestor closure");
+    CETA_EXPECTS(t.jitter == Duration::zero(),
+                 "exact_let_disparity: task '" + t.name +
+                     "' has release jitter");
+    periods.push_back(t.period.count());
+    warmup_span += t.period * 3;
+    for (const TaskId succ : g.successors(id)) {
+      max_buffer = std::max(max_buffer, g.channel(id, succ).buffer_size);
+    }
+  }
+  warmup_span += g.task(task).period * (3 * max_buffer);
+
+  const std::vector<Path> chains =
+      enumerate_source_chains(g, task, path_cap);
+  ExactLetResult out;
+  out.worst_disparity = Duration::zero();
+  out.worst_release = Instant::zero();
+  if (chains.size() < 2) return out;
+
+  // Deepest chains also need (buffer-scaled) depth per hop.
+  for (const Path& chain : chains) {
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+      warmup_span += g.task(chain[i]).period *
+                     (1 + g.channel(chain[i], chain[i + 1]).buffer_size);
+    }
+  }
+
+  const Duration hyper = hyperperiod(periods.data(), periods.size());
+  const Task& analyzed = g.task(task);
+  const std::int64_t releases = floor_div(hyper, analyzed.period);
+  CETA_EXPECTS(releases >= 1, "exact_let_disparity: degenerate hyperperiod");
+  if (static_cast<std::size_t>(releases) > max_releases) {
+    throw CapacityError(
+        "exact_let_disparity: hyperperiod spans too many releases");
+  }
+
+  const std::int64_t k0 =
+      ceil_div(warmup_span - analyzed.offset, analyzed.period);
+  out.releases_examined = static_cast<std::size_t>(releases);
+  for (std::int64_t k = k0; k < k0 + releases; ++k) {
+    const Instant release = analyzed.offset + analyzed.period * k;
+    Instant min_ts = Duration::max();
+    Instant max_ts = Duration::min();
+    for (const Path& chain : chains) {
+      const Instant ts = trace_source_timestamp(g, chain, release);
+      min_ts = std::min(min_ts, ts);
+      max_ts = std::max(max_ts, ts);
+    }
+    const Duration disparity = max_ts - min_ts;
+    if (disparity > out.worst_disparity) {
+      out.worst_disparity = disparity;
+      out.worst_release = release;
+    }
+  }
+  return out;
+}
+
+}  // namespace ceta

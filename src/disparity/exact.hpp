@@ -1,0 +1,45 @@
+// Exact worst-case time disparity for deterministic LET systems.
+//
+// Under LET every read happens at a release and every publish at a
+// deadline, so which sample a job consumes is pure arithmetic in the
+// offsets and periods — independent of scheduling and execution times.
+// For a task whose entire ancestor closure is LET (sources included,
+// which are instant publishers), the *exact* worst-case disparity for a
+// concrete offset assignment is therefore computable: trace every chain
+// arithmetically for each analyzed-task release in one hyperperiod of the
+// involved periods (the phase pattern repeats) and take the maximum.
+//
+// This both certifies concrete deployments (no bound pessimism at all)
+// and measures how tight the offset-oblivious Theorems 1–2 are on
+// deterministic systems.
+
+#pragma once
+
+#include <cstddef>
+
+#include "common/time.hpp"
+#include "graph/paths.hpp"
+#include "graph/task_graph.hpp"
+
+namespace ceta {
+
+struct ExactLetResult {
+  /// Exact worst-case disparity of the task for the given offsets.
+  Duration worst_disparity;
+  /// A release of the analyzed task attaining it (steady state).
+  Instant worst_release;
+  /// Number of analyzed releases (hyperperiod / T(task)).
+  std::size_t releases_examined = 0;
+};
+
+/// Exact analysis.  Preconditions: every non-source task in the ancestor
+/// closure of `task` (including `task` itself) uses CommSemantics::kLet,
+/// and every closure task is jitter-free.  FIFO channel buffers are
+/// honored.  Throws CapacityError if the hyperperiod spans more than
+/// `max_releases` of the analyzed task or the chain set exceeds
+/// `path_cap`.
+ExactLetResult exact_let_disparity(const TaskGraph& g, TaskId task,
+                                   std::size_t path_cap = kDefaultPathCap,
+                                   std::size_t max_releases = 1'000'000);
+
+}  // namespace ceta

@@ -1,0 +1,94 @@
+#include "disparity/multi_buffer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "chain/backward_bounds.hpp"
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace ceta {
+
+MultiBufferDesign design_buffers_for_task(const TaskGraph& g, TaskId task,
+                                          const ResponseTimeMap& rtm,
+                                          const DisparityOptions& opt) {
+  MultiBufferDesign design;
+  const DisparityReport base = analyze_time_disparity(g, task, rtm, opt);
+  design.baseline_bound = base.worst_case;
+  design.optimized_bound = base.worst_case;
+  if (base.chains.size() < 2) return design;
+
+  // Group chains by head channel; a group's window midpoint summary is
+  // the mean of its members' (doubled) midpoints under Lemma 1 windows
+  // anchored at r(J) = 0.
+  struct Group {
+    TaskId from;
+    TaskId to;
+    double sum_m2 = 0.0;
+    int members = 0;
+  };
+  std::map<std::pair<TaskId, TaskId>, Group> groups;
+  for (const Path& chain : base.chains) {
+    if (chain.size() < 2) continue;  // the task itself is a source
+    const BackwardBounds b = backward_bounds(g, chain, rtm, opt.hop_method);
+    const Interval window(-b.wcbt, -b.bcbt);
+    const auto key = std::make_pair(chain[0], chain[1]);
+    Group& grp = groups
+                     .try_emplace(key, Group{chain[0], chain[1], 0.0, 0})
+                     .first->second;
+    grp.sum_m2 += static_cast<double>(window.doubled_midpoint());
+    ++grp.members;
+  }
+  if (groups.size() < 2) return design;
+
+  double target_m2 = 0.0;
+  bool first = true;
+  for (const auto& [key, grp] : groups) {
+    const double m2 = grp.sum_m2 / grp.members;
+    if (first || m2 < target_m2) {
+      target_m2 = m2;
+      first = false;
+    }
+  }
+
+  TaskGraph buffered = g;
+  std::vector<ChannelBuffer> channels;
+  for (const auto& [key, grp] : groups) {
+    CETA_EXPECTS(g.channel(grp.from, grp.to).buffer_size == 1,
+                 "design_buffers_for_task: head channel '" +
+                     g.task(grp.from).name + "->" + g.task(grp.to).name +
+                     "' already buffered");
+    const double m2 = grp.sum_m2 / grp.members;
+    const Duration t_head = g.task(grp.from).period;
+    const auto k = static_cast<std::int64_t>(
+        std::floor((m2 - target_m2) / (2.0 * static_cast<double>(t_head.count()))));
+    if (k <= 0) continue;
+    ChannelBuffer cb;
+    cb.from = grp.from;
+    cb.to = grp.to;
+    cb.buffer_size = static_cast<int>(k) + 1;
+    cb.shift = t_head * k;
+    buffered.set_buffer_size(cb.from, cb.to, cb.buffer_size);
+    channels.push_back(cb);
+  }
+  if (channels.empty()) return design;
+
+  // Safe optimized bound: re-analyze the buffered graph (Lemma 6-aware
+  // chain bounds).  Keep the design only if it actually helps.
+  const Duration optimized =
+      analyze_time_disparity(buffered, task, rtm, opt).worst_case;
+  if (optimized >= design.baseline_bound) return design;
+  design.channels = std::move(channels);
+  design.optimized_bound = optimized;
+  return design;
+}
+
+void apply_multi_buffer_design(TaskGraph& g,
+                               const MultiBufferDesign& design) {
+  for (const ChannelBuffer& cb : design.channels) {
+    g.set_buffer_size(cb.from, cb.to, cb.buffer_size);
+  }
+}
+
+}  // namespace ceta

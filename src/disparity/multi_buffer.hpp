@@ -1,0 +1,56 @@
+// Extension of §IV: buffer design for a task fusing *more than two*
+// chains.
+//
+// Algorithm 1 aligns the sampling windows of one chain pair.  A fusion
+// task with k sensors has k windows; this extension shifts every window
+// onto the stalest one: chains are grouped by their head channel (chains
+// sharing a channel shift together), each group's window midpoint is
+// aligned — up to the granularity of the head period — with the leftmost
+// group's, and the resulting FIFO sizes follow Lemma 6.  The optimized
+// bound is obtained by re-running the Theorem 2 analysis on the buffered
+// graph (the chain bounds are Lemma 6-aware), so it is safe by
+// construction; if the heuristic alignment does not improve the bound the
+// trivial design (all sizes 1) is returned instead.
+//
+// Note: a buffered channel delays data for *every* consumer downstream;
+// the design optimizes the given task and may change (usually increase)
+// the data age and disparity observed elsewhere.
+
+#pragma once
+
+#include <vector>
+
+#include "disparity/analyzer.hpp"
+#include "graph/paths.hpp"
+#include "sched/npfp_rta.hpp"
+
+namespace ceta {
+
+/// One buffered channel of a multi-chain design.
+struct ChannelBuffer {
+  TaskId from = 0;
+  TaskId to = 0;
+  int buffer_size = 1;
+  /// Window shift of the chains through this channel: (size−1)·T(from).
+  Duration shift;
+};
+
+struct MultiBufferDesign {
+  /// Channels to buffer (sizes > 1 only; empty = nothing to gain).
+  std::vector<ChannelBuffer> channels;
+  /// Worst-case disparity bound of the task before / after buffering
+  /// (both via the task-level analyzer with the given options).
+  Duration baseline_bound;
+  Duration optimized_bound;
+};
+
+/// Design buffers for all chains fusing at `task`.  Requires the head
+/// channels involved to be unbuffered (size 1) in `g`.
+MultiBufferDesign design_buffers_for_task(const TaskGraph& g, TaskId task,
+                                          const ResponseTimeMap& rtm,
+                                          const DisparityOptions& opt = {});
+
+/// Apply a design to a graph.
+void apply_multi_buffer_design(TaskGraph& g, const MultiBufferDesign& design);
+
+}  // namespace ceta

@@ -1,0 +1,76 @@
+#include "disparity/offset_opt.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "graph/algorithms.hpp"
+
+namespace ceta {
+
+OffsetPlan plan_source_offsets(const TaskGraph& g, TaskId task,
+                               const OffsetPlanOptions& opt) {
+  CETA_EXPECTS(task < g.num_tasks(), "plan_source_offsets: bad task id");
+  CETA_EXPECTS(opt.granularity > Duration::zero(),
+               "plan_source_offsets: granularity must be positive");
+  CETA_EXPECTS(opt.passes >= 1, "plan_source_offsets: need >= 1 pass");
+
+  TaskGraph work = g;
+  OffsetPlan plan;
+  plan.baseline =
+      exact_let_disparity(work, task, opt.path_cap, opt.max_releases)
+          .worst_disparity;
+  plan.optimized = plan.baseline;
+  ++plan.evaluations;
+
+  // The tunable coordinates.
+  std::vector<TaskId> tunables;
+  for (const TaskId id : ancestors(g, task)) {
+    if (g.is_source(id) ||
+        opt.tunables == OffsetTunables::kAllClosureTasks) {
+      tunables.push_back(id);
+    }
+  }
+
+  for (int pass = 0; pass < opt.passes && plan.optimized > Duration::zero();
+       ++pass) {
+    bool improved = false;
+    for (const TaskId src : tunables) {
+      Task& t = work.task(src);
+      const Duration original = t.offset;
+      Duration best_offset = original;
+      Duration best = plan.optimized;
+      for (Duration cand = Duration::zero(); cand < t.period;
+           cand += opt.granularity) {
+        if (cand == original) continue;
+        t.offset = cand;
+        const Duration d =
+            exact_let_disparity(work, task, opt.path_cap, opt.max_releases)
+                .worst_disparity;
+        ++plan.evaluations;
+        if (d < best) {
+          best = d;
+          best_offset = cand;
+        }
+      }
+      t.offset = best_offset;
+      if (best < plan.optimized) {
+        plan.optimized = best;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+
+  for (const TaskId src : tunables) {
+    plan.offsets.push_back(OffsetAssignment{src, work.task(src).offset});
+  }
+  return plan;
+}
+
+void apply_offset_plan(TaskGraph& g, const OffsetPlan& plan) {
+  for (const OffsetAssignment& a : plan.offsets) {
+    g.task(a.task).offset = a.offset;
+  }
+}
+
+}  // namespace ceta

@@ -1,0 +1,68 @@
+// Offset synthesis for deterministic LET systems.
+//
+// In a fully LET ancestor closure the disparity is an exact function of
+// the release offsets (see disparity/exact.hpp), which turns §IV's
+// problem on its head: instead of buffering channels, *plan the release
+// phases*.  This module runs coordinate descent over the tunable offsets —
+// sweeping each one over [0, T) on a grid and keeping the argmin of the
+// exact disparity.  The achievable floor is the staleness quantization of
+// the coarsest-period hop on any chain; when the analyzed task's period
+// lattice is harmonic down to that hop, the floor is reached without any
+// buffer memory.
+//
+// Complementary to buffers: offsets need control over sensor phases
+// (possible with time-triggered buses / synchronized clocks), buffers
+// only need memory.
+
+#pragma once
+
+#include <vector>
+
+#include "disparity/exact.hpp"
+#include "graph/task_graph.hpp"
+
+namespace ceta {
+
+/// Which offsets the planner may move.  Under LET every closure task's
+/// offset is a schedule-table parameter, and middle-task phases matter as
+/// much as sensor phases (each LET hop re-quantizes the data onto the
+/// consumer's release grid); restricting to sources models systems where
+/// only the sensors are phase-controllable.
+enum class OffsetTunables { kAllClosureTasks, kSourcesOnly };
+
+struct OffsetPlanOptions {
+  OffsetTunables tunables = OffsetTunables::kAllClosureTasks;
+  /// Offset grid step for the sweep; must be positive.  1 ms matches the
+  /// WATERS period lattice.
+  Duration granularity = Duration::ms(1);
+  /// Coordinate-descent passes over the tunable tasks.
+  int passes = 2;
+  std::size_t path_cap = kDefaultPathCap;
+  std::size_t max_releases = 1'000'000;
+};
+
+struct OffsetAssignment {
+  TaskId task = 0;
+  Duration offset;
+};
+
+struct OffsetPlan {
+  /// Exact disparity before / after the synthesis.
+  Duration baseline;
+  Duration optimized;
+  /// The tuned offsets of the optimized assignment.
+  std::vector<OffsetAssignment> offsets;
+  /// Number of exact evaluations performed.
+  std::size_t evaluations = 0;
+};
+
+/// Plan release offsets minimizing the exact worst-case disparity of
+/// `task`.  Same preconditions as exact_let_disparity.  The input graph
+/// is not modified; apply with apply_offset_plan.
+OffsetPlan plan_source_offsets(const TaskGraph& g, TaskId task,
+                               const OffsetPlanOptions& opt = {});
+
+/// Write a plan's offsets into the graph.
+void apply_offset_plan(TaskGraph& g, const OffsetPlan& plan);
+
+}  // namespace ceta

@@ -1,0 +1,43 @@
+#include "disparity/pareto.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "disparity/forkjoin.hpp"
+
+namespace ceta {
+
+std::vector<ParetoPoint> buffer_pareto(const TaskGraph& g, const Path& lambda,
+                                       const Path& nu,
+                                       const ResponseTimeMap& rtm,
+                                       HopBoundMethod method) {
+  const BufferDesign design = design_buffer(g, lambda, nu, rtm, method);
+  const Duration t_head = g.task(design.from).period;
+
+  std::vector<ParetoPoint> points;
+  points.reserve(static_cast<std::size_t>(design.buffer_size));
+  for (int n = 1; n <= design.buffer_size; ++n) {
+    ParetoPoint p;
+    p.buffer_size = n;
+    p.shift = t_head * (n - 1);
+    // Theorem 3 with a partial shift (still on the aligning side), clamped
+    // by the Lemma 6-aware Theorem 2 re-analysis of the buffered graph.
+    const Duration analytic = design.baseline_bound - p.shift;
+    if (n == 1) {
+      p.bound = design.baseline_bound;
+    } else {
+      TaskGraph buffered = g;
+      buffered.set_buffer_size(design.from, design.to, n);
+      const Duration rerun =
+          sdiff_pair_bound(buffered, lambda, nu, rtm, method).bound;
+      p.bound = std::min(analytic, rerun);
+    }
+    points.push_back(p);
+  }
+  CETA_ASSERT(!points.empty(), "buffer_pareto: no points");
+  CETA_ASSERT(points.back().bound <= design.optimized_bound,
+              "buffer_pareto: final point must reach the Algorithm 1 bound");
+  return points;
+}
+
+}  // namespace ceta

@@ -1,0 +1,40 @@
+// Buffer-memory / disparity trade-off for one chain pair.
+//
+// Algorithm 1 jumps straight to the midpoint-aligning FIFO size, but a
+// deployment may have a token-memory budget.  `buffer_pareto` sweeps every
+// size from 1 (no buffer) to the Algorithm 1 design and reports the safe
+// disparity bound at each step — each intermediate size n shifts the
+// window by (n−1)·T(head), and the Theorem 3 argument applies verbatim as
+// long as the shift stays at or below the aligning one.  Every point is
+// additionally clamped by re-running the Theorem 2 analysis on a buffered
+// copy, so each entry is a safe bound on its own.
+
+#pragma once
+
+#include <vector>
+
+#include "disparity/buffer_opt.hpp"
+#include "graph/paths.hpp"
+#include "sched/npfp_rta.hpp"
+
+namespace ceta {
+
+struct ParetoPoint {
+  /// FIFO size on the Algorithm 1 channel (1 = unbuffered).
+  int buffer_size = 1;
+  /// Window shift (buffer_size − 1) · T(head).
+  Duration shift;
+  /// Safe worst-case disparity bound at this size.
+  Duration bound;
+};
+
+/// Bound-vs-buffer-size curve from size 1 up to the Algorithm 1 design
+/// (a single point when the windows are already aligned).  Bounds are
+/// non-increasing in the buffer size.
+std::vector<ParetoPoint> buffer_pareto(const TaskGraph& g, const Path& lambda,
+                                       const Path& nu,
+                                       const ResponseTimeMap& rtm,
+                                       HopBoundMethod method =
+                                           HopBoundMethod::kNonPreemptive);
+
+}  // namespace ceta

@@ -1,0 +1,68 @@
+#include "disparity/requirements.hpp"
+
+#include "common/error.hpp"
+#include "disparity/analyzer.hpp"
+
+namespace ceta {
+
+RequirementsReport verify_disparity_requirements(
+    const TaskGraph& g, const std::vector<DisparityRequirement>& reqs,
+    const ResponseTimeMap& rtm, const DisparityOptions& opt) {
+  for (const DisparityRequirement& r : reqs) {
+    CETA_EXPECTS(r.task < g.num_tasks(),
+                 "verify_disparity_requirements: unknown task id");
+    CETA_EXPECTS(r.max_disparity >= Duration::zero(),
+                 "verify_disparity_requirements: negative threshold");
+  }
+
+  RequirementsReport report;
+  report.final_graph = g;
+
+  // First pass: verify, and remediate violations cumulatively.
+  for (const DisparityRequirement& r : reqs) {
+    RequirementOutcome out;
+    out.requirement = r;
+    out.bound = analyze_time_disparity(report.final_graph, r.task, rtm, opt)
+                    .worst_case;
+    out.final_bound = out.bound;
+    if (out.bound <= r.max_disparity) {
+      out.status = RequirementStatus::kSatisfied;
+      report.outcomes.push_back(std::move(out));
+      continue;
+    }
+    const MultiBufferDesign design =
+        design_buffers_for_task(report.final_graph, r.task, rtm, opt);
+    if (!design.channels.empty() &&
+        design.optimized_bound <= r.max_disparity) {
+      apply_multi_buffer_design(report.final_graph, design);
+      out.status = RequirementStatus::kFixedByBuffers;
+      out.final_bound = design.optimized_bound;
+      out.buffers = design.channels;
+    } else {
+      out.status = RequirementStatus::kViolated;
+      // Keep the graph unchanged: a partial remedy that misses the
+      // threshold only delays downstream consumers for no benefit.
+    }
+    report.outcomes.push_back(std::move(out));
+  }
+
+  // Second pass: remedies may have shifted data seen by other analyzed
+  // tasks; re-verify every outcome against the final graph.
+  report.all_satisfied = true;
+  for (RequirementOutcome& out : report.outcomes) {
+    out.final_bound = analyze_time_disparity(report.final_graph,
+                                             out.requirement.task, rtm, opt)
+                          .worst_case;
+    const bool ok = out.final_bound <= out.requirement.max_disparity;
+    if (!ok) {
+      out.status = RequirementStatus::kViolated;  // possibly regressed
+      report.all_satisfied = false;
+    } else if (out.status == RequirementStatus::kViolated) {
+      // Another requirement's remedy closed this gap as a side effect.
+      out.status = RequirementStatus::kFixedByBuffers;
+    }
+  }
+  return report;
+}
+
+}  // namespace ceta

@@ -1,0 +1,60 @@
+// The paper's problem statement, §III: "verify whether the time disparity
+// of a task is bounded by a pre-defined value".
+//
+// `verify_disparity_requirements` checks a set of (task, threshold)
+// requirements against the S-diff analysis and, for violated ones,
+// attempts the §IV remedy: a buffer design (multi-chain generalization of
+// Algorithm 1) that shrinks the bound below the threshold.  Designs for
+// different tasks may buffer the same channel; remedies are computed and
+// applied cumulatively in requirement order, re-verifying earlier
+// requirements at the end (a buffer added for one task shifts data seen
+// by every consumer downstream of that channel).
+
+#pragma once
+
+#include <vector>
+
+#include "disparity/multi_buffer.hpp"
+#include "graph/task_graph.hpp"
+#include "sched/npfp_rta.hpp"
+
+namespace ceta {
+
+struct DisparityRequirement {
+  TaskId task = 0;
+  /// Required upper bound on the task's worst-case time disparity.
+  Duration max_disparity;
+};
+
+enum class RequirementStatus {
+  kSatisfied,          ///< bound <= threshold on the input graph
+  kFixedByBuffers,     ///< violated, but the buffer remedy closes the gap
+  kViolated,           ///< violated and the remedy does not close the gap
+};
+
+struct RequirementOutcome {
+  DisparityRequirement requirement;
+  RequirementStatus status = RequirementStatus::kSatisfied;
+  /// S-diff bound on the input graph.
+  Duration bound;
+  /// S-diff bound on the remedied graph (== bound when untouched).
+  Duration final_bound;
+  /// Channels buffered for this requirement (empty unless kFixedByBuffers
+  /// was attempted and helped).
+  std::vector<ChannelBuffer> buffers;
+};
+
+struct RequirementsReport {
+  std::vector<RequirementOutcome> outcomes;
+  /// All requirements hold on the final (possibly buffered) graph.
+  bool all_satisfied = false;
+  /// The graph with every applied remedy (equals the input when none).
+  TaskGraph final_graph;
+};
+
+/// Verify all requirements; attempt buffer remedies for violated ones.
+RequirementsReport verify_disparity_requirements(
+    const TaskGraph& g, const std::vector<DisparityRequirement>& reqs,
+    const ResponseTimeMap& rtm, const DisparityOptions& opt = {});
+
+}  // namespace ceta

@@ -1,0 +1,92 @@
+#include "disparity/sensitivity.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "graph/algorithms.hpp"
+#include "sched/npfp_rta.hpp"
+
+namespace ceta {
+
+namespace {
+
+Duration scaled(Duration d, double factor) {
+  return Duration::ns(static_cast<std::int64_t>(
+      std::llround(static_cast<double>(d.count()) * factor)));
+}
+
+/// Bound of `task` on `graph` with freshly computed response times;
+/// nullopt-style: returns false when unschedulable.
+bool bound_of(const TaskGraph& graph, TaskId task,
+              const SensitivityOptions& opt, Duration& out) {
+  const RtaResult rta = analyze_response_times(graph, opt.rta);
+  // Only the analyzed task's ancestors need finite response times.
+  for (TaskId anc : ancestors(graph, task)) {
+    if (!rta.schedulable[anc]) return false;
+  }
+  out = analyze_time_disparity(graph, task, rta.response_time, opt.disparity)
+            .worst_case;
+  return true;
+}
+
+}  // namespace
+
+std::vector<SensitivityEntry> disparity_sensitivity(
+    const TaskGraph& g, TaskId task, const SensitivityOptions& opt) {
+  CETA_EXPECTS(task < g.num_tasks(), "disparity_sensitivity: bad task id");
+  CETA_EXPECTS(opt.period_factor > 0.0 && opt.wcet_factor >= 0.0,
+               "disparity_sensitivity: factors must be positive");
+
+  Duration baseline;
+  CETA_EXPECTS(bound_of(g, task, opt, baseline),
+               "disparity_sensitivity: baseline system is unschedulable");
+
+  std::vector<SensitivityEntry> entries;
+  for (const TaskId anc : ancestors(g, task)) {
+    // Period perturbation.
+    {
+      TaskGraph perturbed = g;
+      Task& t = perturbed.task(anc);
+      const Duration new_period = scaled(t.period, opt.period_factor);
+      if (new_period > Duration::zero() && new_period > t.wcet &&
+          t.offset < new_period && t.jitter < new_period) {
+        t.period = new_period;
+        SensitivityEntry e;
+        e.task = anc;
+        e.param = PerturbedParam::kPeriod;
+        e.baseline = baseline;
+        e.schedulable = bound_of(perturbed, task, opt, e.perturbed);
+        if (!e.schedulable) e.perturbed = baseline;
+        entries.push_back(e);
+      }
+    }
+    // WCET perturbation (sources have zero execution time — skip).
+    if (g.task(anc).wcet > Duration::zero()) {
+      TaskGraph perturbed = g;
+      Task& t = perturbed.task(anc);
+      t.wcet = scaled(t.wcet, opt.wcet_factor);
+      t.bcet = std::min(t.bcet, t.wcet);
+      SensitivityEntry e;
+      e.task = anc;
+      e.param = PerturbedParam::kWcet;
+      e.baseline = baseline;
+      e.schedulable = bound_of(perturbed, task, opt, e.perturbed);
+      if (!e.schedulable) e.perturbed = baseline;
+      entries.push_back(e);
+    }
+  }
+
+  std::sort(entries.begin(), entries.end(),
+            [](const SensitivityEntry& a, const SensitivityEntry& b) {
+              if (a.schedulable != b.schedulable) return a.schedulable;
+              const Duration da = a.delta() < Duration::zero() ? -a.delta()
+                                                               : a.delta();
+              const Duration db = b.delta() < Duration::zero() ? -b.delta()
+                                                               : b.delta();
+              return da > db;
+            });
+  return entries;
+}
+
+}  // namespace ceta

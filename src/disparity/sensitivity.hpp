@@ -1,0 +1,55 @@
+// Parameter sensitivity of a task's worst-case time disparity bound.
+//
+// §IV's motivating observation (Fig. 4) is that the "obvious" knob —
+// sampling a middle task faster — often does not move the worst case at
+// all, because the disparity is governed by the WCBT of one chain against
+// the BCBT of another.  This module quantifies that: it perturbs each
+// ancestor task's period (faster sampling) and WCET (lighter execution)
+// in isolation, re-runs the scheduling + disparity analysis, and ranks
+// the parameters by how much the bound moves.  Designers attack the top
+// of the list (or, when the whole list is flat, reach for the §IV buffer
+// design instead).
+
+#pragma once
+
+#include <vector>
+
+#include "disparity/analyzer.hpp"
+#include "graph/task_graph.hpp"
+
+namespace ceta {
+
+enum class PerturbedParam {
+  kPeriod,  ///< period scaled by period_factor (default: 2x faster)
+  kWcet,    ///< WCET scaled by wcet_factor (BCET clamped to stay <= WCET)
+};
+
+struct SensitivityOptions {
+  /// Multiplier applied to a task's period (default 0.5 = double rate).
+  double period_factor = 0.5;
+  /// Multiplier applied to a task's WCET (default 0.5 = half the work).
+  double wcet_factor = 0.5;
+  DisparityOptions disparity;
+  RtaOptions rta;
+};
+
+struct SensitivityEntry {
+  TaskId task = 0;
+  PerturbedParam param = PerturbedParam::kPeriod;
+  /// Bound before / after the perturbation; `schedulable` is false when
+  /// the perturbed system lost schedulability (perturbed then meaningless).
+  Duration baseline;
+  Duration perturbed;
+  bool schedulable = true;
+
+  /// perturbed − baseline (negative = the perturbation helps).
+  Duration delta() const { return perturbed - baseline; }
+};
+
+/// Sensitivity of `task`'s S-diff bound to every ancestor's period and
+/// WCET, sorted by |delta| descending (unschedulable entries last).
+/// Source WCETs are zero and are skipped.
+std::vector<SensitivityEntry> disparity_sensitivity(
+    const TaskGraph& g, TaskId task, const SensitivityOptions& opt = {});
+
+}  // namespace ceta

@@ -1,0 +1,57 @@
+// Reproduction harness for Fig. 6(c)/(d): effect of the buffer-size design
+// (Algorithm 1 / Theorem 3) on two chains merged at a common sink.
+//
+// Per x-axis point (tasks per chain): build `instances_per_point` merged
+// two-chain graphs with WATERS workloads; compute
+//   S-diff    — Theorem 2 bound on the base graph,
+//   S-diff-B  — Theorem 3 bound with the Algorithm 1 buffer,
+//   Sim       — measured max disparity on the base graph,
+//   Sim-B     — measured max disparity with the buffer applied
+// (simulation maxed over `offsets_per_instance` random-offset runs; the
+// buffered runs discard a warm-up prefix long enough for the FIFO to fill,
+// since Lemma 6 holds "in the long term").
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace ceta {
+
+struct Fig6cdConfig {
+  std::vector<std::size_t> chain_lengths = {5, 10, 15, 20, 25, 30};
+  std::size_t instances_per_point = 10;
+  std::size_t offsets_per_instance = 10;
+  /// Simulated horizon of the measured (post-warmup) window.
+  Duration sim_measure_window = Duration::s(2);
+  int num_ecus = 4;
+  std::uint64_t seed = 20230402;
+  int max_retries = 64;
+};
+
+struct Fig6cdPoint {
+  std::size_t chain_length = 0;
+  std::size_t instances = 0;
+  /// Means over instances, milliseconds.
+  double sdiff_ms = 0.0;
+  double sdiff_b_ms = 0.0;
+  double sim_ms = 0.0;
+  double sim_b_ms = 0.0;
+  /// Mean of (S-diff-B − Sim-B)/Sim-B over instances with Sim-B > 0.
+  double sdiff_b_ratio = 0.0;
+  /// Mean of (S-diff − Sim)/Sim over instances with Sim > 0.
+  double sdiff_ratio = 0.0;
+  /// Mean designed buffer size (diagnostic).
+  double buffer_size = 0.0;
+};
+
+using ProgressFn2 = std::function<void(const std::string&)>;
+
+std::vector<Fig6cdPoint> run_fig6cd(const Fig6cdConfig& cfg,
+                                    const ProgressFn2& progress = {});
+
+}  // namespace ceta

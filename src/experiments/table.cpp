@@ -1,0 +1,73 @@
+#include "experiments/table.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ceta {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  CETA_EXPECTS(!headers_.empty(), "ConsoleTable: need at least one column");
+}
+
+void ConsoleTable::add_row(std::vector<std::string> cells) {
+  CETA_EXPECTS(cells.size() == headers_.size(),
+               "ConsoleTable: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void ConsoleTable::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+    for (const auto& row : rows_) width[c] = std::max(width[c], row[c].size());
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << "  " << std::setw(static_cast<int>(width[c])) << row[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string ConsoleTable::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string fmt_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmt_percent(double ratio, int precision) {
+  return fmt_double(ratio * 100.0, precision) + "%";
+}
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path);
+  if (!out) throw Error("write_file: cannot open '" + path + "'");
+  out << contents;
+  if (!out) throw Error("write_file: write to '" + path + "' failed");
+}
+
+}  // namespace ceta

@@ -1,0 +1,36 @@
+// Console-table and CSV emission for the benchmark harnesses.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ceta {
+
+/// Right-aligned fixed-width console table.
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header separator; columns sized to content.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated rendering (headers first).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision float formatting helpers.
+std::string fmt_double(double v, int precision = 2);
+std::string fmt_percent(double ratio, int precision = 1);
+
+/// Write `csv` to `path`; throws ceta::Error on I/O failure.
+void write_file(const std::string& path, const std::string& contents);
+
+}  // namespace ceta

@@ -1,0 +1,75 @@
+#include "graph/algorithms.hpp"
+
+#include "common/error.hpp"
+
+namespace ceta {
+
+namespace {
+
+std::vector<TaskId> closure(const TaskGraph& g, TaskId start,
+                            bool backwards) {
+  CETA_EXPECTS(start < g.num_tasks(), "closure: unknown task id");
+  std::vector<bool> seen(g.num_tasks(), false);
+  std::vector<TaskId> stack{start};
+  seen[start] = true;
+  while (!stack.empty()) {
+    const TaskId v = stack.back();
+    stack.pop_back();
+    const auto& next = backwards ? g.predecessors(v) : g.successors(v);
+    for (TaskId n : next) {
+      if (!seen[n]) {
+        seen[n] = true;
+        stack.push_back(n);
+      }
+    }
+  }
+  std::vector<TaskId> out;
+  for (TaskId id = 0; id < g.num_tasks(); ++id) {
+    if (seen[id]) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<TaskId> ancestors(const TaskGraph& g, TaskId task) {
+  return closure(g, task, /*backwards=*/true);
+}
+
+std::vector<TaskId> descendants(const TaskGraph& g, TaskId task) {
+  return closure(g, task, /*backwards=*/false);
+}
+
+SubgraphExtract ancestor_subgraph(const TaskGraph& g, TaskId task) {
+  SubgraphExtract out;
+  out.to_original = ancestors(g, task);
+  out.from_original.assign(g.num_tasks(), kNoTask);
+  for (std::size_t i = 0; i < out.to_original.size(); ++i) {
+    out.from_original[out.to_original[i]] = static_cast<TaskId>(i);
+  }
+  for (TaskId orig : out.to_original) {
+    out.graph.add_task(g.task(orig));
+  }
+  for (const Edge& e : g.edges()) {
+    const TaskId f = out.from_original[e.from];
+    const TaskId t = out.from_original[e.to];
+    if (f != kNoTask && t != kNoTask) {
+      out.graph.add_edge(f, t, e.channel);
+    }
+  }
+  return out;
+}
+
+std::vector<Duration> map_response_times(const SubgraphExtract& sub,
+                                         const std::vector<Duration>& rtm) {
+  CETA_EXPECTS(rtm.size() == sub.from_original.size(),
+               "map_response_times: response-time map size mismatch");
+  std::vector<Duration> out;
+  out.reserve(sub.to_original.size());
+  for (TaskId orig : sub.to_original) {
+    out.push_back(rtm[orig]);
+  }
+  return out;
+}
+
+}  // namespace ceta

@@ -1,0 +1,45 @@
+// Structural utilities on cause-effect graphs.
+//
+// `ancestor_subgraph` extracts the ancestor closure of an analyzed task:
+// the time disparity of a task depends only on its ancestors, so on large
+// system graphs the analysis can run on the (much smaller) closure.  The
+// caller must keep using response times computed on the *full* graph —
+// scheduling interference does not respect the data-flow cut — which is
+// why the result carries id maps instead of re-deriving anything.
+
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+
+namespace ceta {
+
+/// Marker for "not part of the subgraph" in id maps.
+inline constexpr TaskId kNoTask = std::numeric_limits<TaskId>::max();
+
+/// All tasks with a directed path to `task`, including `task` itself, in
+/// ascending id order.
+std::vector<TaskId> ancestors(const TaskGraph& g, TaskId task);
+
+/// All tasks reachable from `task`, including `task`, ascending.
+std::vector<TaskId> descendants(const TaskGraph& g, TaskId task);
+
+struct SubgraphExtract {
+  TaskGraph graph;
+  /// Subgraph id -> original id.
+  std::vector<TaskId> to_original;
+  /// Original id -> subgraph id, kNoTask for excluded tasks.
+  std::vector<TaskId> from_original;
+};
+
+/// Induced subgraph on the ancestor closure of `task` (tasks, parameters
+/// and channel specs copied verbatim; edges among ancestors only).
+SubgraphExtract ancestor_subgraph(const TaskGraph& g, TaskId task);
+
+/// Map a response-time vector of the original graph onto a subgraph.
+std::vector<Duration> map_response_times(const SubgraphExtract& sub,
+                                         const std::vector<Duration>& rtm);
+
+}  // namespace ceta

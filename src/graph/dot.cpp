@@ -1,0 +1,35 @@
+#include "graph/dot.hpp"
+
+#include <sstream>
+
+namespace ceta {
+
+std::string to_dot(const TaskGraph& g) {
+  std::ostringstream os;
+  os << "digraph cause_effect {\n";
+  os << "  rankdir=LR;\n";
+  os << "  node [shape=box];\n";
+  for (TaskId id = 0; id < g.num_tasks(); ++id) {
+    const Task& t = g.task(id);
+    os << "  n" << id << " [label=\"" << t.name << "\\n(W=" << to_string(t.wcet)
+       << ", B=" << to_string(t.bcet) << ", T=" << to_string(t.period) << ")";
+    if (t.ecu != kNoEcu) {
+      os << "\\necu=" << t.ecu << " prio=" << t.priority;
+    }
+    os << "\"";
+    if (g.is_source(id)) os << " style=filled fillcolor=lightblue";
+    if (g.is_sink(id)) os << " style=filled fillcolor=lightyellow";
+    os << "];\n";
+  }
+  for (const Edge& e : g.edges()) {
+    os << "  n" << e.from << " -> n" << e.to;
+    if (e.channel.buffer_size > 1) {
+      os << " [label=\"buf=" << e.channel.buffer_size << "\"]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ceta

@@ -1,0 +1,16 @@
+// Graphviz DOT export for cause-effect graphs (debugging / documentation).
+
+#pragma once
+
+#include <string>
+
+#include "graph/task_graph.hpp"
+
+namespace ceta {
+
+/// Render the graph in DOT format.  Node labels carry name, (W, B, T), ECU
+/// and priority; edges with buffered channels are annotated with the
+/// buffer size.
+std::string to_dot(const TaskGraph& g);
+
+}  // namespace ceta

@@ -1,0 +1,153 @@
+#include "graph/generator.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace ceta {
+
+TaskGraph gnm_random_dag(const GnmDagOptions& opt, Rng& rng) {
+  const std::size_t n = opt.num_tasks;
+  CETA_EXPECTS(n >= 2, "gnm_random_dag: need at least two tasks");
+  const std::size_t max_edges = n * (n - 1) / 2;
+  std::size_t m = opt.num_edges;
+  if (m == 0) m = std::min(max_edges, (3 * n) / 2);
+  CETA_EXPECTS(m <= max_edges, "gnm_random_dag: too many edges requested");
+
+  TaskGraph g;
+  for (std::size_t i = 0; i < n; ++i) {
+    Task t;
+    t.name = "t" + std::to_string(i);
+    g.add_task(std::move(t));
+  }
+
+  // Uniformly sample m distinct unordered pairs out of the n(n-1)/2
+  // possible, exactly like dense_gnm_random_graph; orient low -> high.
+  const std::vector<std::size_t> picks =
+      rng.sample_without_replacement(max_edges, m);
+  for (std::size_t code : picks) {
+    // Decode pair index `code` into (i, j), i < j, row-major over i.
+    std::size_t i = 0;
+    std::size_t remaining = code;
+    std::size_t row = n - 1;
+    while (remaining >= row) {
+      remaining -= row;
+      ++i;
+      --row;
+    }
+    const std::size_t j = i + 1 + remaining;
+    g.add_edge(static_cast<TaskId>(i), static_cast<TaskId>(j));
+  }
+
+  // Single-sink repair: every sink other than the last vertex gets an edge
+  // into the last vertex (mirrors the paper's "generated with a single
+  // sink task").
+  const auto last = static_cast<TaskId>(n - 1);
+  for (TaskId id = 0; id < last; ++id) {
+    if (g.successors(id).empty()) g.add_edge(id, last);
+  }
+  CETA_ASSERT(g.sinks().size() == 1 && g.sinks().front() == last,
+              "gnm_random_dag: single-sink repair failed");
+  return g;
+}
+
+TaskGraph funnel_random_dag(const FunnelDagOptions& opt, Rng& rng) {
+  CETA_EXPECTS(opt.num_tasks >= 4, "funnel_random_dag: need >= 4 tasks");
+  CETA_EXPECTS(opt.pipeline_fraction > 0.0 && opt.pipeline_fraction < 1.0,
+               "funnel_random_dag: pipeline fraction must be in (0, 1)");
+  const auto pipeline_len = std::max<std::size_t>(
+      2, static_cast<std::size_t>(
+             static_cast<double>(opt.num_tasks) * opt.pipeline_fraction));
+  const std::size_t front = opt.num_tasks - pipeline_len;
+  CETA_EXPECTS(front >= 2, "funnel_random_dag: front part too small");
+
+  // Random parallel front (no single-sink repair: the pipeline is the
+  // funnel) built with the same uniform edge sampling as gnm_random_dag.
+  TaskGraph g;
+  for (std::size_t i = 0; i < opt.num_tasks; ++i) {
+    Task t;
+    t.name = "t" + std::to_string(i);
+    g.add_task(std::move(t));
+  }
+  const std::size_t max_front_edges = front * (front - 1) / 2;
+  std::size_t m = opt.front_edges;
+  if (m == 0) m = std::min(max_front_edges, (3 * front) / 2);
+  CETA_EXPECTS(m <= max_front_edges,
+               "funnel_random_dag: too many front edges");
+  for (std::size_t code : rng.sample_without_replacement(max_front_edges, m)) {
+    std::size_t i = 0;
+    std::size_t remaining = code;
+    std::size_t row = front - 1;
+    while (remaining >= row) {
+      remaining -= row;
+      ++i;
+      --row;
+    }
+    const std::size_t j = i + 1 + remaining;
+    g.add_edge(static_cast<TaskId>(i), static_cast<TaskId>(j));
+  }
+
+  // Funnel every front sink into the pipeline head; chain the pipeline.
+  const auto pipe_head = static_cast<TaskId>(front);
+  for (TaskId id = 0; id < pipe_head; ++id) {
+    if (g.successors(id).empty()) g.add_edge(id, pipe_head);
+  }
+  for (std::size_t i = front; i + 1 < opt.num_tasks; ++i) {
+    g.add_edge(static_cast<TaskId>(i), static_cast<TaskId>(i + 1));
+  }
+  CETA_ASSERT(g.sinks().size() == 1, "funnel_random_dag: not single-sink");
+  return g;
+}
+
+TaskGraph merge_chains_at_sink(std::size_t len_a, std::size_t len_b) {
+  CETA_EXPECTS(len_a >= 2 && len_b >= 2,
+               "merge_chains_at_sink: chains need at least two tasks");
+  TaskGraph g;
+  std::vector<TaskId> a, b;
+  for (std::size_t i = 0; i + 1 < len_a; ++i) {
+    Task t;
+    t.name = "a" + std::to_string(i);
+    a.push_back(g.add_task(std::move(t)));
+  }
+  for (std::size_t i = 0; i + 1 < len_b; ++i) {
+    Task t;
+    t.name = "b" + std::to_string(i);
+    b.push_back(g.add_task(std::move(t)));
+  }
+  Task sink;
+  sink.name = "sink";
+  const TaskId sink_id = g.add_task(std::move(sink));
+  for (std::size_t i = 0; i + 1 < a.size(); ++i) g.add_edge(a[i], a[i + 1]);
+  for (std::size_t i = 0; i + 1 < b.size(); ++i) g.add_edge(b[i], b[i + 1]);
+  g.add_edge(a.back(), sink_id);
+  g.add_edge(b.back(), sink_id);
+  return g;
+}
+
+TaskGraph sensor_fusion_pipeline(std::size_t num_sensors,
+                                 std::size_t stage_count) {
+  CETA_EXPECTS(num_sensors >= 1, "sensor_fusion_pipeline: need a sensor");
+  TaskGraph g;
+  Task fusion;
+  fusion.name = "fusion";
+  std::vector<TaskId> tails;
+  for (std::size_t s = 0; s < num_sensors; ++s) {
+    Task sensor;
+    sensor.name = "sensor" + std::to_string(s);
+    TaskId prev = g.add_task(std::move(sensor));
+    for (std::size_t k = 0; k < stage_count; ++k) {
+      Task stage;
+      stage.name = "proc" + std::to_string(s) + "_" + std::to_string(k);
+      const TaskId cur = g.add_task(std::move(stage));
+      g.add_edge(prev, cur);
+      prev = cur;
+    }
+    tails.push_back(prev);
+  }
+  const TaskId fusion_id = g.add_task(std::move(fusion));
+  for (TaskId t : tails) g.add_edge(t, fusion_id);
+  return g;
+}
+
+}  // namespace ceta

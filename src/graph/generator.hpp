@@ -1,0 +1,67 @@
+// Random topology generators (evaluation §V).
+//
+// The paper generates cause-effect graphs with NetworkX's
+// dense_gnm_random_graph and forces a single sink.  `gnm_random_dag`
+// mirrors that: it samples exactly m distinct vertex pairs uniformly among
+// the n(n-1)/2 possible ones, orients each edge from the lower to the
+// higher vertex index (yielding a DAG), and then redirects every sink other
+// than the last vertex into the last vertex so the graph has one sink.
+//
+// For Fig 6(c)/(d) the paper merges two independent chains at a shared
+// sink; `merge_chains_at_sink` builds that topology.
+//
+// Generators produce *topology only* (default task parameters); workload
+// parameters are assigned separately (see waters/generator.hpp).
+
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "graph/task_graph.hpp"
+
+namespace ceta {
+
+struct GnmDagOptions {
+  std::size_t num_tasks = 10;
+  /// Number of sampled edges before single-sink repair; if 0, defaults to
+  /// floor(1.5 * num_tasks) clamped to the maximum possible.
+  std::size_t num_edges = 0;
+};
+
+/// Random single-sink DAG in the G(n, m) family.  The last vertex
+/// (id = n-1) is the unique sink.  Throws PreconditionError for n < 2 or
+/// m > n(n-1)/2.
+TaskGraph gnm_random_dag(const GnmDagOptions& opt, Rng& rng);
+
+/// Two disjoint chains of the given lengths (number of tasks per chain,
+/// counting the shared sink), merged at a single common sink task.  The
+/// first chain occupies ids [0, len_a-1), the second ids
+/// [len_a-1, len_a+len_b-2), and the sink is the last id.  Each chain's
+/// first task is a source.  Requires len_a, len_b >= 2.
+TaskGraph merge_chains_at_sink(std::size_t len_a, std::size_t len_b);
+
+/// A layered fork-join pipeline: `num_sensors` source tasks fan into one
+/// fusion task through per-sensor processing chains of `stage_count`
+/// intermediate tasks.  Used by examples.  Requires num_sensors >= 1.
+TaskGraph sensor_fusion_pipeline(std::size_t num_sensors,
+                                 std::size_t stage_count);
+
+struct FunnelDagOptions {
+  std::size_t num_tasks = 10;
+  /// Fraction of tasks forming the shared tail pipeline (paper Fig. 1:
+  /// parallel sensing/perception funnelling into planning → control).
+  double pipeline_fraction = 0.4;
+  /// Edges sampled among the front (parallel) part; 0 = 1.5x front size.
+  std::size_t front_edges = 0;
+};
+
+/// Random single-sink DAG in the shape of the paper's Fig. 1: a random
+/// G(n, m) front of parallel sensor/processing tasks whose sinks all
+/// funnel into one shared tail pipeline ending at the single sink.  Every
+/// pair of source chains shares the tail suffix, the configuration where
+/// the fork-join analysis (Theorem 2 + last-joint truncation) visibly
+/// beats Theorem 1.  Requires num_tasks >= 4.
+TaskGraph funnel_random_dag(const FunnelDagOptions& opt, Rng& rng);
+
+}  // namespace ceta

@@ -1,0 +1,110 @@
+#include "graph/paths.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace ceta {
+
+namespace {
+
+/// Depth-first enumeration of all paths ending at `target`, growing
+/// backwards from the target so only productive prefixes are explored.
+void enumerate_backwards(const TaskGraph& g, TaskId target,
+                         const std::vector<bool>& admissible_start,
+                         std::size_t cap, Path& suffix,
+                         std::vector<Path>& out) {
+  const TaskId head = suffix.back();
+  if (admissible_start[head]) {
+    if (out.size() >= cap) {
+      throw CapacityError("path enumeration exceeded cap of " +
+                          std::to_string(cap));
+    }
+    Path p(suffix.rbegin(), suffix.rend());
+    out.push_back(std::move(p));
+  }
+  for (TaskId pred : g.predecessors(head)) {
+    suffix.push_back(pred);
+    enumerate_backwards(g, target, admissible_start, cap, suffix, out);
+    suffix.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<Path> enumerate_source_chains(const TaskGraph& g, TaskId target,
+                                          std::size_t cap) {
+  CETA_EXPECTS(target < g.num_tasks(), "enumerate_source_chains: bad target");
+  std::vector<bool> is_src(g.num_tasks(), false);
+  for (TaskId s : g.sources()) is_src[s] = true;
+  std::vector<Path> out;
+  Path suffix{target};
+  enumerate_backwards(g, target, is_src, cap, suffix, out);
+  return out;
+}
+
+std::vector<Path> enumerate_paths(const TaskGraph& g, TaskId from, TaskId to,
+                                  std::size_t cap) {
+  CETA_EXPECTS(from < g.num_tasks() && to < g.num_tasks(),
+               "enumerate_paths: bad endpoints");
+  std::vector<bool> admissible(g.num_tasks(), false);
+  admissible[from] = true;
+  std::vector<Path> out;
+  Path suffix{to};
+  enumerate_backwards(g, to, admissible, cap, suffix, out);
+  return out;
+}
+
+std::size_t count_source_chains(const TaskGraph& g, TaskId target) {
+  CETA_EXPECTS(target < g.num_tasks(), "count_source_chains: bad target");
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> count(g.num_tasks(), 0);
+  for (TaskId id : g.topological_order()) {
+    if (g.is_source(id)) {
+      count[id] = 1;
+      continue;
+    }
+    std::size_t total = 0;
+    for (TaskId p : g.predecessors(id)) {
+      if (count[p] > kMax - total) {
+        total = kMax;
+        break;
+      }
+      total += count[p];
+    }
+    count[id] = total;
+  }
+  return count[target];
+}
+
+bool is_path(const TaskGraph& g, const Path& p) {
+  if (p.empty()) return false;
+  for (TaskId id : p) {
+    if (id >= g.num_tasks()) return false;
+  }
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+    if (!g.has_edge(p[i], p[i + 1])) return false;
+  }
+  return true;
+}
+
+std::vector<TaskId> common_tasks(const Path& a, const Path& b) {
+  std::vector<TaskId> out;
+  for (TaskId t : a) {
+    if (std::find(b.begin(), b.end(), t) != b.end()) out.push_back(t);
+  }
+  // Consistency: the shared tasks must appear in the same relative order in
+  // b (guaranteed for paths of a DAG; guards against malformed inputs).
+  std::size_t pos = 0;
+  for (TaskId t : out) {
+    const auto it = std::find(b.begin() + static_cast<std::ptrdiff_t>(pos),
+                              b.end(), t);
+    CETA_EXPECTS(it != b.end(),
+                 "common_tasks: inconsistent order of shared tasks");
+    pos = static_cast<std::size_t>(it - b.begin()) + 1;
+  }
+  return out;
+}
+
+}  // namespace ceta

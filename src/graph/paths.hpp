@@ -1,0 +1,47 @@
+// Path (cause-effect chain) enumeration.
+//
+// A cause-effect chain is a path in the graph (§II-A).  The disparity
+// analysis needs the set P of all chains that start at a source task and
+// end at the analyzed task (§III).  Dense DAGs can have exponentially many
+// paths, so enumeration takes an explicit cap and fails loudly instead of
+// silently truncating.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+
+namespace ceta {
+
+/// A path through the graph: consecutive elements are connected by edges.
+using Path = std::vector<TaskId>;
+
+/// Default cap on the number of enumerated paths.
+inline constexpr std::size_t kDefaultPathCap = 20'000;
+
+/// All paths from any source task of `g` to `target`, each beginning at a
+/// source and ending at `target`.  If `target` is itself a source, returns
+/// the singleton path {target}.  Throws CapacityError if more than `cap`
+/// paths exist.
+std::vector<Path> enumerate_source_chains(const TaskGraph& g, TaskId target,
+                                          std::size_t cap = kDefaultPathCap);
+
+/// All paths from `from` to `to` (inclusive); empty if unreachable.
+std::vector<Path> enumerate_paths(const TaskGraph& g, TaskId from, TaskId to,
+                                  std::size_t cap = kDefaultPathCap);
+
+/// Number of source→target paths, computed by dynamic programming without
+/// enumeration (saturates at SIZE_MAX on overflow).
+std::size_t count_source_chains(const TaskGraph& g, TaskId target);
+
+/// True if `p` is a path of `g` (each consecutive pair is an edge).
+bool is_path(const TaskGraph& g, const Path& p);
+
+/// The tasks common to both paths, in order of appearance (both paths list
+/// them in the same relative order since the graph is a DAG).  Throws
+/// PreconditionError if the common tasks appear in inconsistent order.
+std::vector<TaskId> common_tasks(const Path& a, const Path& b);
+
+}  // namespace ceta

@@ -1,0 +1,96 @@
+#include "graph/serialize.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ceta {
+
+std::string to_text(const TaskGraph& g) {
+  std::ostringstream os;
+  os << "# ceta cause-effect graph: " << g.num_tasks() << " tasks, "
+     << g.num_edges() << " edges\n";
+  for (TaskId id = 0; id < g.num_tasks(); ++id) {
+    const Task& t = g.task(id);
+    os << "task " << t.name << ' ' << t.wcet.count() << ' ' << t.bcet.count()
+       << ' ' << t.period.count() << ' ' << t.offset.count() << ' '
+       << t.priority << ' ' << t.ecu
+       << (t.comm == CommSemantics::kLet ? " let" : "");
+    if (t.jitter != Duration::zero()) os << " J=" << t.jitter.count();
+    os << '\n';
+  }
+  for (const Edge& e : g.edges()) {
+    os << "edge " << g.task(e.from).name << ' ' << g.task(e.to).name;
+    if (e.channel.buffer_size != 1) os << ' ' << e.channel.buffer_size;
+    os << '\n';
+  }
+  return os.str();
+}
+
+TaskGraph graph_from_text(const std::string& text) {
+  TaskGraph g;
+  std::map<std::string, TaskId> by_name;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  auto fail = [&](const std::string& why) -> void {
+    throw PreconditionError("graph_from_text: line " +
+                            std::to_string(line_no) + ": " + why);
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind) || kind[0] == '#') continue;
+    if (kind == "task") {
+      Task t;
+      std::int64_t wcet = 0, bcet = 0, period = 0, offset = 0;
+      if (!(ls >> t.name >> wcet >> bcet >> period >> offset >> t.priority >>
+            t.ecu)) {
+        fail("malformed task line");
+      }
+      if (by_name.count(t.name) != 0) fail("duplicate task '" + t.name + "'");
+      std::string extra;
+      while (ls >> extra) {  // optional trailing attributes
+        if (extra == "let") {
+          t.comm = CommSemantics::kLet;
+        } else if (extra == "implicit") {
+          t.comm = CommSemantics::kImplicit;
+        } else if (extra.rfind("J=", 0) == 0) {
+          try {
+            t.jitter = Duration::ns(std::stoll(extra.substr(2)));
+          } catch (const std::exception&) {
+            fail("malformed jitter attribute '" + extra + "'");
+          }
+        } else {
+          fail("unknown task attribute '" + extra + "'");
+        }
+      }
+      t.wcet = Duration::ns(wcet);
+      t.bcet = Duration::ns(bcet);
+      t.period = Duration::ns(period);
+      t.offset = Duration::ns(offset);
+      // Take the key before add_task consumes the task object: the RHS of
+      // an assignment is sequenced before the subscript evaluation.
+      const std::string name = t.name;
+      by_name[name] = g.add_task(std::move(t));
+    } else if (kind == "edge") {
+      std::string from, to;
+      if (!(ls >> from >> to)) fail("malformed edge line");
+      int buffer = 1;
+      ls >> buffer;  // optional
+      const auto fi = by_name.find(from);
+      const auto ti = by_name.find(to);
+      if (fi == by_name.end()) fail("unknown task '" + from + "'");
+      if (ti == by_name.end()) fail("unknown task '" + to + "'");
+      if (buffer < 1) fail("buffer size must be >= 1");
+      g.add_edge(fi->second, ti->second, ChannelSpec{buffer});
+    } else {
+      fail("unknown directive '" + kind + "'");
+    }
+  }
+  return g;
+}
+
+}  // namespace ceta

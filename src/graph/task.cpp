@@ -1,0 +1,24 @@
+#include "graph/task.hpp"
+
+#include "common/error.hpp"
+
+namespace ceta {
+
+void validate_task(const Task& t) {
+  CETA_EXPECTS(t.period > Duration::zero(),
+               "task '" + t.name + "': period must be positive");
+  CETA_EXPECTS(t.bcet >= Duration::zero(),
+               "task '" + t.name + "': BCET must be non-negative");
+  CETA_EXPECTS(t.bcet <= t.wcet,
+               "task '" + t.name + "': BCET must not exceed WCET");
+  CETA_EXPECTS(t.offset >= Duration::zero() && t.offset < t.period,
+               "task '" + t.name + "': offset must lie in [0, period)");
+  CETA_EXPECTS(t.jitter >= Duration::zero() && t.jitter < t.period,
+               "task '" + t.name + "': jitter must lie in [0, period)");
+  CETA_EXPECTS(t.jitter == Duration::zero() ||
+                   t.comm != CommSemantics::kLet,
+               "task '" + t.name +
+                   "': LET tasks are time-triggered and must be jitter-free");
+}
+
+}  // namespace ceta

@@ -1,0 +1,80 @@
+// The periodic task model of the paper (§II-A).
+//
+// Each vertex of the cause-effect graph is a task characterized by
+// (WCET, BCET, period); at run time it releases jobs periodically with an
+// arbitrary release offset.  Tasks are statically mapped to ECUs and
+// scheduled by a non-preemptive fixed-priority scheduler per ECU.  Source
+// tasks (no incoming edges) model sensors: WCET = BCET = 0 and each output
+// token carries the job's release time as its timestamp.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.hpp"
+
+namespace ceta {
+
+/// Index of a task inside its TaskGraph.
+using TaskId = std::uint32_t;
+
+/// Identifier of an execution resource (ECU or bus).  Tasks mapped to the
+/// same resource contend under non-preemptive fixed priority.
+using EcuId = std::int32_t;
+
+/// Source tasks are external stimuli and occupy no ECU.
+inline constexpr EcuId kNoEcu = -1;
+
+/// Communication discipline of a task's I/O.
+enum class CommSemantics {
+  /// AUTOSAR implicit communication (§II-B): read all inputs when the job
+  /// *starts* executing, write outputs when it *finishes*.
+  kImplicit,
+  /// Logical Execution Time: read inputs at the job's *release*, publish
+  /// outputs at its *deadline* (release + period).  Data timing becomes
+  /// independent of scheduling and execution times (fully deterministic),
+  /// at the cost of one extra period of latency per hop.  Requires the
+  /// task to be schedulable (R <= T) for the publish instant to be met.
+  kLet,
+};
+
+struct Task {
+  std::string name;
+
+  /// Worst-case execution time W(τ).
+  Duration wcet = Duration::zero();
+  /// Best-case execution time B(τ); 0 <= bcet <= wcet.
+  Duration bcet = Duration::zero();
+  /// Period T(τ); must be positive.
+  Duration period = Duration::ms(10);
+  /// Release offset of the first job relative to system start; in [0, T).
+  Duration offset = Duration::zero();
+
+  /// Maximum release jitter: job k is released within
+  /// [offset + k·T, offset + k·T + jitter].  Must be < period (so releases
+  /// stay ordered); 0 recovers the strictly periodic model of the paper.
+  /// Jitter approximates sporadic activations (Dürr et al. [5]).
+  Duration jitter = Duration::zero();
+
+  /// Fixed priority; *smaller value means higher priority*.  Must be unique
+  /// among tasks mapped to the same ECU.
+  int priority = 0;
+
+  /// Execution resource; kNoEcu for source tasks.
+  EcuId ecu = kNoEcu;
+
+  /// I/O discipline; ignored for source tasks (they publish their sample
+  /// instantly at release either way).
+  CommSemantics comm = CommSemantics::kImplicit;
+};
+
+/// True if `hp` has higher priority than `lo` under the convention above.
+constexpr bool higher_priority(const Task& hp, const Task& lo) {
+  return hp.priority < lo.priority;
+}
+
+/// Validate per-task parameter sanity; throws PreconditionError.
+void validate_task(const Task& t);
+
+}  // namespace ceta

@@ -1,0 +1,35 @@
+// Audsley's Optimal Priority Assignment (OPA) for non-preemptive fixed
+// priority.
+//
+// Rate-monotonic order is the usual default but is not optimal under
+// non-preemptive scheduling (a long low-priority WCET blocks short-period
+// tasks).  Audsley's algorithm assigns priorities from the lowest level
+// upward: at each level it looks for *some* unassigned task that is
+// schedulable there assuming all other unassigned tasks have higher
+// priority; the NP-FP response-time test is OPA-compatible (a task's WCRT
+// at a level depends only on the sets above and below it, not their
+// relative order: interference comes from the set above, blocking from
+// the max WCET below).
+
+#pragma once
+
+#include "graph/task_graph.hpp"
+#include "sched/npfp_rta.hpp"
+
+namespace ceta {
+
+struct AudsleyResult {
+  /// True iff every ECU received a feasible assignment; priorities are
+  /// written into the graph only in that case.
+  bool feasible = false;
+  /// ECUs for which no feasible assignment exists (empty when feasible).
+  std::vector<EcuId> infeasible_ecus;
+};
+
+/// Run OPA independently on every ECU of the graph.  On success the
+/// graph's priorities are replaced by a feasible assignment (0 = highest
+/// per ECU); on failure the graph is left unmodified.
+AudsleyResult assign_priorities_audsley(TaskGraph& g,
+                                        const RtaOptions& opt = {});
+
+}  // namespace ceta

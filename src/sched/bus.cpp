@@ -1,0 +1,61 @@
+#include "sched/bus.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ceta {
+
+TaskGraph insert_can_messages(const TaskGraph& g, const BusConfig& cfg) {
+  CETA_EXPECTS(cfg.msg_bcet >= Duration::zero() &&
+                   cfg.msg_bcet <= cfg.msg_wcet,
+               "insert_can_messages: need 0 <= msg_bcet <= msg_wcet");
+  for (TaskId id = 0; id < g.num_tasks(); ++id) {
+    CETA_EXPECTS(g.task(id).ecu != cfg.bus_resource,
+                 "insert_can_messages: bus resource id collides with an ECU");
+  }
+
+  TaskGraph out;
+  for (TaskId id = 0; id < g.num_tasks(); ++id) {
+    out.add_task(g.task(id));  // ids preserved
+  }
+
+  std::vector<TaskId> bus_tasks;
+  for (const Edge& e : g.edges()) {
+    const Task& u = g.task(e.from);
+    const Task& v = g.task(e.to);
+    const bool crosses =
+        u.ecu != kNoEcu && v.ecu != kNoEcu && u.ecu != v.ecu;
+    if (!crosses) {
+      out.add_edge(e.from, e.to, e.channel);
+      continue;
+    }
+    Task msg;
+    msg.name = "msg_" + u.name + "_" + v.name;
+    msg.period = u.period;
+    msg.offset = u.offset;
+    msg.wcet = cfg.msg_wcet;
+    msg.bcet = cfg.msg_bcet;
+    msg.ecu = cfg.bus_resource;
+    const TaskId mid = out.add_task(std::move(msg));
+    bus_tasks.push_back(mid);
+    out.add_edge(e.from, mid, e.channel);
+    out.add_edge(mid, e.to);
+  }
+
+  // Rate-monotonic priorities among the new message tasks on the bus.
+  std::sort(bus_tasks.begin(), bus_tasks.end(), [&out](TaskId a, TaskId b) {
+    const Duration ta = out.task(a).period;
+    const Duration tb = out.task(b).period;
+    if (ta != tb) return ta < tb;
+    return a < b;
+  });
+  int prio = 0;
+  for (TaskId id : bus_tasks) out.task(id).priority = prio++;
+
+  return out;
+}
+
+}  // namespace ceta

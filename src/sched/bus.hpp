@@ -1,0 +1,33 @@
+// CAN-bus communication modeling.
+//
+// Per §II-A, communication between tasks on different ECUs is modeled as a
+// periodic task on the bus (e.g. CAN).  `insert_can_messages` rewrites the
+// graph: every edge (u, v) whose endpoints are mapped to different ECUs is
+// replaced by u → msg → v, where msg is a periodic task on the bus
+// resource with the producer's period and the configured transmission
+// time.  All analyses and the simulator then treat the bus uniformly as
+// one more non-preemptive fixed-priority resource — which is exactly how
+// CAN arbitration behaves.
+
+#pragma once
+
+#include "common/time.hpp"
+#include "graph/task_graph.hpp"
+
+namespace ceta {
+
+struct BusConfig {
+  /// Resource id of the bus; must differ from every ECU id in use.
+  EcuId bus_resource = 1000;
+  /// Worst-/best-case transmission time of one message frame.
+  Duration msg_wcet = Duration::us(200);
+  Duration msg_bcet = Duration::us(100);
+};
+
+/// Rewrite inter-ECU edges through bus message tasks.  Edges from source
+/// tasks are left intact (sensors feed their ECU directly).  Message tasks
+/// receive rate-monotonic priorities on the bus resource.  Channel specs of
+/// rewritten edges are preserved on the producer→message edge.
+TaskGraph insert_can_messages(const TaskGraph& g, const BusConfig& cfg);
+
+}  // namespace ceta

@@ -1,0 +1,105 @@
+// Worst-case response-time analysis for non-preemptive fixed-priority
+// scheduling (NP-FP).
+//
+// The paper assumes each task's WCRT R(τ) is known from standard analyses
+// ([12], [13] in the paper).  We implement the classic busy-period NP-FP
+// analysis (as used for CAN): for task i on its resource,
+//
+//   blocking  B_i       = max { W_l : l lower priority than i, same ECU }
+//   busy len  L         = fixpoint of  L = B_i + Σ_{j ∈ hp(i) ∪ {i}} ceil(L/T_j)·W_j
+//   instances Q         = ceil(L / T_i)
+//   queueing  w_i(q)    = fixpoint of  w = B_i + q·W_i +
+//                                      Σ_{j ∈ hp(i)} (floor(w/T_j)+1)·W_j
+//   response  R_i       = max_{0<=q<Q} ( w_i(q) + W_i − q·T_i )
+//
+// The (floor(w/T)+1) term counts higher-priority releases in [0, w]
+// *inclusive*: a release at the exact start instant still wins the
+// arbitration, which is the safe direction for non-preemptive starts.
+// Release offsets are ignored (synchronous critical instant — safe).
+//
+// Source tasks execute in zero time: R = 0.
+
+#pragma once
+
+#include <vector>
+
+#include "common/time.hpp"
+#include "graph/task_graph.hpp"
+
+namespace ceta {
+
+/// Dispatching discipline of every ECU.
+///
+/// The paper's model is non-preemptive (§II-B) and Lemma 4's same-ECU hop
+/// refinements are only valid there.  When analyzing a *preemptive*
+/// system, pair SchedPolicy::kPreemptive response times with
+/// HopBoundMethod::kSchedulingAgnostic (θ = T + R holds under any
+/// work-conserving scheduler).
+enum class SchedPolicy {
+  kNonPreemptive,
+  kPreemptive,
+};
+
+struct RtaOptions {
+  SchedPolicy policy = SchedPolicy::kNonPreemptive;
+  /// Abort fixpoint iterations beyond this bound (diverging systems).
+  int max_iterations = 100'000;
+  /// Consider a task schedulable iff R <= deadline, with implicit
+  /// deadline = period (the paper's schedulability notion, §II-B).
+  bool implicit_deadline = true;
+};
+
+struct RtaResult {
+  /// WCRT upper bound per task; Duration::max() if the fixpoint diverged
+  /// (over-utilized resource).
+  std::vector<Duration> response_time;
+  /// R(τ) <= T(τ) per task.
+  std::vector<bool> schedulable;
+  /// All tasks schedulable.
+  bool all_schedulable = false;
+};
+
+/// A map from TaskId to a safe WCRT upper bound.  The analyses in
+/// chain/ and disparity/ accept any such map, so alternative RTAs can be
+/// plugged in.
+using ResponseTimeMap = std::vector<Duration>;
+
+/// Run the NP-FP analysis on every resource of the graph.  The graph must
+/// pass TaskGraph::validate() except that offsets are ignored here.
+RtaResult analyze_response_times(const TaskGraph& g,
+                                 const RtaOptions& opt = {});
+
+/// A higher-priority competitor on the same resource.
+struct CompetingTask {
+  Duration wcet;
+  Duration period;
+  Duration jitter = Duration::zero();
+};
+
+/// WCRT of a single task under NP-FP given its blocking term (max WCET of
+/// lower-priority same-resource tasks) and higher-priority competitor set,
+/// jitter-aware (standard (w + J)/T interference; the result is relative
+/// to the *nominal* release and includes the task's own jitter).
+/// Returns Duration::max() if the fixpoint diverges (overload).  This is
+/// the primitive both analyze_response_times and Audsley's OPA build on.
+Duration npfp_response_time(Duration wcet, Duration period, Duration blocking,
+                            const std::vector<CompetingTask>& hp,
+                            Duration own_jitter = Duration::zero(),
+                            int max_iterations = 100'000);
+
+/// WCRT of a single task under fully preemptive fixed priority: classic
+/// jitter-aware busy-period analysis, w_q = (q+1)·C + Σ_hp ceil((w_q +
+/// J)/T)·C, R = max_q (J + w_q − q·T).  Returns Duration::max() on
+/// divergence.
+Duration preemptive_response_time(Duration wcet, Duration period,
+                                  const std::vector<CompetingTask>& hp,
+                                  Duration own_jitter = Duration::zero(),
+                                  int max_iterations = 100'000);
+
+/// Utilization Σ W/T of the tasks mapped to `ecu`.
+double resource_utilization(const TaskGraph& g, EcuId ecu);
+
+/// All distinct resources used by the graph (excluding kNoEcu).
+std::vector<EcuId> resources_of(const TaskGraph& g);
+
+}  // namespace ceta

@@ -1,0 +1,75 @@
+#include "sim/backward.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/error.hpp"
+
+namespace ceta {
+
+const JobRecord* trace_head_job(const TaskGraph& g, const Trace& trace,
+                                const Path& chain,
+                                const JobRecord& tail_job) {
+  const JobRecord* cur = &tail_job;
+  for (std::size_t i = chain.size(); i-- > 1;) {
+    const TaskId task = chain[i];
+    const TaskId pred = chain[i - 1];
+    // Locate the read link for the chain's predecessor channel.
+    const auto& preds = g.predecessors(task);
+    const auto it = std::find(preds.begin(), preds.end(), pred);
+    CETA_EXPECTS(it != preds.end(), "trace_head_job: chain is not a path");
+    const std::size_t slot = static_cast<std::size_t>(it - preds.begin());
+    CETA_ASSERT(slot < cur->reads.size(),
+                "trace_head_job: trace read links misaligned");
+    const ReadLink& link = cur->reads[slot];
+    if (link.producer_job < 0) return nullptr;  // channel was empty
+    const JobRecord* producer = trace.find(pred, link.producer_job);
+    if (producer == nullptr) return nullptr;
+    cur = producer;
+  }
+  return cur;
+}
+
+BackwardMeasurement measured_backward_times(const TaskGraph& g,
+                                            const Trace& trace,
+                                            const Path& chain,
+                                            Instant warmup) {
+  CETA_EXPECTS(is_path(g, chain), "measured_backward_times: not a path");
+  CETA_EXPECTS(chain.back() < trace.tasks.size(),
+               "measured_backward_times: trace lacks the tail task");
+  BackwardMeasurement out;
+  for (const JobRecord& tail : trace.tasks[chain.back()].jobs) {
+    if (tail.release < warmup) continue;
+    const JobRecord* head = trace_head_job(g, trace, chain, tail);
+    if (head == nullptr) {
+      ++out.incomplete;
+      continue;
+    }
+    out.lengths.push_back(tail.release - head->release);
+  }
+  return out;
+}
+
+std::vector<Duration> measured_pair_timestamp_diffs(
+    const TaskGraph& g, const Trace& trace, const Path& lambda,
+    const Path& nu, Instant warmup) {
+  CETA_EXPECTS(is_path(g, lambda) && is_path(g, nu),
+               "measured_pair_timestamp_diffs: not paths");
+  CETA_EXPECTS(lambda.back() == nu.back(),
+               "measured_pair_timestamp_diffs: different tails");
+  CETA_EXPECTS(g.is_source(lambda.front()) && g.is_source(nu.front()),
+               "measured_pair_timestamp_diffs: heads must be sources");
+  std::vector<Duration> diffs;
+  for (const JobRecord& tail : trace.tasks[lambda.back()].jobs) {
+    if (tail.release < warmup) continue;
+    const JobRecord* ha = trace_head_job(g, trace, lambda, tail);
+    const JobRecord* hb = trace_head_job(g, trace, nu, tail);
+    if (ha == nullptr || hb == nullptr) continue;
+    // Source timestamps equal source job releases (§II-B).
+    const Duration d = ha->release - hb->release;
+    diffs.push_back(d < Duration::zero() ? -d : d);
+  }
+  return diffs;
+}
+
+}  // namespace ceta

@@ -1,0 +1,49 @@
+// Immediate-backward-job-chain reconstruction from a recorded trace
+// (Definition 1), used to validate the analytical bounds against ground
+// truth.
+//
+// Under implicit communication, the job of π^{i-1} in the immediate
+// backward job chain is exactly the producer of the token the π^i job read
+// on that channel, so the trace's ReadLinks reconstruct the chain directly.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/paths.hpp"
+#include "graph/task_graph.hpp"
+#include "sim/trace.hpp"
+
+namespace ceta {
+
+struct BackwardMeasurement {
+  /// len(π̄_k) = r(tail job) − r(head job) for each tail job whose chain is
+  /// complete (release ≥ warmup filter applied at collection).
+  std::vector<Duration> lengths;
+  /// Tail jobs whose backward chain hit an empty channel or a missing
+  /// record (the paper defines len = 0 for those; we count them apart so
+  /// bound validation is not polluted by start-up effects).
+  std::size_t incomplete = 0;
+};
+
+/// Walk the immediate backward job chain of `tail_job` (a record of
+/// chain.back()) to the chain head; nullptr if some channel was empty or
+/// a record is missing.
+const JobRecord* trace_head_job(const TaskGraph& g, const Trace& trace,
+                                const Path& chain, const JobRecord& tail_job);
+
+/// Measure backward times of `chain` over all recorded tail-task jobs
+/// released at or after `warmup`.
+BackwardMeasurement measured_backward_times(const TaskGraph& g,
+                                            const Trace& trace,
+                                            const Path& chain,
+                                            Instant warmup = Instant::zero());
+
+/// For each tail job (released ≥ warmup) whose backward chains on both
+/// `lambda` and `nu` are complete, |t(λ̄¹) − t(ν̄¹)| — the quantity bounded
+/// by Theorems 1 and 2.  Chain heads must be source tasks.
+std::vector<Duration> measured_pair_timestamp_diffs(
+    const TaskGraph& g, const Trace& trace, const Path& lambda,
+    const Path& nu, Instant warmup = Instant::zero());
+
+}  // namespace ceta

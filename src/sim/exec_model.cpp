@@ -1,0 +1,29 @@
+#include "sim/exec_model.hpp"
+
+#include "common/error.hpp"
+
+namespace ceta {
+
+Duration sample_execution_time(ExecTimeModel model, const ExecTimeHook& hook,
+                               const Task& task, std::int64_t job, Rng& rng) {
+  switch (model) {
+    case ExecTimeModel::kWorstCase:
+      return task.wcet;
+    case ExecTimeModel::kBestCase:
+      return task.bcet;
+    case ExecTimeModel::kUniform:
+      if (task.bcet == task.wcet) return task.wcet;
+      return rng.uniform_duration(task.bcet, task.wcet);
+    case ExecTimeModel::kCustom: {
+      CETA_EXPECTS(static_cast<bool>(hook),
+                   "sample_execution_time: kCustom requires a hook");
+      const Duration e = hook(task, job, rng);
+      CETA_EXPECTS(e >= task.bcet && e <= task.wcet,
+                   "sample_execution_time: hook value outside [BCET, WCET]");
+      return e;
+    }
+  }
+  throw InvariantError("sample_execution_time: unknown model");
+}
+
+}  // namespace ceta

@@ -1,0 +1,34 @@
+// Execution-time models for simulated jobs.
+//
+// The analyses bound behavior for *any* per-job execution time in
+// [BCET, WCET]; the simulator draws concrete values.  Uniform sampling is
+// the default for the evaluation's Sim curves; the extreme models are
+// useful in tests (and adversarial mixes via the custom hook).
+
+#pragma once
+
+#include <functional>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "graph/task.hpp"
+
+namespace ceta {
+
+enum class ExecTimeModel {
+  kWorstCase,  ///< always WCET
+  kBestCase,   ///< always BCET
+  kUniform,    ///< uniform in [BCET, WCET]
+  kCustom,     ///< user hook
+};
+
+/// User hook: must return a value in [task.bcet, task.wcet].
+using ExecTimeHook = std::function<Duration(const Task&, std::int64_t job,
+                                            Rng&)>;
+
+/// Draw the execution time of job `job` of `task` under the given model.
+/// Validates that a custom hook stays within [BCET, WCET].
+Duration sample_execution_time(ExecTimeModel model, const ExecTimeHook& hook,
+                               const Task& task, std::int64_t job, Rng& rng);
+
+}  // namespace ceta

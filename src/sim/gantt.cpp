@@ -1,0 +1,76 @@
+#include "sim/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ceta {
+
+std::string render_gantt(const TaskGraph& g, const Trace& trace,
+                         const GanttOptions& opt) {
+  CETA_EXPECTS(opt.width >= 2, "render_gantt: width must be >= 2");
+  CETA_EXPECTS(trace.tasks.size() == g.num_tasks(),
+               "render_gantt: trace does not match the graph");
+
+  Instant lo = opt.from;
+  Instant hi = opt.to;
+  if (hi <= lo) {
+    bool any = false;
+    for (const TaskTrace& tt : trace.tasks) {
+      for (const JobRecord& j : tt.jobs) {
+        if (!any) {
+          lo = j.release;
+          hi = j.finish;
+          any = true;
+        } else {
+          lo = std::min(lo, j.release);
+          hi = std::max(hi, j.finish);
+        }
+      }
+    }
+    if (!any) return {};
+    if (hi == lo) hi = lo + Duration::ns(1);
+  }
+
+  const double span = static_cast<double>((hi - lo).count());
+  const auto cell_of = [&](Instant t) {
+    const double frac = static_cast<double>((t - lo).count()) / span;
+    const int c = static_cast<int>(frac * opt.width);
+    return std::clamp(c, 0, opt.width - 1);
+  };
+
+  std::size_t name_width = 0;
+  for (TaskId id = 0; id < g.num_tasks(); ++id) {
+    name_width = std::max(name_width, g.task(id).name.size());
+  }
+
+  std::ostringstream os;
+  os << std::string(name_width, ' ') << "  " << to_string(lo) << " .. "
+     << to_string(hi) << " (" << to_string(hi - lo) << " / " << opt.width
+     << " cells)\n";
+  for (TaskId id = 0; id < g.num_tasks(); ++id) {
+    std::string row(static_cast<std::size_t>(opt.width), '.');
+    for (const JobRecord& j : trace.tasks[id].jobs) {
+      if (j.finish < lo || j.release > hi) continue;
+      if (j.finish > j.start) {
+        const int a = cell_of(std::max(j.start, lo));
+        const int b = cell_of(std::min(j.finish, hi));
+        for (int c = a; c <= b; ++c) {
+          row[static_cast<std::size_t>(c)] = '#';
+        }
+      }
+      if (j.release >= lo && j.release <= hi) {
+        auto& cell = row[static_cast<std::size_t>(cell_of(j.release))];
+        if (cell == '.') cell = '^';
+      }
+    }
+    os << g.task(id).name
+       << std::string(name_width - g.task(id).name.size(), ' ') << "  " << row
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ceta

@@ -1,0 +1,35 @@
+// ASCII Gantt rendering of a recorded trace — a quick debugging view of
+// who ran when and which samples were taken.
+//
+//   S       ^.........^.........^.........
+//   filter  .####......####......####.....
+//   fuse    ......##........##........##..
+//
+// Legend: '#' = a job of the row's task occupies the interval between its
+// start and finish (suspensions of preempted jobs are not subdivided),
+// '^' = a release with no execution in the same cell, '.' = idle.
+
+#pragma once
+
+#include <string>
+
+#include "graph/task_graph.hpp"
+#include "sim/trace.hpp"
+
+namespace ceta {
+
+struct GanttOptions {
+  /// Rendered window [from, to); `to` <= `from` renders from the earliest
+  /// to the latest recorded event.
+  Instant from = Instant::zero();
+  Instant to = Instant::zero();
+  /// Number of time cells per row.
+  int width = 80;
+};
+
+/// Render the trace as one row per task (graph order).  Returns an empty
+/// string when the trace holds no jobs.
+std::string render_gantt(const TaskGraph& g, const Trace& trace,
+                         const GanttOptions& opt = {});
+
+}  // namespace ceta

@@ -1,0 +1,78 @@
+#include "sim/latency.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "sim/backward.hpp"
+
+namespace ceta {
+
+DataAgeMeasurement measured_data_ages(const TaskGraph& g, const Trace& trace,
+                                      const Path& chain, Instant warmup) {
+  CETA_EXPECTS(is_path(g, chain), "measured_data_ages: not a path");
+  CETA_EXPECTS(chain.back() < trace.tasks.size(),
+               "measured_data_ages: trace lacks the tail task");
+  DataAgeMeasurement out;
+  for (const JobRecord& tail : trace.tasks[chain.back()].jobs) {
+    if (tail.release < warmup) continue;
+    const JobRecord* head = trace_head_job(g, trace, chain, tail);
+    if (head == nullptr) {
+      ++out.incomplete;
+      continue;
+    }
+    out.ages.push_back(tail.finish - head->release);
+  }
+  return out;
+}
+
+ReactionMeasurement measured_reaction_times(const TaskGraph& g,
+                                            const Trace& trace,
+                                            const Path& chain,
+                                            Instant warmup, Instant horizon) {
+  CETA_EXPECTS(is_path(g, chain), "measured_reaction_times: not a path");
+  CETA_EXPECTS(g.is_source(chain.front()),
+               "measured_reaction_times: chain head must be a source");
+  CETA_EXPECTS(chain.back() < trace.tasks.size() &&
+                   chain.front() < trace.tasks.size(),
+               "measured_reaction_times: trace lacks chain endpoints");
+
+  // Collect (finish time, traced sample release) of every complete tail
+  // output, ordered by finish.
+  struct Output {
+    Instant finish;
+    Instant sampled;
+  };
+  std::vector<Output> outputs;
+  for (const JobRecord& tail : trace.tasks[chain.back()].jobs) {
+    const JobRecord* head = trace_head_job(g, trace, chain, tail);
+    if (head == nullptr) continue;
+    outputs.push_back(Output{tail.finish, head->release});
+  }
+  std::sort(outputs.begin(), outputs.end(),
+            [](const Output& a, const Output& b) { return a.finish < b.finish; });
+  // Running maximum of the sampled timestamp: the first output index at
+  // which the running max reaches r answers the stimulus at r.
+  std::vector<Instant> run_max(outputs.size());
+  Instant m = Duration::min();
+  for (std::size_t i = 0; i < outputs.size(); ++i) {
+    m = std::max(m, outputs[i].sampled);
+    run_max[i] = m;
+  }
+
+  ReactionMeasurement out;
+  std::size_t idx = 0;
+  for (const JobRecord& stim : trace.tasks[chain.front()].jobs) {
+    if (stim.release < warmup || stim.release >= horizon) continue;
+    // Stimuli are queried in ascending release order, so idx only moves
+    // forward.
+    while (idx < outputs.size() && run_max[idx] < stim.release) ++idx;
+    if (idx == outputs.size()) {
+      ++out.unanswered;
+      continue;
+    }
+    out.reactions.push_back(outputs[idx].finish - stim.release);
+  }
+  return out;
+}
+
+}  // namespace ceta

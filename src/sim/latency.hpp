@@ -1,0 +1,46 @@
+// Measured end-to-end latencies from a recorded trace: data ages of tail
+// outputs and reaction times of source stimuli — ground truth for the
+// bounds in chain/latency.hpp.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/paths.hpp"
+#include "graph/task_graph.hpp"
+#include "sim/trace.hpp"
+
+namespace ceta {
+
+struct DataAgeMeasurement {
+  /// f(tail job) − r(traced head job) for each tail job with a complete
+  /// backward chain (release ≥ warmup).
+  std::vector<Duration> ages;
+  std::size_t incomplete = 0;
+};
+
+/// Measure data ages along `chain` (head must be this chain's first task;
+/// it need not be a source).
+DataAgeMeasurement measured_data_ages(const TaskGraph& g, const Trace& trace,
+                                      const Path& chain,
+                                      Instant warmup = Instant::zero());
+
+struct ReactionMeasurement {
+  /// For each source job (stimulus) released in [warmup, horizon): the
+  /// delay until the first tail output whose traced sample was taken at
+  /// or after the stimulus.  Stimuli never answered within the trace are
+  /// counted in `unanswered` (end-of-trace effect), not included here.
+  std::vector<Duration> reactions;
+  std::size_t unanswered = 0;
+};
+
+/// Measure reaction times of `chain` (head must be a source task).
+/// `horizon` limits which stimuli are queried so end-of-trace truncation
+/// does not bias the result; pass the simulation duration minus the
+/// reaction bound, or Instant::max() to query all stimuli.
+ReactionMeasurement measured_reaction_times(const TaskGraph& g,
+                                            const Trace& trace,
+                                            const Path& chain,
+                                            Instant warmup, Instant horizon);
+
+}  // namespace ceta

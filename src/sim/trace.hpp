@@ -1,0 +1,45 @@
+// Execution traces recorded by the simulator (optional).
+//
+// A trace stores, per job: release/start/finish and — per input channel —
+// which producer job's token it read.  That is exactly the information
+// needed to reconstruct immediate backward job chains (Definition 1) and
+// validate the backward-time bounds of Lemmas 4–6 against ground truth.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "graph/task.hpp"
+
+namespace ceta {
+
+/// Which token a job read on one of its input channels.
+struct ReadLink {
+  TaskId from = 0;              ///< producing task (channel's edge source)
+  std::int64_t producer_job = -1;  ///< job index at the producer; -1 = empty
+  Instant producer_release;     ///< release time of that producer job
+};
+
+struct JobRecord {
+  std::int64_t index = 0;  ///< k-th job of its task (0-based)
+  Instant release;
+  Instant start;
+  Instant finish;
+  /// One entry per input channel, aligned with graph.predecessors(task).
+  std::vector<ReadLink> reads;
+};
+
+struct TaskTrace {
+  std::vector<JobRecord> jobs;  ///< ascending by index
+};
+
+struct Trace {
+  std::vector<TaskTrace> tasks;  ///< indexed by TaskId
+
+  /// The record of job `k` of `task`, or nullptr if not recorded.
+  const JobRecord* find(TaskId task, std::int64_t k) const;
+};
+
+}  // namespace ceta

@@ -1,0 +1,55 @@
+#include "waters/generator.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sched/priority.hpp"
+
+namespace ceta {
+
+WatersTaskParams sample_waters_task(Rng& rng) {
+  const auto profiles = waters_profiles();
+  std::vector<double> weights;
+  weights.reserve(profiles.size());
+  for (const WatersPeriodProfile& p : profiles) {
+    weights.push_back(p.share_percent);
+  }
+  const WatersPeriodProfile& p = profiles[rng.weighted_index(weights)];
+
+  const double acet_ns = static_cast<double>(p.mean_acet.count());
+  const double f_bc = rng.uniform_real(p.bcet_factor_lo, p.bcet_factor_hi);
+  const double f_wc = rng.uniform_real(p.wcet_factor_lo, p.wcet_factor_hi);
+  WatersTaskParams out;
+  out.period = p.period;
+  out.bcet = Duration::ns(static_cast<std::int64_t>(std::llround(acet_ns * f_bc)));
+  out.wcet = Duration::ns(static_cast<std::int64_t>(std::llround(acet_ns * f_wc)));
+  CETA_ASSERT(out.bcet <= out.wcet,
+              "sample_waters_task: factor ranges must keep BCET <= WCET");
+  return out;
+}
+
+void assign_waters_parameters(TaskGraph& g, const WatersAssignOptions& opt,
+                              Rng& rng) {
+  CETA_EXPECTS(opt.num_ecus >= 1,
+               "assign_waters_parameters: need at least one ECU");
+  for (TaskId id = 0; id < g.num_tasks(); ++id) {
+    Task& t = g.task(id);
+    const WatersTaskParams params = sample_waters_task(rng);
+    t.period = params.period;
+    t.offset = Duration::zero();
+    if (g.is_source(id)) {
+      t.bcet = Duration::zero();
+      t.wcet = Duration::zero();
+      t.ecu = kNoEcu;
+    } else {
+      t.bcet = params.bcet;
+      t.wcet = params.wcet;
+      t.ecu = static_cast<EcuId>(rng.uniform_int(0, opt.num_ecus - 1));
+    }
+  }
+  assign_priorities_rate_monotonic(g);
+  g.validate();
+}
+
+}  // namespace ceta

@@ -1,0 +1,38 @@
+// Workload synthesis following the paper's evaluation setup (§V).
+//
+// Given a topology (e.g. from gnm_random_dag or merge_chains_at_sink),
+// `assign_waters_parameters` draws WATERS-profile periods for every task
+// and execution times for every non-source task, maps non-source tasks to
+// ECUs, assigns rate-monotonic priorities, and zeroes offsets (offsets are
+// randomized per simulation run with randomize_offsets).
+
+#pragma once
+
+#include "common/rng.hpp"
+#include "graph/task_graph.hpp"
+#include "waters/tables.hpp"
+
+namespace ceta {
+
+/// Parameters of one WATERS-sampled task.
+struct WatersTaskParams {
+  Duration period;
+  Duration bcet;
+  Duration wcet;
+};
+
+/// Draw one task: period by Table III shares, BCET/WCET by Tables IV–V.
+WatersTaskParams sample_waters_task(Rng& rng);
+
+struct WatersAssignOptions {
+  /// Number of ECUs non-source tasks are spread over, uniformly at random.
+  int num_ecus = 4;
+};
+
+/// Parameterize an existing topology in place.  Source tasks get WATERS
+/// periods but zero execution time (external stimuli, §II-A).  After this
+/// call the graph passes TaskGraph::validate().
+void assign_waters_parameters(TaskGraph& g, const WatersAssignOptions& opt,
+                              Rng& rng);
+
+}  // namespace ceta

@@ -1,0 +1,38 @@
+#include "waters/tables.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace ceta {
+
+namespace {
+
+// Columns: period, share% (Table III), mean ACET (Table IV),
+// BCET factor range, WCET factor range (Table V).
+constexpr std::array<WatersPeriodProfile, 8> kProfiles = {{
+    {Duration::ms(1), 3.0, Duration::ns(5'000), 0.19, 0.92, 1.30, 29.11},
+    {Duration::ms(2), 2.0, Duration::ns(4'200), 0.12, 0.89, 1.54, 19.04},
+    {Duration::ms(5), 2.0, Duration::ns(11'040), 0.17, 0.94, 1.13, 18.44},
+    {Duration::ms(10), 25.0, Duration::ns(10'090), 0.05, 0.99, 1.06, 30.03},
+    {Duration::ms(20), 25.0, Duration::ns(8'740), 0.11, 0.98, 1.06, 15.61},
+    {Duration::ms(50), 3.0, Duration::ns(17'560), 0.32, 0.95, 1.13, 7.76},
+    {Duration::ms(100), 20.0, Duration::ns(10'530), 0.09, 0.99, 1.02, 8.88},
+    {Duration::ms(200), 1.0, Duration::ns(2'560), 0.45, 0.98, 1.03, 4.90},
+}};
+
+}  // namespace
+
+std::span<const WatersPeriodProfile> waters_profiles() {
+  return {kProfiles.data(), kProfiles.size()};
+}
+
+const WatersPeriodProfile& waters_profile_for(Duration period) {
+  for (const WatersPeriodProfile& p : kProfiles) {
+    if (p.period == period) return p;
+  }
+  throw PreconditionError("waters_profile_for: period " + to_string(period) +
+                          " is not in the WATERS subset");
+}
+
+}  // namespace ceta

@@ -1,0 +1,48 @@
+// WATERS 2015 automotive benchmark profile (Kramer, Dörr, Hamann — "Real
+// World Automotive Benchmarks For Free").
+//
+// The paper's evaluation (§V) synthesizes tasks following that profile:
+//  * periods drawn from {1, 2, 5, 10, 20, 50, 100, 200} ms with the share
+//    distribution of WATERS Table III (restricted to this subset and
+//    renormalized — the full table also contains 1000 ms and angle-
+//    synchronous activations);
+//  * per-period average ACET from WATERS Table IV;
+//  * BCET = ACET · f, f uniform in the per-period best-case factor range,
+//    and WCET = ACET · f, f uniform in the worst-case factor range
+//    (WATERS Table V).
+//
+// The numeric constants below are transcribed from the WATERS'15 paper.
+// Time disparity is dominated by periods (T terms in Lemmas 4–6), so
+// marginal transcription differences in execution-time constants do not
+// affect the shape of any reproduced result.
+
+#pragma once
+
+#include <span>
+
+#include "common/time.hpp"
+
+namespace ceta {
+
+struct WatersPeriodProfile {
+  Duration period;
+  /// Share of runnables with this period, percent (Table III).
+  double share_percent;
+  /// Average-case execution time (Table IV).
+  Duration mean_acet;
+  /// Best-case factor range (Table V): BCET = ACET · U[lo, hi].
+  double bcet_factor_lo;
+  double bcet_factor_hi;
+  /// Worst-case factor range (Table V): WCET = ACET · U[lo, hi].
+  double wcet_factor_lo;
+  double wcet_factor_hi;
+};
+
+/// The eight-period subset used by the paper, ordered by period.
+std::span<const WatersPeriodProfile> waters_profiles();
+
+/// Profile for an exact period; throws PreconditionError if the period is
+/// not in the WATERS subset.
+const WatersPeriodProfile& waters_profile_for(Duration period);
+
+}  // namespace ceta

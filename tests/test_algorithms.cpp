@@ -1,0 +1,96 @@
+#include "graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "disparity/analyzer.hpp"
+#include "graph/paths.hpp"
+#include "helpers.hpp"
+
+namespace ceta {
+namespace {
+
+TEST(Ancestors, DiamondClosure) {
+  const TaskGraph g = testing::diamond_graph();
+  // ids: S=0, A=1, C=2, D=3, E=4
+  EXPECT_EQ(ancestors(g, 4), (std::vector<TaskId>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(ancestors(g, 2), (std::vector<TaskId>{0, 1, 2}));
+  EXPECT_EQ(ancestors(g, 0), (std::vector<TaskId>{0}));
+}
+
+TEST(Descendants, DiamondClosure) {
+  const TaskGraph g = testing::diamond_graph();
+  EXPECT_EQ(descendants(g, 0), (std::vector<TaskId>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(descendants(g, 2), (std::vector<TaskId>{2, 4}));
+  EXPECT_EQ(descendants(g, 4), (std::vector<TaskId>{4}));
+}
+
+TEST(Closure, BadIdRejected) {
+  const TaskGraph g = testing::diamond_graph();
+  EXPECT_THROW(ancestors(g, 99), PreconditionError);
+}
+
+TEST(AncestorSubgraph, DiamondAtBranch) {
+  const TaskGraph g = testing::diamond_graph();
+  const SubgraphExtract sub = ancestor_subgraph(g, 2);  // C
+  EXPECT_EQ(sub.graph.num_tasks(), 3u);  // S, A, C
+  EXPECT_EQ(sub.graph.num_edges(), 2u);  // S->A, A->C
+  EXPECT_EQ(sub.to_original, (std::vector<TaskId>{0, 1, 2}));
+  EXPECT_EQ(sub.from_original[3], kNoTask);  // D excluded
+  EXPECT_EQ(sub.from_original[4], kNoTask);  // E excluded
+  EXPECT_EQ(sub.graph.task(2).name, "C");
+  EXPECT_NO_THROW(sub.graph.validate());
+}
+
+TEST(AncestorSubgraph, PreservesChannelSpecs) {
+  TaskGraph g = testing::diamond_graph();
+  g.set_buffer_size(0, 1, 5);
+  const SubgraphExtract sub = ancestor_subgraph(g, 2);
+  EXPECT_EQ(sub.graph.channel(0, 1).buffer_size, 5);
+}
+
+TEST(AncestorSubgraph, DisparityEquivalence) {
+  // Scoping property: the disparity of a task computed on its ancestor
+  // subgraph (with the *original* response times) equals the full-graph
+  // result.
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const TaskGraph g = testing::random_dag_graph(14, 3, seed + 2500);
+    const ResponseTimeMap rtm = testing::response_times_of(g);
+    const TaskId sink = g.sinks().front();
+
+    const SubgraphExtract sub = ancestor_subgraph(g, sink);
+    const std::vector<Duration> sub_rtm = map_response_times(sub, rtm);
+    const TaskId sub_sink = sub.from_original[sink];
+    ASSERT_NE(sub_sink, kNoTask);
+
+    for (const DisparityMethod method :
+         {DisparityMethod::kIndependent, DisparityMethod::kForkJoin}) {
+      DisparityOptions opt;
+      opt.method = method;
+      const Duration full =
+          analyze_time_disparity(g, sink, rtm, opt).worst_case;
+      const Duration scoped =
+          analyze_time_disparity(sub.graph, sub_sink, sub_rtm, opt)
+              .worst_case;
+      EXPECT_EQ(full, scoped) << "seed " << seed;
+    }
+  }
+}
+
+TEST(AncestorSubgraph, ChainCountPreserved) {
+  const TaskGraph g = testing::random_dag_graph(14, 3, 4242);
+  const TaskId sink = g.sinks().front();
+  const SubgraphExtract sub = ancestor_subgraph(g, sink);
+  EXPECT_EQ(count_source_chains(g, sink),
+            count_source_chains(sub.graph, sub.from_original[sink]));
+}
+
+TEST(MapResponseTimes, SizeMismatchRejected) {
+  const TaskGraph g = testing::diamond_graph();
+  const SubgraphExtract sub = ancestor_subgraph(g, 2);
+  std::vector<Duration> wrong(3);
+  EXPECT_THROW(map_response_times(sub, wrong), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ceta

@@ -1,0 +1,180 @@
+#include "disparity/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "helpers.hpp"
+
+namespace ceta {
+namespace {
+
+/// Two chains that merge at C and continue through a shared suffix C -> T:
+///   S1(T=10) -> A(1ms,T=10,ecu0,p0) -> C(1ms,T=20,ecu0,p2) -> T
+///   S2(T=20) -> B(1ms,T=20,ecu0,p1) -> C
+///   T(1ms,T=20,ecu1,p0)
+TaskGraph shared_suffix_graph() {
+  TaskGraph g;
+  Task s1;
+  s1.name = "S1";
+  s1.period = Duration::ms(10);
+  const TaskId s1id = g.add_task(s1);
+  Task s2;
+  s2.name = "S2";
+  s2.period = Duration::ms(20);
+  const TaskId s2id = g.add_task(s2);
+  auto mk = [](const char* name, Duration period, EcuId ecu, int prio) {
+    Task t;
+    t.name = name;
+    t.wcet = t.bcet = Duration::ms(1);
+    t.period = period;
+    t.ecu = ecu;
+    t.priority = prio;
+    return t;
+  };
+  const TaskId a = g.add_task(mk("A", Duration::ms(10), 0, 0));
+  const TaskId b = g.add_task(mk("B", Duration::ms(20), 0, 1));
+  const TaskId c = g.add_task(mk("C", Duration::ms(20), 0, 2));
+  const TaskId t = g.add_task(mk("T", Duration::ms(20), 1, 0));
+  g.add_edge(s1id, a);
+  g.add_edge(s2id, b);
+  g.add_edge(a, c);
+  g.add_edge(b, c);
+  g.add_edge(c, t);
+  g.validate();
+  return g;
+}
+
+TEST(TruncateAtLastJoint, NoCommonSuffixBeyondTail) {
+  const Path a = {0, 1, 2, 4};
+  const Path b = {0, 1, 3, 4};
+  const auto [ta, tb] = truncate_at_last_joint(a, b);
+  EXPECT_EQ(ta, a);
+  EXPECT_EQ(tb, b);
+}
+
+TEST(TruncateAtLastJoint, SharedSuffixRemoved) {
+  const Path a = {0, 2, 4, 5, 6};
+  const Path b = {1, 3, 4, 5, 6};
+  const auto [ta, tb] = truncate_at_last_joint(a, b);
+  EXPECT_EQ(ta, (Path{0, 2, 4}));
+  EXPECT_EQ(tb, (Path{1, 3, 4}));
+}
+
+TEST(TruncateAtLastJoint, OneChainIsSuffixOfOther) {
+  const Path a = {9, 4, 5};
+  const Path b = {4, 5};
+  const auto [ta, tb] = truncate_at_last_joint(a, b);
+  EXPECT_EQ(ta, (Path{9, 4}));
+  EXPECT_EQ(tb, (Path{4}));
+}
+
+TEST(TruncateAtLastJoint, Preconditions) {
+  EXPECT_THROW(truncate_at_last_joint({}, {1}), PreconditionError);
+  EXPECT_THROW(truncate_at_last_joint({1, 2}, {1, 3}), PreconditionError);
+}
+
+TEST(Analyzer, DiamondWorstCase) {
+  const TaskGraph g = testing::diamond_graph();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  DisparityOptions opt;
+  opt.method = DisparityMethod::kForkJoin;
+  const DisparityReport rep = analyze_time_disparity(g, 4, rtm, opt);
+  EXPECT_EQ(rep.chains.size(), 2u);
+  ASSERT_EQ(rep.pairs.size(), 1u);
+  EXPECT_EQ(rep.worst_case, Duration::ms(40));
+  opt.method = DisparityMethod::kIndependent;
+  EXPECT_EQ(analyze_time_disparity(g, 4, rtm, opt).worst_case,
+            Duration::ms(40));
+}
+
+TEST(Analyzer, SingleChainTaskHasZeroDisparity) {
+  const TaskGraph g = testing::simple_chain_graph();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  const DisparityReport rep = analyze_time_disparity(g, 2, rtm);
+  EXPECT_EQ(rep.chains.size(), 1u);
+  EXPECT_TRUE(rep.pairs.empty());
+  EXPECT_EQ(rep.worst_case, Duration::zero());
+}
+
+TEST(Analyzer, SourceTaskHasZeroDisparity) {
+  const TaskGraph g = testing::diamond_graph();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  EXPECT_EQ(analyze_time_disparity(g, 0, rtm).worst_case, Duration::zero());
+}
+
+TEST(Analyzer, TruncationEqualsAnalysisAtJoinTask) {
+  // With a shared suffix C -> T, the disparity bound at T equals the
+  // pairwise bound of the truncated chains ending at C.
+  const TaskGraph g = shared_suffix_graph();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  const TaskId join = 4;  // C
+  const TaskId sink = 5;  // T
+
+  const DisparityReport at_sink = analyze_time_disparity(g, sink, rtm);
+  const DisparityReport at_join = analyze_time_disparity(g, join, rtm);
+  EXPECT_EQ(at_sink.worst_case, at_join.worst_case);
+}
+
+TEST(Analyzer, TruncationNeverLoosensTheBound) {
+  DisparityOptions with, without;
+  with.truncation = JointTruncation::kAlways;
+  without.truncation = JointTruncation::kNever;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const TaskGraph g = testing::random_dag_graph(12, 3, seed + 500);
+    const ResponseTimeMap rtm = testing::response_times_of(g);
+    const TaskId sink = g.sinks().front();
+    const Duration a =
+        analyze_time_disparity(g, sink, rtm, with).worst_case;
+    const Duration b =
+        analyze_time_disparity(g, sink, rtm, without).worst_case;
+    EXPECT_LE(a, b) << "seed " << seed;
+  }
+}
+
+TEST(Analyzer, SdiffNeverAbovePdiff) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const TaskGraph g = testing::random_dag_graph(15, 3, seed + 900);
+    const ResponseTimeMap rtm = testing::response_times_of(g);
+    const TaskId sink = g.sinks().front();
+    DisparityOptions opt;
+    opt.method = DisparityMethod::kForkJoin;
+    const Duration s = analyze_time_disparity(g, sink, rtm, opt).worst_case;
+    opt.method = DisparityMethod::kIndependent;
+    const Duration p = analyze_time_disparity(g, sink, rtm, opt).worst_case;
+    EXPECT_LE(s, p) << "seed " << seed;
+  }
+}
+
+TEST(Analyzer, PairListCoversAllPairs) {
+  const TaskGraph g = testing::random_dag_graph(12, 3, 31);
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  const TaskId sink = g.sinks().front();
+  const DisparityReport rep = analyze_time_disparity(g, sink, rtm);
+  const std::size_t n = rep.chains.size();
+  EXPECT_EQ(rep.pairs.size(), n * (n - 1) / 2);
+  Duration max = Duration::zero();
+  for (const PairDisparity& p : rep.pairs) {
+    EXPECT_LT(p.chain_a, p.chain_b);
+    EXPECT_LT(p.chain_b, n);
+    max = std::max(max, p.bound);
+  }
+  EXPECT_EQ(max, rep.worst_case);
+}
+
+TEST(Analyzer, PathCapRespected) {
+  const TaskGraph g = testing::random_dag_graph(15, 3, 77);
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  const TaskId sink = g.sinks().front();
+  DisparityOptions opt;
+  opt.path_cap = 1;
+  EXPECT_THROW(analyze_time_disparity(g, sink, rtm, opt), CapacityError);
+}
+
+TEST(Analyzer, BadTaskIdRejected) {
+  const TaskGraph g = testing::diamond_graph();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  EXPECT_THROW(analyze_time_disparity(g, 99, rtm), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ceta

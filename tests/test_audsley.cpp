@@ -1,0 +1,158 @@
+#include "sched/audsley.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "graph/generator.hpp"
+#include "helpers.hpp"
+#include "sched/priority.hpp"
+#include "waters/generator.hpp"
+
+namespace ceta {
+namespace {
+
+TaskId add(TaskGraph& g, const char* name, Duration wcet, Duration period,
+           EcuId ecu) {
+  Task t;
+  t.name = name;
+  t.wcet = t.bcet = wcet;
+  t.period = period;
+  t.ecu = ecu;
+  return g.add_task(t);
+}
+
+/// An instance where rate-monotonic order is infeasible under NP-FP but a
+/// feasible assignment exists (found by exhaustive search):
+///   t0: C=5.113ms T=11ms,  t1: C=284us T=18ms,  t2: C=5.866ms T=12ms.
+/// RM (t0 > t2 > t1) misses deadlines; t0 > t1 > t2 is feasible.
+TaskGraph rm_beaten_instance() {
+  TaskGraph g;
+  Task s;
+  s.name = "src";
+  s.period = Duration::ms(1000);
+  const TaskId sid = g.add_task(s);
+  const TaskId t0 = add(g, "t0", Duration::us(5113), Duration::ms(11), 0);
+  const TaskId t1 = add(g, "t1", Duration::us(284), Duration::ms(18), 0);
+  const TaskId t2 = add(g, "t2", Duration::us(5866), Duration::ms(12), 0);
+  g.add_edge(sid, t0);
+  g.add_edge(sid, t1);
+  g.add_edge(sid, t2);
+  return g;
+}
+
+TEST(Audsley, BeatsRateMonotonicOnKnownInstance) {
+  TaskGraph g = rm_beaten_instance();
+  assign_priorities_rate_monotonic(g);
+  EXPECT_FALSE(analyze_response_times(g).all_schedulable);
+
+  const AudsleyResult res = assign_priorities_audsley(g);
+  EXPECT_TRUE(res.feasible);
+  EXPECT_TRUE(res.infeasible_ecus.empty());
+  EXPECT_TRUE(analyze_response_times(g).all_schedulable);
+}
+
+TEST(Audsley, AssignmentIsATotalOrderPerEcu) {
+  TaskGraph g = rm_beaten_instance();
+  ASSERT_TRUE(assign_priorities_audsley(g).feasible);
+  std::set<int> prios;
+  for (TaskId id = 1; id < g.num_tasks(); ++id) {
+    prios.insert(g.task(id).priority);
+  }
+  EXPECT_EQ(prios.size(), 3u);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Audsley, FeasibleWheneverRateMonotonicIs) {
+  // OPA is optimal: it must succeed on every RM-schedulable instance.
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    TaskGraph g = testing::random_dag_graph(12, 3, seed);
+    ASSERT_TRUE(analyze_response_times(g).all_schedulable);
+    TaskGraph opa = g;
+    const AudsleyResult res = assign_priorities_audsley(opa);
+    EXPECT_TRUE(res.feasible) << "seed " << seed;
+    EXPECT_TRUE(analyze_response_times(opa).all_schedulable)
+        << "seed " << seed;
+  }
+}
+
+TEST(Audsley, InfeasibleOnOverload) {
+  TaskGraph g;
+  Task s;
+  s.name = "src";
+  s.period = Duration::ms(10);
+  const TaskId sid = g.add_task(s);
+  const TaskId a = add(g, "a", Duration::ms(6), Duration::ms(10), 0);
+  const TaskId b = add(g, "b", Duration::ms(6), Duration::ms(10), 0);
+  g.add_edge(sid, a);
+  g.add_edge(sid, b);
+  g.task(a).priority = 0;
+  g.task(b).priority = 1;
+  const int prio_a = g.task(a).priority;
+
+  const AudsleyResult res = assign_priorities_audsley(g);
+  EXPECT_FALSE(res.feasible);
+  ASSERT_EQ(res.infeasible_ecus.size(), 1u);
+  EXPECT_EQ(res.infeasible_ecus[0], 0);
+  // Graph untouched on failure.
+  EXPECT_EQ(g.task(a).priority, prio_a);
+}
+
+TEST(Audsley, InfeasibleByBlockingAlone) {
+  // A 12ms job on the same ECU as a 10ms-period task: the short task is
+  // doomed at *every* priority level (non-preemptive blocking), so no
+  // assignment exists even at low utilization.
+  TaskGraph g;
+  Task s;
+  s.name = "src";
+  s.period = Duration::ms(100);
+  const TaskId sid = g.add_task(s);
+  const TaskId fast = add(g, "fast", Duration::ms(1), Duration::ms(10), 0);
+  const TaskId huge = add(g, "huge", Duration::ms(12), Duration::ms(100), 0);
+  g.add_edge(sid, fast);
+  g.add_edge(sid, huge);
+  g.task(fast).priority = 0;
+  g.task(huge).priority = 1;
+  EXPECT_FALSE(assign_priorities_audsley(g).feasible);
+}
+
+TEST(Audsley, IndependentPerEcu) {
+  // One feasible ECU and one overloaded ECU: only the latter is reported.
+  TaskGraph g;
+  Task s;
+  s.name = "src";
+  s.period = Duration::ms(10);
+  const TaskId sid = g.add_task(s);
+  const TaskId ok = add(g, "ok", Duration::ms(1), Duration::ms(10), 0);
+  const TaskId bad1 = add(g, "bad1", Duration::ms(6), Duration::ms(10), 1);
+  const TaskId bad2 = add(g, "bad2", Duration::ms(6), Duration::ms(10), 1);
+  g.add_edge(sid, ok);
+  g.add_edge(sid, bad1);
+  g.add_edge(sid, bad2);
+  g.task(bad1).priority = 0;
+  g.task(bad2).priority = 1;
+
+  const AudsleyResult res = assign_priorities_audsley(g);
+  EXPECT_FALSE(res.feasible);
+  EXPECT_EQ(res.infeasible_ecus, std::vector<EcuId>{1});
+}
+
+TEST(Audsley, PrefersRateMonotonicLikeOrderWhenFree) {
+  // With slack everywhere the heuristic keeps longer periods at lower
+  // priority, matching RM.
+  Rng rng(5);
+  TaskGraph g = merge_chains_at_sink(5, 5);
+  WatersAssignOptions wopt;
+  wopt.num_ecus = 2;
+  assign_waters_parameters(g, wopt, rng);
+  TaskGraph rm = g;
+  assign_priorities_rate_monotonic(rm);
+  ASSERT_TRUE(assign_priorities_audsley(g).feasible);
+  for (TaskId id = 0; id < g.num_tasks(); ++id) {
+    EXPECT_EQ(g.task(id).priority, rm.task(id).priority) << "task " << id;
+  }
+}
+
+}  // namespace
+}  // namespace ceta

@@ -1,0 +1,213 @@
+#include "chain/backward_bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "helpers.hpp"
+
+namespace ceta {
+namespace {
+
+/// S -> A -> B where B has the *higher* priority (exercises the
+/// non-preemptive low-to-high hop case of Lemma 4).
+///   A: W=2, B=1, T=10ms, prio 1;  Bt: W=3, B=2, T=20ms, prio 0.
+/// Hand-computed: R(Bt) = 2+3 = 5, R(A) = 3+2 = 5.
+/// θ_S = 10, θ_A = T+R−(W_A+B_B) = 10+5−(2+2) = 11 → W(π)=21.
+/// B(π) = 0+1+2−5 = −2.
+TaskGraph low_to_high_chain() {
+  TaskGraph g;
+  Task s;
+  s.name = "S";
+  s.period = Duration::ms(10);
+  const TaskId sid = g.add_task(s);
+  Task a;
+  a.name = "A";
+  a.wcet = Duration::ms(2);
+  a.bcet = Duration::ms(1);
+  a.period = Duration::ms(10);
+  a.ecu = 0;
+  a.priority = 1;
+  const TaskId aid = g.add_task(a);
+  Task b;
+  b.name = "B";
+  b.wcet = Duration::ms(3);
+  b.bcet = Duration::ms(2);
+  b.period = Duration::ms(20);
+  b.ecu = 0;
+  b.priority = 0;
+  const TaskId bid = g.add_task(b);
+  g.add_edge(sid, aid);
+  g.add_edge(aid, bid);
+  g.validate();
+  return g;
+}
+
+TEST(HopBound, SourceHopIsOnePeriod) {
+  const TaskGraph g = testing::simple_chain_graph();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  EXPECT_EQ(hop_bound(g, 0, 1, rtm, HopBoundMethod::kNonPreemptive),
+            Duration::ms(10));
+}
+
+TEST(HopBound, HigherPriorityPredecessorSameEcu) {
+  const TaskGraph g = testing::simple_chain_graph();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  // A in hp(B), same ECU: θ = T(A).
+  EXPECT_EQ(hop_bound(g, 1, 2, rtm, HopBoundMethod::kNonPreemptive),
+            Duration::ms(10));
+}
+
+TEST(HopBound, LowerPriorityPredecessorSameEcu) {
+  const TaskGraph g = low_to_high_chain();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  EXPECT_EQ(rtm[1], Duration::ms(5));
+  EXPECT_EQ(rtm[2], Duration::ms(5));
+  // θ = T + R − (W(A) + B(B)) = 10 + 5 − 4 = 11.
+  EXPECT_EQ(hop_bound(g, 1, 2, rtm, HopBoundMethod::kNonPreemptive),
+            Duration::ms(11));
+}
+
+TEST(HopBound, CrossEcuHop) {
+  const TaskGraph g = testing::diamond_graph();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  // C(ecu0) -> E(ecu1): θ = T(C) + R(C) = 22ms.
+  EXPECT_EQ(hop_bound(g, 2, 4, rtm, HopBoundMethod::kNonPreemptive),
+            Duration::ms(22));
+}
+
+TEST(HopBound, SchedulingAgnosticAlwaysTPlusR) {
+  const TaskGraph g = testing::simple_chain_graph();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  EXPECT_EQ(hop_bound(g, 1, 2, rtm, HopBoundMethod::kSchedulingAgnostic),
+            Duration::ms(12));
+  EXPECT_EQ(hop_bound(g, 0, 1, rtm, HopBoundMethod::kSchedulingAgnostic),
+            Duration::ms(10));
+}
+
+TEST(HopBound, RequiresExistingEdge) {
+  const TaskGraph g = testing::simple_chain_graph();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  EXPECT_THROW(hop_bound(g, 2, 0, rtm, HopBoundMethod::kNonPreemptive),
+               PreconditionError);
+}
+
+TEST(Wcbt, SimpleChainHandComputed) {
+  const TaskGraph g = testing::simple_chain_graph();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  EXPECT_EQ(wcbt_bound(g, {0, 1, 2}, rtm), Duration::ms(20));
+}
+
+TEST(Wcbt, DiamondChainsHandComputed) {
+  const TaskGraph g = testing::diamond_graph();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  EXPECT_EQ(wcbt_bound(g, {0, 1, 2, 4}, rtm), Duration::ms(42));
+  EXPECT_EQ(wcbt_bound(g, {0, 1, 3, 4}, rtm), Duration::ms(42));
+}
+
+TEST(Bcbt, HandComputed) {
+  const TaskGraph g = testing::simple_chain_graph();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  EXPECT_EQ(bcbt_bound(g, {0, 1, 2}, rtm), Duration::ms(0));
+
+  const TaskGraph d = testing::diamond_graph();
+  const ResponseTimeMap rtd = testing::response_times_of(d);
+  EXPECT_EQ(bcbt_bound(d, {0, 1, 2, 4}, rtd), Duration::ms(1));
+}
+
+TEST(Bcbt, CanBeNegative) {
+  const TaskGraph g = low_to_high_chain();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  EXPECT_EQ(bcbt_bound(g, {0, 1, 2}, rtm), Duration::ms(-2));
+}
+
+TEST(Wcbt, LowToHighChainHandComputed) {
+  const TaskGraph g = low_to_high_chain();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  EXPECT_EQ(wcbt_bound(g, {0, 1, 2}, rtm), Duration::ms(21));
+}
+
+TEST(BackwardBounds, SingleTaskChainIsZero) {
+  const TaskGraph g = testing::simple_chain_graph();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  const BackwardBounds b = backward_bounds(g, {0}, rtm);
+  EXPECT_EQ(b.wcbt, Duration::zero());
+  EXPECT_EQ(b.bcbt, Duration::zero());
+  const BackwardBounds b2 = backward_bounds(g, {2}, rtm);
+  EXPECT_EQ(b2.wcbt, Duration::zero());
+  EXPECT_EQ(b2.bcbt, Duration::zero());
+}
+
+TEST(BackwardBounds, AgnosticAtLeastAsLooseAsLemma4) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const TaskGraph g = testing::random_dag_graph(14, 3, seed);
+    const ResponseTimeMap rtm = testing::response_times_of(g);
+    const TaskId sink = g.sinks().front();
+    for (const Path& chain : enumerate_source_chains(g, sink)) {
+      EXPECT_GE(wcbt_bound(g, chain, rtm, HopBoundMethod::kSchedulingAgnostic),
+                wcbt_bound(g, chain, rtm, HopBoundMethod::kNonPreemptive))
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(BackwardBounds, BcbtNeverAboveWcbt) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const TaskGraph g = testing::random_dag_graph(14, 3, seed);
+    const ResponseTimeMap rtm = testing::response_times_of(g);
+    const TaskId sink = g.sinks().front();
+    for (const Path& chain : enumerate_source_chains(g, sink)) {
+      const BackwardBounds b = backward_bounds(g, chain, rtm);
+      EXPECT_LE(b.bcbt, b.wcbt) << "seed " << seed;
+    }
+  }
+}
+
+TEST(BufferedBounds, Lemma6ShiftsBothBounds) {
+  const TaskGraph g = testing::simple_chain_graph();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  const BackwardBounds base = backward_bounds(g, {0, 1, 2}, rtm);
+  const BackwardBounds buf3 = buffered_backward_bounds(g, {0, 1, 2}, rtm, 3);
+  // (n−1)·T(S) = 2·10ms.
+  EXPECT_EQ(buf3.wcbt, base.wcbt + Duration::ms(20));
+  EXPECT_EQ(buf3.bcbt, base.bcbt + Duration::ms(20));
+  const BackwardBounds buf1 = buffered_backward_bounds(g, {0, 1, 2}, rtm, 1);
+  EXPECT_EQ(buf1.wcbt, base.wcbt);
+  EXPECT_EQ(buf1.bcbt, base.bcbt);
+}
+
+TEST(BufferedBounds, GraphConfiguredBufferHonored) {
+  TaskGraph g = testing::simple_chain_graph();
+  g.set_buffer_size(0, 1, 4);
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  const BackwardBounds b = backward_bounds(g, {0, 1, 2}, rtm);
+  EXPECT_EQ(b.wcbt, Duration::ms(20 + 30));
+  EXPECT_EQ(b.bcbt, Duration::ms(0 + 30));
+  // Explicit override replaces the configured head-channel size.
+  const BackwardBounds b1 = buffered_backward_bounds(g, {0, 1, 2}, rtm, 1);
+  EXPECT_EQ(b1.wcbt, Duration::ms(20));
+}
+
+TEST(BufferedBounds, MidChainBufferShiftsByProducerPeriod) {
+  TaskGraph g = testing::simple_chain_graph();
+  g.set_buffer_size(1, 2, 2);  // buffer on A -> B
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  const BackwardBounds b = backward_bounds(g, {0, 1, 2}, rtm);
+  EXPECT_EQ(b.wcbt, Duration::ms(20 + 10));  // +(2−1)·T(A)
+}
+
+TEST(BackwardBounds, Preconditions) {
+  const TaskGraph g = testing::simple_chain_graph();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  EXPECT_THROW(wcbt_bound(g, {}, rtm), PreconditionError);
+  EXPECT_THROW(wcbt_bound(g, {0, 2}, rtm), PreconditionError);  // not a path
+  ResponseTimeMap bad = rtm;
+  bad.pop_back();
+  EXPECT_THROW(wcbt_bound(g, {0, 1, 2}, bad), PreconditionError);
+  ResponseTimeMap unsched = rtm;
+  unsched[1] = Duration::max();
+  EXPECT_THROW(wcbt_bound(g, {0, 1, 2}, unsched), PreconditionError);
+  EXPECT_THROW(buffered_backward_bounds(g, {0}, rtm, 2), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ceta

@@ -1,0 +1,169 @@
+#include "disparity/buffer_opt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "disparity/pairwise.hpp"
+#include "graph/paths.hpp"
+#include "helpers.hpp"
+
+namespace ceta {
+namespace {
+
+/// The two-source fixture of test_pairwise with hand-computed Algorithm 1
+/// results:
+///   λ={S1,A,E}: window [−23, −1];  ν={S2,B,E}: window [−63, −2].
+///   Midpoints −12 vs −32.5 → λ is right → buffer on S1→A.
+///   k = floor((−24+65)/(2·10)) = 2 → size 3, L = 20ms.
+///   Theorem 3: 62 − 20 = 42ms.
+TaskGraph two_source_graph() {
+  TaskGraph g;
+  Task s1;
+  s1.name = "S1";
+  s1.period = Duration::ms(10);
+  const TaskId s1id = g.add_task(s1);
+  Task s2;
+  s2.name = "S2";
+  s2.period = Duration::ms(30);
+  const TaskId s2id = g.add_task(s2);
+  auto mk = [](const char* name, Duration e, Duration period, EcuId ecu,
+               int prio) {
+    Task t;
+    t.name = name;
+    t.wcet = t.bcet = e;
+    t.period = period;
+    t.ecu = ecu;
+    t.priority = prio;
+    return t;
+  };
+  const TaskId a = g.add_task(mk("A", Duration::ms(1), Duration::ms(10), 0, 0));
+  const TaskId b = g.add_task(mk("B", Duration::ms(2), Duration::ms(30), 0, 1));
+  const TaskId e = g.add_task(mk("E", Duration::ms(1), Duration::ms(30), 1, 0));
+  g.add_edge(s1id, a);
+  g.add_edge(s2id, b);
+  g.add_edge(a, e);
+  g.add_edge(b, e);
+  g.validate();
+  return g;
+}
+
+TEST(BufferDesign, HandComputed) {
+  const TaskGraph g = two_source_graph();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  const Path lambda = {0, 2, 4};
+  const Path nu = {1, 3, 4};
+  const BufferDesign d = design_buffer(g, lambda, nu, rtm);
+  EXPECT_TRUE(d.buffer_on_lambda);
+  EXPECT_EQ(d.from, 0u);  // S1
+  EXPECT_EQ(d.to, 2u);    // A
+  EXPECT_EQ(d.buffer_size, 3);
+  EXPECT_EQ(d.shift, Duration::ms(20));
+  EXPECT_EQ(d.baseline_bound, Duration::ms(62));
+  EXPECT_EQ(d.optimized_bound, Duration::ms(42));
+  EXPECT_EQ(d.window_lambda, Interval(Duration::ms(-23), Duration::ms(-1)));
+  EXPECT_EQ(d.window_nu, Interval(Duration::ms(-63), Duration::ms(-2)));
+}
+
+TEST(BufferDesign, SwappedArgumentsBufferSameChannel) {
+  const TaskGraph g = two_source_graph();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  const BufferDesign d = design_buffer(g, {1, 3, 4}, {0, 2, 4}, rtm);
+  EXPECT_FALSE(d.buffer_on_lambda);  // now ν is the right-window chain
+  EXPECT_EQ(d.from, 0u);
+  EXPECT_EQ(d.to, 2u);
+  EXPECT_EQ(d.buffer_size, 3);
+  EXPECT_EQ(d.optimized_bound, Duration::ms(42));
+}
+
+TEST(BufferDesign, Theorem3MatchesRerunWithBuffer) {
+  // Applying the designed buffer and re-running Theorem 2 on the buffered
+  // graph (Lemma 6-aware bounds) reproduces the Theorem 3 value when the
+  // shifted window stays right of the other one.
+  const TaskGraph g = two_source_graph();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  const Path lambda = {0, 2, 4};
+  const Path nu = {1, 3, 4};
+  const BufferDesign d = design_buffer(g, lambda, nu, rtm);
+
+  TaskGraph buffered = g;
+  apply_buffer_design(buffered, d);
+  EXPECT_EQ(buffered.channel(0, 2).buffer_size, 3);
+  const ForkJoinBound fj = sdiff_pair_bound(buffered, lambda, nu, rtm);
+  EXPECT_EQ(fj.bound, d.optimized_bound);
+}
+
+TEST(BufferDesign, ShiftIsMultipleOfHeadPeriod) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const TaskGraph g = testing::random_two_chain_graph(6, 3, seed);
+    const ResponseTimeMap rtm = testing::response_times_of(g);
+    const auto chains = enumerate_source_chains(g, g.sinks().front());
+    const BufferDesign d = design_buffer(g, chains[0], chains[1], rtm);
+    const Duration t_head = g.task(d.from).period;
+    EXPECT_EQ(d.shift, t_head * (d.buffer_size - 1));
+    EXPECT_GE(d.buffer_size, 1);
+    EXPECT_EQ(d.optimized_bound, d.baseline_bound - d.shift);
+  }
+}
+
+TEST(BufferDesign, NeverWorseThanBaseline) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const TaskGraph g = testing::random_two_chain_graph(8, 3, seed + 50);
+    const ResponseTimeMap rtm = testing::response_times_of(g);
+    const auto chains = enumerate_source_chains(g, g.sinks().front());
+    const BufferDesign d = design_buffer(g, chains[0], chains[1], rtm);
+    EXPECT_LE(d.optimized_bound, d.baseline_bound) << "seed " << seed;
+    EXPECT_GE(d.optimized_bound, Duration::zero()) << "seed " << seed;
+  }
+}
+
+TEST(BufferDesign, MidpointGapShrinks) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const TaskGraph g = testing::random_two_chain_graph(7, 3, seed + 200);
+    const ResponseTimeMap rtm = testing::response_times_of(g);
+    const auto chains = enumerate_source_chains(g, g.sinks().front());
+    const BufferDesign d = design_buffer(g, chains[0], chains[1], rtm);
+    const Interval& right = d.buffer_on_lambda ? d.window_lambda : d.window_nu;
+    const Interval& left = d.buffer_on_lambda ? d.window_nu : d.window_lambda;
+    const std::int64_t gap_before =
+        right.doubled_midpoint() - left.doubled_midpoint();
+    const Interval shifted = right.shifted(-d.shift);
+    const std::int64_t gap_after =
+        std::abs(shifted.doubled_midpoint() - left.doubled_midpoint());
+    EXPECT_LE(gap_after, gap_before);
+    // Post-shift gap below one period of the buffered head (doubled).
+    EXPECT_LT(gap_after, 2 * g.task(d.from).period.count());
+  }
+}
+
+TEST(BufferDesign, AlignedWindowsNeedNoBuffer) {
+  // Two identical chains merged at a sink: symmetric windows, size 1.
+  const TaskGraph g = testing::diamond_graph();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  const BufferDesign d =
+      design_buffer(g, {0, 1, 2, 4}, {0, 1, 3, 4}, rtm);
+  EXPECT_EQ(d.buffer_size, 1);
+  EXPECT_EQ(d.shift, Duration::zero());
+  EXPECT_EQ(d.optimized_bound, d.baseline_bound);
+}
+
+TEST(BufferDesign, RejectsPreBufferedChannel) {
+  TaskGraph g = two_source_graph();
+  g.set_buffer_size(0, 2, 2);
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  EXPECT_THROW(design_buffer(g, {0, 2, 4}, {1, 3, 4}, rtm),
+               PreconditionError);
+}
+
+TEST(ApplyBufferDesign, SizeOneIsNoOp) {
+  TaskGraph g = two_source_graph();
+  BufferDesign d;
+  d.from = 0;
+  d.to = 2;
+  d.buffer_size = 1;
+  apply_buffer_design(g, d);
+  EXPECT_EQ(g.channel(0, 2).buffer_size, 1);
+}
+
+}  // namespace
+}  // namespace ceta

@@ -1,0 +1,131 @@
+#include "sched/bus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "graph/paths.hpp"
+#include "helpers.hpp"
+#include "sched/npfp_rta.hpp"
+
+namespace ceta {
+namespace {
+
+TEST(Bus, RewritesOnlyCrossingEdges) {
+  const TaskGraph g = testing::diamond_graph();
+  // Crossing edges: A(ecu0)->D(ecu1) and C(ecu0)->E(ecu1).
+  BusConfig cfg;
+  cfg.bus_resource = 100;
+  const TaskGraph out = insert_can_messages(g, cfg);
+  EXPECT_EQ(out.num_tasks(), g.num_tasks() + 2);
+  EXPECT_EQ(out.num_edges(), g.num_edges() + 2);
+  // Intact edges.
+  EXPECT_TRUE(out.has_edge(0, 1));  // S->A (source edge)
+  EXPECT_TRUE(out.has_edge(1, 2));  // A->C same ecu
+  EXPECT_TRUE(out.has_edge(3, 4));  // D->E same ecu
+  // Rewritten edges.
+  EXPECT_FALSE(out.has_edge(1, 3));  // A->D now goes through a message
+  EXPECT_FALSE(out.has_edge(2, 4));
+}
+
+TEST(Bus, MessageTaskParameters) {
+  const TaskGraph g = testing::diamond_graph();
+  BusConfig cfg;
+  cfg.bus_resource = 100;
+  cfg.msg_wcet = Duration::us(300);
+  cfg.msg_bcet = Duration::us(150);
+  const TaskGraph out = insert_can_messages(g, cfg);
+  int bus_tasks = 0;
+  for (TaskId id = 0; id < out.num_tasks(); ++id) {
+    const Task& t = out.task(id);
+    if (t.ecu != cfg.bus_resource) continue;
+    ++bus_tasks;
+    EXPECT_EQ(t.wcet, Duration::us(300));
+    EXPECT_EQ(t.bcet, Duration::us(150));
+    // Period inherited from the producer.
+    ASSERT_EQ(out.predecessors(id).size(), 1u);
+    EXPECT_EQ(t.period, out.task(out.predecessors(id)[0]).period);
+  }
+  EXPECT_EQ(bus_tasks, 2);
+}
+
+TEST(Bus, MessagePathPreserved) {
+  const TaskGraph g = testing::diamond_graph();
+  BusConfig cfg;
+  const TaskGraph out = insert_can_messages(g, cfg);
+  // Chains from S to E now have length 5 (one extra message hop each).
+  const TaskId sink = 4;
+  const auto chains = enumerate_source_chains(out, sink);
+  ASSERT_EQ(chains.size(), 2u);
+  // One chain crosses via A->D (message), the other via C->E (message).
+  for (const Path& c : chains) {
+    EXPECT_EQ(c.size(), 5u);
+  }
+}
+
+TEST(Bus, ValidatesAndSchedulesWithBus) {
+  const TaskGraph g = testing::diamond_graph();
+  BusConfig cfg;
+  const TaskGraph out = insert_can_messages(g, cfg);
+  EXPECT_NO_THROW(out.validate());
+  const RtaResult rta = analyze_response_times(out);
+  EXPECT_TRUE(rta.all_schedulable);
+}
+
+TEST(Bus, ChannelSpecPreservedOnProducerSide) {
+  TaskGraph g = testing::diamond_graph();
+  g.set_buffer_size(1, 3, 4);  // A->D, a crossing edge
+  BusConfig cfg;
+  const TaskGraph out = insert_can_messages(g, cfg);
+  // Find the message task between A and D.
+  bool found = false;
+  for (TaskId id = static_cast<TaskId>(g.num_tasks()); id < out.num_tasks();
+       ++id) {
+    if (out.has_edge(1, id) && out.has_edge(id, 3)) {
+      EXPECT_EQ(out.channel(1, id).buffer_size, 4);
+      EXPECT_EQ(out.channel(id, 3).buffer_size, 1);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Bus, RateMonotonicPrioritiesOnBus) {
+  // Two crossing edges with different producer periods: the message of
+  // the shorter-period producer gets the higher priority.
+  const TaskGraph g = testing::diamond_graph();
+  BusConfig cfg;
+  const TaskGraph out = insert_can_messages(g, cfg);
+  TaskId msg_fast = 0, msg_slow = 0;
+  for (TaskId id = static_cast<TaskId>(g.num_tasks());
+       id < out.num_tasks(); ++id) {
+    if (out.task(id).period == Duration::ms(10)) msg_fast = id;  // from A
+    if (out.task(id).period == Duration::ms(20)) msg_slow = id;  // from C
+  }
+  EXPECT_LT(out.task(msg_fast).priority, out.task(msg_slow).priority);
+}
+
+TEST(Bus, RejectsResourceCollision) {
+  const TaskGraph g = testing::diamond_graph();
+  BusConfig cfg;
+  cfg.bus_resource = 0;  // collides with ECU 0
+  EXPECT_THROW(insert_can_messages(g, cfg), PreconditionError);
+}
+
+TEST(Bus, RejectsBadTransmissionTimes) {
+  const TaskGraph g = testing::diamond_graph();
+  BusConfig cfg;
+  cfg.msg_bcet = Duration::us(300);
+  cfg.msg_wcet = Duration::us(200);
+  EXPECT_THROW(insert_can_messages(g, cfg), PreconditionError);
+}
+
+TEST(Bus, NoCrossingEdgesIsIdentityShape) {
+  TaskGraph g = testing::simple_chain_graph();  // all on ecu 0
+  BusConfig cfg;
+  const TaskGraph out = insert_can_messages(g, cfg);
+  EXPECT_EQ(out.num_tasks(), g.num_tasks());
+  EXPECT_EQ(out.num_edges(), g.num_edges());
+}
+
+}  // namespace
+}  // namespace ceta

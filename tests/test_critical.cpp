@@ -1,0 +1,81 @@
+#include "chain/critical.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "helpers.hpp"
+
+namespace ceta {
+namespace {
+
+TEST(CriticalChain, MatchesEnumerationOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const TaskGraph g = testing::random_dag_graph(13, 3, seed + 1200);
+    const ResponseTimeMap rtm = testing::response_times_of(g);
+    const TaskId sink = g.sinks().front();
+
+    Duration best = Duration::min();
+    for (const Path& chain : enumerate_source_chains(g, sink)) {
+      best = std::max(best, wcbt_bound(g, chain, rtm));
+    }
+    const CriticalChain crit = critical_chain(g, sink, rtm);
+    EXPECT_EQ(crit.wcbt, best) << "seed " << seed;
+    EXPECT_TRUE(is_path(g, crit.chain));
+    EXPECT_TRUE(g.is_source(crit.chain.front()));
+    EXPECT_EQ(crit.chain.back(), sink);
+    EXPECT_EQ(wcbt_bound(g, crit.chain, rtm), crit.wcbt);
+  }
+}
+
+TEST(CriticalChain, DiamondHandComputed) {
+  const TaskGraph g = testing::diamond_graph();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  const CriticalChain crit = critical_chain(g, 4, rtm);
+  // Both chains have W = 42ms; either is a valid critical chain.
+  EXPECT_EQ(crit.wcbt, Duration::ms(42));
+  EXPECT_EQ(crit.chain.size(), 4u);
+}
+
+TEST(CriticalChain, SourceTaskIsTrivial) {
+  const TaskGraph g = testing::diamond_graph();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  const CriticalChain crit = critical_chain(g, 0, rtm);
+  EXPECT_EQ(crit.chain, Path{0});
+  EXPECT_EQ(crit.wcbt, Duration::zero());
+}
+
+TEST(CriticalChain, AccountsForFifoBuffers) {
+  TaskGraph g = testing::diamond_graph();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  const Duration base = critical_chain(g, 4, rtm).wcbt;
+  // Buffer the C branch: its chain gains 2·T(A)... the buffered channel
+  // is A->C, producer period 10ms, size 3 → +20ms.
+  g.set_buffer_size(1, 2, 3);
+  const CriticalChain crit = critical_chain(g, 4, rtm);
+  EXPECT_EQ(crit.wcbt, base + Duration::ms(20));
+  // The critical chain now runs through C.
+  EXPECT_NE(std::find(crit.chain.begin(), crit.chain.end(), 2u),
+            crit.chain.end());
+}
+
+TEST(CriticalChain, SchedulingAgnosticAtLeastLemma4) {
+  const TaskGraph g = testing::random_dag_graph(12, 3, 999);
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  const TaskId sink = g.sinks().front();
+  EXPECT_GE(critical_chain(g, sink, rtm,
+                           HopBoundMethod::kSchedulingAgnostic)
+                .wcbt,
+            critical_chain(g, sink, rtm).wcbt);
+}
+
+TEST(CriticalChain, Preconditions) {
+  const TaskGraph g = testing::diamond_graph();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  EXPECT_THROW(critical_chain(g, 99, rtm), PreconditionError);
+  ResponseTimeMap bad = rtm;
+  bad.pop_back();
+  EXPECT_THROW(critical_chain(g, 4, bad), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ceta

@@ -1,0 +1,184 @@
+// Exact LET disparity: cross-validated against the simulator (they must
+// agree to the nanosecond on deterministic systems) and against the
+// offset-oblivious bounds.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "disparity/analyzer.hpp"
+#include "disparity/exact.hpp"
+#include "graph/generator.hpp"
+#include "helpers.hpp"
+#include "sched/npfp_rta.hpp"
+#include "sched/priority.hpp"
+#include "sim/engine.hpp"
+#include "waters/generator.hpp"
+
+namespace ceta {
+namespace {
+
+/// Random two-chain WATERS instance converted to LET with random offsets.
+TaskGraph let_instance(std::uint64_t seed, std::size_t len = 4) {
+  TaskGraph g = testing::random_two_chain_graph(len, 3, seed);
+  g.set_comm_semantics(CommSemantics::kLet);
+  Rng rng(seed * 13 + 5);
+  randomize_offsets(g, rng);
+  g.validate();
+  return g;
+}
+
+class ExactLet : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactLet, AgreesWithSimulationExactly) {
+  const std::uint64_t seed = GetParam();
+  const TaskGraph g = let_instance(seed);
+  const TaskId sink = g.sinks().front();
+  const ExactLetResult exact = exact_let_disparity(g, sink);
+
+  // Simulate long enough to cover warm-up plus a full hyperperiod; the
+  // measured steady-state maximum must equal the exact value.
+  SimOptions opt;
+  opt.warmup = Duration::s(3);
+  opt.duration = Duration::s(8);
+  opt.seed = seed;
+  opt.exec_model = ExecTimeModel::kUniform;  // execution times irrelevant
+  const SimResult res = simulate(g, opt);
+  EXPECT_EQ(res.max_disparity[sink], exact.worst_disparity)
+      << "seed " << seed;
+}
+
+TEST_P(ExactLet, WithinAnalyticalBound) {
+  const std::uint64_t seed = GetParam();
+  const TaskGraph g = let_instance(seed);
+  const TaskId sink = g.sinks().front();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  const Duration bound = analyze_time_disparity(g, sink, rtm).worst_case;
+  const ExactLetResult exact = exact_let_disparity(g, sink);
+  EXPECT_LE(exact.worst_disparity, bound) << "seed " << seed;
+  EXPECT_GT(exact.worst_disparity, Duration::zero()) << "seed " << seed;
+}
+
+TEST_P(ExactLet, InvariantToGlobalOffsetShift) {
+  // Shifting every offset by the same amount preserves all relative
+  // phases; 1ms divides every WATERS period, so reducing each shifted
+  // offset modulo its period lands on the same phase pattern.
+  const std::uint64_t seed = GetParam();
+  TaskGraph g = let_instance(seed);
+  const TaskId sink = g.sinks().front();
+  const Duration base = exact_let_disparity(g, sink).worst_disparity;
+
+  // Shift all offsets by 1ms modulo each task's period (1ms divides every
+  // WATERS period, so every relative phase difference is preserved).
+  for (TaskId id = 0; id < g.num_tasks(); ++id) {
+    Task& t = g.task(id);
+    t.offset = Duration::ns(
+        floor_mod((t.offset + Duration::ms(1)).count(), t.period.count()));
+  }
+  g.validate();
+  EXPECT_EQ(exact_let_disparity(g, sink).worst_disparity, base)
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactLet,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(ExactLet, HandComputedTwoChains) {
+  // S1(T=10) -> A(LET,T=10) -> F(LET,T=20), S2(T=20,offset 5) ->
+  // B(LET,T=20) -> F; other offsets 0; t = a release of F (multiple of
+  // 20ms).
+  // λ: latest A publish <= t is the job released at t−10 (publishes at
+  //    release+10); it read S1 at its own release -> λ timestamp = t−10.
+  // ν: latest B publish <= t is the job released at t−20; the latest S2
+  //    sample <= t−20 is 5 + 20·floor((t−25)/20) = t−35.
+  // Disparity = (t−10) − (t−35) = 25ms at every release.
+  TaskGraph g;
+  Task s1;
+  s1.name = "S1";
+  s1.period = Duration::ms(10);
+  const TaskId s1id = g.add_task(s1);
+  Task s2;
+  s2.name = "S2";
+  s2.period = Duration::ms(20);
+  s2.offset = Duration::ms(5);
+  const TaskId s2id = g.add_task(s2);
+  auto mk = [](const char* name, Duration period, EcuId ecu, int prio) {
+    Task t;
+    t.name = name;
+    t.wcet = t.bcet = Duration::ms(1);
+    t.period = period;
+    t.ecu = ecu;
+    t.priority = prio;
+    t.comm = CommSemantics::kLet;
+    return t;
+  };
+  const TaskId a = g.add_task(mk("A", Duration::ms(10), 0, 0));
+  const TaskId b = g.add_task(mk("B", Duration::ms(20), 0, 1));
+  const TaskId f = g.add_task(mk("F", Duration::ms(20), 1, 0));
+  g.add_edge(s1id, a);
+  g.add_edge(s2id, b);
+  g.add_edge(a, f);
+  g.add_edge(b, f);
+  g.validate();
+
+  const ExactLetResult exact = exact_let_disparity(g, f);
+  EXPECT_EQ(exact.worst_disparity, Duration::ms(25));
+  EXPECT_EQ(exact.releases_examined, 1u);  // hyperperiod 20ms / T(F) 20ms
+}
+
+TEST(ExactLet, BufferShiftsExactly) {
+  // Adding a FIFO of 3 on S1 -> A delays λ's sample by exactly 2·T(S1).
+  TaskGraph g;
+  Task s1;
+  s1.name = "S1";
+  s1.period = Duration::ms(10);
+  const TaskId s1id = g.add_task(s1);
+  Task s2;
+  s2.name = "S2";
+  s2.period = Duration::ms(20);
+  s2.offset = Duration::ms(5);
+  const TaskId s2id = g.add_task(s2);
+  auto mk = [](const char* name, Duration period, EcuId ecu, int prio) {
+    Task t;
+    t.name = name;
+    t.wcet = t.bcet = Duration::ms(1);
+    t.period = period;
+    t.ecu = ecu;
+    t.priority = prio;
+    t.comm = CommSemantics::kLet;
+    return t;
+  };
+  const TaskId a = g.add_task(mk("A", Duration::ms(10), 0, 0));
+  const TaskId b = g.add_task(mk("B", Duration::ms(20), 0, 1));
+  const TaskId f = g.add_task(mk("F", Duration::ms(20), 1, 0));
+  g.add_edge(s1id, a, ChannelSpec{3});
+  g.add_edge(s2id, b);
+  g.add_edge(a, f);
+  g.add_edge(b, f);
+  g.validate();
+  // λ timestamp drops from t−10 to t−30; ν stays t−35: disparity 5ms.
+  EXPECT_EQ(exact_let_disparity(g, f).worst_disparity, Duration::ms(5));
+}
+
+TEST(ExactLet, SingleChainIsZero) {
+  TaskGraph g = testing::simple_chain_graph();
+  g.set_comm_semantics(CommSemantics::kLet);
+  EXPECT_EQ(exact_let_disparity(g, 2).worst_disparity, Duration::zero());
+}
+
+TEST(ExactLet, RejectsNonLetClosure) {
+  const TaskGraph g = testing::diamond_graph();  // implicit tasks
+  EXPECT_THROW(exact_let_disparity(g, 4), PreconditionError);
+}
+
+TEST(ExactLet, RejectsJitter) {
+  TaskGraph g = testing::simple_chain_graph();
+  g.set_comm_semantics(CommSemantics::kLet);
+  g.task(0).jitter = Duration::ms(1);
+  // Need a second chain for disparity to matter; but the precondition
+  // fires regardless of chain count.
+  EXPECT_THROW(exact_let_disparity(g, 2), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ceta

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "experiments/fig6ab.hpp"
+#include "experiments/fig6cd.hpp"
+#include "experiments/table.hpp"
+
+namespace ceta {
+namespace {
+
+TEST(ConsoleTable, RendersAlignedRows) {
+  ConsoleTable t({"n", "value"});
+  t.add_row({"5", "1.25"});
+  t.add_row({"10", "12.50"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("n"), std::string::npos);
+  EXPECT_NE(out.find("12.50"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(ConsoleTable, CsvOutput) {
+  ConsoleTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(ConsoleTable, RowWidthMismatchRejected) {
+  ConsoleTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), PreconditionError);
+}
+
+TEST(Formatters, FixedPrecision) {
+  EXPECT_EQ(fmt_double(1.2345), "1.23");
+  EXPECT_EQ(fmt_double(1.2345, 3), "1.234");
+  EXPECT_EQ(fmt_percent(0.256), "25.6%");
+}
+
+TEST(Fig6ab, SmallRunHasPaperShape) {
+  Fig6abConfig cfg;
+  cfg.task_counts = {6, 8};
+  cfg.graphs_per_point = 2;
+  cfg.offsets_per_graph = 2;
+  cfg.sim_duration = Duration::ms(500);
+  cfg.seed = 7;
+  const auto points = run_fig6ab(cfg);
+  ASSERT_EQ(points.size(), 2u);
+  for (const Fig6abPoint& p : points) {
+    EXPECT_GT(p.pdiff_ms, 0.0);
+    // Safety ordering of the mean curves.
+    EXPECT_GE(p.pdiff_ms, p.sdiff_ms);
+    EXPECT_GE(p.sdiff_ms, p.sim_ms);
+    EXPECT_GE(p.sim_ms, 0.0);
+    EXPECT_GE(p.pdiff_ratio, p.sdiff_ratio);
+    EXPECT_GE(p.sdiff_ratio, 0.0);
+  }
+}
+
+TEST(Fig6ab, ConfigValidation) {
+  Fig6abConfig cfg;
+  cfg.task_counts = {};
+  EXPECT_THROW(run_fig6ab(cfg), PreconditionError);
+  cfg = Fig6abConfig{};
+  cfg.graphs_per_point = 0;
+  EXPECT_THROW(run_fig6ab(cfg), PreconditionError);
+}
+
+TEST(Fig6cd, SmallRunHasPaperShape) {
+  Fig6cdConfig cfg;
+  cfg.chain_lengths = {5};
+  cfg.instances_per_point = 2;
+  cfg.offsets_per_instance = 2;
+  cfg.sim_measure_window = Duration::ms(500);
+  cfg.seed = 11;
+  const auto points = run_fig6cd(cfg);
+  ASSERT_EQ(points.size(), 1u);
+  const Fig6cdPoint& p = points.front();
+  EXPECT_GT(p.sdiff_ms, 0.0);
+  // The optimization cuts the bound and stays safe.
+  EXPECT_LE(p.sdiff_b_ms, p.sdiff_ms);
+  EXPECT_GE(p.sdiff_ms, p.sim_ms);
+  EXPECT_GE(p.sdiff_b_ms, p.sim_b_ms);
+  EXPECT_GE(p.buffer_size, 1.0);
+}
+
+TEST(Fig6cd, ConfigValidation) {
+  Fig6cdConfig cfg;
+  cfg.chain_lengths = {};
+  EXPECT_THROW(run_fig6cd(cfg), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ceta

@@ -1,0 +1,192 @@
+#include "disparity/forkjoin.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "disparity/pairwise.hpp"
+#include "graph/paths.hpp"
+#include "helpers.hpp"
+
+namespace ceta {
+namespace {
+
+/// Long shared prefix through a slow middle task M, then a fork to C/D and
+/// a join at E — the configuration where Theorem 2 beats Theorem 1.
+///
+///   S(T=10) -> A(1ms,T=10,ecu0,p0) -> M(1ms,T=100,ecu0,p1)
+///   M -> C(1ms,T=20,ecu1,p0) -> E(1ms,T=20,ecu3,p0)
+///   M -> D(1ms,T=20,ecu2,p0) -> E
+///
+/// R(A)=2, R(M)=2, R(C)=R(D)=R(E)=1.
+/// λ={S,A,M,C,E}: W=143, B=3.   ν={S,A,M,D,E}: W=143, B=3.
+/// Theorem 1: floor(140/10)·10 = 140ms.
+/// Theorem 2: joints {A,M,E}; x2=−1, y2=1; x1=−11, y1=11;
+///            separation 121ms → bound 120ms.
+TaskGraph shared_prefix_graph() {
+  TaskGraph g;
+  Task s;
+  s.name = "S";
+  s.period = Duration::ms(10);
+  const TaskId sid = g.add_task(s);
+  auto mk = [](const char* name, Duration period, EcuId ecu, int prio) {
+    Task t;
+    t.name = name;
+    t.wcet = t.bcet = Duration::ms(1);
+    t.period = period;
+    t.ecu = ecu;
+    t.priority = prio;
+    return t;
+  };
+  const TaskId a = g.add_task(mk("A", Duration::ms(10), 0, 0));
+  const TaskId m = g.add_task(mk("M", Duration::ms(100), 0, 1));
+  const TaskId c = g.add_task(mk("C", Duration::ms(20), 1, 0));
+  const TaskId d = g.add_task(mk("D", Duration::ms(20), 2, 0));
+  const TaskId e = g.add_task(mk("E", Duration::ms(20), 3, 0));
+  g.add_edge(sid, a);
+  g.add_edge(a, m);
+  g.add_edge(m, c);
+  g.add_edge(m, d);
+  g.add_edge(c, e);
+  g.add_edge(d, e);
+  g.validate();
+  return g;
+}
+
+TEST(SdiffPair, DiamondHandComputed) {
+  const TaskGraph g = testing::diamond_graph();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  const Path lambda = {0, 1, 2, 4};
+  const Path nu = {0, 1, 3, 4};
+  const ForkJoinBound fj = sdiff_pair_bound(g, lambda, nu, rtm);
+  EXPECT_TRUE(fj.shared_head);
+  EXPECT_EQ(fj.joints, (std::vector<TaskId>{1, 4}));
+  ASSERT_EQ(fj.x.size(), 2u);
+  EXPECT_EQ(fj.x[0], -3);
+  EXPECT_EQ(fj.y[0], 3);
+  EXPECT_EQ(fj.x[1], 0);
+  EXPECT_EQ(fj.y[1], 0);
+  EXPECT_EQ(fj.alpha1.wcbt, Duration::ms(10));
+  EXPECT_EQ(fj.alpha1.bcbt, Duration::ms(-1));
+  EXPECT_EQ(fj.separation, Duration::ms(41));
+  EXPECT_EQ(fj.bound, Duration::ms(40));
+}
+
+TEST(SdiffPair, DiamondSamplingWindows) {
+  const TaskGraph g = testing::diamond_graph();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  const ForkJoinBound fj =
+      sdiff_pair_bound(g, {0, 1, 2, 4}, {0, 1, 3, 4}, rtm);
+  // Anchored at λ's o_1 (= A) job release.
+  EXPECT_EQ(fj.window_lambda, Interval(Duration::ms(-10), Duration::ms(1)));
+  EXPECT_EQ(fj.window_nu, Interval(Duration::ms(-40), Duration::ms(31)));
+  // Their max separation is the (pre-floor) separation.
+  EXPECT_EQ(fj.window_lambda.max_separation(fj.window_nu), fj.separation);
+}
+
+TEST(SdiffPair, SharedPrefixTighterThanTheorem1) {
+  const TaskGraph g = shared_prefix_graph();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  const Path lambda = {0, 1, 2, 3, 5};  // S A M C E
+  const Path nu = {0, 1, 2, 4, 5};      // S A M D E
+  ASSERT_TRUE(is_path(g, lambda));
+  ASSERT_TRUE(is_path(g, nu));
+
+  const Duration pdiff = pdiff_pair_bound(g, lambda, nu, rtm);
+  EXPECT_EQ(pdiff, Duration::ms(140));
+
+  const ForkJoinBound fj = sdiff_pair_bound(g, lambda, nu, rtm);
+  EXPECT_EQ(fj.joints, (std::vector<TaskId>{1, 2, 5}));
+  ASSERT_EQ(fj.x.size(), 3u);
+  EXPECT_EQ(fj.x[1], -1);
+  EXPECT_EQ(fj.y[1], 1);
+  EXPECT_EQ(fj.x[0], -11);
+  EXPECT_EQ(fj.y[0], 11);
+  EXPECT_EQ(fj.separation, Duration::ms(121));
+  EXPECT_EQ(fj.bound, Duration::ms(120));
+  EXPECT_LT(fj.bound, pdiff);
+}
+
+TEST(SdiffPair, SingleJointEqualsTheorem1) {
+  // With only the analyzed task in common (c = 1), x1 = y1 = 0 and the
+  // Theorem 2 bound degenerates to Theorem 1.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const TaskGraph g = testing::random_two_chain_graph(5, 3, seed);
+    const ResponseTimeMap rtm = testing::response_times_of(g);
+    const auto chains = enumerate_source_chains(g, g.sinks().front());
+    ASSERT_EQ(chains.size(), 2u);
+    const ForkJoinBound fj = sdiff_pair_bound(g, chains[0], chains[1], rtm);
+    EXPECT_EQ(fj.joints.size(), 1u);
+    EXPECT_EQ(fj.bound, pdiff_pair_bound(g, chains[0], chains[1], rtm))
+        << "seed " << seed;
+  }
+}
+
+TEST(SdiffPair, AtMostResponseTimeSlackAboveTheorem1) {
+  // Theorem 2 is not guaranteed to dominate Theorem 1 pointwise: its
+  // sub-chain decomposition re-counts WCRT slack at each joint.  Verify
+  // raw Theorem 2 never exceeds Theorem 1 by more than the summed WCRTs
+  // of the joint tasks (the analyzer clamps to the minimum anyway; see
+  // test_analyzer.cpp's SdiffNeverAbovePdiff).
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const TaskGraph g = testing::random_dag_graph(12, 3, seed);
+    const ResponseTimeMap rtm = testing::response_times_of(g);
+    const TaskId sink = g.sinks().front();
+    const auto chains = enumerate_source_chains(g, sink);
+    for (std::size_t i = 0; i < chains.size(); ++i) {
+      for (std::size_t j = i + 1; j < chains.size(); ++j) {
+        const ForkJoinBound fj = sdiff_pair_bound(g, chains[i], chains[j], rtm);
+        const Duration p = pdiff_pair_bound(g, chains[i], chains[j], rtm);
+        Duration slack = Duration::zero();
+        for (TaskId joint : fj.joints) slack += rtm[joint] * 2;
+        EXPECT_LE(fj.bound, p + slack)
+            << "seed " << seed << " pair " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(SdiffPair, SymmetricInArgumentOrder) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const TaskGraph g = testing::random_dag_graph(12, 3, seed);
+    const ResponseTimeMap rtm = testing::response_times_of(g);
+    const TaskId sink = g.sinks().front();
+    const auto chains = enumerate_source_chains(g, sink);
+    for (std::size_t i = 0; i < chains.size(); ++i) {
+      for (std::size_t j = i + 1; j < chains.size(); ++j) {
+        EXPECT_EQ(sdiff_pair_bound(g, chains[i], chains[j], rtm).bound,
+                  sdiff_pair_bound(g, chains[j], chains[i], rtm).bound)
+            << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(SdiffPair, OffsetRangeNeverEmpty) {
+  // x_j <= y_j is an invariant given sound backward-time bounds.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const TaskGraph g = testing::random_dag_graph(14, 3, seed + 100);
+    const ResponseTimeMap rtm = testing::response_times_of(g);
+    const TaskId sink = g.sinks().front();
+    const auto chains = enumerate_source_chains(g, sink);
+    for (std::size_t i = 0; i < chains.size(); ++i) {
+      for (std::size_t j = i + 1; j < chains.size(); ++j) {
+        const ForkJoinBound fj =
+            sdiff_pair_bound(g, chains[i], chains[j], rtm);
+        for (std::size_t k = 0; k < fj.x.size(); ++k) {
+          EXPECT_LE(fj.x[k], fj.y[k]);
+        }
+      }
+    }
+  }
+}
+
+TEST(SdiffPair, Preconditions) {
+  const TaskGraph g = testing::diamond_graph();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  const Path lambda = {0, 1, 2, 4};
+  EXPECT_THROW(sdiff_pair_bound(g, lambda, lambda, rtm), PreconditionError);
+  EXPECT_THROW(sdiff_pair_bound(g, lambda, {0, 1}, rtm), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ceta

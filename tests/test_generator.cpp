@@ -1,0 +1,182 @@
+#include "graph/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "graph/paths.hpp"
+#include "graph/serialize.hpp"
+
+namespace ceta {
+namespace {
+
+TEST(GnmRandomDag, ProducesSingleSinkDag) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    GnmDagOptions opt;
+    opt.num_tasks = 15;
+    const TaskGraph g = gnm_random_dag(opt, rng);
+    EXPECT_EQ(g.num_tasks(), 15u);
+    EXPECT_TRUE(g.is_dag());
+    ASSERT_EQ(g.sinks().size(), 1u) << "seed " << seed;
+    EXPECT_EQ(g.sinks().front(), 14u);
+  }
+}
+
+TEST(GnmRandomDag, EveryTaskReachesTheSink) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    GnmDagOptions opt;
+    opt.num_tasks = 12;
+    const TaskGraph g = gnm_random_dag(opt, rng);
+    const TaskId sink = g.sinks().front();
+    for (TaskId id = 0; id < g.num_tasks(); ++id) {
+      EXPECT_TRUE(g.reaches(id, sink)) << "seed " << seed << " task " << id;
+    }
+  }
+}
+
+TEST(GnmRandomDag, EdgesOrientedLowToHigh) {
+  Rng rng(3);
+  GnmDagOptions opt;
+  opt.num_tasks = 20;
+  const TaskGraph g = gnm_random_dag(opt, rng);
+  for (const Edge& e : g.edges()) {
+    EXPECT_LT(e.from, e.to);
+  }
+}
+
+TEST(GnmRandomDag, RequestedEdgeCountIsLowerBound) {
+  // Sink repair can only add edges, never remove.
+  Rng rng(5);
+  GnmDagOptions opt;
+  opt.num_tasks = 10;
+  opt.num_edges = 12;
+  const TaskGraph g = gnm_random_dag(opt, rng);
+  EXPECT_GE(g.num_edges(), 12u);
+}
+
+TEST(GnmRandomDag, DeterministicPerSeed) {
+  GnmDagOptions opt;
+  opt.num_tasks = 10;
+  Rng rng1(77), rng2(77);
+  const TaskGraph a = gnm_random_dag(opt, rng1);
+  const TaskGraph b = gnm_random_dag(opt, rng2);
+  EXPECT_EQ(to_text(a), to_text(b));
+}
+
+TEST(GnmRandomDag, DifferentSeedsGiveDifferentGraphs) {
+  GnmDagOptions opt;
+  opt.num_tasks = 10;
+  Rng rng1(1), rng2(2);
+  EXPECT_NE(to_text(gnm_random_dag(opt, rng1)),
+            to_text(gnm_random_dag(opt, rng2)));
+}
+
+TEST(GnmRandomDag, CompleteGraphAllowed) {
+  Rng rng(1);
+  GnmDagOptions opt;
+  opt.num_tasks = 6;
+  opt.num_edges = 15;  // 6*5/2
+  const TaskGraph g = gnm_random_dag(opt, rng);
+  EXPECT_EQ(g.num_edges(), 15u);
+  EXPECT_TRUE(g.is_dag());
+}
+
+TEST(GnmRandomDag, Preconditions) {
+  Rng rng(1);
+  GnmDagOptions opt;
+  opt.num_tasks = 1;
+  EXPECT_THROW(gnm_random_dag(opt, rng), PreconditionError);
+  opt.num_tasks = 5;
+  opt.num_edges = 11;  // > 10 possible
+  EXPECT_THROW(gnm_random_dag(opt, rng), PreconditionError);
+}
+
+TEST(FunnelRandomDag, SingleSinkWithSharedTail) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    FunnelDagOptions opt;
+    opt.num_tasks = 15;
+    const TaskGraph g = funnel_random_dag(opt, rng);
+    EXPECT_EQ(g.num_tasks(), 15u);
+    EXPECT_TRUE(g.is_dag());
+    ASSERT_EQ(g.sinks().size(), 1u);
+    const TaskId sink = g.sinks().front();
+    // Every chain to the sink traverses the whole tail pipeline: the
+    // pipeline head (first task after the front part) is on all chains.
+    const auto chains = enumerate_source_chains(g, sink);
+    ASSERT_GE(chains.size(), 1u);
+    const TaskId pipe_head = 9;  // 15 * 0.4 = 6 pipeline tasks, front = 9
+    for (const Path& c : chains) {
+      EXPECT_NE(std::find(c.begin(), c.end(), pipe_head), c.end())
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(FunnelRandomDag, PipelineFractionRespected) {
+  Rng rng(3);
+  FunnelDagOptions opt;
+  opt.num_tasks = 20;
+  opt.pipeline_fraction = 0.5;
+  const TaskGraph g = funnel_random_dag(opt, rng);
+  // Tasks 10..19 are a chain.
+  for (TaskId id = 10; id + 1 < 20; ++id) {
+    EXPECT_TRUE(g.has_edge(id, id + 1));
+  }
+}
+
+TEST(FunnelRandomDag, Preconditions) {
+  Rng rng(1);
+  FunnelDagOptions opt;
+  opt.num_tasks = 3;
+  EXPECT_THROW(funnel_random_dag(opt, rng), PreconditionError);
+  opt.num_tasks = 10;
+  opt.pipeline_fraction = 1.0;
+  EXPECT_THROW(funnel_random_dag(opt, rng), PreconditionError);
+}
+
+TEST(MergeChains, Topology) {
+  const TaskGraph g = merge_chains_at_sink(4, 3);
+  // 3 + 2 chain tasks + shared sink.
+  EXPECT_EQ(g.num_tasks(), 6u);
+  EXPECT_EQ(g.sources().size(), 2u);
+  ASSERT_EQ(g.sinks().size(), 1u);
+  const TaskId sink = g.sinks().front();
+  auto chains = enumerate_source_chains(g, sink);
+  ASSERT_EQ(chains.size(), 2u);
+  // One chain of 4 tasks, one of 3, disjoint except the sink.
+  const std::size_t len0 = chains[0].size();
+  const std::size_t len1 = chains[1].size();
+  EXPECT_EQ(len0 + len1, 7u);
+  EXPECT_EQ(std::max(len0, len1), 4u);
+  EXPECT_EQ(common_tasks(chains[0], chains[1]), std::vector<TaskId>{sink});
+}
+
+TEST(MergeChains, MinimumLength) {
+  const TaskGraph g = merge_chains_at_sink(2, 2);
+  EXPECT_EQ(g.num_tasks(), 3u);
+  EXPECT_THROW(merge_chains_at_sink(1, 2), PreconditionError);
+  EXPECT_THROW(merge_chains_at_sink(2, 1), PreconditionError);
+}
+
+TEST(SensorFusionPipeline, Topology) {
+  const TaskGraph g = sensor_fusion_pipeline(3, 2);
+  // 3 sensors * (1 + 2 stages) + fusion = 10 tasks.
+  EXPECT_EQ(g.num_tasks(), 10u);
+  EXPECT_EQ(g.sources().size(), 3u);
+  ASSERT_EQ(g.sinks().size(), 1u);
+  EXPECT_EQ(count_source_chains(g, g.sinks().front()), 3u);
+}
+
+TEST(SensorFusionPipeline, ZeroStagesDirectFanIn) {
+  const TaskGraph g = sensor_fusion_pipeline(2, 0);
+  EXPECT_EQ(g.num_tasks(), 3u);
+  EXPECT_EQ(count_source_chains(g, g.sinks().front()), 2u);
+  EXPECT_THROW(sensor_fusion_pipeline(0, 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ceta

@@ -1,0 +1,87 @@
+#include "common/interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ceta {
+namespace {
+
+TEST(Interval, ConstructionAndAccessors) {
+  const Interval iv(Duration::ms(-5), Duration::ms(3));
+  EXPECT_EQ(iv.lo(), Duration::ms(-5));
+  EXPECT_EQ(iv.hi(), Duration::ms(3));
+  EXPECT_EQ(iv.width(), Duration::ms(8));
+}
+
+TEST(Interval, RejectsInvertedBounds) {
+  EXPECT_THROW(Interval(Duration::ms(1), Duration::ms(0)), PreconditionError);
+}
+
+TEST(Interval, PointIntervalAllowed) {
+  const Interval iv(Duration::ms(2), Duration::ms(2));
+  EXPECT_EQ(iv.width(), Duration::zero());
+  EXPECT_TRUE(iv.contains(Duration::ms(2)));
+}
+
+TEST(Interval, DoubledMidpointExact) {
+  // Midpoint of [1ns, 2ns] is 1.5ns; doubled midpoint stays integral.
+  const Interval iv(Duration::ns(1), Duration::ns(2));
+  EXPECT_EQ(iv.doubled_midpoint(), 3);
+}
+
+TEST(Interval, ContainsPointAndInterval) {
+  const Interval outer(Duration::ms(0), Duration::ms(10));
+  const Interval inner(Duration::ms(2), Duration::ms(8));
+  EXPECT_TRUE(outer.contains(inner));
+  EXPECT_FALSE(inner.contains(outer));
+  EXPECT_TRUE(outer.contains(Duration::ms(0)));
+  EXPECT_TRUE(outer.contains(Duration::ms(10)));
+  EXPECT_FALSE(outer.contains(Duration::ms(11)));
+}
+
+TEST(Interval, Overlaps) {
+  const Interval a(Duration::ms(0), Duration::ms(5));
+  const Interval b(Duration::ms(5), Duration::ms(9));
+  const Interval c(Duration::ms(6), Duration::ms(9));
+  EXPECT_TRUE(a.overlaps(b));  // closed intervals: touching counts
+  EXPECT_TRUE(b.overlaps(a));
+  EXPECT_FALSE(a.overlaps(c));
+}
+
+TEST(Interval, Shifted) {
+  const Interval iv(Duration::ms(0), Duration::ms(4));
+  const Interval left = iv.shifted(Duration::ms(-10));
+  EXPECT_EQ(left.lo(), Duration::ms(-10));
+  EXPECT_EQ(left.hi(), Duration::ms(-6));
+}
+
+TEST(Interval, Hull) {
+  const Interval a(Duration::ms(0), Duration::ms(2));
+  const Interval b(Duration::ms(5), Duration::ms(7));
+  const Interval h = a.hull(b);
+  EXPECT_EQ(h.lo(), Duration::ms(0));
+  EXPECT_EQ(h.hi(), Duration::ms(7));
+}
+
+TEST(Interval, MaxSeparationDisjoint) {
+  const Interval a(Duration::ms(0), Duration::ms(2));
+  const Interval b(Duration::ms(10), Duration::ms(12));
+  // Farthest pair: 0 and 12.
+  EXPECT_EQ(a.max_separation(b), Duration::ms(12));
+  EXPECT_EQ(b.max_separation(a), Duration::ms(12));
+}
+
+TEST(Interval, MaxSeparationOverlapping) {
+  const Interval a(Duration::ms(0), Duration::ms(10));
+  const Interval b(Duration::ms(5), Duration::ms(7));
+  EXPECT_EQ(a.max_separation(b), Duration::ms(7));
+}
+
+TEST(Interval, ToString) {
+  const Interval iv(Duration::ms(-1), Duration::ms(1));
+  EXPECT_EQ(to_string(iv), "[-1ms, 1ms]");
+}
+
+}  // namespace
+}  // namespace ceta

@@ -1,0 +1,113 @@
+#include "common/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ceta {
+namespace {
+
+TEST(FloorDiv, PositiveOperands) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(8, 2), 4);
+  EXPECT_EQ(floor_div(0, 5), 0);
+}
+
+TEST(FloorDiv, NegativeNumeratorRoundsDown) {
+  // C++ '/' truncates toward zero; the analysis needs mathematical floor.
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(-8, 2), -4);
+  EXPECT_EQ(floor_div(-1, 10), -1);
+}
+
+TEST(CeilDiv, PositiveOperands) {
+  EXPECT_EQ(ceil_div(7, 2), 4);
+  EXPECT_EQ(ceil_div(8, 2), 4);
+  EXPECT_EQ(ceil_div(0, 5), 0);
+}
+
+TEST(CeilDiv, NegativeNumeratorRoundsUp) {
+  EXPECT_EQ(ceil_div(-7, 2), -3);
+  EXPECT_EQ(ceil_div(-8, 2), -4);
+  EXPECT_EQ(ceil_div(-1, 10), 0);
+}
+
+TEST(FloorCeilDiv, RejectNonPositiveDivisor) {
+  EXPECT_THROW(floor_div(1, 0), PreconditionError);
+  EXPECT_THROW(floor_div(1, -2), PreconditionError);
+  EXPECT_THROW(ceil_div(1, 0), PreconditionError);
+  EXPECT_THROW(ceil_div(1, -2), PreconditionError);
+}
+
+TEST(FloorCeilDiv, DurationOverloads) {
+  EXPECT_EQ(floor_div(Duration::ms(25), Duration::ms(10)), 2);
+  EXPECT_EQ(ceil_div(Duration::ms(25), Duration::ms(10)), 3);
+  EXPECT_EQ(floor_div(Duration::ms(-25), Duration::ms(10)), -3);
+}
+
+TEST(FloorCeilDiv, FloorLeCeil) {
+  for (std::int64_t a = -30; a <= 30; ++a) {
+    for (std::int64_t b = 1; b <= 7; ++b) {
+      EXPECT_LE(floor_div(a, b), ceil_div(a, b));
+      EXPECT_LE(ceil_div(a, b) - floor_div(a, b), 1);
+      // Defining inequalities of floor/ceil.
+      EXPECT_LE(floor_div(a, b) * b, a);
+      EXPECT_GT((floor_div(a, b) + 1) * b, a);
+      EXPECT_GE(ceil_div(a, b) * b, a);
+      EXPECT_LT((ceil_div(a, b) - 1) * b, a);
+    }
+  }
+}
+
+TEST(FloorToMultiple, MatchesPaperPattern) {
+  // floor(X / T) * T, the repeated pattern in Theorems 1-3.
+  EXPECT_EQ(floor_to_multiple(Duration::ms(41), Duration::ms(10)),
+            Duration::ms(40));
+  EXPECT_EQ(floor_to_multiple(Duration::ms(40), Duration::ms(10)),
+            Duration::ms(40));
+  EXPECT_EQ(floor_to_multiple(Duration::ms(-1), Duration::ms(10)),
+            Duration::ms(-10));
+}
+
+TEST(FloorMod, AlwaysInRange) {
+  for (std::int64_t a = -30; a <= 30; ++a) {
+    const std::int64_t m = floor_mod(a, 7);
+    EXPECT_GE(m, 0);
+    EXPECT_LT(m, 7);
+    EXPECT_EQ(floor_div(a, 7) * 7 + m, a);
+  }
+}
+
+TEST(Gcd64, Basic) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(7, 13), 1);
+  EXPECT_THROW(gcd64(0, 5), PreconditionError);
+}
+
+TEST(Lcm64Checked, Basic) {
+  EXPECT_EQ(lcm64_checked(4, 6), 12);
+  EXPECT_EQ(lcm64_checked(10, 10), 10);
+}
+
+TEST(Lcm64Checked, OverflowThrows) {
+  EXPECT_THROW(lcm64_checked(INT64_MAX - 1, INT64_MAX - 2), CapacityError);
+}
+
+TEST(Hyperperiod, WatersPeriods) {
+  const std::vector<std::int64_t> periods = {
+      1'000'000, 2'000'000, 5'000'000, 10'000'000,
+      20'000'000, 50'000'000, 100'000'000, 200'000'000};
+  EXPECT_EQ(hyperperiod(periods.data(), periods.size()),
+            Duration::ms(200));
+}
+
+TEST(Hyperperiod, RejectsEmptyAndNonPositive) {
+  EXPECT_THROW(hyperperiod(nullptr, 0), PreconditionError);
+  const std::int64_t bad = -1;
+  EXPECT_THROW(hyperperiod(&bad, 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ceta

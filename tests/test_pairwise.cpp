@@ -1,0 +1,129 @@
+#include "disparity/pairwise.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "graph/paths.hpp"
+#include "helpers.hpp"
+
+namespace ceta {
+namespace {
+
+/// Two distinct sources, no intermediate common task:
+///   S1(T=10) -> A(W=B=1,T=10,ecu0,p0) -> E
+///   S2(T=30) -> B(W=B=2,T=30,ecu0,p1) -> E(W=B=1,T=30,ecu1,p0)
+/// R(A)=3, R(B)=3, R(E)=1.
+/// λ={S1,A,E}: W=23, B=1.   ν={S2,B,E}: W=63, B=2.
+/// Theorem 1: O = max(|23−2|, |63−1|) = 62ms (distinct heads: no floor).
+TaskGraph two_source_graph() {
+  TaskGraph g;
+  Task s1;
+  s1.name = "S1";
+  s1.period = Duration::ms(10);
+  const TaskId s1id = g.add_task(s1);
+  Task s2;
+  s2.name = "S2";
+  s2.period = Duration::ms(30);
+  const TaskId s2id = g.add_task(s2);
+  auto mk = [](const char* name, Duration e, Duration period, EcuId ecu,
+               int prio) {
+    Task t;
+    t.name = name;
+    t.wcet = t.bcet = e;
+    t.period = period;
+    t.ecu = ecu;
+    t.priority = prio;
+    return t;
+  };
+  const TaskId a = g.add_task(mk("A", Duration::ms(1), Duration::ms(10), 0, 0));
+  const TaskId b = g.add_task(mk("B", Duration::ms(2), Duration::ms(30), 0, 1));
+  const TaskId e = g.add_task(mk("E", Duration::ms(1), Duration::ms(30), 1, 0));
+  g.add_edge(s1id, a);
+  g.add_edge(s2id, b);
+  g.add_edge(a, e);
+  g.add_edge(b, e);
+  g.validate();
+  return g;
+}
+
+TEST(SamplingWindow, FromBounds) {
+  const BackwardBounds b{Duration::ms(23), Duration::ms(1)};
+  const Interval w = sampling_window(b);
+  EXPECT_EQ(w.lo(), Duration::ms(-23));
+  EXPECT_EQ(w.hi(), Duration::ms(-1));
+}
+
+TEST(SamplingWindow, RejectsInconsistentBounds) {
+  const BackwardBounds bad{Duration::ms(1), Duration::ms(2)};
+  EXPECT_THROW(sampling_window(bad), PreconditionError);
+}
+
+TEST(IndependentSeparation, HandComputed) {
+  const BackwardBounds l{Duration::ms(23), Duration::ms(1)};
+  const BackwardBounds n{Duration::ms(63), Duration::ms(2)};
+  EXPECT_EQ(independent_window_separation(l, n), Duration::ms(62));
+  EXPECT_EQ(independent_window_separation(n, l), Duration::ms(62));
+}
+
+TEST(IndependentSeparation, MatchesIntervalMaxSeparation) {
+  const BackwardBounds l{Duration::ms(23), Duration::ms(1)};
+  const BackwardBounds n{Duration::ms(63), Duration::ms(2)};
+  EXPECT_EQ(independent_window_separation(l, n),
+            sampling_window(l).max_separation(sampling_window(n)));
+}
+
+TEST(IndependentSeparation, NegativeBcbtHandled) {
+  const BackwardBounds l{Duration::ms(5), Duration::ms(-3)};
+  const BackwardBounds n{Duration::ms(4), Duration::ms(2)};
+  // max(|5−2|, |4−(−3)|) = 7.
+  EXPECT_EQ(independent_window_separation(l, n), Duration::ms(7));
+}
+
+TEST(PdiffPair, DistinctSourcesHandComputed) {
+  const TaskGraph g = two_source_graph();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  EXPECT_EQ(rtm[2], Duration::ms(3));  // A
+  EXPECT_EQ(rtm[3], Duration::ms(3));  // B
+  EXPECT_EQ(rtm[4], Duration::ms(1));  // E
+  const Path lambda = {0, 2, 4};
+  const Path nu = {1, 3, 4};
+  EXPECT_EQ(pdiff_pair_bound(g, lambda, nu, rtm), Duration::ms(62));
+  // Symmetric in the argument order.
+  EXPECT_EQ(pdiff_pair_bound(g, nu, lambda, rtm), Duration::ms(62));
+}
+
+TEST(PdiffPair, SharedSourceFloorsToPeriod) {
+  const TaskGraph g = testing::diamond_graph();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  // W = 42, B = 1 on both chains; O = 41 floored to 40 (T(S) = 10ms).
+  const Path lambda = {0, 1, 2, 4};
+  const Path nu = {0, 1, 3, 4};
+  EXPECT_EQ(pdiff_pair_bound(g, lambda, nu, rtm), Duration::ms(40));
+}
+
+TEST(PdiffPair, Preconditions) {
+  const TaskGraph g = testing::diamond_graph();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  const Path lambda = {0, 1, 2, 4};
+  EXPECT_THROW(pdiff_pair_bound(g, lambda, lambda, rtm), PreconditionError);
+  EXPECT_THROW(pdiff_pair_bound(g, lambda, {0, 1, 2}, rtm),
+               PreconditionError);
+  EXPECT_THROW(pdiff_pair_bound(g, {}, lambda, rtm), PreconditionError);
+}
+
+TEST(PdiffPair, SchedulingAgnosticLooserOrEqual) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const TaskGraph g = testing::random_two_chain_graph(6, 3, seed);
+    const ResponseTimeMap rtm = testing::response_times_of(g);
+    const auto chains = enumerate_source_chains(g, g.sinks().front());
+    ASSERT_EQ(chains.size(), 2u);
+    const Duration np = pdiff_pair_bound(g, chains[0], chains[1], rtm,
+                                         HopBoundMethod::kNonPreemptive);
+    const Duration ag = pdiff_pair_bound(g, chains[0], chains[1], rtm,
+                                         HopBoundMethod::kSchedulingAgnostic);
+    EXPECT_GE(ag, np) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace ceta

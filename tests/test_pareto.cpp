@@ -1,0 +1,99 @@
+#include "disparity/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/paths.hpp"
+#include "helpers.hpp"
+#include "sched/priority.hpp"
+#include "sim/engine.hpp"
+
+namespace ceta {
+namespace {
+
+struct Instance {
+  TaskGraph graph;
+  ResponseTimeMap rtm;
+  Path lambda;
+  Path nu;
+  TaskId sink;
+};
+
+Instance make(std::uint64_t seed, std::size_t len = 6) {
+  Instance in{testing::random_two_chain_graph(len, 3, seed), {}, {}, {}, 0};
+  in.rtm = testing::response_times_of(in.graph);
+  in.sink = in.graph.sinks().front();
+  auto chains = enumerate_source_chains(in.graph, in.sink);
+  in.lambda = chains[0];
+  in.nu = chains[1];
+  return in;
+}
+
+TEST(Pareto, EndpointsMatchDesign) {
+  const Instance in = make(3);
+  const BufferDesign d = design_buffer(in.graph, in.lambda, in.nu, in.rtm);
+  const auto points = buffer_pareto(in.graph, in.lambda, in.nu, in.rtm);
+  ASSERT_EQ(points.size(), static_cast<std::size_t>(d.buffer_size));
+  EXPECT_EQ(points.front().buffer_size, 1);
+  EXPECT_EQ(points.front().bound, d.baseline_bound);
+  EXPECT_EQ(points.back().buffer_size, d.buffer_size);
+  EXPECT_LE(points.back().bound, d.optimized_bound);
+}
+
+TEST(Pareto, BoundsNonIncreasing) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Instance in = make(seed + 10);
+    const auto points = buffer_pareto(in.graph, in.lambda, in.nu, in.rtm);
+    for (std::size_t i = 1; i < points.size(); ++i) {
+      EXPECT_LE(points[i].bound, points[i - 1].bound) << "seed " << seed;
+      EXPECT_EQ(points[i].buffer_size, points[i - 1].buffer_size + 1);
+    }
+  }
+}
+
+TEST(Pareto, ShiftsAreHeadPeriodMultiples) {
+  const Instance in = make(7);
+  const BufferDesign d = design_buffer(in.graph, in.lambda, in.nu, in.rtm);
+  const Duration t_head = in.graph.task(d.from).period;
+  for (const ParetoPoint& p : buffer_pareto(in.graph, in.lambda, in.nu,
+                                            in.rtm)) {
+    EXPECT_EQ(p.shift, t_head * (p.buffer_size - 1));
+  }
+}
+
+TEST(Pareto, IntermediatePointIsSafe) {
+  // Pick a mid-curve size, apply it, and verify by simulation.
+  Instance in = make(27);
+  const auto points = buffer_pareto(in.graph, in.lambda, in.nu, in.rtm);
+  if (points.size() < 3) GTEST_SKIP() << "windows already aligned";
+  const ParetoPoint& mid = points[points.size() / 2];
+
+  const BufferDesign d = design_buffer(in.graph, in.lambda, in.nu, in.rtm);
+  TaskGraph buffered = in.graph;
+  buffered.set_buffer_size(d.from, d.to, mid.buffer_size);
+
+  Rng rng(99);
+  Duration worst = Duration::zero();
+  for (int run = 0; run < 3; ++run) {
+    randomize_offsets(buffered, rng);
+    SimOptions opt;
+    opt.warmup = Duration::s(3);
+    opt.duration = Duration::s(5);
+    opt.seed = static_cast<std::uint64_t>(run) + 1;
+    worst = std::max(worst,
+                     simulate(buffered, opt).max_disparity[in.sink]);
+  }
+  EXPECT_LE(worst, mid.bound);
+}
+
+TEST(Pareto, AlignedPairIsSinglePoint) {
+  const TaskGraph g = testing::diamond_graph();
+  const ResponseTimeMap rtm = testing::response_times_of(g);
+  const auto points =
+      buffer_pareto(g, {0, 1, 2, 4}, {0, 1, 3, 4}, rtm);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].buffer_size, 1);
+  EXPECT_EQ(points[0].shift, Duration::zero());
+}
+
+}  // namespace
+}  // namespace ceta

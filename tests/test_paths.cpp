@@ -1,0 +1,141 @@
+#include "graph/paths.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "graph/generator.hpp"
+#include "helpers.hpp"
+
+namespace ceta {
+namespace {
+
+TEST(Paths, ChainGraphSinglePath) {
+  const TaskGraph g = testing::simple_chain_graph();
+  const auto chains = enumerate_source_chains(g, 2);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0], (Path{0, 1, 2}));
+}
+
+TEST(Paths, DiamondTwoPaths) {
+  const TaskGraph g = testing::diamond_graph();
+  auto chains = enumerate_source_chains(g, 4);  // E
+  ASSERT_EQ(chains.size(), 2u);
+  std::sort(chains.begin(), chains.end());
+  EXPECT_EQ(chains[0], (Path{0, 1, 2, 4}));  // S A C E
+  EXPECT_EQ(chains[1], (Path{0, 1, 3, 4}));  // S A D E
+}
+
+TEST(Paths, TargetIsSourceYieldsSingleton) {
+  const TaskGraph g = testing::diamond_graph();
+  const auto chains = enumerate_source_chains(g, 0);
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0], Path{0});
+}
+
+TEST(Paths, MidChainTarget) {
+  const TaskGraph g = testing::diamond_graph();
+  const auto chains = enumerate_source_chains(g, 1);  // A
+  ASSERT_EQ(chains.size(), 1u);
+  EXPECT_EQ(chains[0], (Path{0, 1}));
+}
+
+TEST(Paths, CapOverflowThrows) {
+  const TaskGraph g = testing::diamond_graph();
+  EXPECT_THROW(enumerate_source_chains(g, 4, 1), CapacityError);
+}
+
+TEST(Paths, EnumeratePathsBetweenNodes) {
+  const TaskGraph g = testing::diamond_graph();
+  const auto paths = enumerate_paths(g, 1, 4);  // A to E
+  EXPECT_EQ(paths.size(), 2u);
+  const auto none = enumerate_paths(g, 2, 3);  // C to D: unreachable
+  EXPECT_TRUE(none.empty());
+  const auto self = enumerate_paths(g, 2, 2);
+  ASSERT_EQ(self.size(), 1u);
+  EXPECT_EQ(self[0], Path{2});
+}
+
+TEST(Paths, CountMatchesEnumeration) {
+  const TaskGraph g = testing::diamond_graph();
+  EXPECT_EQ(count_source_chains(g, 4), 2u);
+  EXPECT_EQ(count_source_chains(g, 1), 1u);
+  EXPECT_EQ(count_source_chains(g, 0), 1u);
+}
+
+TEST(Paths, CountMatchesEnumerationOnRandomDags) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    GnmDagOptions opt;
+    opt.num_tasks = 12;
+    const TaskGraph g = gnm_random_dag(opt, rng);
+    const TaskId sink = g.sinks().front();
+    const std::size_t count = count_source_chains(g, sink);
+    if (count <= 5000) {
+      EXPECT_EQ(enumerate_source_chains(g, sink, 5000).size(), count)
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(Paths, LayeredGraphExponentialCount) {
+  // k diamond layers in series: 2^k paths, counted without enumeration.
+  TaskGraph g;
+  Task t;
+  t.period = Duration::ms(10);
+  TaskId prev = g.add_task(t);  // source
+  int prio = 0;
+  const int layers = 10;
+  for (int l = 0; l < layers; ++l) {
+    Task mid;
+    mid.wcet = mid.bcet = Duration::us(1);
+    mid.period = Duration::ms(10);
+    mid.ecu = 0;
+    mid.priority = prio++;
+    const TaskId up = g.add_task(mid);
+    mid.priority = prio++;
+    const TaskId down = g.add_task(mid);
+    mid.priority = prio++;
+    const TaskId join = g.add_task(mid);
+    g.add_edge(prev, up);
+    g.add_edge(prev, down);
+    g.add_edge(up, join);
+    g.add_edge(down, join);
+    prev = join;
+  }
+  EXPECT_EQ(count_source_chains(g, prev), 1024u);
+  EXPECT_THROW(enumerate_source_chains(g, prev, 100), CapacityError);
+  EXPECT_EQ(enumerate_source_chains(g, prev, 1024).size(), 1024u);
+}
+
+TEST(Paths, IsPath) {
+  const TaskGraph g = testing::diamond_graph();
+  EXPECT_TRUE(is_path(g, Path{0, 1, 2, 4}));
+  EXPECT_TRUE(is_path(g, Path{1, 3}));
+  EXPECT_TRUE(is_path(g, Path{4}));
+  EXPECT_FALSE(is_path(g, Path{}));
+  EXPECT_FALSE(is_path(g, Path{0, 2}));   // no edge S->C
+  EXPECT_FALSE(is_path(g, Path{0, 99}));  // unknown id
+}
+
+TEST(Paths, CommonTasksOrdered) {
+  const Path a = {0, 1, 2, 4};
+  const Path b = {0, 1, 3, 4};
+  EXPECT_EQ(common_tasks(a, b), (std::vector<TaskId>{0, 1, 4}));
+}
+
+TEST(Paths, CommonTasksDisjointExceptTail) {
+  const Path a = {0, 2, 4};
+  const Path b = {1, 3, 4};
+  EXPECT_EQ(common_tasks(a, b), (std::vector<TaskId>{4}));
+}
+
+TEST(Paths, CommonTasksInconsistentOrderThrows) {
+  const Path a = {1, 2, 3};
+  const Path b = {2, 1, 3};
+  EXPECT_THROW(common_tasks(a, b), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ceta

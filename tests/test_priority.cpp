@@ -1,0 +1,161 @@
+#include "sched/priority.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generator.hpp"
+#include "helpers.hpp"
+
+namespace ceta {
+namespace {
+
+TaskGraph three_task_ecu0() {
+  TaskGraph g;
+  Task s;
+  s.name = "S";
+  s.period = Duration::ms(10);
+  const TaskId sid = g.add_task(s);
+  auto mk = [](const char* name, Duration period) {
+    Task t;
+    t.name = name;
+    t.wcet = t.bcet = Duration::us(10);
+    t.period = period;
+    t.ecu = 0;
+    return t;
+  };
+  const TaskId slow = g.add_task(mk("slow", Duration::ms(100)));
+  const TaskId fast = g.add_task(mk("fast", Duration::ms(1)));
+  const TaskId mid = g.add_task(mk("mid", Duration::ms(10)));
+  g.add_edge(sid, slow);
+  g.add_edge(slow, fast);
+  g.add_edge(fast, mid);
+  return g;
+}
+
+TEST(Priority, RateMonotonicOrder) {
+  TaskGraph g = three_task_ecu0();
+  assign_priorities_rate_monotonic(g);
+  // fast (1ms) highest, then mid (10ms), then slow (100ms).
+  EXPECT_LT(g.task(2).priority, g.task(3).priority);
+  EXPECT_LT(g.task(3).priority, g.task(1).priority);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Priority, RateMonotonicTiesBrokenById) {
+  TaskGraph g;
+  Task s;
+  s.name = "S";
+  s.period = Duration::ms(10);
+  const TaskId sid = g.add_task(s);
+  auto mk = [](const char* name) {
+    Task t;
+    t.name = name;
+    t.wcet = t.bcet = Duration::us(10);
+    t.period = Duration::ms(10);
+    t.ecu = 0;
+    return t;
+  };
+  const TaskId a = g.add_task(mk("a"));
+  const TaskId b = g.add_task(mk("b"));
+  g.add_edge(sid, a);
+  g.add_edge(sid, b);
+  assign_priorities_rate_monotonic(g);
+  EXPECT_LT(g.task(a).priority, g.task(b).priority);
+}
+
+TEST(Priority, PerEcuIndependentRanges) {
+  TaskGraph g;
+  Task s;
+  s.name = "S";
+  s.period = Duration::ms(10);
+  const TaskId sid = g.add_task(s);
+  auto mk = [](const char* name, Duration period, EcuId ecu) {
+    Task t;
+    t.name = name;
+    t.wcet = t.bcet = Duration::us(10);
+    t.period = period;
+    t.ecu = ecu;
+    return t;
+  };
+  const TaskId a0 = g.add_task(mk("a0", Duration::ms(5), 0));
+  const TaskId a1 = g.add_task(mk("a1", Duration::ms(10), 0));
+  const TaskId b0 = g.add_task(mk("b0", Duration::ms(20), 1));
+  const TaskId b1 = g.add_task(mk("b1", Duration::ms(2), 1));
+  g.add_edge(sid, a0);
+  g.add_edge(a0, a1);
+  g.add_edge(a1, b0);
+  g.add_edge(b0, b1);
+  assign_priorities_rate_monotonic(g);
+  // Each ECU gets priorities 0..k-1.
+  EXPECT_EQ(g.task(a0).priority, 0);
+  EXPECT_EQ(g.task(a1).priority, 1);
+  EXPECT_EQ(g.task(b1).priority, 0);
+  EXPECT_EQ(g.task(b0).priority, 1);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Priority, ByIndexOrder) {
+  TaskGraph g = three_task_ecu0();
+  assign_priorities_by_index(g);
+  EXPECT_EQ(g.task(1).priority, 0);
+  EXPECT_EQ(g.task(2).priority, 1);
+  EXPECT_EQ(g.task(3).priority, 2);
+}
+
+TEST(Priority, SourceTasksUntouched) {
+  TaskGraph g = three_task_ecu0();
+  g.task(0).priority = 42;
+  assign_priorities_rate_monotonic(g);
+  EXPECT_EQ(g.task(0).priority, 42);
+}
+
+TEST(Ecus, RandomAssignmentRange) {
+  Rng rng(9);
+  TaskGraph g = merge_chains_at_sink(6, 6);
+  assign_ecus_random(g, 3, rng);
+  for (TaskId id = 0; id < g.num_tasks(); ++id) {
+    if (g.is_source(id)) {
+      EXPECT_EQ(g.task(id).ecu, kNoEcu);
+    } else {
+      EXPECT_GE(g.task(id).ecu, 0);
+      EXPECT_LT(g.task(id).ecu, 3);
+    }
+  }
+  EXPECT_THROW(assign_ecus_random(g, 0, rng), PreconditionError);
+}
+
+TEST(Ecus, SingleAssignment) {
+  TaskGraph g = merge_chains_at_sink(4, 4);
+  assign_ecus_single(g);
+  for (TaskId id = 0; id < g.num_tasks(); ++id) {
+    EXPECT_EQ(g.task(id).ecu, g.is_source(id) ? kNoEcu : 0);
+  }
+}
+
+TEST(Offsets, RandomizedWithinPeriod) {
+  Rng rng(11);
+  TaskGraph g = testing::diamond_graph();
+  for (int trial = 0; trial < 20; ++trial) {
+    randomize_offsets(g, rng);
+    for (TaskId id = 0; id < g.num_tasks(); ++id) {
+      EXPECT_GE(g.task(id).offset, Duration::zero());
+      EXPECT_LT(g.task(id).offset, g.task(id).period);
+    }
+    EXPECT_NO_THROW(g.validate());
+  }
+}
+
+TEST(Offsets, RandomizationActuallyVaries) {
+  Rng rng(11);
+  TaskGraph g = testing::diamond_graph();
+  std::set<std::int64_t> seen;
+  for (int trial = 0; trial < 10; ++trial) {
+    randomize_offsets(g, rng);
+    seen.insert(g.task(1).offset.count());
+  }
+  EXPECT_GT(seen.size(), 3u);
+}
+
+}  // namespace
+}  // namespace ceta

@@ -1,0 +1,177 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace ceta {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1'000'000), b.uniform_int(0, 1'000'000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 1'000'000) == b.uniform_int(0, 1'000'000)) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // all three values hit
+}
+
+TEST(Rng, UniformIntSinglePoint) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform_int(9, 9), 9);
+}
+
+TEST(Rng, UniformIntEmptyRangeThrows) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform_int(5, 4), PreconditionError);
+}
+
+TEST(Rng, UniformRealRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_real(0.25, 0.75);
+    EXPECT_GE(v, 0.25);
+    EXPECT_LT(v, 0.75);
+  }
+}
+
+TEST(Rng, UniformDuration) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const Duration d = rng.uniform_duration(Duration::ms(1), Duration::ms(2));
+    EXPECT_GE(d, Duration::ms(1));
+    EXPECT_LE(d, Duration::ms(2));
+  }
+}
+
+TEST(Rng, FlipProbabilityZeroAndOne) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.flip(0.0));
+    EXPECT_TRUE(rng.flip(1.0));
+  }
+  EXPECT_THROW(rng.flip(1.5), PreconditionError);
+}
+
+TEST(Rng, WeightedIndexRespectsZeros) {
+  Rng rng(7);
+  const std::array<double, 3> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(rng.weighted_index(weights), 1u);
+  }
+}
+
+TEST(Rng, WeightedIndexDistribution) {
+  Rng rng(7);
+  const std::array<double, 2> weights = {1.0, 3.0};
+  int count1 = 0;
+  const int trials = 10'000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.weighted_index(weights) == 1) ++count1;
+  }
+  // Expected 75%; loose 5-sigma-ish window.
+  EXPECT_GT(count1, trials * 70 / 100);
+  EXPECT_LT(count1, trials * 80 / 100);
+}
+
+TEST(Rng, WeightedIndexRejectsBadInput) {
+  Rng rng(7);
+  EXPECT_THROW(rng.weighted_index({}), PreconditionError);
+  const std::array<double, 2> negative = {1.0, -1.0};
+  EXPECT_THROW(rng.weighted_index(negative), PreconditionError);
+  const std::array<double, 2> zeros = {0.0, 0.0};
+  EXPECT_THROW(rng.weighted_index(zeros), PreconditionError);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto sample = rng.sample_without_replacement(20, 10);
+    EXPECT_EQ(sample.size(), 10u);
+    std::set<std::size_t> uniq(sample.begin(), sample.end());
+    EXPECT_EQ(uniq.size(), 10u);
+    for (std::size_t v : sample) EXPECT_LT(v, 20u);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullRange) {
+  Rng rng(7);
+  const auto sample = rng.sample_without_replacement(5, 5);
+  std::set<std::size_t> uniq(sample.begin(), sample.end());
+  EXPECT_EQ(uniq.size(), 5u);
+}
+
+TEST(Rng, SampleWithoutReplacementKZero) {
+  Rng rng(7);
+  EXPECT_TRUE(rng.sample_without_replacement(5, 0).empty());
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsKAboveN) {
+  Rng rng(7);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), PreconditionError);
+}
+
+TEST(Rng, SampleWithoutReplacementUniform) {
+  // Every element of [0, 4) should be picked roughly equally often when
+  // sampling 2 of 4.
+  Rng rng(123);
+  std::array<int, 4> hits = {0, 0, 0, 0};
+  const int trials = 8'000;
+  for (int i = 0; i < trials; ++i) {
+    for (std::size_t v : rng.sample_without_replacement(4, 2)) {
+      ++hits[v];
+    }
+  }
+  for (int h : hits) {
+    EXPECT_GT(h, trials * 2 / 4 * 85 / 100);
+    EXPECT_LT(h, trials * 2 / 4 * 115 / 100);
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStreams) {
+  Rng parent(42);
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child1.uniform_int(0, 1'000'000) == child2.uniform_int(0, 1'000'000)) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, SplitDeterministic) {
+  Rng a(42), b(42);
+  Rng ca = a.split();
+  Rng cb = b.split();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(ca.uniform_int(0, 1'000'000), cb.uniform_int(0, 1'000'000));
+  }
+}
+
+}  // namespace
+}  // namespace ceta

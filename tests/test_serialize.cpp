@@ -1,0 +1,94 @@
+#include "graph/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "graph/dot.hpp"
+#include "graph/generator.hpp"
+#include "helpers.hpp"
+
+namespace ceta {
+namespace {
+
+bool graphs_equal(const TaskGraph& a, const TaskGraph& b) {
+  return to_text(a) == to_text(b);
+}
+
+TEST(Serialize, RoundTripFixture) {
+  const TaskGraph g = testing::diamond_graph();
+  const TaskGraph parsed = graph_from_text(to_text(g));
+  EXPECT_TRUE(graphs_equal(g, parsed));
+  EXPECT_NO_THROW(parsed.validate());
+}
+
+TEST(Serialize, RoundTripRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const TaskGraph g = testing::random_dag_graph(12, 3, seed);
+    EXPECT_TRUE(graphs_equal(g, graph_from_text(to_text(g))));
+  }
+}
+
+TEST(Serialize, BufferSizesPreserved) {
+  TaskGraph g = testing::simple_chain_graph();
+  g.set_buffer_size(0, 1, 7);
+  const TaskGraph parsed = graph_from_text(to_text(g));
+  EXPECT_EQ(parsed.channel(0, 1).buffer_size, 7);
+  EXPECT_EQ(parsed.channel(1, 2).buffer_size, 1);
+}
+
+TEST(Serialize, ParseHandComposedText) {
+  const std::string text = R"(# comment line
+task S 0 0 10000000 0 0 -1
+task A 1000000 500000 10000000 0 0 0
+
+edge S A 4
+)";
+  const TaskGraph g = graph_from_text(text);
+  ASSERT_EQ(g.num_tasks(), 2u);
+  EXPECT_EQ(g.task(0).name, "S");
+  EXPECT_EQ(g.task(1).wcet, Duration::ms(1));
+  EXPECT_EQ(g.task(1).bcet, Duration::us(500));
+  EXPECT_EQ(g.channel(0, 1).buffer_size, 4);
+}
+
+TEST(Serialize, ParseErrorsCarryLineNumbers) {
+  try {
+    graph_from_text("task S 0 0 10000000 0 0 -1\nbogus line\n");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Serialize, ParseRejectsDuplicatesAndUnknowns) {
+  EXPECT_THROW(
+      graph_from_text("task A 0 0 1 0 0 -1\ntask A 0 0 1 0 0 -1\n"),
+      PreconditionError);
+  EXPECT_THROW(graph_from_text("task A 0 0 1 0 0 -1\nedge A B\n"),
+               PreconditionError);
+  EXPECT_THROW(graph_from_text("edge A B\n"), PreconditionError);
+  EXPECT_THROW(
+      graph_from_text(
+          "task A 0 0 1 0 0 -1\ntask B 0 0 1 0 0 0\nedge A B 0\n"),
+      PreconditionError);
+  EXPECT_THROW(graph_from_text("task A\n"), PreconditionError);
+}
+
+TEST(Dot, ContainsStructure) {
+  TaskGraph g = testing::diamond_graph();
+  g.set_buffer_size(0, 1, 3);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph cause_effect"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("buf=3"), std::string::npos);
+  EXPECT_NE(dot.find("\"S\\n"), std::string::npos);
+  // Every edge appears.
+  for (const Edge& e : g.edges()) {
+    const std::string arrow =
+        "n" + std::to_string(e.from) + " -> n" + std::to_string(e.to);
+    EXPECT_NE(dot.find(arrow), std::string::npos) << arrow;
+  }
+}
+
+}  // namespace
+}  // namespace ceta

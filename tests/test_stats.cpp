@@ -1,0 +1,83 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ceta {
+namespace {
+
+TEST(OnlineStats, EmptyThrowsOnQueries) {
+  OnlineStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_THROW(s.mean(), PreconditionError);
+  EXPECT_THROW(s.min(), PreconditionError);
+  EXPECT_THROW(s.max(), PreconditionError);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, KnownSequence) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  // Sample variance of this classic sequence: 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(OnlineStats, NegativeValues) {
+  OnlineStats s;
+  s.add(-3.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(MeanOf, Basic) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 2.0);
+}
+
+TEST(MeanOf, EmptyThrows) {
+  EXPECT_THROW(mean_of({}), PreconditionError);
+}
+
+TEST(Percentile, NearestRank) {
+  std::vector<double> xs = {15.0, 20.0, 35.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 15.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 30.0), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 40.0), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 35.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 50.0);
+}
+
+TEST(Percentile, UnsortedInput) {
+  std::vector<double> xs = {50.0, 15.0, 40.0, 20.0, 35.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 15.0);
+}
+
+TEST(Percentile, Preconditions) {
+  std::vector<double> xs = {1.0};
+  EXPECT_THROW(percentile({}, 50.0), PreconditionError);
+  EXPECT_THROW(percentile(xs, -1.0), PreconditionError);
+  EXPECT_THROW(percentile(xs, 101.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ceta

@@ -1,0 +1,120 @@
+#include "chain/subchain.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace ceta {
+namespace {
+
+TEST(ForkJoinJoints, SharedHeadExcluded) {
+  // λ = S A C E, ν = S A D E: common {S, A, E}, head S excluded.
+  const Path a = {0, 1, 2, 4};
+  const Path b = {0, 1, 3, 4};
+  EXPECT_EQ(fork_join_joints(a, b), (std::vector<TaskId>{1, 4}));
+}
+
+TEST(ForkJoinJoints, DistinctHeadsKeepAllCommon) {
+  const Path a = {0, 2, 4};
+  const Path b = {1, 2, 4};
+  EXPECT_EQ(fork_join_joints(a, b), (std::vector<TaskId>{2, 4}));
+}
+
+TEST(ForkJoinJoints, OnlySinkCommon) {
+  const Path a = {0, 2, 5};
+  const Path b = {1, 3, 5};
+  EXPECT_EQ(fork_join_joints(a, b), (std::vector<TaskId>{5}));
+}
+
+TEST(ForkJoinJoints, Preconditions) {
+  EXPECT_THROW(fork_join_joints({}, {1}), PreconditionError);
+  EXPECT_THROW(fork_join_joints({1, 2}, {1, 3}), PreconditionError);  // tails
+}
+
+TEST(SplitAtJoints, PaperExample) {
+  // §III example: chains {τ1,τ3,τ4,τ6} and {τ2,τ3,τ5,τ6} with common
+  // tasks τ3, τ6 split into {τ1,τ3},{τ3,τ4,τ6} and {τ2,τ3},{τ3,τ5,τ6}.
+  const Path lambda = {1, 3, 4, 6};
+  const Path nu = {2, 3, 5, 6};
+  const auto joints = fork_join_joints(lambda, nu);
+  EXPECT_EQ(joints, (std::vector<TaskId>{3, 6}));
+  const auto alpha = split_at_joints(lambda, joints);
+  ASSERT_EQ(alpha.size(), 2u);
+  EXPECT_EQ(alpha[0], (Path{1, 3}));
+  EXPECT_EQ(alpha[1], (Path{3, 4, 6}));
+  const auto beta = split_at_joints(nu, joints);
+  ASSERT_EQ(beta.size(), 2u);
+  EXPECT_EQ(beta[0], (Path{2, 3}));
+  EXPECT_EQ(beta[1], (Path{3, 5, 6}));
+}
+
+TEST(SplitAtJoints, SingleJointKeepsWholeChain) {
+  const Path chain = {0, 2, 5};
+  const auto subs = split_at_joints(chain, {5});
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0], chain);
+}
+
+TEST(SplitAtJoints, JointAtHeadGivesDegenerateSubchain) {
+  // Heads differ but o_1 is λ's head: α_1 = {head}.
+  const Path chain = {3, 4, 6};
+  const auto subs = split_at_joints(chain, {3, 6});
+  ASSERT_EQ(subs.size(), 2u);
+  EXPECT_EQ(subs[0], (Path{3}));
+  EXPECT_EQ(subs[1], (Path{3, 4, 6}));
+}
+
+TEST(SplitAtJoints, ConsecutiveJoints) {
+  const Path chain = {0, 1, 2, 3};
+  const auto subs = split_at_joints(chain, {1, 2, 3});
+  ASSERT_EQ(subs.size(), 3u);
+  EXPECT_EQ(subs[0], (Path{0, 1}));
+  EXPECT_EQ(subs[1], (Path{1, 2}));
+  EXPECT_EQ(subs[2], (Path{2, 3}));
+}
+
+TEST(SplitAtJoints, SubchainsCoverChain) {
+  const Path chain = {0, 1, 2, 3, 4, 5};
+  const std::vector<TaskId> joints = {2, 5};
+  const auto subs = split_at_joints(chain, joints);
+  // Reassemble: concatenation with joints shared once.
+  Path rebuilt = subs[0];
+  for (std::size_t i = 1; i < subs.size(); ++i) {
+    EXPECT_EQ(rebuilt.back(), subs[i].front());
+    rebuilt.insert(rebuilt.end(), subs[i].begin() + 1, subs[i].end());
+  }
+  EXPECT_EQ(rebuilt, chain);
+}
+
+TEST(SplitAtJoints, Preconditions) {
+  EXPECT_THROW(split_at_joints({}, {1}), PreconditionError);
+  EXPECT_THROW(split_at_joints({1, 2}, {}), PreconditionError);
+  EXPECT_THROW(split_at_joints({1, 2, 3}, {2}), PreconditionError);  // last
+  EXPECT_THROW(split_at_joints({1, 2, 3}, {3, 2, 3}), PreconditionError);
+}
+
+TEST(Decompose, DiamondPair) {
+  const Path a = {0, 1, 2, 4};
+  const Path b = {0, 1, 3, 4};
+  const ForkJoinDecomposition d = decompose_fork_join(a, b);
+  EXPECT_TRUE(d.shared_head);
+  EXPECT_EQ(d.joints, (std::vector<TaskId>{1, 4}));
+  ASSERT_EQ(d.alpha.size(), 2u);
+  EXPECT_EQ(d.alpha[0], (Path{0, 1}));
+  EXPECT_EQ(d.alpha[1], (Path{1, 2, 4}));
+  EXPECT_EQ(d.beta[0], (Path{0, 1}));
+  EXPECT_EQ(d.beta[1], (Path{1, 3, 4}));
+}
+
+TEST(Decompose, DistinctSources) {
+  const Path a = {0, 2, 5};
+  const Path b = {1, 3, 5};
+  const ForkJoinDecomposition d = decompose_fork_join(a, b);
+  EXPECT_FALSE(d.shared_head);
+  EXPECT_EQ(d.joints, (std::vector<TaskId>{5}));
+  EXPECT_EQ(d.alpha[0], a);
+  EXPECT_EQ(d.beta[0], b);
+}
+
+}  // namespace
+}  // namespace ceta

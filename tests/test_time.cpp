@@ -1,0 +1,97 @@
+#include "common/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace ceta {
+namespace {
+
+TEST(Duration, DefaultIsZero) {
+  Duration d;
+  EXPECT_EQ(d.count(), 0);
+  EXPECT_EQ(d, Duration::zero());
+}
+
+TEST(Duration, NamedConstructorsScale) {
+  EXPECT_EQ(Duration::ns(7).count(), 7);
+  EXPECT_EQ(Duration::us(7).count(), 7'000);
+  EXPECT_EQ(Duration::ms(7).count(), 7'000'000);
+  EXPECT_EQ(Duration::s(7).count(), 7'000'000'000);
+}
+
+TEST(Duration, Literals) {
+  using namespace literals;
+  EXPECT_EQ(5_ms, Duration::ms(5));
+  EXPECT_EQ(5_us, Duration::us(5));
+  EXPECT_EQ(5_ns, Duration::ns(5));
+  EXPECT_EQ(5_s, Duration::s(5));
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::ms(3);
+  const Duration b = Duration::ms(5);
+  EXPECT_EQ(a + b, Duration::ms(8));
+  EXPECT_EQ(a - b, Duration::ms(-2));
+  EXPECT_EQ(-a, Duration::ms(-3));
+  EXPECT_EQ(a * 4, Duration::ms(12));
+  EXPECT_EQ(4 * a, Duration::ms(12));
+  EXPECT_EQ(Duration::ms(12) / 4, Duration::ms(3));
+}
+
+TEST(Duration, CompoundAssignment) {
+  Duration a = Duration::ms(3);
+  a += Duration::ms(2);
+  EXPECT_EQ(a, Duration::ms(5));
+  a -= Duration::ms(10);
+  EXPECT_EQ(a, Duration::ms(-5));
+}
+
+TEST(Duration, Comparisons) {
+  EXPECT_LT(Duration::ms(1), Duration::ms(2));
+  EXPECT_LE(Duration::ms(2), Duration::ms(2));
+  EXPECT_GT(Duration::ms(3), Duration::ms(2));
+  EXPECT_LT(Duration::ms(-1), Duration::zero());
+}
+
+TEST(Duration, NegativeValuesAreFirstClass) {
+  const Duration d = Duration::ms(-42);
+  EXPECT_EQ(d.count(), -42'000'000);
+  EXPECT_EQ(-d, Duration::ms(42));
+}
+
+TEST(Duration, UnitConversionsAsDouble) {
+  EXPECT_DOUBLE_EQ(Duration::us(1500).as_ms(), 1.5);
+  EXPECT_DOUBLE_EQ(Duration::ms(2500).as_s(), 2.5);
+  EXPECT_DOUBLE_EQ(Duration::ns(2500).as_us(), 2.5);
+}
+
+TEST(Duration, Ratio) {
+  EXPECT_DOUBLE_EQ(Duration::ms(5).ratio(Duration::ms(20)), 0.25);
+}
+
+TEST(Duration, ToStringPicksUnits) {
+  EXPECT_EQ(to_string(Duration::ns(5)), "5ns");
+  EXPECT_EQ(to_string(Duration::us(5)), "5us");
+  EXPECT_EQ(to_string(Duration::ms(5)), "5ms");
+  EXPECT_EQ(to_string(Duration::s(5)), "5s");
+  EXPECT_EQ(to_string(Duration::us(1500)), "1.5ms");
+}
+
+TEST(Duration, ToStringNegative) {
+  EXPECT_EQ(to_string(Duration::ms(-5)), "-5ms");
+}
+
+TEST(Duration, StreamOutput) {
+  std::ostringstream os;
+  os << Duration::ms(12);
+  EXPECT_EQ(os.str(), "12ms");
+}
+
+TEST(Duration, MinMaxSentinels) {
+  EXPECT_LT(Duration::min(), Duration::ms(-1));
+  EXPECT_GT(Duration::max(), Duration::s(1'000'000));
+}
+
+}  // namespace
+}  // namespace ceta

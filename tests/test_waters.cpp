@@ -1,0 +1,144 @@
+#include "waters/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/error.hpp"
+#include "graph/generator.hpp"
+#include "sched/npfp_rta.hpp"
+#include "waters/tables.hpp"
+
+namespace ceta {
+namespace {
+
+TEST(WatersTables, EightPeriodsOrdered) {
+  const auto profiles = waters_profiles();
+  ASSERT_EQ(profiles.size(), 8u);
+  for (std::size_t i = 1; i < profiles.size(); ++i) {
+    EXPECT_LT(profiles[i - 1].period, profiles[i].period);
+  }
+  EXPECT_EQ(profiles.front().period, Duration::ms(1));
+  EXPECT_EQ(profiles.back().period, Duration::ms(200));
+}
+
+TEST(WatersTables, SharesAndFactorsSane) {
+  for (const WatersPeriodProfile& p : waters_profiles()) {
+    EXPECT_GT(p.share_percent, 0.0);
+    EXPECT_GT(p.mean_acet, Duration::zero());
+    EXPECT_LT(p.mean_acet, p.period);  // tiny utilizations
+    EXPECT_GT(p.bcet_factor_lo, 0.0);
+    EXPECT_LE(p.bcet_factor_lo, p.bcet_factor_hi);
+    EXPECT_LE(p.bcet_factor_hi, 1.0);
+    EXPECT_GE(p.wcet_factor_lo, 1.0);
+    EXPECT_LE(p.wcet_factor_lo, p.wcet_factor_hi);
+  }
+}
+
+TEST(WatersTables, DominantPeriodsPerTableIII) {
+  // 10ms and 20ms are the modal periods in the WATERS distribution.
+  EXPECT_DOUBLE_EQ(waters_profile_for(Duration::ms(10)).share_percent, 25.0);
+  EXPECT_DOUBLE_EQ(waters_profile_for(Duration::ms(20)).share_percent, 25.0);
+  EXPECT_DOUBLE_EQ(waters_profile_for(Duration::ms(200)).share_percent, 1.0);
+}
+
+TEST(WatersTables, LookupUnknownPeriodThrows) {
+  EXPECT_THROW(waters_profile_for(Duration::ms(30)), PreconditionError);
+}
+
+TEST(WatersSample, PeriodAlwaysFromSubset) {
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const WatersTaskParams p = sample_waters_task(rng);
+    EXPECT_NO_THROW(waters_profile_for(p.period));
+  }
+}
+
+TEST(WatersSample, ExecutionTimesWithinFactorRanges) {
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const WatersTaskParams p = sample_waters_task(rng);
+    const WatersPeriodProfile& prof = waters_profile_for(p.period);
+    const double acet = static_cast<double>(prof.mean_acet.count());
+    EXPECT_GE(p.bcet.count(), static_cast<std::int64_t>(acet * prof.bcet_factor_lo) - 1);
+    EXPECT_LE(p.bcet.count(), static_cast<std::int64_t>(acet * prof.bcet_factor_hi) + 1);
+    EXPECT_GE(p.wcet.count(), static_cast<std::int64_t>(acet * prof.wcet_factor_lo) - 1);
+    EXPECT_LE(p.wcet.count(), static_cast<std::int64_t>(acet * prof.wcet_factor_hi) + 1);
+    EXPECT_LE(p.bcet, p.wcet);
+  }
+}
+
+TEST(WatersSample, PeriodDistributionTracksShares) {
+  Rng rng(3);
+  std::map<std::int64_t, int> hits;
+  const int trials = 20'000;
+  for (int i = 0; i < trials; ++i) {
+    ++hits[sample_waters_task(rng).period.count()];
+  }
+  double total_share = 0.0;
+  for (const WatersPeriodProfile& p : waters_profiles()) {
+    total_share += p.share_percent;
+  }
+  for (const WatersPeriodProfile& p : waters_profiles()) {
+    const double expected = p.share_percent / total_share;
+    const double got =
+        static_cast<double>(hits[p.period.count()]) / trials;
+    EXPECT_NEAR(got, expected, 0.02) << to_string(p.period);
+  }
+}
+
+TEST(WatersAssign, GraphBecomesValidAndSchedulable) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    GnmDagOptions gopt;
+    gopt.num_tasks = 20;
+    TaskGraph g = gnm_random_dag(gopt, rng);
+    WatersAssignOptions wopt;
+    wopt.num_ecus = 4;
+    assign_waters_parameters(g, wopt, rng);
+    EXPECT_NO_THROW(g.validate());
+    // WATERS utilizations are tiny; everything is schedulable.
+    EXPECT_TRUE(analyze_response_times(g).all_schedulable) << "seed " << seed;
+    for (TaskId id = 0; id < g.num_tasks(); ++id) {
+      const Task& t = g.task(id);
+      if (g.is_source(id)) {
+        EXPECT_EQ(t.wcet, Duration::zero());
+        EXPECT_EQ(t.ecu, kNoEcu);
+      } else {
+        EXPECT_GT(t.wcet, Duration::zero());
+        EXPECT_GE(t.ecu, 0);
+        EXPECT_LT(t.ecu, 4);
+      }
+      EXPECT_NO_THROW(waters_profile_for(t.period));
+    }
+  }
+}
+
+TEST(WatersAssign, RateMonotonicPrioritiesPerEcu) {
+  Rng rng(9);
+  TaskGraph g = merge_chains_at_sink(8, 8);
+  WatersAssignOptions wopt;
+  wopt.num_ecus = 2;
+  assign_waters_parameters(g, wopt, rng);
+  for (TaskId a = 0; a < g.num_tasks(); ++a) {
+    for (TaskId b = 0; b < g.num_tasks(); ++b) {
+      const Task& ta = g.task(a);
+      const Task& tb = g.task(b);
+      if (a == b || ta.ecu == kNoEcu || ta.ecu != tb.ecu) continue;
+      if (ta.period < tb.period) {
+        EXPECT_LT(ta.priority, tb.priority);
+      }
+    }
+  }
+}
+
+TEST(WatersAssign, RejectsBadEcuCount) {
+  Rng rng(1);
+  TaskGraph g = merge_chains_at_sink(3, 3);
+  WatersAssignOptions wopt;
+  wopt.num_ecus = 0;
+  EXPECT_THROW(assign_waters_parameters(g, wopt, rng), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ceta
