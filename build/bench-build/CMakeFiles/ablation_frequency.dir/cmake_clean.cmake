@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_frequency"
+  "../bench/ablation_frequency.pdb"
+  "CMakeFiles/ablation_frequency.dir/ablation_frequency.cpp.o"
+  "CMakeFiles/ablation_frequency.dir/ablation_frequency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_hop_bounds"
+  "../bench/ablation_hop_bounds.pdb"
+  "CMakeFiles/ablation_hop_bounds.dir/ablation_hop_bounds.cpp.o"
+  "CMakeFiles/ablation_hop_bounds.dir/ablation_hop_bounds.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hop_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

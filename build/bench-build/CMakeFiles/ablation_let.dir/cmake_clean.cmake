@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_let"
+  "../bench/ablation_let.pdb"
+  "CMakeFiles/ablation_let.dir/ablation_let.cpp.o"
+  "CMakeFiles/ablation_let.dir/ablation_let.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_let.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

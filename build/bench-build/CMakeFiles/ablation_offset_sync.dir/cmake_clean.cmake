@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_offset_sync"
+  "../bench/ablation_offset_sync.pdb"
+  "CMakeFiles/ablation_offset_sync.dir/ablation_offset_sync.cpp.o"
+  "CMakeFiles/ablation_offset_sync.dir/ablation_offset_sync.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_offset_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

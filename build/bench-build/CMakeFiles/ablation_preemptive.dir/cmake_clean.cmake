@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_preemptive"
+  "../bench/ablation_preemptive.pdb"
+  "CMakeFiles/ablation_preemptive.dir/ablation_preemptive.cpp.o"
+  "CMakeFiles/ablation_preemptive.dir/ablation_preemptive.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_preemptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6a_disparity_abs"
+  "../bench/fig6a_disparity_abs.pdb"
+  "CMakeFiles/fig6a_disparity_abs.dir/fig6a_disparity_abs.cpp.o"
+  "CMakeFiles/fig6a_disparity_abs.dir/fig6a_disparity_abs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_disparity_abs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

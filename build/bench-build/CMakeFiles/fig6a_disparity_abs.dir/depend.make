@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6a_disparity_abs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6b_disparity_ratio"
+  "../bench/fig6b_disparity_ratio.pdb"
+  "CMakeFiles/fig6b_disparity_ratio.dir/fig6b_disparity_ratio.cpp.o"
+  "CMakeFiles/fig6b_disparity_ratio.dir/fig6b_disparity_ratio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_disparity_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

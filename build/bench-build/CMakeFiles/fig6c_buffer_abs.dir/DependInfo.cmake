@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6c_buffer_abs.cpp" "bench-build/CMakeFiles/fig6c_buffer_abs.dir/fig6c_buffer_abs.cpp.o" "gcc" "bench-build/CMakeFiles/fig6c_buffer_abs.dir/fig6c_buffer_abs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/ceta_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/disparity/CMakeFiles/ceta_disparity.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/ceta_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ceta_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/waters/CMakeFiles/ceta_waters.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ceta_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ceta_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ceta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6c_buffer_abs"
+  "../bench/fig6c_buffer_abs.pdb"
+  "CMakeFiles/fig6c_buffer_abs.dir/fig6c_buffer_abs.cpp.o"
+  "CMakeFiles/fig6c_buffer_abs.dir/fig6c_buffer_abs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6c_buffer_abs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6c_buffer_abs.
+# This may be replaced when dependencies are built.

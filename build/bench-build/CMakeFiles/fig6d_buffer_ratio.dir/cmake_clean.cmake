@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6d_buffer_ratio"
+  "../bench/fig6d_buffer_ratio.pdb"
+  "CMakeFiles/fig6d_buffer_ratio.dir/fig6d_buffer_ratio.cpp.o"
+  "CMakeFiles/fig6d_buffer_ratio.dir/fig6d_buffer_ratio.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6d_buffer_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

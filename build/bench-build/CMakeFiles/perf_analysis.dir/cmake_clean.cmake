@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_analysis"
+  "../bench/perf_analysis.pdb"
+  "CMakeFiles/perf_analysis.dir/perf_analysis.cpp.o"
+  "CMakeFiles/perf_analysis.dir/perf_analysis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_sim"
+  "../bench/perf_sim.pdb"
+  "CMakeFiles/perf_sim.dir/perf_sim.cpp.o"
+  "CMakeFiles/perf_sim.dir/perf_sim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_graph.dir/analyze_graph.cpp.o"
+  "CMakeFiles/analyze_graph.dir/analyze_graph.cpp.o.d"
+  "analyze_graph"
+  "analyze_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for analyze_graph.
+# This may be replaced when dependencies are built.

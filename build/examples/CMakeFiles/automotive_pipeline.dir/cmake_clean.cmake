@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automotive_pipeline.dir/automotive_pipeline.cpp.o"
+  "CMakeFiles/automotive_pipeline.dir/automotive_pipeline.cpp.o.d"
+  "automotive_pipeline"
+  "automotive_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automotive_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

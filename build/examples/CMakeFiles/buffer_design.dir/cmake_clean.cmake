@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_design.dir/buffer_design.cpp.o"
+  "CMakeFiles/buffer_design.dir/buffer_design.cpp.o.d"
+  "buffer_design"
+  "buffer_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

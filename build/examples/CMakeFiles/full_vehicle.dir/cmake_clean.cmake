@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_vehicle.dir/full_vehicle.cpp.o"
+  "CMakeFiles/full_vehicle.dir/full_vehicle.cpp.o.d"
+  "full_vehicle"
+  "full_vehicle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_vehicle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

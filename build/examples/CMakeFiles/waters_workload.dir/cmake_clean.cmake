@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/waters_workload.dir/waters_workload.cpp.o"
+  "CMakeFiles/waters_workload.dir/waters_workload.cpp.o.d"
+  "waters_workload"
+  "waters_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/waters_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

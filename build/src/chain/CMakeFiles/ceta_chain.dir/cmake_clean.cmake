@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceta_chain.dir/backward_bounds.cpp.o"
+  "CMakeFiles/ceta_chain.dir/backward_bounds.cpp.o.d"
+  "CMakeFiles/ceta_chain.dir/critical.cpp.o"
+  "CMakeFiles/ceta_chain.dir/critical.cpp.o.d"
+  "CMakeFiles/ceta_chain.dir/latency.cpp.o"
+  "CMakeFiles/ceta_chain.dir/latency.cpp.o.d"
+  "CMakeFiles/ceta_chain.dir/subchain.cpp.o"
+  "CMakeFiles/ceta_chain.dir/subchain.cpp.o.d"
+  "libceta_chain.a"
+  "libceta_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceta_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

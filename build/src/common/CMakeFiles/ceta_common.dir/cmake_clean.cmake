@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceta_common.dir/error.cpp.o"
+  "CMakeFiles/ceta_common.dir/error.cpp.o.d"
+  "CMakeFiles/ceta_common.dir/interval.cpp.o"
+  "CMakeFiles/ceta_common.dir/interval.cpp.o.d"
+  "CMakeFiles/ceta_common.dir/math.cpp.o"
+  "CMakeFiles/ceta_common.dir/math.cpp.o.d"
+  "CMakeFiles/ceta_common.dir/rng.cpp.o"
+  "CMakeFiles/ceta_common.dir/rng.cpp.o.d"
+  "CMakeFiles/ceta_common.dir/stats.cpp.o"
+  "CMakeFiles/ceta_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ceta_common.dir/time.cpp.o"
+  "CMakeFiles/ceta_common.dir/time.cpp.o.d"
+  "libceta_common.a"
+  "libceta_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceta_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disparity/analyzer.cpp" "src/disparity/CMakeFiles/ceta_disparity.dir/analyzer.cpp.o" "gcc" "src/disparity/CMakeFiles/ceta_disparity.dir/analyzer.cpp.o.d"
+  "/root/repo/src/disparity/buffer_opt.cpp" "src/disparity/CMakeFiles/ceta_disparity.dir/buffer_opt.cpp.o" "gcc" "src/disparity/CMakeFiles/ceta_disparity.dir/buffer_opt.cpp.o.d"
+  "/root/repo/src/disparity/exact.cpp" "src/disparity/CMakeFiles/ceta_disparity.dir/exact.cpp.o" "gcc" "src/disparity/CMakeFiles/ceta_disparity.dir/exact.cpp.o.d"
+  "/root/repo/src/disparity/forkjoin.cpp" "src/disparity/CMakeFiles/ceta_disparity.dir/forkjoin.cpp.o" "gcc" "src/disparity/CMakeFiles/ceta_disparity.dir/forkjoin.cpp.o.d"
+  "/root/repo/src/disparity/multi_buffer.cpp" "src/disparity/CMakeFiles/ceta_disparity.dir/multi_buffer.cpp.o" "gcc" "src/disparity/CMakeFiles/ceta_disparity.dir/multi_buffer.cpp.o.d"
+  "/root/repo/src/disparity/offset_opt.cpp" "src/disparity/CMakeFiles/ceta_disparity.dir/offset_opt.cpp.o" "gcc" "src/disparity/CMakeFiles/ceta_disparity.dir/offset_opt.cpp.o.d"
+  "/root/repo/src/disparity/pairwise.cpp" "src/disparity/CMakeFiles/ceta_disparity.dir/pairwise.cpp.o" "gcc" "src/disparity/CMakeFiles/ceta_disparity.dir/pairwise.cpp.o.d"
+  "/root/repo/src/disparity/pareto.cpp" "src/disparity/CMakeFiles/ceta_disparity.dir/pareto.cpp.o" "gcc" "src/disparity/CMakeFiles/ceta_disparity.dir/pareto.cpp.o.d"
+  "/root/repo/src/disparity/requirements.cpp" "src/disparity/CMakeFiles/ceta_disparity.dir/requirements.cpp.o" "gcc" "src/disparity/CMakeFiles/ceta_disparity.dir/requirements.cpp.o.d"
+  "/root/repo/src/disparity/sensitivity.cpp" "src/disparity/CMakeFiles/ceta_disparity.dir/sensitivity.cpp.o" "gcc" "src/disparity/CMakeFiles/ceta_disparity.dir/sensitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ceta_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ceta_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ceta_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/ceta_chain.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceta_disparity.dir/analyzer.cpp.o"
+  "CMakeFiles/ceta_disparity.dir/analyzer.cpp.o.d"
+  "CMakeFiles/ceta_disparity.dir/buffer_opt.cpp.o"
+  "CMakeFiles/ceta_disparity.dir/buffer_opt.cpp.o.d"
+  "CMakeFiles/ceta_disparity.dir/exact.cpp.o"
+  "CMakeFiles/ceta_disparity.dir/exact.cpp.o.d"
+  "CMakeFiles/ceta_disparity.dir/forkjoin.cpp.o"
+  "CMakeFiles/ceta_disparity.dir/forkjoin.cpp.o.d"
+  "CMakeFiles/ceta_disparity.dir/multi_buffer.cpp.o"
+  "CMakeFiles/ceta_disparity.dir/multi_buffer.cpp.o.d"
+  "CMakeFiles/ceta_disparity.dir/offset_opt.cpp.o"
+  "CMakeFiles/ceta_disparity.dir/offset_opt.cpp.o.d"
+  "CMakeFiles/ceta_disparity.dir/pairwise.cpp.o"
+  "CMakeFiles/ceta_disparity.dir/pairwise.cpp.o.d"
+  "CMakeFiles/ceta_disparity.dir/pareto.cpp.o"
+  "CMakeFiles/ceta_disparity.dir/pareto.cpp.o.d"
+  "CMakeFiles/ceta_disparity.dir/requirements.cpp.o"
+  "CMakeFiles/ceta_disparity.dir/requirements.cpp.o.d"
+  "CMakeFiles/ceta_disparity.dir/sensitivity.cpp.o"
+  "CMakeFiles/ceta_disparity.dir/sensitivity.cpp.o.d"
+  "libceta_disparity.a"
+  "libceta_disparity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceta_disparity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

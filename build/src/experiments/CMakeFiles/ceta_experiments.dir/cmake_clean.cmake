@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceta_experiments.dir/fig6ab.cpp.o"
+  "CMakeFiles/ceta_experiments.dir/fig6ab.cpp.o.d"
+  "CMakeFiles/ceta_experiments.dir/fig6cd.cpp.o"
+  "CMakeFiles/ceta_experiments.dir/fig6cd.cpp.o.d"
+  "CMakeFiles/ceta_experiments.dir/table.cpp.o"
+  "CMakeFiles/ceta_experiments.dir/table.cpp.o.d"
+  "libceta_experiments.a"
+  "libceta_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceta_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

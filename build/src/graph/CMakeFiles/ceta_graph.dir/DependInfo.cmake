@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/algorithms.cpp" "src/graph/CMakeFiles/ceta_graph.dir/algorithms.cpp.o" "gcc" "src/graph/CMakeFiles/ceta_graph.dir/algorithms.cpp.o.d"
+  "/root/repo/src/graph/dot.cpp" "src/graph/CMakeFiles/ceta_graph.dir/dot.cpp.o" "gcc" "src/graph/CMakeFiles/ceta_graph.dir/dot.cpp.o.d"
+  "/root/repo/src/graph/generator.cpp" "src/graph/CMakeFiles/ceta_graph.dir/generator.cpp.o" "gcc" "src/graph/CMakeFiles/ceta_graph.dir/generator.cpp.o.d"
+  "/root/repo/src/graph/paths.cpp" "src/graph/CMakeFiles/ceta_graph.dir/paths.cpp.o" "gcc" "src/graph/CMakeFiles/ceta_graph.dir/paths.cpp.o.d"
+  "/root/repo/src/graph/serialize.cpp" "src/graph/CMakeFiles/ceta_graph.dir/serialize.cpp.o" "gcc" "src/graph/CMakeFiles/ceta_graph.dir/serialize.cpp.o.d"
+  "/root/repo/src/graph/task.cpp" "src/graph/CMakeFiles/ceta_graph.dir/task.cpp.o" "gcc" "src/graph/CMakeFiles/ceta_graph.dir/task.cpp.o.d"
+  "/root/repo/src/graph/task_graph.cpp" "src/graph/CMakeFiles/ceta_graph.dir/task_graph.cpp.o" "gcc" "src/graph/CMakeFiles/ceta_graph.dir/task_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ceta_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

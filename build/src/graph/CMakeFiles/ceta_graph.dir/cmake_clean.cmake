@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceta_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/ceta_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/ceta_graph.dir/dot.cpp.o"
+  "CMakeFiles/ceta_graph.dir/dot.cpp.o.d"
+  "CMakeFiles/ceta_graph.dir/generator.cpp.o"
+  "CMakeFiles/ceta_graph.dir/generator.cpp.o.d"
+  "CMakeFiles/ceta_graph.dir/paths.cpp.o"
+  "CMakeFiles/ceta_graph.dir/paths.cpp.o.d"
+  "CMakeFiles/ceta_graph.dir/serialize.cpp.o"
+  "CMakeFiles/ceta_graph.dir/serialize.cpp.o.d"
+  "CMakeFiles/ceta_graph.dir/task.cpp.o"
+  "CMakeFiles/ceta_graph.dir/task.cpp.o.d"
+  "CMakeFiles/ceta_graph.dir/task_graph.cpp.o"
+  "CMakeFiles/ceta_graph.dir/task_graph.cpp.o.d"
+  "libceta_graph.a"
+  "libceta_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceta_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/audsley.cpp" "src/sched/CMakeFiles/ceta_sched.dir/audsley.cpp.o" "gcc" "src/sched/CMakeFiles/ceta_sched.dir/audsley.cpp.o.d"
+  "/root/repo/src/sched/bus.cpp" "src/sched/CMakeFiles/ceta_sched.dir/bus.cpp.o" "gcc" "src/sched/CMakeFiles/ceta_sched.dir/bus.cpp.o.d"
+  "/root/repo/src/sched/npfp_rta.cpp" "src/sched/CMakeFiles/ceta_sched.dir/npfp_rta.cpp.o" "gcc" "src/sched/CMakeFiles/ceta_sched.dir/npfp_rta.cpp.o.d"
+  "/root/repo/src/sched/priority.cpp" "src/sched/CMakeFiles/ceta_sched.dir/priority.cpp.o" "gcc" "src/sched/CMakeFiles/ceta_sched.dir/priority.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ceta_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ceta_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceta_sched.dir/audsley.cpp.o"
+  "CMakeFiles/ceta_sched.dir/audsley.cpp.o.d"
+  "CMakeFiles/ceta_sched.dir/bus.cpp.o"
+  "CMakeFiles/ceta_sched.dir/bus.cpp.o.d"
+  "CMakeFiles/ceta_sched.dir/npfp_rta.cpp.o"
+  "CMakeFiles/ceta_sched.dir/npfp_rta.cpp.o.d"
+  "CMakeFiles/ceta_sched.dir/priority.cpp.o"
+  "CMakeFiles/ceta_sched.dir/priority.cpp.o.d"
+  "libceta_sched.a"
+  "libceta_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceta_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

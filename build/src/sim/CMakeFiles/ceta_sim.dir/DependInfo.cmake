@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/backward.cpp" "src/sim/CMakeFiles/ceta_sim.dir/backward.cpp.o" "gcc" "src/sim/CMakeFiles/ceta_sim.dir/backward.cpp.o.d"
+  "/root/repo/src/sim/channel.cpp" "src/sim/CMakeFiles/ceta_sim.dir/channel.cpp.o" "gcc" "src/sim/CMakeFiles/ceta_sim.dir/channel.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/ceta_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/ceta_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/exec_model.cpp" "src/sim/CMakeFiles/ceta_sim.dir/exec_model.cpp.o" "gcc" "src/sim/CMakeFiles/ceta_sim.dir/exec_model.cpp.o.d"
+  "/root/repo/src/sim/gantt.cpp" "src/sim/CMakeFiles/ceta_sim.dir/gantt.cpp.o" "gcc" "src/sim/CMakeFiles/ceta_sim.dir/gantt.cpp.o.d"
+  "/root/repo/src/sim/latency.cpp" "src/sim/CMakeFiles/ceta_sim.dir/latency.cpp.o" "gcc" "src/sim/CMakeFiles/ceta_sim.dir/latency.cpp.o.d"
+  "/root/repo/src/sim/provenance.cpp" "src/sim/CMakeFiles/ceta_sim.dir/provenance.cpp.o" "gcc" "src/sim/CMakeFiles/ceta_sim.dir/provenance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ceta_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ceta_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ceta_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceta_sim.dir/backward.cpp.o"
+  "CMakeFiles/ceta_sim.dir/backward.cpp.o.d"
+  "CMakeFiles/ceta_sim.dir/channel.cpp.o"
+  "CMakeFiles/ceta_sim.dir/channel.cpp.o.d"
+  "CMakeFiles/ceta_sim.dir/engine.cpp.o"
+  "CMakeFiles/ceta_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/ceta_sim.dir/exec_model.cpp.o"
+  "CMakeFiles/ceta_sim.dir/exec_model.cpp.o.d"
+  "CMakeFiles/ceta_sim.dir/gantt.cpp.o"
+  "CMakeFiles/ceta_sim.dir/gantt.cpp.o.d"
+  "CMakeFiles/ceta_sim.dir/latency.cpp.o"
+  "CMakeFiles/ceta_sim.dir/latency.cpp.o.d"
+  "CMakeFiles/ceta_sim.dir/provenance.cpp.o"
+  "CMakeFiles/ceta_sim.dir/provenance.cpp.o.d"
+  "libceta_sim.a"
+  "libceta_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceta_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/waters/generator.cpp" "src/waters/CMakeFiles/ceta_waters.dir/generator.cpp.o" "gcc" "src/waters/CMakeFiles/ceta_waters.dir/generator.cpp.o.d"
+  "/root/repo/src/waters/tables.cpp" "src/waters/CMakeFiles/ceta_waters.dir/tables.cpp.o" "gcc" "src/waters/CMakeFiles/ceta_waters.dir/tables.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ceta_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ceta_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/ceta_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

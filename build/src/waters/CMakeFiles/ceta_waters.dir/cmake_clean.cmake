@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceta_waters.dir/generator.cpp.o"
+  "CMakeFiles/ceta_waters.dir/generator.cpp.o.d"
+  "CMakeFiles/ceta_waters.dir/tables.cpp.o"
+  "CMakeFiles/ceta_waters.dir/tables.cpp.o.d"
+  "libceta_waters.a"
+  "libceta_waters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceta_waters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libceta_waters.a"
+)

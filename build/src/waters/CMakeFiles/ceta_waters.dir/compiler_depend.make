@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ceta_waters.
+# This may be replaced when dependencies are built.

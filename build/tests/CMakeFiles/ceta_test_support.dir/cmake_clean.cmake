@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceta_test_support.dir/helpers.cpp.o"
+  "CMakeFiles/ceta_test_support.dir/helpers.cpp.o.d"
+  "libceta_test_support.a"
+  "libceta_test_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceta_test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

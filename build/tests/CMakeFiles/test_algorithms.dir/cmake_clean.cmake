@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algorithms.dir/test_algorithms.cpp.o"
+  "CMakeFiles/test_algorithms.dir/test_algorithms.cpp.o.d"
+  "test_algorithms"
+  "test_algorithms.pdb"
+  "test_algorithms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

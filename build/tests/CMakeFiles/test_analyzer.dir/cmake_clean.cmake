@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analyzer.dir/test_analyzer.cpp.o"
+  "CMakeFiles/test_analyzer.dir/test_analyzer.cpp.o.d"
+  "test_analyzer"
+  "test_analyzer.pdb"
+  "test_analyzer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_audsley.dir/test_audsley.cpp.o"
+  "CMakeFiles/test_audsley.dir/test_audsley.cpp.o.d"
+  "test_audsley"
+  "test_audsley.pdb"
+  "test_audsley[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_audsley.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backward_bounds.dir/test_backward_bounds.cpp.o"
+  "CMakeFiles/test_backward_bounds.dir/test_backward_bounds.cpp.o.d"
+  "test_backward_bounds"
+  "test_backward_bounds.pdb"
+  "test_backward_bounds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backward_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

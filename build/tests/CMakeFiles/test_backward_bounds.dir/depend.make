@@ -1,0 +1,2 @@
+# Empty dependencies file for test_backward_bounds.
+# This may be replaced when dependencies are built.

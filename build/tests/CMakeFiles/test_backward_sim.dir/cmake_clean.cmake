@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_backward_sim.dir/test_backward_sim.cpp.o"
+  "CMakeFiles/test_backward_sim.dir/test_backward_sim.cpp.o.d"
+  "test_backward_sim"
+  "test_backward_sim.pdb"
+  "test_backward_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_backward_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_buffer_opt.dir/test_buffer_opt.cpp.o"
+  "CMakeFiles/test_buffer_opt.dir/test_buffer_opt.cpp.o.d"
+  "test_buffer_opt"
+  "test_buffer_opt.pdb"
+  "test_buffer_opt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_buffer_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

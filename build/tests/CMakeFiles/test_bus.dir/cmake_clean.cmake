@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bus.dir/test_bus.cpp.o"
+  "CMakeFiles/test_bus.dir/test_bus.cpp.o.d"
+  "test_bus"
+  "test_bus.pdb"
+  "test_bus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

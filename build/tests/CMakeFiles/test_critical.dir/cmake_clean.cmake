@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_critical.dir/test_critical.cpp.o"
+  "CMakeFiles/test_critical.dir/test_critical.cpp.o.d"
+  "test_critical"
+  "test_critical.pdb"
+  "test_critical[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_critical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

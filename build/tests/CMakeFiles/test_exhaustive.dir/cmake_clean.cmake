@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exhaustive.dir/test_exhaustive.cpp.o"
+  "CMakeFiles/test_exhaustive.dir/test_exhaustive.cpp.o.d"
+  "test_exhaustive"
+  "test_exhaustive.pdb"
+  "test_exhaustive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exhaustive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

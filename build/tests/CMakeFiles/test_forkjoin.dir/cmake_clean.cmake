@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_forkjoin.dir/test_forkjoin.cpp.o"
+  "CMakeFiles/test_forkjoin.dir/test_forkjoin.cpp.o.d"
+  "test_forkjoin"
+  "test_forkjoin.pdb"
+  "test_forkjoin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_forkjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_buffer.dir/test_integration_buffer.cpp.o"
+  "CMakeFiles/test_integration_buffer.dir/test_integration_buffer.cpp.o.d"
+  "test_integration_buffer"
+  "test_integration_buffer.pdb"
+  "test_integration_buffer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_safety.dir/test_integration_safety.cpp.o"
+  "CMakeFiles/test_integration_safety.dir/test_integration_safety.cpp.o.d"
+  "test_integration_safety"
+  "test_integration_safety.pdb"
+  "test_integration_safety[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

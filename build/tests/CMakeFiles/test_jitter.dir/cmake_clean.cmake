@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jitter.dir/test_jitter.cpp.o"
+  "CMakeFiles/test_jitter.dir/test_jitter.cpp.o.d"
+  "test_jitter"
+  "test_jitter.pdb"
+  "test_jitter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_let.dir/test_let.cpp.o"
+  "CMakeFiles/test_let.dir/test_let.cpp.o.d"
+  "test_let"
+  "test_let.pdb"
+  "test_let[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_let.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matrix_safety.dir/test_matrix_safety.cpp.o"
+  "CMakeFiles/test_matrix_safety.dir/test_matrix_safety.cpp.o.d"
+  "test_matrix_safety"
+  "test_matrix_safety.pdb"
+  "test_matrix_safety[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matrix_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

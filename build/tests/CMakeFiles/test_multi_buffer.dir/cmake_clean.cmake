@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_buffer.dir/test_multi_buffer.cpp.o"
+  "CMakeFiles/test_multi_buffer.dir/test_multi_buffer.cpp.o.d"
+  "test_multi_buffer"
+  "test_multi_buffer.pdb"
+  "test_multi_buffer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_npfp_rta.dir/test_npfp_rta.cpp.o"
+  "CMakeFiles/test_npfp_rta.dir/test_npfp_rta.cpp.o.d"
+  "test_npfp_rta"
+  "test_npfp_rta.pdb"
+  "test_npfp_rta[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_npfp_rta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_offset_opt.dir/test_offset_opt.cpp.o"
+  "CMakeFiles/test_offset_opt.dir/test_offset_opt.cpp.o.d"
+  "test_offset_opt"
+  "test_offset_opt.pdb"
+  "test_offset_opt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_offset_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

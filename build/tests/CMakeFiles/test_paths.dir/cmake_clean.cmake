@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paths.dir/test_paths.cpp.o"
+  "CMakeFiles/test_paths.dir/test_paths.cpp.o.d"
+  "test_paths"
+  "test_paths.pdb"
+  "test_paths[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

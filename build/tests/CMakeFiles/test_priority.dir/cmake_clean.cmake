@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_priority.dir/test_priority.cpp.o"
+  "CMakeFiles/test_priority.dir/test_priority.cpp.o.d"
+  "test_priority"
+  "test_priority.pdb"
+  "test_priority[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

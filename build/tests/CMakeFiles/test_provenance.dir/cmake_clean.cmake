@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_provenance.dir/test_provenance.cpp.o"
+  "CMakeFiles/test_provenance.dir/test_provenance.cpp.o.d"
+  "test_provenance"
+  "test_provenance.pdb"
+  "test_provenance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_provenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

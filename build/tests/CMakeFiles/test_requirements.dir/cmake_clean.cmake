@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_requirements.dir/test_requirements.cpp.o"
+  "CMakeFiles/test_requirements.dir/test_requirements.cpp.o.d"
+  "test_requirements"
+  "test_requirements.pdb"
+  "test_requirements[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_requirements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

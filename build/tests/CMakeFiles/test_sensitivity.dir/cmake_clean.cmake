@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sensitivity.dir/test_sensitivity.cpp.o"
+  "CMakeFiles/test_sensitivity.dir/test_sensitivity.cpp.o.d"
+  "test_sensitivity"
+  "test_sensitivity.pdb"
+  "test_sensitivity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subchain.dir/test_subchain.cpp.o"
+  "CMakeFiles/test_subchain.dir/test_subchain.cpp.o.d"
+  "test_subchain"
+  "test_subchain.pdb"
+  "test_subchain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system_level.dir/test_system_level.cpp.o"
+  "CMakeFiles/test_system_level.dir/test_system_level.cpp.o.d"
+  "test_system_level"
+  "test_system_level.pdb"
+  "test_system_level[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_task_graph.dir/test_task_graph.cpp.o"
+  "CMakeFiles/test_task_graph.dir/test_task_graph.cpp.o.d"
+  "test_task_graph"
+  "test_task_graph.pdb"
+  "test_task_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_task_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_time.dir/test_time.cpp.o"
+  "CMakeFiles/test_time.dir/test_time.cpp.o.d"
+  "test_time"
+  "test_time.pdb"
+  "test_time[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

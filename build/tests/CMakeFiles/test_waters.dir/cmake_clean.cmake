@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_waters.dir/test_waters.cpp.o"
+  "CMakeFiles/test_waters.dir/test_waters.cpp.o.d"
+  "test_waters"
+  "test_waters.pdb"
+  "test_waters[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_waters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
