@@ -9,10 +9,10 @@
 #include "bench_util.hpp"
 #include "disparity/buffer_opt.hpp"
 #include "disparity/forkjoin.hpp"
+#include "engine/analysis_engine.hpp"
 #include "experiments/table.hpp"
 #include "graph/paths.hpp"
 #include "graph/task_graph.hpp"
-#include "sched/npfp_rta.hpp"
 #include "sim/engine.hpp"
 
 namespace {
@@ -67,13 +67,12 @@ int main(int argc, char** argv) {
   for (const Duration period :
        {Duration::ms(30), Duration::ms(15), Duration::ms(10),
         Duration::ms(5)}) {
-    const TaskGraph g = build(period);
-    const RtaResult rta = analyze_response_times(g);
-    const auto chains = enumerate_source_chains(g, 4);
-    const ForkJoinBound fj =
-        sdiff_pair_bound(g, chains[0], chains[1], rta.response_time);
-    const BufferDesign d =
-        design_buffer(g, chains[0], chains[1], rta.response_time);
+    const AnalysisEngine engine(build(period));
+    const TaskGraph& g = engine.graph();
+    const auto& chains = engine.chains(4);
+    const ForkJoinBound fj = sdiff_pair_bound(g, chains[0], chains[1],
+                                              engine.response_times());
+    const BufferDesign d = engine.optimize_buffer_pair(chains[0], chains[1]);
 
     SimOptions sopt;
     sopt.duration = sim_time;

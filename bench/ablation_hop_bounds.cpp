@@ -7,14 +7,13 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "chain/backward_bounds.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "disparity/forkjoin.hpp"
+#include "engine/analysis_engine.hpp"
 #include "experiments/table.hpp"
 #include "graph/generator.hpp"
 #include "graph/paths.hpp"
-#include "sched/npfp_rta.hpp"
 #include "waters/generator.hpp"
 
 int main(int argc, char** argv) {
@@ -36,24 +35,26 @@ int main(int argc, char** argv) {
       WatersAssignOptions wopt;
       wopt.num_ecus = 4;
       assign_waters_parameters(g, wopt, rng);
-      const RtaResult rta = analyze_response_times(g);
-      if (!rta.all_schedulable) {
+      // Both hop-bound methods share the engine's RTA and chain caches.
+      const AnalysisEngine engine(std::move(g));
+      if (!engine.schedulable()) {
         --i;
         continue;
       }
-      const auto chains = enumerate_source_chains(g, g.sinks().front());
+      const TaskGraph& eg = engine.graph();
+      const auto& chains = engine.chains(eg.sinks().front());
       for (const Path& c : chains) {
-        w_np.add(wcbt_bound(g, c, rta.response_time,
-                            HopBoundMethod::kNonPreemptive)
-                     .as_ms());
-        w_ag.add(wcbt_bound(g, c, rta.response_time,
-                            HopBoundMethod::kSchedulingAgnostic)
-                     .as_ms());
+        w_np.add(
+            engine.chain_bounds(c, HopBoundMethod::kNonPreemptive).wcbt.as_ms());
+        w_ag.add(engine.chain_bounds(c, HopBoundMethod::kSchedulingAgnostic)
+                     .wcbt.as_ms());
       }
-      d_np.add(sdiff_pair_bound(g, chains[0], chains[1], rta.response_time,
+      d_np.add(sdiff_pair_bound(eg, chains[0], chains[1],
+                                engine.response_times(),
                                 HopBoundMethod::kNonPreemptive)
                    .bound.as_ms());
-      d_ag.add(sdiff_pair_bound(g, chains[0], chains[1], rta.response_time,
+      d_ag.add(sdiff_pair_bound(eg, chains[0], chains[1],
+                                engine.response_times(),
                                 HopBoundMethod::kSchedulingAgnostic)
                    .bound.as_ms());
     }
@@ -90,19 +91,17 @@ int main(int argc, char** argv) {
         t.ecu = 0;
         t.priority = prio++;
       }
-      g.validate();
-      const RtaResult rta = analyze_response_times(g);
-      if (!rta.all_schedulable) {
+      const AnalysisEngine engine(std::move(g));
+      if (!engine.schedulable()) {
         --i;
         continue;
       }
-      for (const Path& c : enumerate_source_chains(g, g.sinks().front())) {
-        w_np.add(wcbt_bound(g, c, rta.response_time,
-                            HopBoundMethod::kNonPreemptive)
-                     .as_ms());
-        w_ag.add(wcbt_bound(g, c, rta.response_time,
-                            HopBoundMethod::kSchedulingAgnostic)
-                     .as_ms());
+      for (const Path& c :
+           engine.chains(engine.graph().sinks().front())) {
+        w_np.add(
+            engine.chain_bounds(c, HopBoundMethod::kNonPreemptive).wcbt.as_ms());
+        w_ag.add(engine.chain_bounds(c, HopBoundMethod::kSchedulingAgnostic)
+                     .wcbt.as_ms());
       }
     }
     const double gain = (w_ag.mean() - w_np.mean()) / w_ag.mean();

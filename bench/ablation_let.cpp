@@ -8,14 +8,12 @@
 #include <iostream>
 
 #include "bench_util.hpp"
-#include "chain/backward_bounds.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
-#include "disparity/analyzer.hpp"
+#include "engine/analysis_engine.hpp"
 #include "experiments/table.hpp"
 #include "graph/generator.hpp"
 #include "graph/paths.hpp"
-#include "sched/npfp_rta.hpp"
 #include "sched/priority.hpp"
 #include "sim/engine.hpp"
 #include "waters/generator.hpp"
@@ -54,27 +52,30 @@ int main(int argc, char** argv) {
       WatersAssignOptions wopt;
       wopt.num_ecus = 4;
       assign_waters_parameters(g, wopt, rng);
-      if (!analyze_response_times(g).all_schedulable) {
+      // The analytical bounds ignore release offsets, so one engine built
+      // pre-randomization serves the schedulability gate and all bounds.
+      const AnalysisEngine engine(g);
+      if (!engine.schedulable()) {
         --i;
         continue;
       }
       Rng offset_rng = rng.split();
       randomize_offsets(g, offset_rng);
       const TaskId sink = g.sinks().front();
-      const RtaResult rta = analyze_response_times(g);
-      const auto chains = enumerate_source_chains(g, sink);
+      const auto& chains = engine.chains(sink);
 
       TaskGraph let_graph = g;
       let_graph.set_comm_semantics(CommSemantics::kLet);
+      // LET timing is scheduler-independent; share the implicit-mode WCRTs
+      // via the engine's external response-time mode.
+      const AnalysisEngine let_engine(let_graph, engine.response_times());
 
       for (const Path& c : chains) {
-        w_impl.add(wcbt_bound(g, c, rta.response_time).as_ms());
-        w_let.add(wcbt_bound(let_graph, c, rta.response_time).as_ms());
+        w_impl.add(engine.chain_bounds(c).wcbt.as_ms());
+        w_let.add(let_engine.chain_bounds(c).wcbt.as_ms());
       }
-      d_impl.add(
-          analyze_time_disparity(g, sink, rta.response_time).worst_case.as_ms());
-      d_let.add(analyze_time_disparity(let_graph, sink, rta.response_time)
-                    .worst_case.as_ms());
+      d_impl.add(engine.disparity(sink).worst_case.as_ms());
+      d_let.add(let_engine.disparity(sink).worst_case.as_ms());
       s_impl.add(measure(g, sink, rng.split().seed()).as_ms());
       // LET determinism: for fixed offsets, the measured disparity must
       // not move across execution-time randomizations.

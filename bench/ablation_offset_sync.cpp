@@ -22,9 +22,9 @@
 #include "disparity/exact.hpp"
 #include "disparity/multi_buffer.hpp"
 #include "disparity/offset_opt.hpp"
+#include "engine/analysis_engine.hpp"
 #include "experiments/table.hpp"
 #include "graph/generator.hpp"
-#include "sched/npfp_rta.hpp"
 #include "sched/priority.hpp"
 #include "waters/generator.hpp"
 
@@ -64,19 +64,18 @@ void run_table(const char* label, bool harmonic, std::size_t instances,
       g.set_comm_semantics(CommSemantics::kLet);
       Rng offset_rng = rng.split();
       randomize_offsets(g, offset_rng);
-      if (!analyze_response_times(g).all_schedulable) {
+      const AnalysisEngine engine(g);
+      if (!engine.schedulable()) {
         --i;
         continue;
       }
       const TaskId sink = g.sinks().front();
-      const RtaResult rta = analyze_response_times(g);
 
       const Duration baseline =
           exact_let_disparity(g, sink).worst_disparity;
       base.add(baseline.as_ms());
 
-      const MultiBufferDesign d =
-          design_buffers_for_task(g, sink, rta.response_time);
+      const MultiBufferDesign d = engine.optimize_buffers(sink);
       TaskGraph buffered = g;
       apply_multi_buffer_design(buffered, d);
       buf.add(exact_let_disparity(buffered, sink).worst_disparity.as_ms());

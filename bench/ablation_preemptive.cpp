@@ -13,11 +13,10 @@
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
-#include "disparity/analyzer.hpp"
+#include "engine/analysis_engine.hpp"
 #include "experiments/table.hpp"
 #include "graph/generator.hpp"
 #include "graph/paths.hpp"
-#include "sched/npfp_rta.hpp"
 #include "sched/priority.hpp"
 #include "sim/engine.hpp"
 #include "waters/generator.hpp"
@@ -42,12 +41,14 @@ int main(int argc, char** argv) {
       WatersAssignOptions wopt;
       wopt.num_ecus = 2;  // denser ECUs -> more contention
       assign_waters_parameters(g, wopt, rng);
-      RtaOptions np;
-      RtaOptions p;
-      p.policy = SchedPolicy::kPreemptive;
-      const RtaResult rta_np = analyze_response_times(g, np);
-      const RtaResult rta_p = analyze_response_times(g, p);
-      if (!rta_np.all_schedulable || !rta_p.all_schedulable) {
+      // Two engines over the same graph, differing only in the dispatch
+      // policy of their owned RTA (offsets ignored by the analysis).
+      EngineOptions np;
+      EngineOptions p;
+      p.rta.policy = SchedPolicy::kPreemptive;
+      const AnalysisEngine engine_np(g, np);
+      const AnalysisEngine engine_p(g, p);
+      if (!engine_np.schedulable() || !engine_p.schedulable()) {
         --i;
         continue;
       }
@@ -58,20 +59,17 @@ int main(int argc, char** argv) {
       Duration worst_np = Duration::zero();
       Duration worst_p = Duration::zero();
       for (TaskId id = 0; id < g.num_tasks(); ++id) {
-        worst_np = std::max(worst_np, rta_np.response_time[id]);
-        worst_p = std::max(worst_p, rta_p.response_time[id]);
+        worst_np = std::max(worst_np, engine_np.response_times()[id]);
+        worst_p = std::max(worst_p, engine_p.response_times()[id]);
       }
       r_np.add(worst_np.as_ms());
       r_p.add(worst_p.as_ms());
 
       // NP uses Lemma 4 hops; preemptive must use the agnostic hops.
-      DisparityOptions d1;
-      d_np.add(analyze_time_disparity(g, sink, rta_np.response_time, d1)
-                   .worst_case.as_ms());
+      d_np.add(engine_np.disparity(sink).worst_case.as_ms());
       DisparityOptions d2;
       d2.hop_method = HopBoundMethod::kSchedulingAgnostic;
-      d_p.add(analyze_time_disparity(g, sink, rta_p.response_time, d2)
-                  .worst_case.as_ms());
+      d_p.add(engine_p.disparity(sink, d2).worst_case.as_ms());
 
       SimOptions sopt;
       sopt.duration = Duration::s(4);

@@ -1,4 +1,6 @@
-// Tiny command-line helpers shared by the figure-reproduction benches.
+// Tiny command-line helpers shared by the figure-reproduction benches,
+// plus a minimal JSON emitter for machine-readable bench results
+// (BENCH_*.json).
 //
 // Flags:
 //   --fast        smaller sweep for smoke runs
@@ -11,9 +13,37 @@
 #include <cstdint>
 #include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 namespace ceta::bench {
+
+/// Flat JSON object builder — just enough for bench result files; keys are
+/// emitted in insertion order and must not need escaping.
+class JsonObject {
+ public:
+  JsonObject& add(const std::string& key, double value) {
+    std::ostringstream os;
+    os << value;
+    return add_raw(key, os.str());
+  }
+  JsonObject& add(const std::string& key, std::int64_t value) {
+    return add_raw(key, std::to_string(value));
+  }
+  JsonObject& add(const std::string& key, const std::string& value) {
+    return add_raw(key, "\"" + value + "\"");
+  }
+  /// Nest a sub-object (or any preformatted JSON value).
+  JsonObject& add_raw(const std::string& key, const std::string& json) {
+    body_ += (body_.empty() ? "" : ",\n  ");
+    body_ += "\"" + key + "\": " + json;
+    return *this;
+  }
+  std::string str() const { return "{\n  " + body_ + "\n}\n"; }
+
+ private:
+  std::string body_;
+};
 
 struct CliOptions {
   bool fast = false;

@@ -1,15 +1,29 @@
 // Performance microbenchmarks of the analysis path: response-time
 // analysis, chain enumeration, Theorem 1/2 pair bounds, task-level
-// disparity analysis and Algorithm 1, across graph sizes.
+// disparity analysis and Algorithm 1, across graph sizes — plus the
+// AnalysisEngine facade against the free-function path (cold cache, warm
+// cache, and disparity_all at several thread counts).  After the
+// google-benchmark run, a manual engine-vs-free comparison on a Fig. 6
+// style workload is written to BENCH_engine.json.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
 #include "chain/critical.hpp"
 #include "common/rng.hpp"
 #include "disparity/analyzer.hpp"
 #include "disparity/buffer_opt.hpp"
 #include "disparity/exact.hpp"
 #include "disparity/sensitivity.hpp"
+#include "engine/analysis_engine.hpp"
+#include "engine/thread_pool.hpp"
+#include "experiments/table.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generator.hpp"
 #include "graph/paths.hpp"
@@ -162,6 +176,165 @@ void BM_AncestorSubgraph(benchmark::State& state) {
 }
 BENCHMARK(BM_AncestorSubgraph);
 
+// ---- AnalysisEngine vs free functions -------------------------------------
+
+/// Free-function session: RTA + task-level S-diff from scratch (what a
+/// caller without the engine pays per analysis).
+void BM_FreeFunctionDisparity(benchmark::State& state) {
+  const TaskGraph g = make_graph(static_cast<std::size_t>(state.range(0)), 4);
+  const TaskId sink = g.sinks().front();
+  for (auto _ : state) {
+    const RtaResult rta = analyze_response_times(g);
+    benchmark::DoNotOptimize(
+        analyze_time_disparity(g, sink, rta.response_time));
+  }
+}
+BENCHMARK(BM_FreeFunctionDisparity)->Arg(10)->Arg(20)->Arg(35);
+
+/// Cold cache: a fresh engine per iteration (graph copy + RTA + analysis;
+/// the facade's one-shot overhead over the free path).
+void BM_EngineDisparityCold(benchmark::State& state) {
+  const TaskGraph g = make_graph(static_cast<std::size_t>(state.range(0)), 4);
+  const TaskId sink = g.sinks().front();
+  for (auto _ : state) {
+    const AnalysisEngine engine(g);
+    benchmark::DoNotOptimize(engine.disparity(sink));
+  }
+}
+BENCHMARK(BM_EngineDisparityCold)->Arg(10)->Arg(20)->Arg(35);
+
+/// Warm cache: repeated queries against one engine (the session pattern
+/// the facade exists for).
+void BM_EngineDisparityWarm(benchmark::State& state) {
+  const AnalysisEngine engine(
+      make_graph(static_cast<std::size_t>(state.range(0)), 4));
+  const TaskId sink = engine.graph().sinks().front();
+  (void)engine.disparity(sink);  // populate
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.disparity(sink));
+  }
+}
+BENCHMARK(BM_EngineDisparityWarm)->Arg(10)->Arg(20)->Arg(35);
+
+/// Batch analysis of every fusing task, serial vs 2 vs default threads.
+/// A fresh engine per iteration so every report is actually computed.
+void BM_DisparityAll(benchmark::State& state) {
+  const TaskGraph g = make_graph(35, 4);
+  EngineOptions opt;
+  opt.num_threads = static_cast<std::size_t>(state.range(0));
+  const std::vector<TaskId> tasks = AnalysisEngine(g).fusing_tasks();
+  for (auto _ : state) {
+    const AnalysisEngine engine(g, opt);
+    benchmark::DoNotOptimize(engine.disparity_all(tasks));
+  }
+  state.counters["tasks"] = static_cast<double>(tasks.size());
+}
+BENCHMARK(BM_DisparityAll)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(static_cast<long>(ThreadPool::default_concurrency()));
+
+// ---- manual engine-vs-free comparison -> BENCH_engine.json ----------------
+
+double time_ns(const std::function<void()>& fn, int iters) {
+  // One untimed warm-up run, then the mean over `iters`.
+  fn();
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+                 .count()) /
+         iters;
+}
+
+/// Fig. 6-style workload: the full per-instance analysis session (P-diff +
+/// S-diff of the sink) via free functions vs one engine, plus the batch
+/// path.  Writes BENCH_engine.json.
+void write_engine_comparison(const std::string& path) {
+  const TaskGraph g = make_graph(35, 1);
+  const TaskId sink = g.sinks().front();
+  DisparityOptions pdiff;
+  pdiff.method = DisparityMethod::kIndependent;
+  constexpr int kIters = 50;
+
+  const double free_session_ns = time_ns(
+      [&] {
+        const RtaResult rta = analyze_response_times(g);
+        benchmark::DoNotOptimize(
+            analyze_time_disparity(g, sink, rta.response_time, pdiff));
+        benchmark::DoNotOptimize(
+            analyze_time_disparity(g, sink, rta.response_time));
+      },
+      kIters);
+  const double engine_cold_ns = time_ns(
+      [&] {
+        const AnalysisEngine engine(g);
+        benchmark::DoNotOptimize(engine.disparity(sink, pdiff));
+        benchmark::DoNotOptimize(engine.disparity(sink));
+      },
+      kIters);
+
+  const AnalysisEngine warm(g);
+  (void)warm.disparity(sink);
+  const double free_single_ns = time_ns(
+      [&] {
+        const RtaResult rta = analyze_response_times(g);
+        benchmark::DoNotOptimize(
+            analyze_time_disparity(g, sink, rta.response_time));
+      },
+      kIters);
+  const double engine_warm_ns = time_ns(
+      [&] { benchmark::DoNotOptimize(warm.disparity(sink)); }, kIters);
+
+  const std::vector<TaskId> tasks = warm.fusing_tasks();
+  auto batch_ns = [&](std::size_t threads) {
+    EngineOptions opt;
+    opt.num_threads = threads;
+    return time_ns(
+        [&] {
+          const AnalysisEngine engine(g, opt);
+          benchmark::DoNotOptimize(engine.disparity_all(tasks));
+        },
+        10);
+  };
+  const double batch1 = batch_ns(1);
+  const double batch2 = batch_ns(2);
+  const std::size_t n_default = ThreadPool::default_concurrency();
+  const double batchn = batch_ns(n_default);
+
+  bench::JsonObject batch;
+  batch.add("tasks", static_cast<std::int64_t>(tasks.size()))
+      .add("threads_1_ns", batch1)
+      .add("threads_2_ns", batch2)
+      .add("threads_default", static_cast<std::int64_t>(n_default))
+      .add("threads_default_ns", batchn)
+      .add("speedup_2", batch1 / batch2)
+      .add("speedup_default", batch1 / batchn);
+
+  bench::JsonObject root;
+  root.add("bench", std::string("engine_vs_free"))
+      .add("graph_tasks", static_cast<std::int64_t>(g.num_tasks()))
+      .add("free_session_ns", free_session_ns)
+      .add("engine_cold_session_ns", engine_cold_ns)
+      .add("cold_overhead", engine_cold_ns / free_session_ns)
+      .add("free_single_ns", free_single_ns)
+      .add("engine_warm_ns", engine_warm_ns)
+      .add("warm_speedup", free_single_ns / engine_warm_ns)
+      .add_raw("disparity_all", batch.str());
+  write_file(path, root.str());
+  std::cout << "engine-vs-free comparison written to " << path
+            << " (warm speedup: " << free_single_ns / engine_warm_ns
+            << "x)\n";
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_engine_comparison("BENCH_engine.json");
+  return 0;
+}

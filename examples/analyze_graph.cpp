@@ -22,15 +22,12 @@
 #include <string>
 
 #include "chain/critical.hpp"
-#include "chain/latency.hpp"
-#include "disparity/analyzer.hpp"
-#include "disparity/multi_buffer.hpp"
 #include "disparity/requirements.hpp"
+#include "engine/analysis_engine.hpp"
 #include "experiments/table.hpp"
 #include "graph/dot.hpp"
 #include "graph/paths.hpp"
 #include "graph/serialize.hpp"
-#include "sched/npfp_rta.hpp"
 #include "sim/engine.hpp"
 
 namespace {
@@ -125,8 +122,10 @@ int main(int argc, char** argv) {
     std::cout << to_dot(g) << '\n';
   }
 
-  // Scheduling.
-  const RtaResult rta = analyze_response_times(g);
+  // One engine serves every analysis below; the RTA, chain sets and chain
+  // bounds are computed once and shared.
+  const AnalysisEngine engine(g);
+  const RtaResult& rta = engine.rta();
   ConsoleTable sched({"task", "T", "WCET", "R", "status"});
   for (TaskId id = 0; id < g.num_tasks(); ++id) {
     const Task& t = g.task(id);
@@ -155,14 +154,13 @@ int main(int argc, char** argv) {
   ConsoleTable lat({"chain", "WCBT", "BCBT", "max age", "max reaction"});
   for (const TaskId sink : g.sinks()) {
     const CriticalChain crit = critical_chain(g, sink, rta.response_time);
-    for (const Path& chain : enumerate_source_chains(g, sink)) {
-      const BackwardBounds b = backward_bounds(g, chain, rta.response_time);
+    for (const Path& chain : engine.chains(sink)) {
+      const LatencyReport r = engine.latency(chain);
       const bool is_critical = chain == crit.chain;
       lat.add_row({chain_to_string(g, chain) + (is_critical ? " *" : ""),
-                   to_string(b.wcbt), to_string(b.bcbt),
-                   to_string(max_data_age_bound(g, chain, rta.response_time)),
-                   to_string(max_reaction_time_bound(g, chain,
-                                                     rta.response_time))});
+                   to_string(r.backward.wcbt), to_string(r.backward.bcbt),
+                   to_string(r.max_data_age),
+                   to_string(r.max_reaction_time)});
     }
   }
   lat.print(std::cout);
@@ -171,19 +169,17 @@ int main(int argc, char** argv) {
   std::cout << "\nWorst-case time disparity (fusing tasks):\n";
   ConsoleTable disp({"task", "chains", "P-diff", "S-diff", "optimized",
                      "buffers"});
-  bool any = false;
-  for (TaskId id = 0; id < g.num_tasks(); ++id) {
-    if (count_source_chains(g, id) < 2) continue;
-    any = true;
-    DisparityOptions opt;
-    opt.method = DisparityMethod::kIndependent;
-    const Duration pdiff =
-        analyze_time_disparity(g, id, rta.response_time, opt).worst_case;
-    opt.method = DisparityMethod::kForkJoin;
-    const DisparityReport rep =
-        analyze_time_disparity(g, id, rta.response_time, opt);
-    const MultiBufferDesign d =
-        design_buffers_for_task(g, id, rta.response_time, opt);
+  // All fusing tasks are analyzed as one batch over the engine's thread
+  // pool; the P-diff pass reuses the same cached chain bounds.
+  const std::vector<TaskId> fusing = engine.fusing_tasks();
+  DisparityOptions popt;
+  popt.method = DisparityMethod::kIndependent;
+  const std::vector<DisparityReport> preports =
+      engine.disparity_all(fusing, popt);
+  const std::vector<DisparityReport> sreports = engine.disparity_all(fusing);
+  for (std::size_t i = 0; i < fusing.size(); ++i) {
+    const TaskId id = fusing[i];
+    const MultiBufferDesign d = engine.optimize_buffers(id);
     std::string buffers;
     for (const ChannelBuffer& cb : d.channels) {
       if (!buffers.empty()) buffers += ", ";
@@ -191,11 +187,12 @@ int main(int argc, char** argv) {
                  std::to_string(cb.buffer_size);
     }
     if (buffers.empty()) buffers = "-";
-    disp.add_row({g.task(id).name, std::to_string(rep.chains.size()),
-                  to_string(pdiff), to_string(rep.worst_case),
+    disp.add_row({g.task(id).name, std::to_string(sreports[i].chains.size()),
+                  to_string(preports[i].worst_case),
+                  to_string(sreports[i].worst_case),
                   to_string(d.optimized_bound), buffers});
   }
-  if (any) {
+  if (!fusing.empty()) {
     disp.print(std::cout);
   } else {
     std::cout << "  (no task fuses two or more source chains)\n";
@@ -256,10 +253,8 @@ int main(int argc, char** argv) {
     std::cout << "\nSimulation (" << sim_seconds
               << "s, uniform execution times):\n";
     bool safe = true;
-    for (TaskId id = 0; id < g.num_tasks(); ++id) {
-      if (count_source_chains(g, id) < 2) continue;
-      const Duration bound =
-          analyze_time_disparity(g, id, rta.response_time).worst_case;
+    for (const TaskId id : fusing) {
+      const Duration bound = engine.disparity(id).worst_case;  // cache hit
       std::cout << "  " << g.task(id).name << ": measured "
                 << to_string(res.max_disparity[id]) << "  (bound "
                 << to_string(bound) << ")\n";

@@ -12,11 +12,10 @@
 
 #include <iostream>
 
-#include "disparity/analyzer.hpp"
+#include "engine/analysis_engine.hpp"
 #include "graph/paths.hpp"
 #include "graph/task_graph.hpp"
 #include "sched/bus.hpp"
-#include "sched/npfp_rta.hpp"
 #include "sched/priority.hpp"
 #include "sim/engine.hpp"
 
@@ -91,8 +90,10 @@ int main() {
             << with_bus.num_tasks() - g.num_tasks()
             << " CAN messages inserted)\n";
 
-  const RtaResult rta = analyze_response_times(with_bus);
-  if (!rta.all_schedulable) {
+  // One engine for the whole bus-extended pipeline; both analyzed tasks
+  // and both methods share its RTA and chain-bound caches.
+  const AnalysisEngine engine(with_bus);
+  if (!engine.schedulable()) {
     std::cerr << "pipeline is not schedulable\n";
     return 1;
   }
@@ -103,12 +104,8 @@ int main() {
   for (TaskId analyzed : {fusion, control}) {
     DisparityOptions opt;
     opt.method = DisparityMethod::kIndependent;
-    const Duration pdiff =
-        analyze_time_disparity(with_bus, analyzed, rta.response_time, opt)
-            .worst_case;
-    opt.method = DisparityMethod::kForkJoin;
-    const DisparityReport rep =
-        analyze_time_disparity(with_bus, analyzed, rta.response_time, opt);
+    const Duration pdiff = engine.disparity(analyzed, opt).worst_case;
+    const DisparityReport rep = engine.disparity(analyzed);
     std::cout << "\n'" << with_bus.task(analyzed).name << "' fuses "
               << rep.chains.size() << " sensor chains:\n"
               << "  P-diff: " << to_string(pdiff) << '\n'

@@ -10,9 +10,9 @@
 
 #include "disparity/buffer_opt.hpp"
 #include "disparity/forkjoin.hpp"
+#include "engine/analysis_engine.hpp"
 #include "graph/paths.hpp"
 #include "graph/task_graph.hpp"
-#include "sched/npfp_rta.hpp"
 #include "sim/engine.hpp"
 
 namespace {
@@ -50,18 +50,17 @@ ceta::TaskGraph build(ceta::Duration p_period) {
 
 void report(const char* label, const ceta::TaskGraph& g) {
   using namespace ceta;
-  const RtaResult rta = analyze_response_times(g);
-  const auto chains = enumerate_source_chains(g, 4);
+  const AnalysisEngine engine(g);
+  const auto& chains = engine.chains(4);
   const ForkJoinBound fj =
-      sdiff_pair_bound(g, chains[0], chains[1], rta.response_time);
+      sdiff_pair_bound(g, chains[0], chains[1], engine.response_times());
   std::cout << label << "\n  sampling window via " << g.task(chains[0][1]).name
             << "-chain: " << to_string(fj.window_lambda)
             << "\n  sampling window via " << g.task(chains[1][1]).name
             << "-chain: " << to_string(fj.window_nu)
             << "\n  S-diff bound: " << to_string(fj.bound) << '\n';
 
-  const BufferDesign d =
-      design_buffer(g, chains[0], chains[1], rta.response_time);
+  const BufferDesign d = engine.optimize_buffer_pair(chains[0], chains[1]);
   std::cout << "  Algorithm 1: buffer of size " << d.buffer_size
             << " on channel " << g.task(d.from).name << " -> "
             << g.task(d.to).name << " (window shift L = "

@@ -15,16 +15,13 @@
 #include <iostream>
 
 #include "chain/critical.hpp"
-#include "chain/latency.hpp"
-#include "disparity/analyzer.hpp"
-#include "disparity/multi_buffer.hpp"
 #include "disparity/requirements.hpp"
 #include "disparity/sensitivity.hpp"
+#include "engine/analysis_engine.hpp"
 #include "experiments/table.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/paths.hpp"
 #include "sched/bus.hpp"
-#include "sched/npfp_rta.hpp"
 #include "sched/priority.hpp"
 #include "sim/engine.hpp"
 #include "sim/gantt.hpp"
@@ -138,7 +135,10 @@ int main() {
             << sys.num_edges() << " channels, "
             << resources_of(sys).size() << " resources\n";
 
-  const RtaResult rta = analyze_response_times(sys);
+  // One engine serves every analysis of the bus-extended system below:
+  // the RTA, chain sets and per-hop bounds are computed once and shared.
+  const AnalysisEngine engine(sys);
+  const RtaResult& rta = engine.rta();
   if (!rta.all_schedulable) {
     std::cerr << "system is not schedulable\n";
     for (TaskId id = 0; id < sys.num_tasks(); ++id) {
@@ -167,23 +167,21 @@ int main() {
   for (std::size_t i = 0; i < crit.chain.size(); ++i) {
     std::cout << (i ? " -> " : "") << sys.task(crit.chain[i]).name;
   }
-  std::cout << "\n  max data age: "
-            << to_string(max_data_age_bound(sys, crit.chain,
-                                            rta.response_time))
-            << ", max reaction: "
-            << to_string(max_reaction_time_bound(sys, crit.chain,
-                                                 rta.response_time))
-            << '\n';
+  const LatencyReport lat = engine.latency(crit.chain);
+  std::cout << "\n  max data age: " << to_string(lat.max_data_age)
+            << ", max reaction: " << to_string(lat.max_reaction_time) << '\n';
 
-  // Disparity at the fusion points.
+  // Disparity at every fusion point, analyzed as one batch over the
+  // engine's thread pool.
+  const std::vector<TaskId> fusing = engine.fusing_tasks();
+  const std::vector<DisparityReport> reps = engine.disparity_all(fusing);
   ConsoleTable disp({"task", "chains", "S-diff"});
-  for (const TaskId id : {fusion, track, plan, control}) {
-    const DisparityReport rep =
-        analyze_time_disparity(sys, id, rta.response_time);
-    disp.add_row({sys.task(id).name, std::to_string(rep.chains.size()),
-                  to_string(rep.worst_case)});
+  for (std::size_t i = 0; i < fusing.size(); ++i) {
+    disp.add_row({sys.task(fusing[i]).name,
+                  std::to_string(reps[i].chains.size()),
+                  to_string(reps[i].worst_case)});
   }
-  std::cout << "\nWorst-case time disparity:\n";
+  std::cout << "\nWorst-case time disparity (all fusion points):\n";
   disp.print(std::cout);
 
   // Sensitivity: which parameter moves the fusion disparity most?
@@ -200,8 +198,7 @@ int main() {
   }
 
   // What can buffering achieve at the fusion point?
-  const MultiBufferDesign mbd =
-      design_buffers_for_task(sys, sys_fusion, rta.response_time);
+  const MultiBufferDesign mbd = engine.optimize_buffers(sys_fusion);
   std::cout << "\nBuffer design at obstacle_fusion: "
             << to_string(mbd.baseline_bound) << " -> "
             << to_string(mbd.optimized_bound) << " via "
@@ -236,14 +233,13 @@ int main() {
       fixed.task(id).period = fixed.task(id).period / 2;
     }
   }
-  fixed.validate();
-  const RtaResult rta2 = analyze_response_times(fixed);
-  if (!rta2.all_schedulable) {
+  const AnalysisEngine fixed_engine(fixed);
+  if (!fixed_engine.schedulable()) {
     std::cerr << "fixed system is not schedulable\n";
     return 1;
   }
   const RequirementsReport rr2 = verify_disparity_requirements(
-      fixed, {{sys_fusion, budget}}, rta2.response_time);
+      fixed, {{sys_fusion, budget}}, fixed_engine.response_times());
   const RequirementOutcome& out2 = rr2.outcomes.front();
   std::cout << "After doubling the LiDAR pipeline rate: ";
   switch (out2.status) {

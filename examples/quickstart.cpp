@@ -9,10 +9,9 @@
 
 #include <iostream>
 
-#include "disparity/analyzer.hpp"
+#include "engine/analysis_engine.hpp"
 #include "graph/dot.hpp"
 #include "graph/task_graph.hpp"
-#include "sched/npfp_rta.hpp"
 #include "sim/engine.hpp"
 
 int main() {
@@ -52,8 +51,10 @@ int main() {
 
   std::cout << "Graph (DOT):\n" << to_dot(g) << '\n';
 
-  // 2. Worst-case response times under non-preemptive fixed priority.
-  const RtaResult rta = analyze_response_times(g);
+  // 2. Hand the graph to an analysis engine: it owns a copy and computes
+  //    (then memoizes) response times, chain sets and all bounds on demand.
+  const AnalysisEngine engine(g);
+  const RtaResult& rta = engine.rta();
   for (TaskId id = 0; id < g.num_tasks(); ++id) {
     std::cout << "R(" << g.task(id).name
               << ") = " << to_string(rta.response_time[id])
@@ -61,14 +62,11 @@ int main() {
   }
 
   // 3. Bound the worst-case time disparity of the fusion task with both
-  //    analyses of the paper.
+  //    analyses of the paper (they share the engine's cached chain bounds).
   DisparityOptions opt;
   opt.method = DisparityMethod::kIndependent;
-  const Duration pdiff =
-      analyze_time_disparity(g, fuse, rta.response_time, opt).worst_case;
-  opt.method = DisparityMethod::kForkJoin;
-  const DisparityReport sdiff =
-      analyze_time_disparity(g, fuse, rta.response_time, opt);
+  const Duration pdiff = engine.disparity(fuse, opt).worst_case;
+  const DisparityReport sdiff = engine.disparity(fuse);
 
   std::cout << "\nWorst-case time disparity of 'fuse':\n"
             << "  P-diff (Theorem 1, independent chains): "

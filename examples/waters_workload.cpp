@@ -7,11 +7,10 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "disparity/analyzer.hpp"
+#include "engine/analysis_engine.hpp"
 #include "experiments/table.hpp"
 #include "graph/generator.hpp"
 #include "graph/paths.hpp"
-#include "sched/npfp_rta.hpp"
 #include "sim/engine.hpp"
 #include "waters/generator.hpp"
 
@@ -58,8 +57,8 @@ int main(int argc, char** argv) {
             << " edges):\n";
   table.print(std::cout);
 
-  const RtaResult rta = analyze_response_times(g);
-  if (!rta.all_schedulable) {
+  const AnalysisEngine engine(g);
+  if (!engine.schedulable()) {
     std::cerr << "unschedulable draw (unexpected for WATERS utilizations)\n";
     return 1;
   }
@@ -70,11 +69,8 @@ int main(int argc, char** argv) {
 
   DisparityOptions opt;
   opt.method = DisparityMethod::kIndependent;
-  const Duration pdiff =
-      analyze_time_disparity(g, sink, rta.response_time, opt).worst_case;
-  opt.method = DisparityMethod::kForkJoin;
-  const DisparityReport rep =
-      analyze_time_disparity(g, sink, rta.response_time, opt);
+  const Duration pdiff = engine.disparity(sink, opt).worst_case;
+  const DisparityReport rep = engine.disparity(sink);
   std::cout << "\nSink '" << g.task(sink).name << "' fuses "
             << rep.chains.size() << " chains\n"
             << "  P-diff: " << to_string(pdiff) << '\n'

@@ -19,12 +19,13 @@ void check_chain(const TaskGraph& g, const Path& chain,
   }
 }
 
-/// Extra backward shift contributed by FIFO channels along the chain:
-/// Σ (buf_i − 1)·T(π^i), with the producer's release jitter widening the
-/// window by ±J (the n−1 release gaps telescope to (n−1)T ± J).  For the
-/// head channel this is Lemma 6; the same sliding-window argument applies
-/// hop-wise (each producer emits one token per period, and consumers read
-/// the oldest of the last n).
+}  // namespace
+
+// Σ (buf_i − 1)·T(π^i), with the producer's release jitter widening the
+// window by ±J (the n−1 release gaps telescope to (n−1)T ± J).  For the
+// head channel this is Lemma 6; the same sliding-window argument applies
+// hop-wise (each producer emits one token per period, and consumers read
+// the oldest of the last n).
 Duration fifo_shift_upper(const TaskGraph& g, const Path& chain) {
   Duration shift = Duration::zero();
   for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
@@ -46,8 +47,6 @@ Duration fifo_shift_lower(const TaskGraph& g, const Path& chain) {
   }
   return shift;
 }
-
-}  // namespace
 
 Duration hop_bound(const TaskGraph& g, TaskId from, TaskId to,
                    const ResponseTimeMap& rtm, HopBoundMethod method) {

@@ -19,6 +19,8 @@
 
 #pragma once
 
+#include <functional>
+
 #include "graph/paths.hpp"
 #include "graph/task_graph.hpp"
 #include "sched/npfp_rta.hpp"
@@ -62,6 +64,19 @@ Duration bcbt_bound(const TaskGraph& g, const Path& chain,
 BackwardBounds backward_bounds(
     const TaskGraph& g, const Path& chain, const ResponseTimeMap& rtm,
     HopBoundMethod method = HopBoundMethod::kNonPreemptive);
+
+/// A pluggable source of chain backward bounds.  The pair analyses
+/// (Theorem 1/2) evaluate bounds for many overlapping (sub-)chains; a
+/// provider lets a session cache (engine/AnalysisEngine) memoize them.
+/// Must return exactly what `backward_bounds` returns for the same chain.
+using BackwardBoundsFn =
+    std::function<BackwardBounds(const Path& chain, HopBoundMethod method)>;
+
+/// Extra backward shift contributed by FIFO channels along the chain
+/// (Lemma 6 applied hop-wise): upper / lower window edge.  Zero for a
+/// chain of unbuffered (size-1) channels.
+Duration fifo_shift_upper(const TaskGraph& g, const Path& chain);
+Duration fifo_shift_lower(const TaskGraph& g, const Path& chain);
 
 /// Lemma 6: bounds of the chain whose π^1→π^2 channel is a FIFO of size n
 /// (long-term behavior, buffer full): both bounds shift by (n−1)·T(π^1).

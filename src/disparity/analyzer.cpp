@@ -48,12 +48,22 @@ bool structure_free(const Path& a, const Path& b) {
   return common == 1;  // exactly the shared tail
 }
 
-/// One pair under the given options, reusing cached full-chain bounds.
-Duration pair_bound_cached(const TaskGraph& g, const Path& a, const Path& b,
-                           const BackwardBounds& full_a,
-                           const BackwardBounds& full_b,
-                           const ResponseTimeMap& rtm,
-                           const DisparityOptions& opt) {
+/// Provider evaluating bounds directly (the un-memoized default).
+BackwardBoundsFn direct_bounds(const TaskGraph& g,
+                               const ResponseTimeMap& rtm) {
+  return [&g, &rtm](const Path& chain, HopBoundMethod m) {
+    return backward_bounds(g, chain, rtm, m);
+  };
+}
+
+}  // namespace
+
+Duration pair_disparity_bound_from(const TaskGraph& g, const Path& a,
+                                   const Path& b,
+                                   const BackwardBounds& full_a,
+                                   const BackwardBounds& full_b,
+                                   const DisparityOptions& opt,
+                                   const BackwardBoundsFn& bounds) {
   const bool truncate = should_truncate(opt);
   if (opt.method == DisparityMethod::kIndependent && !truncate) {
     return pdiff_from_bounds(g, a, b, full_a, full_b);
@@ -73,7 +83,7 @@ Duration pair_bound_cached(const TaskGraph& g, const Path& a, const Path& b,
     lb = &tb;
   }
   if (opt.method == DisparityMethod::kIndependent) {
-    return pdiff_pair_bound(g, *la, *lb, rtm, opt.hop_method);
+    return pdiff_pair_bound(g, *la, *lb, opt.hop_method, bounds);
   }
   // S-diff: Theorem 2, clamped by Theorem 1 (on the same truncated chains
   // and on the full chains).  All three are safe bounds; Theorem 2 alone
@@ -81,13 +91,11 @@ Duration pair_bound_cached(const TaskGraph& g, const Path& a, const Path& b,
   // decomposition re-counts response-time slack at every joint and can
   // exceed Theorem 1 by O(R) in rare instances — and the clamp keeps the
   // reported S-diff <= P-diff by construction.
-  Duration best = sdiff_pair_bound(g, *la, *lb, rtm, opt.hop_method).bound;
-  best = std::min(best, pdiff_pair_bound(g, *la, *lb, rtm, opt.hop_method));
+  Duration best = sdiff_pair_bound(g, *la, *lb, opt.hop_method, bounds).bound;
+  best = std::min(best, pdiff_pair_bound(g, *la, *lb, opt.hop_method, bounds));
   best = std::min(best, pdiff_from_bounds(g, a, b, full_a, full_b));
   return best;
 }
-
-}  // namespace
 
 std::pair<Path, Path> truncate_at_last_joint(const Path& a, const Path& b) {
   CETA_EXPECTS(!a.empty() && !b.empty(), "truncate_at_last_joint: empty");
@@ -112,7 +120,8 @@ Duration pair_disparity_bound(const TaskGraph& g, const Path& a,
   CETA_EXPECTS(a != b, "pair_disparity_bound: chains must differ");
   const BackwardBounds full_a = backward_bounds(g, a, rtm, opt.hop_method);
   const BackwardBounds full_b = backward_bounds(g, b, rtm, opt.hop_method);
-  return pair_bound_cached(g, a, b, full_a, full_b, rtm, opt);
+  return pair_disparity_bound_from(g, a, b, full_a, full_b, opt,
+                                   direct_bounds(g, rtm));
 }
 
 DisparityReport analyze_time_disparity(const TaskGraph& g, TaskId task,
@@ -130,11 +139,12 @@ DisparityReport analyze_time_disparity(const TaskGraph& g, TaskId task,
     full.push_back(backward_bounds(g, c, rtm, opt.hop_method));
   }
 
+  const BackwardBoundsFn bounds = direct_bounds(g, rtm);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
       const Duration bound =
-          pair_bound_cached(g, report.chains[i], report.chains[j], full[i],
-                            full[j], rtm, opt);
+          pair_disparity_bound_from(g, report.chains[i], report.chains[j],
+                                    full[i], full[j], opt, bounds);
       report.pairs.push_back(PairDisparity{i, j, bound});
       report.worst_case = std::max(report.worst_case, bound);
     }

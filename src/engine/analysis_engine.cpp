@@ -1,0 +1,323 @@
+#include "engine/analysis_engine.hpp"
+
+#include <future>
+#include <utility>
+
+#include "chain/latency.hpp"
+#include "common/error.hpp"
+#include "engine/thread_pool.hpp"
+
+namespace ceta {
+
+namespace {
+
+/// FNV-1a over a byte-sized stream of values.
+std::size_t hash_mix(std::size_t seed, std::uint64_t v) {
+  seed ^= static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ull + (seed << 6) +
+          (seed >> 2);
+  return seed;
+}
+
+}  // namespace
+
+std::size_t AnalysisEngine::ChainKeyHash::operator()(const ChainKey& k) const {
+  std::size_t h = hash_mix(0, static_cast<std::uint64_t>(k.method));
+  for (const TaskId id : k.chain) h = hash_mix(h, id);
+  return h;
+}
+
+std::size_t AnalysisEngine::ReportKeyHash::operator()(
+    const ReportKey& k) const {
+  std::size_t h = hash_mix(0, k.task);
+  h = hash_mix(h, static_cast<std::uint64_t>(k.method));
+  h = hash_mix(h, static_cast<std::uint64_t>(k.hop_method));
+  h = hash_mix(h, k.path_cap);
+  h = hash_mix(h, static_cast<std::uint64_t>(k.truncation));
+  return h;
+}
+
+AnalysisEngine::AnalysisEngine(TaskGraph graph, EngineOptions opt)
+    : graph_(std::move(graph)), opt_(opt) {
+  graph_.validate();
+}
+
+AnalysisEngine::AnalysisEngine(TaskGraph graph, ResponseTimeMap rtm,
+                               EngineOptions opt)
+    : graph_(std::move(graph)), opt_(opt) {
+  graph_.validate();
+  CETA_EXPECTS(rtm.size() == graph_.num_tasks(),
+               "AnalysisEngine: response-time map size mismatch");
+  external_rtm_ = std::make_unique<ResponseTimeMap>(std::move(rtm));
+}
+
+AnalysisEngine::~AnalysisEngine() = default;
+
+void AnalysisEngine::ensure_rta() const {
+  const std::lock_guard<std::mutex> lock(rta_mutex_);
+  if (rta_ || external_rtm_) return;
+  rta_ = std::make_unique<RtaResult>(analyze_response_times(graph_, opt_.rta));
+  ++rta_runs_;
+}
+
+const RtaResult& AnalysisEngine::rta() const {
+  CETA_EXPECTS(!external_rtm_,
+               "AnalysisEngine::rta: engine adopted an external "
+               "response-time map and owns no RtaResult");
+  ensure_rta();
+  return *rta_;
+}
+
+const ResponseTimeMap& AnalysisEngine::response_times() const {
+  if (external_rtm_) return *external_rtm_;
+  ensure_rta();
+  return rta_->response_time;
+}
+
+bool AnalysisEngine::schedulable() const {
+  if (external_rtm_) {
+    for (const Duration r : *external_rtm_) {
+      if (r == Duration::max()) return false;
+    }
+    return true;
+  }
+  return rta().all_schedulable;
+}
+
+Duration AnalysisEngine::hop(TaskId from, TaskId to,
+                             HopBoundMethod method) const {
+  // Edge ids are dense (< num_tasks each), so (from, to, method) packs
+  // losslessly into one word.
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(from) * graph_.num_tasks() + to) * 2 +
+      static_cast<std::uint64_t>(method);
+  {
+    const std::lock_guard<std::mutex> lock(hop_mutex_);
+    const auto it = hop_cache_.find(key);
+    if (it != hop_cache_.end()) {
+      ++hop_hits_;
+      return it->second;
+    }
+  }
+  const Duration theta =
+      hop_bound(graph_, from, to, response_times(), method);
+  const std::lock_guard<std::mutex> lock(hop_mutex_);
+  ++hop_misses_;
+  hop_cache_.emplace(key, theta);
+  return theta;
+}
+
+BackwardBounds AnalysisEngine::chain_bounds(const Path& chain,
+                                            HopBoundMethod method) const {
+  ChainKey key{chain, method};
+  {
+    const std::lock_guard<std::mutex> lock(chain_bound_mutex_);
+    const auto it = chain_bound_cache_.find(key);
+    if (it != chain_bound_cache_.end()) {
+      ++chain_bound_hits_;
+      return it->second;
+    }
+  }
+  // B(π) first: bcbt_bound validates the chain (path of the graph, finite
+  // WCRTs), exactly like the free backward_bounds entry point.  W(π) is
+  // then assembled from the memoized hops — bit-identical to wcbt_bound,
+  // which sums the same θs left to right.
+  BackwardBounds b;
+  b.bcbt = bcbt_bound(graph_, chain, response_times());
+  if (chain.size() == 1) {
+    b.wcbt = Duration::zero();
+  } else {
+    Duration total = Duration::zero();
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+      total += hop(chain[i], chain[i + 1], method);
+    }
+    b.wcbt = total + fifo_shift_upper(graph_, chain);
+  }
+  const std::lock_guard<std::mutex> lock(chain_bound_mutex_);
+  ++chain_bound_misses_;
+  chain_bound_cache_.emplace(std::move(key), b);
+  return b;
+}
+
+const std::vector<Path>& AnalysisEngine::chains(TaskId task,
+                                                std::size_t path_cap) const {
+  CETA_EXPECTS(task < graph_.num_tasks(), "AnalysisEngine::chains: bad id");
+  const std::uint64_t key =
+      static_cast<std::uint64_t>(task) ^ (static_cast<std::uint64_t>(path_cap)
+                                          << 32);
+  {
+    const std::lock_guard<std::mutex> lock(chain_set_mutex_);
+    const auto it = chain_set_cache_.find(key);
+    if (it != chain_set_cache_.end()) {
+      ++chain_set_hits_;
+      return *it->second;
+    }
+  }
+  auto set = std::make_unique<std::vector<Path>>(
+      enumerate_source_chains(graph_, task, path_cap));
+  const std::lock_guard<std::mutex> lock(chain_set_mutex_);
+  // A concurrent caller may have inserted meanwhile; keep the first entry
+  // (both are identical) so previously returned references stay unique.
+  auto [it, inserted] = chain_set_cache_.emplace(key, std::move(set));
+  if (inserted) {
+    ++chain_set_misses_;
+  } else {
+    ++chain_set_hits_;
+  }
+  return *it->second;
+}
+
+std::vector<TaskId> AnalysisEngine::fusing_tasks() const {
+  std::vector<TaskId> out;
+  for (TaskId id = 0; id < graph_.num_tasks(); ++id) {
+    if (count_source_chains(graph_, id) >= 2) out.push_back(id);
+  }
+  return out;
+}
+
+BackwardBoundsFn AnalysisEngine::bounds_provider() const {
+  return [this](const Path& chain, HopBoundMethod m) {
+    return chain_bounds(chain, m);
+  };
+}
+
+DisparityReport AnalysisEngine::disparity(TaskId task,
+                                          const DisparityOptions& opt) const {
+  CETA_EXPECTS(task < graph_.num_tasks(), "analyze_time_disparity: bad task id");
+  const ReportKey key{task, opt.method, opt.hop_method, opt.path_cap,
+                      opt.truncation};
+  {
+    const std::lock_guard<std::mutex> lock(report_mutex_);
+    const auto it = report_cache_.find(key);
+    if (it != report_cache_.end()) {
+      ++report_hits_;
+      return *it->second;
+    }
+  }
+
+  // Mirror of analyze_time_disparity, with the chain set, the full-chain
+  // bounds and every sub-chain bound pulled from the engine's caches.
+  auto report = std::make_shared<DisparityReport>();
+  report->worst_case = Duration::zero();
+  report->chains = chains(task, opt.path_cap);
+
+  const std::size_t n = report->chains.size();
+  std::vector<BackwardBounds> full;
+  full.reserve(n);
+  for (const Path& c : report->chains) {
+    full.push_back(chain_bounds(c, opt.hop_method));
+  }
+
+  const BackwardBoundsFn bounds = bounds_provider();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Duration bound =
+          pair_disparity_bound_from(graph_, report->chains[i],
+                                    report->chains[j], full[i], full[j], opt,
+                                    bounds);
+      report->pairs.push_back(PairDisparity{i, j, bound});
+      report->worst_case = std::max(report->worst_case, bound);
+    }
+  }
+
+  const std::lock_guard<std::mutex> lock(report_mutex_);
+  auto [it, inserted] = report_cache_.emplace(key, std::move(report));
+  if (inserted) {
+    ++report_misses_;
+  } else {
+    ++report_hits_;
+  }
+  return *it->second;
+}
+
+ThreadPool& AnalysisEngine::pool() const {
+  const std::lock_guard<std::mutex> lock(pool_mutex_);
+  if (!pool_) {
+    const std::size_t n = opt_.num_threads == 0
+                              ? ThreadPool::default_concurrency()
+                              : opt_.num_threads;
+    pool_ = std::make_unique<ThreadPool>(n);
+  }
+  return *pool_;
+}
+
+std::vector<DisparityReport> AnalysisEngine::disparity_all(
+    const std::vector<TaskId>& tasks, const DisparityOptions& opt) const {
+  std::vector<DisparityReport> out(tasks.size());
+  const std::size_t threads = opt_.num_threads == 0
+                                  ? ThreadPool::default_concurrency()
+                                  : opt_.num_threads;
+  if (threads <= 1 || tasks.size() < 2) {
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      out[i] = disparity(tasks[i], opt);
+    }
+    return out;
+  }
+
+  // Fan each task out as one unit; results land positionally so the output
+  // is independent of completion order.  Worker exceptions (CapacityError
+  // on a dense sink, ...) surface at get(), like in the serial loop.
+  ThreadPool& p = pool();
+  std::vector<std::future<DisparityReport>> results;
+  results.reserve(tasks.size());
+  for (const TaskId task : tasks) {
+    results.push_back(
+        p.submit([this, task, &opt] { return disparity(task, opt); }));
+  }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    out[i] = results[i].get();
+  }
+  return out;
+}
+
+LatencyReport AnalysisEngine::latency(const Path& chain,
+                                      HopBoundMethod method) const {
+  const ResponseTimeMap& rtm = response_times();
+  LatencyReport r;
+  r.backward = chain_bounds(chain, method);
+  r.max_data_age = r.backward.wcbt + rtm.at(chain.back());
+  r.min_data_age = r.backward.bcbt + graph_.task(chain.back()).bcet;
+  r.max_reaction_time = max_reaction_time_bound(graph_, chain, rtm);
+  return r;
+}
+
+BufferDesign AnalysisEngine::optimize_buffer_pair(const Path& lambda,
+                                                  const Path& nu,
+                                                  HopBoundMethod method) const {
+  return design_buffer(graph_, lambda, nu, response_times(), method);
+}
+
+MultiBufferDesign AnalysisEngine::optimize_buffers(
+    TaskId task, const DisparityOptions& opt) const {
+  return design_buffers_for_task(graph_, task, response_times(), opt);
+}
+
+EngineCacheStats AnalysisEngine::cache_stats() const {
+  EngineCacheStats s;
+  {
+    const std::lock_guard<std::mutex> lock(rta_mutex_);
+    s.rta_runs = rta_runs_;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(hop_mutex_);
+    s.hop_hits = hop_hits_;
+    s.hop_misses = hop_misses_;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(chain_bound_mutex_);
+    s.chain_bound_hits = chain_bound_hits_;
+    s.chain_bound_misses = chain_bound_misses_;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(chain_set_mutex_);
+    s.chain_set_hits = chain_set_hits_;
+    s.chain_set_misses = chain_set_misses_;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(report_mutex_);
+    s.report_hits = report_hits_;
+    s.report_misses = report_misses_;
+  }
+  return s;
+}
+
+}  // namespace ceta

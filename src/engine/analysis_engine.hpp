@@ -1,0 +1,229 @@
+// AnalysisEngine — the session facade over the analysis stack.
+//
+// Every analysis of this library decomposes into the same shared
+// subproblems: the NP-FP response-time fixpoint (one per graph), the
+// enumerated source→task chain sets (one per analyzed task), the per-edge
+// hop bounds θ(τ_i, τ_{i+1}) of Lemma 4, and the per-chain backward-time
+// bounds W(π)/B(π) of Lemmas 4–5.  The free functions in sched/, chain/
+// and disparity/ recompute them on every call, which is the right
+// granularity for one-shot use but wasteful for sessions that analyze
+// many sinks, methods or trials of the *same* graph (the Fig. 6 sweeps,
+// the ablation benches, a what-if design loop).
+//
+// An AnalysisEngine owns an immutable copy of the graph plus lazily
+// computed, memoized artifacts of all four kinds, and re-exposes the
+// analyses as methods that share them:
+//
+//   AnalysisEngine engine(graph);
+//   if (!engine.rta().all_schedulable) ...          // fixpoint runs once
+//   engine.disparity(sink);                          // Theorem 1/2 analyzer
+//   engine.latency(chain);                           // data age / reaction
+//   engine.optimize_buffers(sink);                   // §IV buffer design
+//   engine.disparity_all(engine.fusing_tasks());     // parallel batch
+//
+// Every method returns byte-identical results to the corresponding free
+// function (asserted by tests/test_engine_cache.cpp); the free functions
+// remain the single source of truth for the math, the engine only decides
+// *when* to evaluate and remember it.  All methods are const and safe to
+// call from several threads; disparity_all fans independent tasks out over
+// a fixed-size internal thread pool (thread_pool.hpp) and is verified
+// bit-identical to the serial loop (tests/test_engine_parallel.cpp).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "chain/backward_bounds.hpp"
+#include "disparity/analyzer.hpp"
+#include "disparity/buffer_opt.hpp"
+#include "disparity/multi_buffer.hpp"
+#include "graph/paths.hpp"
+#include "graph/task_graph.hpp"
+#include "sched/npfp_rta.hpp"
+
+namespace ceta {
+
+class ThreadPool;
+
+struct EngineOptions {
+  /// Options for the engine-owned response-time analysis (ignored when an
+  /// external ResponseTimeMap is supplied at construction).
+  RtaOptions rta;
+  /// Worker threads for disparity_all; 0 = ThreadPool::default_concurrency().
+  std::size_t num_threads = 0;
+};
+
+/// End-to-end latency bounds of one chain (chain/latency.hpp), bundled.
+struct LatencyReport {
+  /// W(π) / B(π) of the chain.
+  BackwardBounds backward;
+  /// Bounds on the data age of any output of the chain's tail task.
+  Duration max_data_age;
+  Duration min_data_age;
+  /// Upper bound on the reaction time to an external stimulus.
+  Duration max_reaction_time;
+};
+
+/// Cache effectiveness counters (diagnostics; see cache_stats()).
+struct EngineCacheStats {
+  std::size_t rta_runs = 0;
+  std::size_t hop_hits = 0;
+  std::size_t hop_misses = 0;
+  std::size_t chain_bound_hits = 0;
+  std::size_t chain_bound_misses = 0;
+  std::size_t chain_set_hits = 0;
+  std::size_t chain_set_misses = 0;
+  std::size_t report_hits = 0;
+  std::size_t report_misses = 0;
+};
+
+class AnalysisEngine {
+ public:
+  /// Own a copy of `graph` (validated here; the engine's results can never
+  /// be invalidated by later caller-side mutation) and run the RTA lazily
+  /// on first use.
+  explicit AnalysisEngine(TaskGraph graph, EngineOptions opt = {});
+
+  /// Same, but adopt an externally computed WCRT map (alternative RTAs,
+  /// Audsley feasibility runs, ...).  rta() is unavailable in this mode;
+  /// response_times() returns the adopted map.
+  AnalysisEngine(TaskGraph graph, ResponseTimeMap rtm, EngineOptions opt = {});
+
+  ~AnalysisEngine();
+  AnalysisEngine(const AnalysisEngine&) = delete;
+  AnalysisEngine& operator=(const AnalysisEngine&) = delete;
+
+  /// The engine's immutable copy of the analyzed graph.
+  const TaskGraph& graph() const { return graph_; }
+  const EngineOptions& options() const { return opt_; }
+
+  /// The memoized RTA result (computed on first call).  Throws
+  /// PreconditionError if the engine adopted an external map — the engine
+  /// then has no RtaResult, only response times.
+  const RtaResult& rta() const;
+
+  /// WCRT map used by every analysis of this engine (engine-owned RTA or
+  /// the adopted external map).
+  const ResponseTimeMap& response_times() const;
+
+  /// Convenience: all tasks schedulable?  (External-map mode: true iff
+  /// every adopted WCRT is finite.)
+  bool schedulable() const;
+
+  /// Memoized θ hop bound of Lemma 4 / the scheduling-agnostic variant for
+  /// the edge (from, to).
+  Duration hop(TaskId from, TaskId to,
+               HopBoundMethod method = HopBoundMethod::kNonPreemptive) const;
+
+  /// Memoized W(π)/B(π) of a chain; equals backward_bounds(graph(), chain,
+  /// response_times(), method), with W assembled from the memoized hops.
+  BackwardBounds chain_bounds(
+      const Path& chain,
+      HopBoundMethod method = HopBoundMethod::kNonPreemptive) const;
+
+  /// Memoized enumerated source→task chain set P (reference stays valid
+  /// for the engine's lifetime).  Throws CapacityError past `path_cap`.
+  const std::vector<Path>& chains(
+      TaskId task, std::size_t path_cap = kDefaultPathCap) const;
+
+  /// All tasks fusing >= 2 source chains (the tasks with a nontrivial
+  /// disparity) — the natural argument for disparity_all.
+  std::vector<TaskId> fusing_tasks() const;
+
+  /// Memoized task-level disparity analysis; byte-identical to
+  /// analyze_time_disparity(graph(), task, response_times(), opt).
+  DisparityReport disparity(TaskId task, const DisparityOptions& opt = {}) const;
+
+  /// Batch analysis of many tasks, fanned out over the engine's thread
+  /// pool (options().num_threads workers; <= 1 runs inline).  Results are
+  /// positionally aligned with `tasks` and bit-identical to calling
+  /// disparity() serially for each.
+  std::vector<DisparityReport> disparity_all(
+      const std::vector<TaskId>& tasks, const DisparityOptions& opt = {}) const;
+
+  /// End-to-end latency bounds of one chain (must be a path of graph()).
+  LatencyReport latency(
+      const Path& chain,
+      HopBoundMethod method = HopBoundMethod::kNonPreemptive) const;
+
+  /// Algorithm 1 on one chain pair (both ending at the same task).
+  BufferDesign optimize_buffer_pair(
+      const Path& lambda, const Path& nu,
+      HopBoundMethod method = HopBoundMethod::kNonPreemptive) const;
+
+  /// Multi-chain buffer design for every chain fusing at `task` (§IV
+  /// generalized); equals design_buffers_for_task on this graph.
+  MultiBufferDesign optimize_buffers(TaskId task,
+                                     const DisparityOptions& opt = {}) const;
+
+  /// Snapshot of the cache counters (approximate under concurrency only in
+  /// the sense that it is a point-in-time snapshot).
+  EngineCacheStats cache_stats() const;
+
+ private:
+  struct ChainKey {
+    Path chain;
+    HopBoundMethod method;
+    bool operator==(const ChainKey&) const = default;
+  };
+  struct ChainKeyHash {
+    std::size_t operator()(const ChainKey& k) const;
+  };
+  struct ReportKey {
+    TaskId task = 0;
+    DisparityMethod method = DisparityMethod::kForkJoin;
+    HopBoundMethod hop_method = HopBoundMethod::kNonPreemptive;
+    std::size_t path_cap = 0;
+    JointTruncation truncation = JointTruncation::kAuto;
+    bool operator==(const ReportKey&) const = default;
+  };
+  struct ReportKeyHash {
+    std::size_t operator()(const ReportKey& k) const;
+  };
+
+  void ensure_rta() const;
+  BackwardBoundsFn bounds_provider() const;
+  ThreadPool& pool() const;
+
+  TaskGraph graph_;
+  EngineOptions opt_;
+
+  mutable std::mutex rta_mutex_;
+  mutable std::unique_ptr<RtaResult> rta_;          // engine-owned mode
+  mutable std::unique_ptr<ResponseTimeMap> external_rtm_;  // external mode
+  mutable std::size_t rta_runs_ = 0;
+
+  mutable std::mutex hop_mutex_;
+  mutable std::unordered_map<std::uint64_t, Duration> hop_cache_;
+  mutable std::size_t hop_hits_ = 0, hop_misses_ = 0;
+
+  mutable std::mutex chain_bound_mutex_;
+  mutable std::unordered_map<ChainKey, BackwardBounds, ChainKeyHash>
+      chain_bound_cache_;
+  mutable std::size_t chain_bound_hits_ = 0, chain_bound_misses_ = 0;
+
+  mutable std::mutex chain_set_mutex_;
+  // Keyed by (task, cap); unique_ptr keeps returned references stable
+  // across rehashes.
+  mutable std::unordered_map<std::uint64_t,
+                             std::unique_ptr<std::vector<Path>>>
+      chain_set_cache_;
+  mutable std::size_t chain_set_hits_ = 0, chain_set_misses_ = 0;
+
+  mutable std::mutex report_mutex_;
+  mutable std::unordered_map<ReportKey,
+                             std::shared_ptr<const DisparityReport>,
+                             ReportKeyHash>
+      report_cache_;
+  mutable std::size_t report_hits_ = 0, report_misses_ = 0;
+
+  mutable std::mutex pool_mutex_;
+  mutable std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace ceta

@@ -1,0 +1,113 @@
+// A small fixed-size thread pool for fanning out independent analysis
+// units (sinks, chain pairs) in AnalysisEngine::disparity_all.
+//
+// Design constraints, in order: correctness under TSan, deterministic
+// results (the pool only schedules; each job is a pure function of the
+// engine's immutable graph), and simplicity — analyses are CPU-bound and
+// coarse-grained (milliseconds per sink), so a mutex-guarded deque is
+// plenty and lock-free cleverness would buy nothing.
+//
+// Workers are std::jthread, so destruction is safe by construction: the
+// destructor marks the pool as stopping, wakes every worker, lets them
+// drain the remaining queue, and the jthread destructors join.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ceta {
+
+class ThreadPool {
+ public:
+  /// Spawn `num_threads` workers (>= 1).
+  explicit ThreadPool(std::size_t num_threads) {
+    CETA_EXPECTS(num_threads >= 1, "ThreadPool: need at least one thread");
+    workers_.reserve(num_threads);
+    for (std::size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { run(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue, then joins all workers (jobs posted before
+  /// destruction all execute).
+  ~ThreadPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a fire-and-forget job.
+  void post(std::function<void()> job) {
+    CETA_EXPECTS(job != nullptr, "ThreadPool::post: empty job");
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(job));
+    }
+    ready_.notify_one();
+  }
+
+  /// Enqueue a job and get a future for its result; exceptions thrown by
+  /// the job surface at future::get().
+  template <typename F>
+  std::future<std::invoke_result_t<F&>> submit(F&& f) {
+    using R = std::invoke_result_t<F&>;
+    // std::function requires copyable callables; hold the packaged_task
+    // behind a shared_ptr.
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> result = task->get_future();
+    post([task]() { (*task)(); });
+    return result;
+  }
+
+  /// Default worker count for analysis fan-out: every core helps up to a
+  /// point; past a small handful the per-sink units are too few to split.
+  static std::size_t default_concurrency() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    const std::size_t n = hw == 0 ? 1 : static_cast<std::size_t>(hw);
+    return n < 1 ? 1 : (n > 8 ? 8 : n);
+  }
+
+ private:
+  void run() {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping and drained
+        job = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      job();
+    }
+  }
+
+  // Declaration order matters: workers_ must be destroyed (joined) while
+  // the mutex, condition variable and queue are still alive.
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace ceta

@@ -4,10 +4,9 @@
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "engine/analysis_engine.hpp"
 #include "experiments/table.hpp"
-#include "disparity/analyzer.hpp"
 #include "graph/generator.hpp"
-#include "sched/npfp_rta.hpp"
 #include "sched/priority.hpp"
 #include "sim/engine.hpp"
 #include "waters/generator.hpp"
@@ -46,17 +45,17 @@ GraphRun run_one_graph(std::size_t n, const Fig6abConfig& cfg, Rng& rng) {
         count_source_chains(g, sink) > cfg.path_cap) {
       continue;
     }
-    const RtaResult rta = analyze_response_times(g);
-    if (!rta.all_schedulable) continue;
+    // One engine per instance: P-diff and S-diff share the RTA fixpoint,
+    // the enumerated chain set and every memoized chain bound.
+    const AnalysisEngine engine(g);
+    if (!engine.schedulable()) continue;
 
     DisparityOptions dopt;
     dopt.path_cap = cfg.path_cap;
     dopt.method = DisparityMethod::kIndependent;
-    const Duration pdiff =
-        analyze_time_disparity(g, sink, rta.response_time, dopt).worst_case;
+    const Duration pdiff = engine.disparity(sink, dopt).worst_case;
     dopt.method = DisparityMethod::kForkJoin;
-    const Duration sdiff =
-        analyze_time_disparity(g, sink, rta.response_time, dopt).worst_case;
+    const Duration sdiff = engine.disparity(sink, dopt).worst_case;
 
     Duration sim = Duration::zero();
     for (std::size_t run = 0; run < cfg.offsets_per_graph; ++run) {

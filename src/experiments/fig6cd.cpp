@@ -2,16 +2,15 @@
 
 #include <algorithm>
 
-#include "chain/backward_bounds.hpp"
 #include "common/error.hpp"
 #include "common/math.hpp"
 #include "common/stats.hpp"
 #include "disparity/buffer_opt.hpp"
 #include "disparity/forkjoin.hpp"
+#include "engine/analysis_engine.hpp"
 #include "experiments/table.hpp"
 #include "graph/generator.hpp"
 #include "graph/paths.hpp"
-#include "sched/npfp_rta.hpp"
 #include "sched/priority.hpp"
 #include "sim/engine.hpp"
 #include "waters/generator.hpp"
@@ -89,25 +88,26 @@ InstanceRun run_one_instance(std::size_t len, const Fig6cdConfig& cfg,
     wopt.num_ecus = cfg.num_ecus;
     assign_waters_parameters(g, wopt, rng);
 
-    const RtaResult rta = analyze_response_times(g);
-    if (!rta.all_schedulable) continue;
+    // The engine shares one RTA + chain-bound cache across the S-diff
+    // bound, the buffer design and the warm-up estimate below.
+    const AnalysisEngine engine(g);
+    if (!engine.schedulable()) continue;
+    const ResponseTimeMap& rtm = engine.response_times();
 
     const TaskId sink = g.sinks().front();
-    std::vector<Path> chains = enumerate_source_chains(g, sink);
+    const std::vector<Path>& chains = engine.chains(sink);
     CETA_ASSERT(chains.size() == 2,
                 "run_fig6cd: merged graph must have exactly two chains");
     const Path& lambda = chains[0];
     const Path& nu = chains[1];
 
-    const ForkJoinBound fj =
-        sdiff_pair_bound(g, lambda, nu, rta.response_time);
-    const BufferDesign design =
-        design_buffer(g, lambda, nu, rta.response_time);
+    const ForkJoinBound fj = sdiff_pair_bound(g, lambda, nu, rtm);
+    const BufferDesign design = engine.optimize_buffer_pair(lambda, nu);
 
     // Warm-up long enough that every backward chain (and the FIFO fill of
     // the buffered variant) has stabilized before measurement starts.
-    const Duration wl = wcbt_bound(g, lambda, rta.response_time);
-    const Duration wn = wcbt_bound(g, nu, rta.response_time);
+    const Duration wl = engine.chain_bounds(lambda).wcbt;
+    const Duration wn = engine.chain_bounds(nu).wcbt;
     const Duration base_warmup =
         std::max(wl, wn) + Duration::ms(100);
 
@@ -117,7 +117,7 @@ InstanceRun run_one_instance(std::size_t len, const Fig6cdConfig& cfg,
       sim = max_disparity_over_offsets(base, sink, base_warmup,
                                        cfg.sim_measure_window,
                                        cfg.offsets_per_instance, rng, lambda,
-                                       nu, rta.response_time);
+                                       nu, rtm);
     }
     Duration sim_b;
     {
@@ -127,7 +127,7 @@ InstanceRun run_one_instance(std::size_t len, const Fig6cdConfig& cfg,
           g.task(design.from).period * design.buffer_size;
       sim_b = max_disparity_over_offsets(
           buffered, sink, base_warmup + fill, cfg.sim_measure_window,
-          cfg.offsets_per_instance, rng, lambda, nu, rta.response_time);
+          cfg.offsets_per_instance, rng, lambda, nu, rtm);
     }
 
     InstanceRun out;

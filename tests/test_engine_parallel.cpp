@@ -1,0 +1,216 @@
+// AnalysisEngine::disparity_all and ThreadPool: the parallel batch path
+// must be bit-identical to the serial loop, and the pool must execute,
+// propagate exceptions and shut down cleanly.  These tests are the TSan
+// targets (configure with -DCETA_SANITIZE=thread).
+
+#include "engine/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <latch>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "engine/analysis_engine.hpp"
+#include "helpers.hpp"
+
+namespace ceta {
+namespace {
+
+using ceta::testing::random_dag_graph;
+using ceta::testing::response_times_of;
+
+void expect_reports_equal(const DisparityReport& a, const DisparityReport& b) {
+  EXPECT_EQ(a.worst_case, b.worst_case);
+  ASSERT_EQ(a.chains, b.chains);
+  ASSERT_EQ(a.pairs.size(), b.pairs.size());
+  for (std::size_t i = 0; i < a.pairs.size(); ++i) {
+    EXPECT_EQ(a.pairs[i].chain_a, b.pairs[i].chain_a);
+    EXPECT_EQ(a.pairs[i].chain_b, b.pairs[i].chain_b);
+    EXPECT_EQ(a.pairs[i].bound, b.pairs[i].bound);
+  }
+}
+
+TEST(ThreadPool, ExecutesPostedJobs) {
+  std::atomic<int> count{0};
+  std::latch done(100);
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    for (int i = 0; i < 100; ++i) {
+      pool.post([&] {
+        count.fetch_add(1, std::memory_order_relaxed);
+        done.count_down();
+      });
+    }
+    done.wait();
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+  // Jobs posted before destruction all run, even if never awaited.
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.post([&] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, SubmitReturnsValues) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW((void)f.get(), std::runtime_error);
+  // The pool survives a throwing job.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, RejectsZeroThreadsAndEmptyJobs) {
+  EXPECT_THROW(ThreadPool{0}, PreconditionError);
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.post(std::function<void()>{}), PreconditionError);
+}
+
+TEST(ThreadPool, DefaultConcurrencyIsSane) {
+  const std::size_t n = ThreadPool::default_concurrency();
+  EXPECT_GE(n, 1u);
+  EXPECT_LE(n, 8u);
+}
+
+// The headline determinism property: disparity_all with >= 2 worker
+// threads is bit-identical to the serial loop, across many generated
+// graphs and both analysis methods.
+TEST(EngineParallel, DisparityAllMatchesSerialAcrossGraphs) {
+  constexpr std::uint64_t kNumGraphs = 100;
+  for (std::uint64_t seed = 1; seed <= kNumGraphs; ++seed) {
+    const TaskGraph g = random_dag_graph(12 + seed % 5, 3, seed);
+    for (const DisparityMethod m :
+         {DisparityMethod::kIndependent, DisparityMethod::kForkJoin}) {
+      DisparityOptions opt;
+      opt.method = m;
+
+      EngineOptions serial_opt;
+      serial_opt.num_threads = 1;
+      const AnalysisEngine serial(g, serial_opt);
+
+      EngineOptions parallel_opt;
+      parallel_opt.num_threads = 4;
+      const AnalysisEngine parallel(g, parallel_opt);
+
+      const std::vector<TaskId> tasks = serial.fusing_tasks();
+      ASSERT_FALSE(tasks.empty());
+      const std::vector<DisparityReport> expected =
+          serial.disparity_all(tasks, opt);
+      const std::vector<DisparityReport> got =
+          parallel.disparity_all(tasks, opt);
+      ASSERT_EQ(got.size(), expected.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        expect_reports_equal(got[i], expected[i]);
+      }
+    }
+  }
+}
+
+TEST(EngineParallel, DisparityAllMatchesFreeFunctions) {
+  const TaskGraph g = random_dag_graph(16, 4, /*seed=*/77);
+  const ResponseTimeMap rtm = response_times_of(g);
+  EngineOptions opt;
+  opt.num_threads = 2;
+  const AnalysisEngine engine(g, opt);
+  const std::vector<TaskId> tasks = engine.fusing_tasks();
+  const std::vector<DisparityReport> got = engine.disparity_all(tasks);
+  ASSERT_EQ(got.size(), tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    expect_reports_equal(got[i], analyze_time_disparity(g, tasks[i], rtm));
+  }
+}
+
+TEST(EngineParallel, RepeatedBatchesAreStable) {
+  // Re-running the batch (fully warm caches) returns the same reports.
+  const TaskGraph g = random_dag_graph(14, 3, /*seed=*/5);
+  EngineOptions opt;
+  opt.num_threads = 4;
+  const AnalysisEngine engine(g, opt);
+  const std::vector<TaskId> tasks = engine.fusing_tasks();
+  const std::vector<DisparityReport> first = engine.disparity_all(tasks);
+  for (int round = 0; round < 3; ++round) {
+    const std::vector<DisparityReport> again = engine.disparity_all(tasks);
+    ASSERT_EQ(again.size(), first.size());
+    for (std::size_t i = 0; i < again.size(); ++i) {
+      expect_reports_equal(again[i], first[i]);
+    }
+  }
+  EXPECT_EQ(engine.cache_stats().rta_runs, 1u);
+}
+
+TEST(EngineParallel, ConcurrentCallersOnOneEngine) {
+  // All engine accessors are const and internally synchronized: hammer one
+  // engine from several external threads (on top of its own pool) and
+  // check every thread saw the serial-reference reports.
+  const TaskGraph g = random_dag_graph(13, 3, /*seed=*/9);
+  EngineOptions opt;
+  opt.num_threads = 2;
+  const AnalysisEngine engine(g, opt);
+  const AnalysisEngine reference(g);
+  const std::vector<TaskId> tasks = engine.fusing_tasks();
+  ASSERT_FALSE(tasks.empty());
+
+  std::vector<DisparityReport> expected;
+  expected.reserve(tasks.size());
+  for (const TaskId t : tasks) expected.push_back(reference.disparity(t));
+
+  std::atomic<int> failures{0};
+  {
+    std::vector<std::jthread> callers;
+    for (int c = 0; c < 4; ++c) {
+      callers.emplace_back([&] {
+        for (int round = 0; round < 3; ++round) {
+          const std::vector<DisparityReport> got =
+              engine.disparity_all(tasks);
+          for (std::size_t i = 0; i < tasks.size(); ++i) {
+            if (got[i].worst_case != expected[i].worst_case ||
+                got[i].chains != expected[i].chains) {
+              failures.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      });
+    }
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(engine.cache_stats().rta_runs, 1u);
+}
+
+TEST(EngineParallel, SingleTaskBatchRunsInline) {
+  const TaskGraph g = random_dag_graph(12, 3, /*seed=*/13);
+  EngineOptions opt;
+  opt.num_threads = 8;
+  const AnalysisEngine engine(g, opt);
+  const std::vector<TaskId> tasks = engine.fusing_tasks();
+  ASSERT_FALSE(tasks.empty());
+  const std::vector<TaskId> one{tasks.front()};
+  const std::vector<DisparityReport> got = engine.disparity_all(one);
+  ASSERT_EQ(got.size(), 1u);
+  expect_reports_equal(got[0], engine.disparity(tasks.front()));
+  EXPECT_TRUE(engine.disparity_all({}).empty());
+}
+
+}  // namespace
+}  // namespace ceta
