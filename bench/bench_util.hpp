@@ -1,49 +1,74 @@
 // Tiny command-line helpers shared by the figure-reproduction benches,
-// plus a minimal JSON emitter for machine-readable bench results
-// (BENCH_*.json).
+// plus the shared emission path for machine-readable bench results
+// (BENCH_*.json): every bench serializes through obs::JsonWriter — the
+// same writer the trace and metrics exporters use — so there is exactly
+// one JSON serialization path in the tree.
 //
 // Flags:
 //   --fast        smaller sweep for smoke runs
 //   --paper       closer to the paper's scale (slow: minutes)
 //   --seed N      master seed
 //   --csv PATH    also write the table as CSV
+//
+// Built with -DCETA_PROFILE=ON, every bench binary auto-starts the
+// process tracer and writes TRACE_<binary>.json next to its BENCH output
+// (maybe_start_profile_trace below; called from parse_cli and the custom
+// google-benchmark mains).
 
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <functional>
 #include <iostream>
-#include <sstream>
 #include <string>
+
+#include "common/error.hpp"
+#include "obs/json_writer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 
 namespace ceta::bench {
 
-/// Flat JSON object builder — just enough for bench result files; keys are
-/// emitted in insertion order and must not need escaping.
-class JsonObject {
- public:
-  JsonObject& add(const std::string& key, double value) {
-    std::ostringstream os;
-    os << value;
-    return add_raw(key, os.str());
-  }
-  JsonObject& add(const std::string& key, std::int64_t value) {
-    return add_raw(key, std::to_string(value));
-  }
-  JsonObject& add(const std::string& key, const std::string& value) {
-    return add_raw(key, "\"" + value + "\"");
-  }
-  /// Nest a sub-object (or any preformatted JSON value).
-  JsonObject& add_raw(const std::string& key, const std::string& json) {
-    body_ += (body_.empty() ? "" : ",\n  ");
-    body_ += "\"" + key + "\": " + json;
-    return *this;
-  }
-  std::string str() const { return "{\n  " + body_ + "\n}\n"; }
+/// Write one JSON document to `path`: `body` receives an open root object
+/// and writes its members; begin/end of the root and done() are handled
+/// here.  Throws ceta::Error on I/O failure.
+inline void write_json_file(const std::string& path,
+                            const std::function<void(obs::JsonWriter&)>& body) {
+  std::ofstream out(path);
+  if (!out) throw Error("write_json_file: cannot open '" + path + "'");
+  obs::JsonWriter w(out);
+  w.begin_object();
+  body(w);
+  w.end_object();
+  w.done();
+  out << "\n";
+  if (!out) throw Error("write_json_file: write to '" + path + "' failed");
+}
 
- private:
-  std::string body_;
-};
+/// Attach a metrics snapshot as the member `key` of an in-flight object.
+inline void write_metrics_member(obs::JsonWriter& w, const std::string& key,
+                                 const obs::MetricsSnapshot& snapshot) {
+  w.key(key);
+  snapshot.write_json(w);
+}
+
+/// CETA_PROFILE builds: start the global tracer (unless CETA_TRACE already
+/// did) targeting TRACE_<basename of argv0>.json, exported at exit.
+inline void maybe_start_profile_trace(const char* argv0) {
+#ifdef CETA_PROFILE
+  if (obs::Tracer::enabled()) return;  // CETA_TRACE took precedence
+  std::string name = argv0 ? argv0 : "bench";
+  const std::size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  obs::Tracer::global().start("TRACE_" + name + ".json");
+  std::atexit([] { (void)obs::Tracer::global().stop(); });
+#else
+  (void)argv0;
+#endif
+}
 
 struct CliOptions {
   bool fast = false;
@@ -53,6 +78,7 @@ struct CliOptions {
 };
 
 inline CliOptions parse_cli(int argc, char** argv) {
+  maybe_start_profile_trace(argc > 0 ? argv[0] : nullptr);
   CliOptions opt;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];

@@ -303,38 +303,97 @@ void write_engine_comparison(const std::string& path) {
   const std::size_t n_default = ThreadPool::default_concurrency();
   const double batchn = batch_ns(n_default);
 
-  bench::JsonObject batch;
-  batch.add("tasks", static_cast<std::int64_t>(tasks.size()))
-      .add("threads_1_ns", batch1)
-      .add("threads_2_ns", batch2)
-      .add("threads_default", static_cast<std::int64_t>(n_default))
-      .add("threads_default_ns", batchn)
-      .add("speedup_2", batch1 / batch2)
-      .add("speedup_default", batch1 / batchn);
-
-  bench::JsonObject root;
-  root.add("bench", std::string("engine_vs_free"))
-      .add("graph_tasks", static_cast<std::int64_t>(g.num_tasks()))
-      .add("free_session_ns", free_session_ns)
-      .add("engine_cold_session_ns", engine_cold_ns)
-      .add("cold_overhead", engine_cold_ns / free_session_ns)
-      .add("free_single_ns", free_single_ns)
-      .add("engine_warm_ns", engine_warm_ns)
-      .add("warm_speedup", free_single_ns / engine_warm_ns)
-      .add_raw("disparity_all", batch.str());
-  write_file(path, root.str());
+  bench::write_json_file(path, [&](obs::JsonWriter& w) {
+    w.member("bench", "engine_vs_free")
+        .member("graph_tasks", static_cast<std::int64_t>(g.num_tasks()))
+        .member("free_session_ns", free_session_ns)
+        .member("engine_cold_session_ns", engine_cold_ns)
+        .member("cold_overhead", engine_cold_ns / free_session_ns)
+        .member("free_single_ns", free_single_ns)
+        .member("engine_warm_ns", engine_warm_ns)
+        .member("warm_speedup", free_single_ns / engine_warm_ns);
+    w.key("disparity_all").begin_object();
+    w.member("tasks", static_cast<std::int64_t>(tasks.size()))
+        .member("threads_1_ns", batch1)
+        .member("threads_2_ns", batch2)
+        .member("threads_default", static_cast<std::int64_t>(n_default))
+        .member("threads_default_ns", batchn)
+        .member("speedup_2", batch1 / batch2)
+        .member("speedup_default", batch1 / batchn);
+    w.end_object();
+    // The warm engine's cache counters plus the process-wide registry
+    // (RTA runs, hop-bound computations, ... of the whole bench run).
+    bench::write_metrics_member(w, "engine_metrics", warm.metrics());
+    bench::write_metrics_member(w, "global_metrics",
+                                obs::MetricsRegistry::global().snapshot());
+  });
   std::cout << "engine-vs-free comparison written to " << path
             << " (warm speedup: " << free_single_ns / engine_warm_ns
             << "x)\n";
 }
 
+// ---- disabled-tracing overhead budget --------------------------------------
+
+/// Assert the overhead budget of compiled-in-but-disabled tracing: spans
+/// cost one atomic load + branch, so (spans per analysis) x (disabled
+/// span cost) must stay under 2% of the analysis runtime.  Span-cost
+/// accounting is used instead of differencing two timed runs because the
+/// difference of two ~equal ms-scale timings is noise on a busy 1-core
+/// host, while both factors here are individually stable.
+bool check_disabled_tracing_overhead() {
+  CETA_EXPECTS(!obs::Tracer::enabled(),
+               "overhead check requires tracing disabled");
+  const TaskGraph g = make_graph(35, 1);
+  const TaskId sink = g.sinks().front();
+  DisparityOptions pdiff;
+  pdiff.method = DisparityMethod::kIndependent;
+  const auto session = [&] {
+    const AnalysisEngine engine(g);
+    benchmark::DoNotOptimize(engine.disparity(sink, pdiff));
+    benchmark::DoNotOptimize(engine.disparity(sink));
+  };
+
+  // Cost of one disabled span, amortized over a tight loop (with the two
+  // annotation calls the instrumented hot paths make).
+  constexpr int kSpanIters = 2'000'000;
+  const double span_ns = time_ns(
+                             [&] {
+                               for (int i = 0; i < kSpanIters; ++i) {
+                                 obs::Span s("bench", "probe");
+                                 s.arg("k", std::int64_t{1});
+                                 s.arg("c", "hit");
+                                 benchmark::DoNotOptimize(s);
+                               }
+                             },
+                             3) /
+                         kSpanIters;
+
+  // Spans one analysis session emits: trace a single run in memory.
+  obs::Tracer::global().start();
+  session();
+  const std::size_t spans = obs::Tracer::global().pending_events();
+  (void)obs::Tracer::global().stop_to_string();  // drain + disable
+
+  const double session_ns = time_ns(session, 20);
+  const double overhead = (static_cast<double>(spans) * span_ns) / session_ns;
+  std::cout << "disabled-tracing overhead: " << spans << " spans x "
+            << span_ns << " ns / " << session_ns << " ns = "
+            << overhead * 100.0 << "% (budget 2%)\n";
+  return overhead < 0.02;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  ceta::bench::maybe_start_profile_trace(argc > 0 ? argv[0] : nullptr);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   write_engine_comparison("BENCH_engine.json");
+  if (!ceta::obs::Tracer::enabled() && !check_disabled_tracing_overhead()) {
+    std::cerr << "FAIL: disabled tracing exceeds the 2% overhead budget\n";
+    return 1;
+  }
   return 0;
 }

@@ -1,10 +1,14 @@
 // Performance microbenchmarks of the discrete-event simulator: jobs per
-// second across graph sizes, channel modes and tracing.
+// second across graph sizes, channel modes and tracing.  After the run,
+// the simulator's global counters (runs, events, jobs, preemptions) are
+// written to BENCH_sim.json.
 
 #include <benchmark/benchmark.h>
 
+#include <iostream>
 #include <numeric>
 
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "graph/generator.hpp"
 #include "sched/npfp_rta.hpp"
@@ -103,4 +107,17 @@ BENCHMARK(BM_SimulateBufferedChannels);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  ceta::bench::maybe_start_profile_trace(argc > 0 ? argv[0] : nullptr);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  ceta::bench::write_json_file("BENCH_sim.json", [](ceta::obs::JsonWriter& w) {
+    w.member("bench", "sim");
+    ceta::bench::write_metrics_member(
+        w, "global_metrics", ceta::obs::MetricsRegistry::global().snapshot());
+  });
+  std::cout << "simulator metrics written to BENCH_sim.json\n";
+  return 0;
+}

@@ -6,7 +6,13 @@
 // Usage:
 //   analyze_graph <graph.txt> [--sim SECONDS] [--dot]
 //                 [--require <task>=<ms> ...]
+//                 [--trace PATH] [--metrics PATH]
 //   analyze_graph --demo [--sim SECONDS] [--dot] [--require fuse=200]
+//
+// --trace writes a Chrome-trace JSON (load in https://ui.perfetto.dev or
+// chrome://tracing) of the whole run; CETA_TRACE=<path> in the
+// environment does the same without the flag.  --metrics writes a JSON
+// snapshot of the engine's cache counters plus the process-wide registry.
 //
 // --require checks a worst-case disparity budget for a task and, if
 // violated, applies the buffer-design remedy of §IV automatically.
@@ -28,6 +34,9 @@
 #include "graph/dot.hpp"
 #include "graph/paths.hpp"
 #include "graph/serialize.hpp"
+#include "obs/json_writer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "sim/engine.hpp"
 
 namespace {
@@ -55,6 +64,23 @@ std::string chain_to_string(const ceta::TaskGraph& g, const ceta::Path& p) {
   return out;
 }
 
+/// --metrics: engine cache counters + the process-wide registry, one JSON
+/// document.
+void write_metrics_file(const std::string& path,
+                        const ceta::AnalysisEngine& engine) {
+  std::ofstream out(path);
+  if (!out) throw ceta::Error("cannot open metrics file '" + path + "'");
+  ceta::obs::JsonWriter w(out);
+  w.begin_object();
+  w.key("engine");
+  engine.metrics().write_json(w);
+  w.key("global");
+  ceta::obs::MetricsRegistry::global().snapshot().write_json(w);
+  w.end_object();
+  w.done();
+  out << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -64,6 +90,8 @@ int main(int argc, char** argv) {
   bool demo = false;
   bool dot = false;
   long sim_seconds = 5;
+  std::string trace_path;
+  std::string metrics_path;
   std::vector<std::pair<std::string, long>> requirements;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -73,6 +101,10 @@ int main(int argc, char** argv) {
       dot = true;
     } else if (arg == "--sim" && i + 1 < argc) {
       sim_seconds = std::atol(argv[++i]);
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
     } else if (arg == "--require" && i + 1 < argc) {
       const std::string spec = argv[++i];
       const std::size_t eq = spec.find('=');
@@ -87,13 +119,24 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "usage: " << argv[0]
                 << " <graph.txt> | --demo  [--sim SECONDS] [--dot]"
-                   " [--require task=ms ...]\n";
+                   " [--require task=ms ...] [--trace PATH]"
+                   " [--metrics PATH]\n";
       return 2;
     }
   }
   if (!demo && path.empty()) {
     std::cerr << "no input graph; try --demo\n";
     return 2;
+  }
+
+  if (!trace_path.empty()) {
+    // CETA_TRACE may already have started the tracer (and registered its
+    // export-at-exit hook); --trace then just re-points the output path.
+    const bool env_active = obs::Tracer::enabled();
+    obs::Tracer::global().start(trace_path);
+    if (!env_active) {
+      std::atexit([] { (void)obs::Tracer::global().stop(); });
+    }
   }
 
   std::string text;
@@ -264,6 +307,11 @@ int main(int argc, char** argv) {
       std::cerr << "BOUND VIOLATION — please report this as a bug\n";
       return 1;
     }
+  }
+
+  if (!metrics_path.empty()) {
+    write_metrics_file(metrics_path, engine);
+    std::cout << "\nmetrics written to " << metrics_path << '\n';
   }
   return 0;
 }

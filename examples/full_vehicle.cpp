@@ -12,7 +12,10 @@
 // LiDAR, radar, GNSS and wheel odometry feed perception pipelines that
 // fuse into tracking, prediction, planning and control.
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "chain/critical.hpp"
 #include "disparity/requirements.hpp"
@@ -21,13 +24,40 @@
 #include "experiments/table.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/paths.hpp"
+#include "obs/json_writer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "sched/bus.hpp"
 #include "sched/priority.hpp"
 #include "sim/engine.hpp"
 #include "sim/gantt.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ceta;
+
+  // --trace PATH: Chrome-trace JSON of the whole run (or CETA_TRACE=PATH).
+  // --metrics PATH: JSON snapshot of engine + global metrics at the end.
+  std::string trace_path;
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--trace PATH] [--metrics PATH]\n";
+      return 2;
+    }
+  }
+  if (!trace_path.empty()) {
+    const bool env_active = obs::Tracer::enabled();
+    obs::Tracer::global().start(trace_path);
+    if (!env_active) {
+      std::atexit([] { (void)obs::Tracer::global().stop(); });
+    }
+  }
 
   TaskGraph g;
   auto sensor = [&g](const char* name, Duration period,
@@ -287,5 +317,23 @@ int main() {
   gv.width = 100;
   std::cout << "\nFirst 100ms ('#' executing, '^' release):\n"
             << render_gantt(sys, gtrace.trace, gv);
+
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::cerr << "cannot open metrics file '" << metrics_path << "'\n";
+      return 1;
+    }
+    obs::JsonWriter w(out);
+    w.begin_object();
+    w.key("engine");
+    engine.metrics().write_json(w);
+    w.key("global");
+    obs::MetricsRegistry::global().snapshot().write_json(w);
+    w.end_object();
+    w.done();
+    out << "\n";
+    std::cout << "\nmetrics written to " << metrics_path << '\n';
+  }
   return 0;
 }

@@ -1,6 +1,8 @@
 #include "chain/backward_bounds.hpp"
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 
 namespace ceta {
 
@@ -51,6 +53,12 @@ Duration fifo_shift_lower(const TaskGraph& g, const Path& chain) {
 Duration hop_bound(const TaskGraph& g, TaskId from, TaskId to,
                    const ResponseTimeMap& rtm, HopBoundMethod method) {
   CETA_EXPECTS(g.has_edge(from, to), "hop_bound: no such edge");
+  obs::Span span("chain", "hop_bound");
+  span.arg("from", static_cast<std::int64_t>(from));
+  span.arg("to", static_cast<std::int64_t>(to));
+  static obs::Counter& computed =
+      obs::MetricsRegistry::global().counter("chain.hop_bounds.computed");
+  computed.add();
   const Task& u = g.task(from);
   const Task& v = g.task(to);
   const Duration R = rtm.at(from);
@@ -88,6 +96,8 @@ Duration hop_bound(const TaskGraph& g, TaskId from, TaskId to,
 
 Duration wcbt_bound(const TaskGraph& g, const Path& chain,
                     const ResponseTimeMap& rtm, HopBoundMethod method) {
+  obs::Span span("chain", "wcbt_bound");
+  span.arg("len", static_cast<std::int64_t>(chain.size()));
   check_chain(g, chain, rtm);
   // A one-task chain's immediate backward job chain is the job itself:
   // len = 0 exactly.
@@ -101,6 +111,8 @@ Duration wcbt_bound(const TaskGraph& g, const Path& chain,
 
 Duration bcbt_bound(const TaskGraph& g, const Path& chain,
                     const ResponseTimeMap& rtm) {
+  obs::Span span("chain", "bcbt_bound");
+  span.arg("len", static_cast<std::int64_t>(chain.size()));
   check_chain(g, chain, rtm);
   if (chain.size() == 1) return Duration::zero();
 

@@ -5,6 +5,8 @@
 
 #include "common/error.hpp"
 #include "common/math.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 
 namespace ceta {
 
@@ -128,6 +130,13 @@ DisparityReport analyze_time_disparity(const TaskGraph& g, TaskId task,
                                        const ResponseTimeMap& rtm,
                                        const DisparityOptions& opt) {
   CETA_EXPECTS(task < g.num_tasks(), "analyze_time_disparity: bad task id");
+  obs::Span span("disparity", "analyze_time_disparity");
+  span.arg("task", static_cast<std::int64_t>(task));
+  static obs::Counter& runs =
+      obs::MetricsRegistry::global().counter("disparity.analyses");
+  static obs::Counter& pairs_counter =
+      obs::MetricsRegistry::global().counter("disparity.pairs");
+  runs.add();
   DisparityReport report;
   report.worst_case = Duration::zero();
   report.chains = enumerate_source_chains(g, task, opt.path_cap);
@@ -149,6 +158,8 @@ DisparityReport analyze_time_disparity(const TaskGraph& g, TaskId task,
       report.worst_case = std::max(report.worst_case, bound);
     }
   }
+  span.arg("chains", static_cast<std::int64_t>(n));
+  pairs_counter.add(report.pairs.size());
   return report;
 }
 

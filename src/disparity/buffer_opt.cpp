@@ -2,12 +2,14 @@
 
 #include "common/error.hpp"
 #include "common/math.hpp"
+#include "obs/tracer.hpp"
 
 namespace ceta {
 
 BufferDesign design_buffer(const TaskGraph& g, const Path& lambda,
                            const Path& nu, const ResponseTimeMap& rtm,
                            HopBoundMethod method) {
+  obs::Span span("disparity", "design_buffer");
   const ForkJoinBound fj = sdiff_pair_bound(g, lambda, nu, rtm, method);
 
   BufferDesign d;

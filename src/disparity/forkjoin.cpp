@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "common/math.hpp"
 #include "disparity/pairwise.hpp"
+#include "obs/tracer.hpp"
 
 namespace ceta {
 
@@ -20,6 +21,7 @@ ForkJoinBound sdiff_pair_bound(const TaskGraph& g, const Path& lambda,
 ForkJoinBound sdiff_pair_bound(const TaskGraph& g, const Path& lambda,
                                const Path& nu, HopBoundMethod method,
                                const BackwardBoundsFn& bounds) {
+  obs::Span span("disparity", "sdiff_pair_bound");
   CETA_EXPECTS(!lambda.empty() && !nu.empty(), "sdiff_pair_bound: empty chain");
   CETA_EXPECTS(lambda.back() == nu.back(),
                "sdiff_pair_bound: chains must end at the same task");

@@ -7,12 +7,15 @@
 #include "chain/backward_bounds.hpp"
 #include "common/error.hpp"
 #include "common/math.hpp"
+#include "obs/tracer.hpp"
 
 namespace ceta {
 
 MultiBufferDesign design_buffers_for_task(const TaskGraph& g, TaskId task,
                                           const ResponseTimeMap& rtm,
                                           const DisparityOptions& opt) {
+  obs::Span span("disparity", "design_buffers_for_task");
+  span.arg("task", static_cast<std::int64_t>(task));
   MultiBufferDesign design;
   const DisparityReport base = analyze_time_disparity(g, task, rtm, opt);
   design.baseline_bound = base.worst_case;

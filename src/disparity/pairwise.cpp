@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/math.hpp"
+#include "obs/tracer.hpp"
 
 namespace ceta {
 
@@ -34,6 +35,7 @@ Duration pdiff_pair_bound(const TaskGraph& g, const Path& lambda,
 Duration pdiff_pair_bound(const TaskGraph& g, const Path& lambda,
                           const Path& nu, HopBoundMethod method,
                           const BackwardBoundsFn& bounds) {
+  obs::Span span("disparity", "pdiff_pair_bound");
   CETA_EXPECTS(!lambda.empty() && !nu.empty(),
                "pdiff_pair_bound: empty chain");
   CETA_EXPECTS(lambda.back() == nu.back(),

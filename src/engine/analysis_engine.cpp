@@ -1,15 +1,24 @@
 #include "engine/analysis_engine.hpp"
 
+#include <chrono>
 #include <future>
 #include <utility>
 
 #include "chain/latency.hpp"
 #include "common/error.hpp"
 #include "engine/thread_pool.hpp"
+#include "obs/tracer.hpp"
 
 namespace ceta {
 
 namespace {
+
+/// Wall-clock duration for the engine's compute histograms.
+Duration elapsed_since(std::chrono::steady_clock::time_point t0) {
+  return Duration::ns(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+}
 
 /// FNV-1a over a byte-sized stream of values.
 std::size_t hash_mix(std::size_t seed, std::uint64_t v) {
@@ -36,6 +45,19 @@ std::size_t AnalysisEngine::ReportKeyHash::operator()(
   return h;
 }
 
+AnalysisEngine::Instruments::Instruments(obs::MetricsRegistry& r)
+    : rta_runs(r.counter("engine.rta.runs")),
+      hop_hits(r.counter("engine.hop.hits")),
+      hop_misses(r.counter("engine.hop.misses")),
+      chain_bound_hits(r.counter("engine.chain_bounds.hits")),
+      chain_bound_misses(r.counter("engine.chain_bounds.misses")),
+      chain_set_hits(r.counter("engine.chain_sets.hits")),
+      chain_set_misses(r.counter("engine.chain_sets.misses")),
+      report_hits(r.counter("engine.reports.hits")),
+      report_misses(r.counter("engine.reports.misses")),
+      rta_compute(r.histogram("engine.rta.compute")),
+      disparity_compute(r.histogram("engine.disparity.compute")) {}
+
 AnalysisEngine::AnalysisEngine(TaskGraph graph, EngineOptions opt)
     : graph_(std::move(graph)), opt_(opt) {
   graph_.validate();
@@ -55,8 +77,12 @@ AnalysisEngine::~AnalysisEngine() = default;
 void AnalysisEngine::ensure_rta() const {
   const std::lock_guard<std::mutex> lock(rta_mutex_);
   if (rta_ || external_rtm_) return;
+  obs::Span span("engine", "rta");
+  span.arg("tasks", static_cast<std::int64_t>(graph_.num_tasks()));
+  const auto t0 = std::chrono::steady_clock::now();
   rta_ = std::make_unique<RtaResult>(analyze_response_times(graph_, opt_.rta));
-  ++rta_runs_;
+  ins_.rta_compute.observe(elapsed_since(t0));
+  ins_.rta_runs.add();
 }
 
 const RtaResult& AnalysisEngine::rta() const {
@@ -90,18 +116,21 @@ Duration AnalysisEngine::hop(TaskId from, TaskId to,
   const std::uint64_t key =
       (static_cast<std::uint64_t>(from) * graph_.num_tasks() + to) * 2 +
       static_cast<std::uint64_t>(method);
+  obs::Span span("engine", "hop");
   {
     const std::lock_guard<std::mutex> lock(hop_mutex_);
     const auto it = hop_cache_.find(key);
     if (it != hop_cache_.end()) {
-      ++hop_hits_;
+      ins_.hop_hits.add();
+      span.arg("cache", "hit");
       return it->second;
     }
   }
+  span.arg("cache", "miss");
   const Duration theta =
       hop_bound(graph_, from, to, response_times(), method);
   const std::lock_guard<std::mutex> lock(hop_mutex_);
-  ++hop_misses_;
+  ins_.hop_misses.add();
   hop_cache_.emplace(key, theta);
   return theta;
 }
@@ -109,14 +138,17 @@ Duration AnalysisEngine::hop(TaskId from, TaskId to,
 BackwardBounds AnalysisEngine::chain_bounds(const Path& chain,
                                             HopBoundMethod method) const {
   ChainKey key{chain, method};
+  obs::Span span("engine", "chain_bounds");
   {
     const std::lock_guard<std::mutex> lock(chain_bound_mutex_);
     const auto it = chain_bound_cache_.find(key);
     if (it != chain_bound_cache_.end()) {
-      ++chain_bound_hits_;
+      ins_.chain_bound_hits.add();
+      span.arg("cache", "hit");
       return it->second;
     }
   }
+  span.arg("cache", "miss");
   // B(π) first: bcbt_bound validates the chain (path of the graph, finite
   // WCRTs), exactly like the free backward_bounds entry point.  W(π) is
   // then assembled from the memoized hops — bit-identical to wcbt_bound,
@@ -133,7 +165,7 @@ BackwardBounds AnalysisEngine::chain_bounds(const Path& chain,
     b.wcbt = total + fifo_shift_upper(graph_, chain);
   }
   const std::lock_guard<std::mutex> lock(chain_bound_mutex_);
-  ++chain_bound_misses_;
+  ins_.chain_bound_misses.add();
   chain_bound_cache_.emplace(std::move(key), b);
   return b;
 }
@@ -144,14 +176,18 @@ const std::vector<Path>& AnalysisEngine::chains(TaskId task,
   const std::uint64_t key =
       static_cast<std::uint64_t>(task) ^ (static_cast<std::uint64_t>(path_cap)
                                           << 32);
+  obs::Span span("engine", "chains");
+  span.arg("task", static_cast<std::int64_t>(task));
   {
     const std::lock_guard<std::mutex> lock(chain_set_mutex_);
     const auto it = chain_set_cache_.find(key);
     if (it != chain_set_cache_.end()) {
-      ++chain_set_hits_;
+      ins_.chain_set_hits.add();
+      span.arg("cache", "hit");
       return *it->second;
     }
   }
+  span.arg("cache", "miss");
   auto set = std::make_unique<std::vector<Path>>(
       enumerate_source_chains(graph_, task, path_cap));
   const std::lock_guard<std::mutex> lock(chain_set_mutex_);
@@ -159,9 +195,9 @@ const std::vector<Path>& AnalysisEngine::chains(TaskId task,
   // (both are identical) so previously returned references stay unique.
   auto [it, inserted] = chain_set_cache_.emplace(key, std::move(set));
   if (inserted) {
-    ++chain_set_misses_;
+    ins_.chain_set_misses.add();
   } else {
-    ++chain_set_hits_;
+    ins_.chain_set_hits.add();
   }
   return *it->second;
 }
@@ -185,14 +221,19 @@ DisparityReport AnalysisEngine::disparity(TaskId task,
   CETA_EXPECTS(task < graph_.num_tasks(), "analyze_time_disparity: bad task id");
   const ReportKey key{task, opt.method, opt.hop_method, opt.path_cap,
                       opt.truncation};
+  obs::Span span("engine", "disparity");
+  span.arg("task", static_cast<std::int64_t>(task));
   {
     const std::lock_guard<std::mutex> lock(report_mutex_);
     const auto it = report_cache_.find(key);
     if (it != report_cache_.end()) {
-      ++report_hits_;
+      ins_.report_hits.add();
+      span.arg("cache", "hit");
       return *it->second;
     }
   }
+  span.arg("cache", "miss");
+  const auto t0 = std::chrono::steady_clock::now();
 
   // Mirror of analyze_time_disparity, with the chain set, the full-chain
   // bounds and every sub-chain bound pulled from the engine's caches.
@@ -219,12 +260,13 @@ DisparityReport AnalysisEngine::disparity(TaskId task,
     }
   }
 
+  ins_.disparity_compute.observe(elapsed_since(t0));
   const std::lock_guard<std::mutex> lock(report_mutex_);
   auto [it, inserted] = report_cache_.emplace(key, std::move(report));
   if (inserted) {
-    ++report_misses_;
+    ins_.report_misses.add();
   } else {
-    ++report_hits_;
+    ins_.report_hits.add();
   }
   return *it->second;
 }
@@ -242,6 +284,8 @@ ThreadPool& AnalysisEngine::pool() const {
 
 std::vector<DisparityReport> AnalysisEngine::disparity_all(
     const std::vector<TaskId>& tasks, const DisparityOptions& opt) const {
+  obs::Span span("engine", "disparity_all");
+  span.arg("tasks", static_cast<std::int64_t>(tasks.size()));
   std::vector<DisparityReport> out(tasks.size());
   const std::size_t threads = opt_.num_threads == 0
                                   ? ThreadPool::default_concurrency()
@@ -291,32 +335,24 @@ MultiBufferDesign AnalysisEngine::optimize_buffers(
   return design_buffers_for_task(graph_, task, response_times(), opt);
 }
 
+obs::MetricsSnapshot AnalysisEngine::metrics() const {
+  return metrics_.snapshot();
+}
+
 EngineCacheStats AnalysisEngine::cache_stats() const {
+  // Shim: the registry counters are the source of truth; this struct view
+  // remains for existing callers.
   EngineCacheStats s;
-  {
-    const std::lock_guard<std::mutex> lock(rta_mutex_);
-    s.rta_runs = rta_runs_;
-  }
-  {
-    const std::lock_guard<std::mutex> lock(hop_mutex_);
-    s.hop_hits = hop_hits_;
-    s.hop_misses = hop_misses_;
-  }
-  {
-    const std::lock_guard<std::mutex> lock(chain_bound_mutex_);
-    s.chain_bound_hits = chain_bound_hits_;
-    s.chain_bound_misses = chain_bound_misses_;
-  }
-  {
-    const std::lock_guard<std::mutex> lock(chain_set_mutex_);
-    s.chain_set_hits = chain_set_hits_;
-    s.chain_set_misses = chain_set_misses_;
-  }
-  {
-    const std::lock_guard<std::mutex> lock(report_mutex_);
-    s.report_hits = report_hits_;
-    s.report_misses = report_misses_;
-  }
+  s.rta_runs = static_cast<std::size_t>(ins_.rta_runs.value());
+  s.hop_hits = static_cast<std::size_t>(ins_.hop_hits.value());
+  s.hop_misses = static_cast<std::size_t>(ins_.hop_misses.value());
+  s.chain_bound_hits = static_cast<std::size_t>(ins_.chain_bound_hits.value());
+  s.chain_bound_misses =
+      static_cast<std::size_t>(ins_.chain_bound_misses.value());
+  s.chain_set_hits = static_cast<std::size_t>(ins_.chain_set_hits.value());
+  s.chain_set_misses = static_cast<std::size_t>(ins_.chain_set_misses.value());
+  s.report_hits = static_cast<std::size_t>(ins_.report_hits.value());
+  s.report_misses = static_cast<std::size_t>(ins_.report_misses.value());
   return s;
 }
 

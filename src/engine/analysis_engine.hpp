@@ -44,6 +44,7 @@
 #include "disparity/multi_buffer.hpp"
 #include "graph/paths.hpp"
 #include "graph/task_graph.hpp"
+#include "obs/metrics.hpp"
 #include "sched/npfp_rta.hpp"
 
 namespace ceta {
@@ -70,6 +71,12 @@ struct LatencyReport {
 };
 
 /// Cache effectiveness counters (diagnostics; see cache_stats()).
+///
+/// Superseded by AnalysisEngine::metrics(), which reports the same values
+/// as named counters ("engine.hop.hits", ...) in a MetricsSnapshot
+/// together with duration histograms.  cache_stats() remains as a thin
+/// shim over the registry and will be marked [[deprecated]] once callers
+/// migrate.
 struct EngineCacheStats {
   std::size_t rta_runs = 0;
   std::size_t hop_hits = 0;
@@ -161,8 +168,21 @@ class AnalysisEngine {
   MultiBufferDesign optimize_buffers(TaskId task,
                                      const DisparityOptions& opt = {}) const;
 
-  /// Snapshot of the cache counters (approximate under concurrency only in
-  /// the sense that it is a point-in-time snapshot).
+  /// Snapshot of the engine's private metrics registry: the cache
+  /// counters ("engine.rta.runs", "engine.hop.hits", ...) plus duration
+  /// histograms for RTA and disparity computation ("engine.rta.compute",
+  /// "engine.disparity.compute").  Point-in-time consistent per
+  /// instrument.
+  obs::MetricsSnapshot metrics() const;
+
+  /// The engine's private registry (stable for the engine's lifetime);
+  /// exposed so callers can attach their own instruments to the same
+  /// snapshot.
+  obs::MetricsRegistry& metrics_registry() const { return metrics_; }
+
+  /// Snapshot of the cache counters.  Thin shim over metrics(): each field
+  /// is the value of the corresponding registry counter (asserted
+  /// byte-identical in tests/test_engine_cache.cpp).  Prefer metrics().
   EngineCacheStats cache_stats() const;
 
  private:
@@ -186,6 +206,23 @@ class AnalysisEngine {
     std::size_t operator()(const ReportKey& k) const;
   };
 
+  /// Cache instruments, resolved once against metrics_ (counter() takes
+  /// the registry mutex; the references are wait-free afterwards).
+  struct Instruments {
+    explicit Instruments(obs::MetricsRegistry& r);
+    obs::Counter& rta_runs;
+    obs::Counter& hop_hits;
+    obs::Counter& hop_misses;
+    obs::Counter& chain_bound_hits;
+    obs::Counter& chain_bound_misses;
+    obs::Counter& chain_set_hits;
+    obs::Counter& chain_set_misses;
+    obs::Counter& report_hits;
+    obs::Counter& report_misses;
+    obs::DurationHistogram& rta_compute;
+    obs::DurationHistogram& disparity_compute;
+  };
+
   void ensure_rta() const;
   BackwardBoundsFn bounds_provider() const;
   ThreadPool& pool() const;
@@ -193,19 +230,20 @@ class AnalysisEngine {
   TaskGraph graph_;
   EngineOptions opt_;
 
+  // Per-engine registry: cache statistics never bleed across engines.
+  mutable obs::MetricsRegistry metrics_;
+  mutable Instruments ins_{metrics_};
+
   mutable std::mutex rta_mutex_;
   mutable std::unique_ptr<RtaResult> rta_;          // engine-owned mode
   mutable std::unique_ptr<ResponseTimeMap> external_rtm_;  // external mode
-  mutable std::size_t rta_runs_ = 0;
 
   mutable std::mutex hop_mutex_;
   mutable std::unordered_map<std::uint64_t, Duration> hop_cache_;
-  mutable std::size_t hop_hits_ = 0, hop_misses_ = 0;
 
   mutable std::mutex chain_bound_mutex_;
   mutable std::unordered_map<ChainKey, BackwardBounds, ChainKeyHash>
       chain_bound_cache_;
-  mutable std::size_t chain_bound_hits_ = 0, chain_bound_misses_ = 0;
 
   mutable std::mutex chain_set_mutex_;
   // Keyed by (task, cap); unique_ptr keeps returned references stable
@@ -213,14 +251,12 @@ class AnalysisEngine {
   mutable std::unordered_map<std::uint64_t,
                              std::unique_ptr<std::vector<Path>>>
       chain_set_cache_;
-  mutable std::size_t chain_set_hits_ = 0, chain_set_misses_ = 0;
 
   mutable std::mutex report_mutex_;
   mutable std::unordered_map<ReportKey,
                              std::shared_ptr<const DisparityReport>,
                              ReportKeyHash>
       report_cache_;
-  mutable std::size_t report_hits_ = 0, report_misses_ = 0;
 
   mutable std::mutex pool_mutex_;
   mutable std::unique_ptr<ThreadPool> pool_;

@@ -15,17 +15,20 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdlib>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/tracer.hpp"
 
 namespace ceta {
 
@@ -36,7 +39,10 @@ class ThreadPool {
     CETA_EXPECTS(num_threads >= 1, "ThreadPool: need at least one thread");
     workers_.reserve(num_threads);
     for (std::size_t i = 0; i < num_threads; ++i) {
-      workers_.emplace_back([this] { run(); });
+      workers_.emplace_back([this, i] {
+        obs::set_thread_name("pool-worker-" + std::to_string(i));
+        run();
+      });
     }
   }
 
@@ -78,9 +84,21 @@ class ThreadPool {
     return result;
   }
 
-  /// Default worker count for analysis fan-out: every core helps up to a
-  /// point; past a small handful the per-sink units are too few to split.
+  /// Default worker count for analysis fan-out.  Precedence (documented in
+  /// DESIGN.md): an explicit EngineOptions::num_threads bypasses this
+  /// function entirely; otherwise a CETA_THREADS environment override wins
+  /// (clamped to >= 1, ignored if not a plain positive integer); otherwise
+  /// hardware_concurrency, capped at 8 — past a small handful the per-sink
+  /// units are too few to split.
   static std::size_t default_concurrency() {
+    if (const char* env = std::getenv("CETA_THREADS"); env && *env) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != nullptr && *end == '\0' && v >= 1) {
+        return static_cast<std::size_t>(v);
+      }
+      // Malformed or non-positive: fall through to the hardware default.
+    }
     const unsigned hw = std::thread::hardware_concurrency();
     const std::size_t n = hw == 0 ? 1 : static_cast<std::size_t>(hw);
     return n < 1 ? 1 : (n > 8 ? 8 : n);
@@ -97,6 +115,7 @@ class ThreadPool {
         job = std::move(queue_.front());
         queue_.pop_front();
       }
+      obs::Span span("engine", "pool.job");
       job();
     }
   }

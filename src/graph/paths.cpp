@@ -4,6 +4,8 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 
 namespace ceta {
 
@@ -36,11 +38,17 @@ void enumerate_backwards(const TaskGraph& g, TaskId target,
 std::vector<Path> enumerate_source_chains(const TaskGraph& g, TaskId target,
                                           std::size_t cap) {
   CETA_EXPECTS(target < g.num_tasks(), "enumerate_source_chains: bad target");
+  obs::Span span("graph", "enumerate_source_chains");
+  span.arg("target", static_cast<std::int64_t>(target));
+  static obs::Counter& runs =
+      obs::MetricsRegistry::global().counter("graph.enumerations");
+  runs.add();
   std::vector<bool> is_src(g.num_tasks(), false);
   for (TaskId s : g.sources()) is_src[s] = true;
   std::vector<Path> out;
   Path suffix{target};
   enumerate_backwards(g, target, is_src, cap, suffix, out);
+  span.arg("chains", static_cast<std::int64_t>(out.size()));
   return out;
 }
 
@@ -48,6 +56,9 @@ std::vector<Path> enumerate_paths(const TaskGraph& g, TaskId from, TaskId to,
                                   std::size_t cap) {
   CETA_EXPECTS(from < g.num_tasks() && to < g.num_tasks(),
                "enumerate_paths: bad endpoints");
+  obs::Span span("graph", "enumerate_paths");
+  span.arg("from", static_cast<std::int64_t>(from));
+  span.arg("to", static_cast<std::int64_t>(to));
   std::vector<bool> admissible(g.num_tasks(), false);
   admissible[from] = true;
   std::vector<Path> out;

@@ -1,0 +1,193 @@
+#include "obs/json_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace ceta::obs {
+
+JsonWriter::JsonWriter(std::ostream& os, bool pretty)
+    : os_(os), pretty_(pretty) {}
+
+// Balance violations are only detectable here, where throwing is not an
+// option — done() is the checked way to finish a document.
+JsonWriter::~JsonWriter() = default;
+
+void JsonWriter::newline_indent() {
+  if (!pretty_) return;
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+}
+
+void JsonWriter::before_value() {
+  CETA_EXPECTS(!done_, "JsonWriter: document already finished");
+  if (stack_.empty()) {
+    CETA_EXPECTS(!root_written_, "JsonWriter: multiple root values");
+    root_written_ = true;
+    return;
+  }
+  auto& [scope, has_entries] = stack_.back();
+  if (scope == Scope::kObject) {
+    CETA_EXPECTS(key_pending_, "JsonWriter: object value without a key");
+    key_pending_ = false;
+    return;  // comma/indent were written by key()
+  }
+  if (has_entries) os_ << ',';
+  has_entries = true;
+  newline_indent();
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  CETA_EXPECTS(!done_, "JsonWriter: document already finished");
+  CETA_EXPECTS(!stack_.empty() && stack_.back().first == Scope::kObject,
+               "JsonWriter: key outside an object");
+  CETA_EXPECTS(!key_pending_, "JsonWriter: consecutive keys");
+  auto& [scope, has_entries] = stack_.back();
+  if (has_entries) os_ << ',';
+  has_entries = true;
+  newline_indent();
+  write_string(k);
+  os_ << ':';
+  if (pretty_) os_ << ' ';
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  stack_.emplace_back(Scope::kObject, false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  CETA_EXPECTS(!stack_.empty() && stack_.back().first == Scope::kObject,
+               "JsonWriter: end_object without begin_object");
+  CETA_EXPECTS(!key_pending_, "JsonWriter: dangling key at end_object");
+  const bool had_entries = stack_.back().second;
+  stack_.pop_back();
+  if (had_entries) newline_indent();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  stack_.emplace_back(Scope::kArray, false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  CETA_EXPECTS(!stack_.empty() && stack_.back().first == Scope::kArray,
+               "JsonWriter: end_array without begin_array");
+  const bool had_entries = stack_.back().second;
+  stack_.pop_back();
+  if (had_entries) newline_indent();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  write_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  os_ << format_double(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  os_ << "null";
+  return *this;
+}
+
+void JsonWriter::done() {
+  CETA_EXPECTS(stack_.empty() && !key_pending_,
+               "JsonWriter: done() with unbalanced containers");
+  CETA_EXPECTS(root_written_, "JsonWriter: empty document");
+  if (pretty_ && !done_) os_ << '\n';
+  done_ = true;
+}
+
+void JsonWriter::write_string(std::string_view s) {
+  os_ << '"' << escape(s) << '"';
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through untouched
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonWriter::format_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  // Shortest of 6/15/17 significant digits that round-trips.
+  char buf[40];
+  for (const int precision : {6, 15, 17}) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+}  // namespace ceta::obs

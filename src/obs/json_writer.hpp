@@ -1,0 +1,98 @@
+// Streaming JSON writer — the single serialization path for everything
+// this library emits as JSON: Chrome-trace files (obs/tracer.hpp), metrics
+// snapshots (obs/metrics.hpp) and the BENCH_*.json result files
+// (bench/bench_util.hpp).  One implementation of escaping, nesting and
+// number formatting instead of per-emitter string splicing.
+//
+// The writer is a push-style state machine over an ostream:
+//
+//   obs::JsonWriter w(os);
+//   w.begin_object();
+//     w.member("bench", "engine_vs_free");
+//     w.member("warm_speedup", 17.3);
+//     w.key("threads"); w.begin_array();
+//       w.value(std::int64_t{1}); w.value(std::int64_t{4});
+//     w.end_array();
+//   w.end_object();
+//
+// Nesting errors (value without key inside an object, unbalanced end_*,
+// dangling key at end) throw PreconditionError — emitting invalid JSON is
+// a bug, never a formatting choice.  Doubles are printed with the shortest
+// representation that round-trips (6 -> 15 -> 17 significant digits);
+// non-finite doubles become null (JSON has no Inf/NaN).
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ceta::obs {
+
+class JsonWriter {
+ public:
+  /// Write to `os`.  Pretty mode (default) indents by two spaces and puts
+  /// every member / element on its own line; compact mode emits no
+  /// whitespace at all (used for large trace files).
+  explicit JsonWriter(std::ostream& os, bool pretty = true);
+
+  /// The stream must end balanced; done() (or the destructor) checks.
+  ~JsonWriter();
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Member key; must be directly inside an object and followed by exactly
+  /// one value (or container).
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  template <typename T>
+  JsonWriter& member(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  /// Explicit end-of-document check: throws if containers are unbalanced
+  /// or a key is dangling, then flushes a trailing newline (pretty mode).
+  void done();
+
+  /// JSON string escaping of `s` (quotes not included): ", \, control
+  /// characters as \u00XX, and the standard two-character escapes.
+  static std::string escape(std::string_view s);
+
+  /// Shortest decimal form of `v` that parses back to exactly `v`
+  /// ("null" for non-finite values).
+  static std::string format_double(double v);
+
+ private:
+  enum class Scope : unsigned char { kObject, kArray };
+
+  void before_value();
+  void newline_indent();
+  void write_string(std::string_view s);
+
+  std::ostream& os_;
+  bool pretty_;
+  bool done_ = false;
+  bool key_pending_ = false;
+  /// Root: at most one value.
+  bool root_written_ = false;
+  std::vector<std::pair<Scope, bool>> stack_;  // (scope, has_entries)
+};
+
+}  // namespace ceta::obs

@@ -1,0 +1,178 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "obs/json_writer.hpp"
+
+namespace ceta::obs {
+
+namespace {
+
+/// Lower edge (inclusive) of bucket i: durations of bit-width i.
+std::int64_t bucket_floor(std::size_t i) {
+  return i == 0 ? 0 : std::int64_t{1} << (i - 1);
+}
+
+/// Upper edge (exclusive, clamped) of bucket i.
+std::int64_t bucket_ceil(std::size_t i) {
+  return i >= 63 ? INT64_MAX : (std::int64_t{1} << i);
+}
+
+void atomic_min(std::atomic<std::int64_t>& slot, std::int64_t v) {
+  std::int64_t cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<std::int64_t>& slot, std::int64_t v) {
+  std::int64_t cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void DurationHistogram::observe(Duration d) {
+  // Durations are elapsed times; clamp the (theoretically impossible)
+  // negative sample to zero rather than corrupting a bucket index.
+  const std::int64_t ns = d < Duration::zero() ? 0 : d.count();
+  const std::size_t bucket =
+      static_cast<std::size_t>(std::bit_width(static_cast<std::uint64_t>(ns)));
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  atomic_min(min_ns_, ns);
+  atomic_max(max_ns_, ns);
+}
+
+DurationHistogram::Snapshot DurationHistogram::snapshot() const {
+  Snapshot s;
+  std::array<std::uint64_t, kBuckets> counts;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  s.count = count_.load(std::memory_order_relaxed);
+  if (s.count == 0) return s;
+  s.sum = Duration::ns(sum_ns_.load(std::memory_order_relaxed));
+  s.min = Duration::ns(min_ns_.load(std::memory_order_relaxed));
+  s.max = Duration::ns(max_ns_.load(std::memory_order_relaxed));
+
+  const auto quantile = [&](double q) {
+    // Nearest-rank target, then linear interpolation across the bucket.
+    const std::uint64_t target = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               q * static_cast<double>(s.count) + 0.5));
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      if (counts[i] == 0) continue;
+      if (cum + counts[i] >= target) {
+        const double frac = static_cast<double>(target - cum) /
+                            static_cast<double>(counts[i]);
+        const double lo = static_cast<double>(bucket_floor(i));
+        const double hi = static_cast<double>(bucket_ceil(i));
+        return Duration::ns(
+            static_cast<std::int64_t>(lo + frac * (hi - lo)));
+      }
+      cum += counts[i];
+    }
+    return s.max;
+  };
+  s.p50 = std::min(quantile(0.50), s.max);
+  s.p95 = std::min(quantile(0.95), s.max);
+  s.p99 = std::min(quantile(0.99), s.max);
+  return s;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+DurationHistogram& MetricsRegistry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_
+              .emplace(std::string(name),
+                       std::make_unique<DurationHistogram>())
+              .first->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot s;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    s.counters.emplace_back(name, c->value());
+  }
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    s.gauges.emplace_back(name, g->value());
+  }
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    s.histograms.emplace_back(name, h->snapshot());
+  }
+  return s;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+void MetricsSnapshot::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, v] : counters) w.member(name, v);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, v] : gauges) w.member(name, v);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms) {
+    w.key(name).begin_object();
+    w.member("count", h.count)
+        .member("sum_ns", h.sum.count())
+        .member("min_ns", h.min.count())
+        .member("max_ns", h.max.count())
+        .member("p50_ns", h.p50.count())
+        .member("p95_ns", h.p95.count())
+        .member("p99_ns", h.p99.count());
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream os;
+  JsonWriter w(os);
+  write_json(w);
+  w.done();
+  return os.str();
+}
+
+}  // namespace ceta::obs

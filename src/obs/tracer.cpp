@@ -1,0 +1,261 @@
+#include "obs/tracer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/json_writer.hpp"
+
+namespace ceta::obs {
+
+// Constant-initialized: safe to read from any static initializer.
+std::atomic<bool> Tracer::enabled_flag_{false};
+
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// The trace epoch is read on every enabled span without the tracer mutex;
+// atomic keeps the start()/record() pair race-free.
+std::atomic<std::int64_t> g_epoch_ns{0};
+
+/// CETA_TRACE=<path>: enable the process-wide tracer before main() and
+/// export at exit.  Runs during this translation unit's static
+/// initialization, which is ordered before main() whenever the library is
+/// linked at all.
+struct EnvInit {
+  EnvInit() {
+    if (const char* path = std::getenv("CETA_TRACE"); path && *path) {
+      Tracer::global().start(path);
+      std::atexit([] { (void)Tracer::global().stop(); });
+    }
+  }
+};
+const EnvInit env_init;
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buf = [this] {
+    auto b = std::make_shared<ThreadBuffer>();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    b->tid = static_cast<std::uint32_t>(buffers_.size());
+    buffers_.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+std::int64_t Tracer::now_ns() const {
+  return steady_now_ns() - g_epoch_ns.load(std::memory_order_relaxed);
+}
+
+void Tracer::start(std::string path) {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    path_ = std::move(path);
+    buffers = buffers_;
+  }
+  // Drop events of any previous recording; thread registrations (names,
+  // tids) survive across start/stop cycles.
+  for (const auto& b : buffers) {
+    const std::lock_guard<std::mutex> lock(b->mutex);
+    b->events.clear();
+    b->dropped = 0;
+  }
+  g_epoch_ns.store(steady_now_ns(), std::memory_order_relaxed);
+  enabled_flag_.store(true, std::memory_order_relaxed);
+}
+
+std::size_t Tracer::stop() {
+  enabled_flag_.store(false, std::memory_order_relaxed);
+  std::string path;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    path = path_;
+  }
+  if (path.empty()) return 0;
+  std::ofstream out(path);
+  if (!out) throw Error("Tracer: cannot open trace file '" + path + "'");
+  const std::size_t n = export_json(out);
+  if (!out) throw Error("Tracer: write to '" + path + "' failed");
+  return n;
+}
+
+std::string Tracer::stop_to_string() {
+  enabled_flag_.store(false, std::memory_order_relaxed);
+  std::ostringstream os;
+  export_json(os);
+  return os.str();
+}
+
+void Tracer::record(const TraceEvent& ev) {
+  ThreadBuffer& buf = local_buffer();
+  const std::lock_guard<std::mutex> lock(buf.mutex);
+  if (buf.events.size() >= kMaxEventsPerThread) {
+    ++buf.dropped;
+    return;
+  }
+  buf.events.push_back(ev);
+}
+
+void Tracer::set_thread_name(std::string name) {
+  ThreadBuffer& buf = local_buffer();
+  const std::lock_guard<std::mutex> lock(buf.mutex);
+  buf.name = std::move(name);
+}
+
+std::size_t Tracer::pending_events() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    buffers = buffers_;
+  }
+  std::size_t n = 0;
+  for (const auto& b : buffers) {
+    const std::lock_guard<std::mutex> lock(b->mutex);
+    n += b->events.size();
+  }
+  return n;
+}
+
+std::size_t Tracer::export_json(std::ostream& os) {
+  struct OwnedEvent {
+    TraceEvent ev;
+    std::uint32_t tid;
+  };
+  struct ThreadMeta {
+    std::uint32_t tid;
+    std::string name;
+  };
+  std::vector<OwnedEvent> events;
+  std::vector<ThreadMeta> threads;
+  std::uint64_t dropped = 0;
+
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    buffers = buffers_;
+  }
+  for (const auto& b : buffers) {
+    const std::lock_guard<std::mutex> lock(b->mutex);
+    for (const TraceEvent& ev : b->events) {
+      events.push_back(OwnedEvent{ev, b->tid});
+    }
+    if (!b->name.empty() || !b->events.empty()) {
+      threads.push_back(ThreadMeta{
+          b->tid,
+          b->name.empty() ? "thread-" + std::to_string(b->tid) : b->name});
+    }
+    dropped += b->dropped;
+    b->events.clear();  // drained
+    b->dropped = 0;
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const OwnedEvent& a, const OwnedEvent& b) {
+                     return a.ev.ts_ns < b.ev.ts_ns;
+                   });
+
+  // Chrome trace-event format; ts/dur are microseconds (fractional keeps
+  // the ns resolution).  Compact mode: trace files can hold millions of
+  // events.
+  JsonWriter w(os, /*pretty=*/false);
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+  for (const ThreadMeta& t : threads) {
+    w.begin_object()
+        .member("ph", "M")
+        .member("pid", 1)
+        .member("tid", static_cast<std::int64_t>(t.tid))
+        .member("name", "thread_name");
+    w.key("args").begin_object().member("name", t.name).end_object();
+    w.end_object();
+  }
+  for (const OwnedEvent& e : events) {
+    w.begin_object()
+        .member("ph", "X")
+        .member("pid", 1)
+        .member("tid", static_cast<std::int64_t>(e.tid))
+        .member("cat", e.ev.category)
+        .member("name", e.ev.name)
+        .member("ts", static_cast<double>(e.ev.ts_ns) / 1e3)
+        .member("dur", static_cast<double>(e.ev.dur_ns) / 1e3);
+    if (e.ev.args[0].key != nullptr) {
+      w.key("args").begin_object();
+      for (const TraceArg& a : e.ev.args) {
+        if (a.key == nullptr) continue;
+        if (a.str != nullptr) {
+          w.member(a.key, a.str);
+        } else {
+          w.member(a.key, a.num);
+        }
+      }
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.member("displayTimeUnit", "ms");
+  w.key("ceta").begin_object();
+  w.member("dropped_events", dropped);
+  w.end_object();
+  w.end_object();
+  w.done();
+  return events.size();
+}
+
+void Span::begin(const char* category, const char* name) {
+  ev_.name = name;
+  ev_.category = category;
+  ev_.ts_ns = Tracer::global().now_ns();
+  ev_.dur_ns = 0;
+  ev_.args[0] = TraceArg{nullptr, nullptr, 0};
+  ev_.args[1] = TraceArg{nullptr, nullptr, 0};
+  active_ = true;
+}
+
+void Span::end() {
+  const std::int64_t now = Tracer::global().now_ns();
+  ev_.dur_ns = now > ev_.ts_ns ? now - ev_.ts_ns : 0;
+  Tracer::global().record(ev_);
+  active_ = false;
+}
+
+void Span::arg_slow(const char* key, std::int64_t value) {
+  for (TraceArg& slot : ev_.args) {
+    if (slot.key == nullptr) {
+      slot = TraceArg{key, nullptr, value};
+      return;
+    }
+  }
+}
+
+void Span::arg_slow(const char* key, const char* str) {
+  for (TraceArg& slot : ev_.args) {
+    if (slot.key == nullptr) {
+      slot = TraceArg{key, str, 0};
+      return;
+    }
+  }
+}
+
+void set_thread_name(std::string name) {
+  Tracer::global().set_thread_name(std::move(name));
+}
+
+}  // namespace ceta::obs

@@ -1,0 +1,161 @@
+// Scoped-span tracer with a Chrome-trace (chrome://tracing / Perfetto)
+// JSON exporter.
+//
+// Instrumented code opens an RAII span around a unit of work:
+//
+//   void analyze(...) {
+//     obs::Span span("sched", "analyze_response_times");
+//     span.arg("tasks", static_cast<std::int64_t>(g.num_tasks()));
+//     ...
+//   }
+//
+// When tracing is DISABLED (the default) the span constructor is one
+// relaxed atomic load and a branch — no clock read, no allocation, no
+// stores beyond `active_ = false` — so instrumentation can stay compiled
+// into the hot paths permanently (perf_analysis asserts the overhead
+// budget).  When ENABLED, each span records a complete ("ph":"X") event
+// with nanosecond timestamps into a per-thread buffer; buffers take only
+// their own uncontended mutex, so tracing never serializes worker
+// threads against each other.
+//
+// Enabling, two ways:
+//   * CETA_TRACE=<path> in the environment — tracing starts before main()
+//     and the file is exported at process exit;
+//   * programmatically — Tracer::global().start(path) / stop(), or
+//     start() / stop_to_string() for in-memory export (tests).
+//
+// Export is the Chrome trace-event format: one JSON object with a
+// "traceEvents" array holding thread-name metadata ("ph":"M") followed by
+// all complete events sorted by timestamp.  Load the file in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing.
+//
+// Span names and categories must be string literals (or otherwise outlive
+// the tracer): events store the pointers, not copies.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ceta::obs {
+
+/// One key/value annotation on a span; values are int64 or a static
+/// string.  Two slots per event — enough for "task" + cache hit/miss.
+struct TraceArg {
+  const char* key;  // nullptr = slot unused
+  const char* str;  // nullptr = integer value
+  std::int64_t num;
+};
+
+struct TraceEvent {
+  const char* name;
+  const char* category;
+  std::int64_t ts_ns;   // start, relative to the trace epoch
+  std::int64_t dur_ns;  // >= 0
+  TraceArg args[2];
+};
+
+class Tracer {
+ public:
+  /// The process-wide tracer.  First use checks CETA_TRACE.
+  static Tracer& global();
+
+  /// One relaxed load; the whole cost of disabled instrumentation.
+  static bool enabled() {
+    return enabled_flag_.load(std::memory_order_relaxed);
+  }
+
+  /// Begin recording (clears previously drained state).  With a path, the
+  /// trace is written there by stop(); without, use stop_to_string() or
+  /// export_json().
+  void start(std::string path = {});
+
+  /// Disable recording and, if start() was given a path, export to it.
+  /// Returns the number of events exported.
+  std::size_t stop();
+
+  /// Disable recording and export in-memory (ignores any path).
+  std::string stop_to_string();
+
+  /// Drain every thread buffer into `os` as Chrome-trace JSON.  Called by
+  /// stop(); public for custom sinks.  Returns the event count.
+  std::size_t export_json(std::ostream& os);
+
+  /// Label the calling thread in the exported trace ("M" metadata event).
+  void set_thread_name(std::string name);
+
+  /// Number of events currently buffered across all threads (diagnostics
+  /// and overhead accounting; takes the buffer locks).
+  std::size_t pending_events();
+
+  /// Called by Span (enabled path only).
+  void record(const TraceEvent& ev);
+  std::int64_t now_ns() const;
+
+ private:
+  Tracer() = default;
+
+  struct ThreadBuffer {
+    std::mutex mutex;
+    std::vector<TraceEvent> events;
+    std::string name;
+    std::uint32_t tid = 0;
+    std::uint64_t dropped = 0;
+  };
+  /// Cap per thread; beyond it events are counted as dropped, not stored.
+  static constexpr std::size_t kMaxEventsPerThread = 1u << 21;
+
+  ThreadBuffer& local_buffer();
+
+  static std::atomic<bool> enabled_flag_;
+
+  std::mutex mutex_;  // guards buffers_ list, path_, epoch_
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::string path_;
+  std::int64_t epoch_ns_ = 0;  // steady-clock origin of ts_ns
+};
+
+/// RAII scoped span.  Records one complete event from construction to
+/// destruction when tracing is enabled; a no-op (one atomic load) when
+/// disabled.
+class Span {
+ public:
+  Span(const char* category, const char* name) {
+    if (!Tracer::enabled()) return;
+    begin(category, name);
+  }
+  ~Span() {
+    if (active_) end();
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Annotate (no-op when the span is inactive).  `str` values must be
+  /// string literals.  Inline inactive check: annotations on hot cached
+  /// paths cost one predictable branch when tracing is off.
+  void arg(const char* key, std::int64_t value) {
+    if (active_) arg_slow(key, value);
+  }
+  void arg(const char* key, const char* str) {
+    if (active_) arg_slow(key, str);
+  }
+
+ private:
+  void begin(const char* category, const char* name);
+  void end();
+  void arg_slow(const char* key, std::int64_t value);
+  void arg_slow(const char* key, const char* str);
+
+  bool active_ = false;
+  TraceEvent ev_;  // filled only when active_
+};
+
+/// Convenience: name the calling thread in the global tracer's output.
+void set_thread_name(std::string name);
+
+}  // namespace ceta::obs

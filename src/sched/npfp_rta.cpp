@@ -5,6 +5,8 @@
 
 #include "common/error.hpp"
 #include "common/math.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 
 namespace ceta {
 
@@ -141,6 +143,15 @@ double resource_utilization(const TaskGraph& g, EcuId ecu) {
 }
 
 RtaResult analyze_response_times(const TaskGraph& g, const RtaOptions& opt) {
+  obs::Span span("sched", "analyze_response_times");
+  span.arg("tasks", static_cast<std::int64_t>(g.num_tasks()));
+  static obs::Counter& runs =
+      obs::MetricsRegistry::global().counter("sched.rta.runs");
+  static obs::Counter& tasks_analyzed =
+      obs::MetricsRegistry::global().counter("sched.rta.tasks");
+  runs.add();
+  tasks_analyzed.add(g.num_tasks());
+
   RtaResult res;
   res.response_time.assign(g.num_tasks(), Duration::zero());
   res.schedulable.assign(g.num_tasks(), true);

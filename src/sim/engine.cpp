@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "sim/channel.hpp"
 
 namespace ceta {
@@ -131,12 +133,16 @@ class Engine {
     // ECU just because its release event was queued first), then dispatch
     // the affected ECUs.  Zero-execution jobs can push fresh finish events
     // at the same instant, hence the middle loop.
+    // Hot loop: count events locally, flush to the registry once at the
+    // end of the run (metrics.hpp usage pattern).
+    std::uint64_t events_processed = 0;
     while (!queue_.empty()) {
       const Instant now = queue_.top().time;
       while (!queue_.empty() && queue_.top().time == now) {
         while (!queue_.empty() && queue_.top().time == now) {
           const Event ev = queue_.top();
           queue_.pop();
+          ++events_processed;
           switch (ev.kind) {
             case EventKind::kSourceRelease:
               on_source_release(ev);
@@ -159,6 +165,18 @@ class Engine {
         pending_dispatch_.clear();
       }
     }
+
+    std::uint64_t finished = 0;
+    std::uint64_t preempted = 0;
+    for (TaskId id = 0; id < g_.num_tasks(); ++id) {
+      finished += static_cast<std::uint64_t>(result_.jobs_finished[id]);
+      preempted += static_cast<std::uint64_t>(result_.preemptions[id]);
+    }
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    reg.counter("sim.runs").add();
+    reg.counter("sim.events").add(events_processed);
+    reg.counter("sim.jobs_finished").add(finished);
+    reg.counter("sim.preemptions").add(preempted);
     return std::move(result_);
   }
 
@@ -414,6 +432,9 @@ const JobRecord* Trace::find(TaskId task, std::int64_t k) const {
 }
 
 SimResult simulate(const TaskGraph& g, const SimOptions& opt) {
+  obs::Span span("sim", "simulate");
+  span.arg("tasks", static_cast<std::int64_t>(g.num_tasks()));
+  span.arg("duration_ns", opt.duration.count());
   Engine engine(g, opt);
   return engine.run();
 }

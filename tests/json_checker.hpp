@@ -1,0 +1,292 @@
+// Minimal recursive-descent JSON parser for the observability tests: the
+// trace and metrics exporters promise *valid* JSON, so the tests parse
+// their output with an independent implementation (not obs::JsonWriter)
+// and assert on the resulting tree.
+//
+// Supports the full JSON grammar (RFC 8259) minus \uXXXX surrogate-pair
+// decoding (escapes are validated and kept verbatim).  Numbers are parsed
+// as double; integral values round-trip exactly up to 2^53, far beyond
+// any counter the tests inspect.  Throws std::runtime_error with an
+// offset-annotated message on malformed input.
+
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ceta::testing {
+
+struct JsonValue;
+using JsonObject = std::map<std::string, JsonValue>;
+using JsonArray = std::vector<JsonValue>;
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::shared_ptr<JsonArray> array;
+  std::shared_ptr<JsonObject> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  /// Object member access; throws if not an object or the key is absent.
+  const JsonValue& at(const std::string& k) const {
+    if (!is_object()) throw std::runtime_error("not an object");
+    const auto it = object->find(k);
+    if (it == object->end()) throw std::runtime_error("missing key '" + k + "'");
+    return it->second;
+  }
+  bool has(const std::string& k) const {
+    return is_object() && object->count(k) > 0;
+  }
+  const JsonArray& items() const {
+    if (!is_array()) throw std::runtime_error("not an array");
+    return *array;
+  }
+  std::size_t size() const {
+    if (is_array()) return array->size();
+    if (is_object()) return object->size();
+    throw std::runtime_error("not a container");
+  }
+};
+
+class JsonParser {
+ public:
+  /// Parse `text` as exactly one JSON document (trailing whitespace only).
+  static JsonValue parse(std::string_view text) {
+    JsonParser p(text);
+    const JsonValue v = p.parse_value();
+    p.skip_ws();
+    if (p.pos_ != text.size()) p.fail("trailing content after document");
+    return v;
+  }
+
+ private:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("JSON error at offset " + std::to_string(pos_) +
+                             ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        v.string = parse_string();
+        return v;
+      }
+      case 't':
+      case 'f':
+        return parse_bool();
+      case 'n':
+        parse_literal("null");
+        return JsonValue{};
+      default:
+        return parse_number();
+    }
+  }
+
+  void parse_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      fail("bad literal, expected '" + std::string(lit) + "'");
+    }
+    pos_ += lit.size();
+  }
+
+  JsonValue parse_bool() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (peek() == 't') {
+      parse_literal("true");
+      v.boolean = true;
+    } else {
+      parse_literal("false");
+      v.boolean = false;
+    }
+    return v;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) fail("bad number");
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("digit required after decimal point");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+        fail("digit required in exponent");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("dangling escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_ + static_cast<std::size_t>(i)];
+            if (!std::isxdigit(static_cast<unsigned char>(h))) {
+              fail("bad hex digit in \\u escape");
+            }
+            code = code * 16 +
+                   static_cast<unsigned>(
+                       h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
+          }
+          // ASCII code points are decoded (all the writer emits for
+          // control characters); anything else — including surrogate
+          // pairs — is validated but kept verbatim, since no test
+          // asserts on non-ASCII content.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else {
+            out += "\\u";
+            out += text_.substr(pos_, 4);
+          }
+          pos_ += 4;
+          break;
+        }
+        default:
+          fail("bad escape character");
+      }
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    v.array = std::make_shared<JsonArray>();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array->push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    v.object = std::make_shared<JsonObject>();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      (*v.object)[std::move(key)] = parse_value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ceta::testing

@@ -243,6 +243,54 @@ TEST(EngineCache, ChainSetReferenceIsStableAndCapIsHonored) {
                PreconditionError);
 }
 
+TEST(EngineCache, CacheStatsIsAShimOverMetrics) {
+  // cache_stats() is a compatibility view of the engine's metrics registry:
+  // every field must be byte-identical to the corresponding counter, at
+  // every point in a session.
+  const TaskGraph g = random_dag_graph(14, 3, /*seed=*/17);
+  const AnalysisEngine engine(g);
+
+  const auto expect_shim_matches = [&engine]() {
+    const EngineCacheStats stats = engine.cache_stats();
+    const obs::MetricsSnapshot m = engine.metrics();
+    EXPECT_EQ(stats.rta_runs, m.counter("engine.rta.runs"));
+    EXPECT_EQ(stats.hop_hits, m.counter("engine.hop.hits"));
+    EXPECT_EQ(stats.hop_misses, m.counter("engine.hop.misses"));
+    EXPECT_EQ(stats.chain_bound_hits, m.counter("engine.chain_bounds.hits"));
+    EXPECT_EQ(stats.chain_bound_misses,
+              m.counter("engine.chain_bounds.misses"));
+    EXPECT_EQ(stats.chain_set_hits, m.counter("engine.chain_sets.hits"));
+    EXPECT_EQ(stats.chain_set_misses, m.counter("engine.chain_sets.misses"));
+    EXPECT_EQ(stats.report_hits, m.counter("engine.reports.hits"));
+    EXPECT_EQ(stats.report_misses, m.counter("engine.reports.misses"));
+  };
+
+  expect_shim_matches();  // all zero before any analysis
+  const std::vector<TaskId> fusing = engine.fusing_tasks();
+  ASSERT_FALSE(fusing.empty());
+  for (const TaskId t : fusing) (void)engine.disparity(t);
+  expect_shim_matches();  // cold pass: misses
+  for (const TaskId t : fusing) (void)engine.disparity(t);
+  expect_shim_matches();  // warm pass: hits
+
+  // Sanity on the values themselves: one RTA run, some activity on every
+  // cache layer, and compute-time histograms populated by the misses.
+  const EngineCacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.rta_runs, 1u);
+  EXPECT_GT(stats.report_misses, 0u);
+  EXPECT_GT(stats.report_hits, 0u);
+  EXPECT_GT(stats.chain_bound_misses, 0u);
+  const obs::MetricsSnapshot m = engine.metrics();
+  for (const auto& [name, hist] : m.histograms) {
+    if (name == "engine.rta.compute") {
+      EXPECT_EQ(hist.count, 1u);
+    }
+    if (name == "engine.disparity.compute") {
+      EXPECT_EQ(hist.count, stats.report_misses);
+    }
+  }
+}
+
 TEST(EngineCache, FusingTasksMatchesPathCounts) {
   const TaskGraph g = random_dag_graph(15, 3, /*seed=*/41);
   const AnalysisEngine engine(g);

@@ -8,14 +8,17 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <latch>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
 #include "engine/analysis_engine.hpp"
 #include "helpers.hpp"
+#include "obs/tracer.hpp"
 
 namespace ceta {
 namespace {
@@ -92,6 +95,32 @@ TEST(ThreadPool, DefaultConcurrencyIsSane) {
   const std::size_t n = ThreadPool::default_concurrency();
   EXPECT_GE(n, 1u);
   EXPECT_LE(n, 8u);
+}
+
+TEST(ThreadPool, DefaultConcurrencyHonorsCetaThreadsEnv) {
+  // Precedence is EngineOptions::num_threads > CETA_THREADS > hardware
+  // clamp; this covers the env layer (each TEST is its own process, so
+  // setenv cannot leak into other tests).
+  const std::size_t hw_default = ThreadPool::default_concurrency();
+
+  ASSERT_EQ(setenv("CETA_THREADS", "3", /*overwrite=*/1), 0);
+  EXPECT_EQ(ThreadPool::default_concurrency(), 3u);
+
+  // Values above the hardware clamp are taken verbatim: the override is
+  // an explicit user decision.
+  ASSERT_EQ(setenv("CETA_THREADS", "12", 1), 0);
+  EXPECT_EQ(ThreadPool::default_concurrency(), 12u);
+
+  // Garbage, zero, negative and trailing-junk values fall back to the
+  // hardware default (never below one thread).
+  for (const char* bad : {"0", "-2", "abc", "4x", ""}) {
+    ASSERT_EQ(setenv("CETA_THREADS", bad, 1), 0);
+    EXPECT_EQ(ThreadPool::default_concurrency(), hw_default)
+        << "CETA_THREADS='" << bad << "'";
+  }
+
+  ASSERT_EQ(unsetenv("CETA_THREADS"), 0);
+  EXPECT_EQ(ThreadPool::default_concurrency(), hw_default);
 }
 
 // The headline determinism property: disparity_all with >= 2 worker
@@ -196,6 +225,48 @@ TEST(EngineParallel, ConcurrentCallersOnOneEngine) {
   }
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(engine.cache_stats().rta_runs, 1u);
+}
+
+TEST(EngineParallel, TracedBatchesStayCorrectAndRaceFree) {
+  // Tracing ON while the pool fans out: per-thread trace buffers and the
+  // span clock reads must not race with the workers or perturb results.
+  // This is a primary TSan target (-DCETA_SANITIZE=thread).
+  const TaskGraph g = random_dag_graph(14, 3, /*seed=*/23);
+  EngineOptions opt;
+  opt.num_threads = 4;
+  const AnalysisEngine engine(g, opt);
+  const std::vector<TaskId> tasks = engine.fusing_tasks();
+  ASSERT_FALSE(tasks.empty());
+  const std::vector<DisparityReport> expected = engine.disparity_all(tasks);
+
+  obs::Tracer::global().start();  // in-memory
+  AnalysisEngine traced(g, opt);
+  std::vector<DisparityReport> got;
+  {
+    // External callers hammering the engine while its pool runs traced
+    // jobs: every layer that records spans is exercised concurrently.
+    std::vector<std::jthread> callers;
+    for (int c = 0; c < 2; ++c) {
+      callers.emplace_back([&] { (void)traced.disparity_all(tasks); });
+    }
+    got = traced.disparity_all(tasks);
+  }
+  {
+    // A directly-owned pool guarantees pool.job / pool-worker spans even
+    // when the graph has a single fusing task (inline batch path).
+    ThreadPool pool(2);
+    for (int i = 0; i < 4; ++i) pool.submit([] {}).get();
+  }
+  const std::string json = obs::Tracer::global().stop_to_string();
+
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    expect_reports_equal(got[i], expected[i]);
+  }
+  // The trace saw the batch: disparity_all itself plus pool worker spans.
+  EXPECT_NE(json.find("\"disparity_all\""), std::string::npos);
+  EXPECT_NE(json.find("\"pool.job\""), std::string::npos);
+  EXPECT_NE(json.find("pool-worker-"), std::string::npos);
 }
 
 TEST(EngineParallel, SingleTaskBatchRunsInline) {

@@ -1,0 +1,204 @@
+// obs::JsonWriter: escaping, nesting discipline, number formatting, and
+// the precondition checks that make emitting invalid JSON impossible.
+// Everything the writer produces must parse with the independent
+// json_checker.hpp parser.
+
+#include "obs/json_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "json_checker.hpp"
+
+namespace ceta {
+namespace {
+
+using obs::JsonWriter;
+using testing::JsonParser;
+using testing::JsonValue;
+
+std::string compact(const std::function<void(JsonWriter&)>& fill) {
+  std::ostringstream os;
+  JsonWriter w(os, /*pretty=*/false);
+  fill(w);
+  w.done();
+  return os.str();
+}
+
+std::string pretty(const std::function<void(JsonWriter&)>& fill) {
+  std::ostringstream os;
+  JsonWriter w(os, /*pretty=*/true);
+  fill(w);
+  w.done();
+  return os.str();
+}
+
+TEST(JsonWriter, EmptyContainers) {
+  EXPECT_EQ(compact([](JsonWriter& w) { w.begin_object().end_object(); }),
+            "{}");
+  EXPECT_EQ(compact([](JsonWriter& w) { w.begin_array().end_array(); }), "[]");
+}
+
+TEST(JsonWriter, CompactObjectBytes) {
+  const std::string out = compact([](JsonWriter& w) {
+    w.begin_object();
+    w.member("a", std::int64_t{1});
+    w.member("b", "two");
+    w.key("c");
+    w.begin_array();
+    w.value(true);
+    w.null();
+    w.end_array();
+    w.end_object();
+  });
+  EXPECT_EQ(out, R"({"a":1,"b":"two","c":[true,null]})");
+}
+
+TEST(JsonWriter, PrettyOutputParsesBackToSameTree) {
+  const auto fill = [](JsonWriter& w) {
+    w.begin_object();
+    w.member("name", "ceta");
+    w.key("nested");
+    w.begin_object();
+    w.member("depth", std::int64_t{2});
+    w.end_object();
+    w.key("list");
+    w.begin_array();
+    for (int i = 0; i < 3; ++i) w.value(i);
+    w.end_array();
+    w.end_object();
+  };
+  const JsonValue p = JsonParser::parse(pretty(fill));
+  const JsonValue c = JsonParser::parse(compact(fill));
+  EXPECT_EQ(p.at("name").string, "ceta");
+  EXPECT_EQ(p.at("nested").at("depth").number, 2.0);
+  ASSERT_EQ(p.at("list").size(), 3u);
+  EXPECT_EQ(p.at("list").items()[2].number, 2.0);
+  EXPECT_EQ(c.at("nested").at("depth").number, 2.0);
+}
+
+TEST(JsonWriter, StringEscaping) {
+  EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+  EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonWriter::escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(JsonWriter::escape("tab\there"), "tab\\there");
+  EXPECT_EQ(JsonWriter::escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonWriter::escape(std::string("nul\0byte", 8)), "nul\\u0000byte");
+  // A string containing every troublesome character survives the
+  // write -> parse round trip.
+  const std::string nasty = "q\"u\\o\tt\ne\rd\x01";
+  const std::string doc = compact([&](JsonWriter& w) {
+    w.begin_object();
+    w.member("s", nasty);
+    w.end_object();
+  });
+  EXPECT_EQ(JsonParser::parse(doc).at("s").string, nasty);
+}
+
+TEST(JsonWriter, NumberFormatting) {
+  EXPECT_EQ(JsonWriter::format_double(0.0), "0");
+  EXPECT_EQ(JsonWriter::format_double(1.5), "1.5");
+  EXPECT_EQ(JsonWriter::format_double(-3.0), "-3");
+  // Shortest round-trip: 0.1 prints as "0.1", not 0.1000000000000000055...
+  EXPECT_EQ(JsonWriter::format_double(0.1), "0.1");
+  const double third = 1.0 / 3.0;
+  EXPECT_EQ(std::stod(JsonWriter::format_double(third)), third);
+  // JSON has no Inf/NaN; the writer must not emit them.
+  EXPECT_EQ(JsonWriter::format_double(std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(JsonWriter::format_double(std::nan("")), "null");
+}
+
+TEST(JsonWriter, IntegerWidths) {
+  const std::string doc = compact([](JsonWriter& w) {
+    w.begin_object();
+    w.member("i64min", std::numeric_limits<std::int64_t>::min());
+    w.member("u64max", std::numeric_limits<std::uint64_t>::max());
+    w.end_object();
+  });
+  EXPECT_NE(doc.find("-9223372036854775808"), std::string::npos);
+  EXPECT_NE(doc.find("18446744073709551615"), std::string::npos);
+  EXPECT_NO_THROW(JsonParser::parse(doc));
+}
+
+TEST(JsonWriter, RootScalarAllowed) {
+  std::ostringstream os;
+  JsonWriter w(os, /*pretty=*/false);
+  w.value(std::int64_t{42});
+  w.done();
+  EXPECT_EQ(os.str(), "42");
+}
+
+TEST(JsonWriter, NestingErrorsThrow) {
+  // Value directly inside an object (no key).
+  {
+    std::ostringstream os;
+    JsonWriter w(os, false);
+    w.begin_object();
+    EXPECT_THROW(w.value(std::int64_t{1}), PreconditionError);
+  }
+  // Key inside an array.
+  {
+    std::ostringstream os;
+    JsonWriter w(os, false);
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), PreconditionError);
+  }
+  // Mismatched close.
+  {
+    std::ostringstream os;
+    JsonWriter w(os, false);
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), PreconditionError);
+  }
+  // done() with an open container.
+  {
+    std::ostringstream os;
+    JsonWriter w(os, false);
+    w.begin_array();
+    EXPECT_THROW(w.done(), PreconditionError);
+    w.end_array();
+    w.done();
+  }
+  // done() with a dangling key.
+  {
+    std::ostringstream os;
+    JsonWriter w(os, false);
+    w.begin_object();
+    w.key("dangling");
+    EXPECT_THROW(w.end_object(), PreconditionError);
+  }
+  // Two root values.
+  {
+    std::ostringstream os;
+    JsonWriter w(os, false);
+    w.value(std::int64_t{1});
+    EXPECT_THROW(w.value(std::int64_t{2}), PreconditionError);
+  }
+}
+
+TEST(JsonWriter, DeepNestingBalances) {
+  constexpr int kDepth = 64;
+  const std::string doc = compact([](JsonWriter& w) {
+    for (int i = 0; i < kDepth; ++i) {
+      w.begin_object();
+      w.key("d");
+    }
+    w.value(std::int64_t{0});
+    for (int i = 0; i < kDepth; ++i) w.end_object();
+  });
+  const JsonValue root = JsonParser::parse(doc);
+  const JsonValue* cur = &root;
+  for (int i = 0; i < kDepth; ++i) cur = &cur->at("d");
+  EXPECT_EQ(cur->number, 0.0);
+}
+
+}  // namespace
+}  // namespace ceta
