@@ -14,6 +14,15 @@ namespace {
 /// Timestamp of the source sample a job released at `t_read` consumes
 /// through `chain` (deterministic LET arithmetic).  Asserts the system is
 /// past warm-up (all traced job indices non-negative).
+///
+/// Tie-breaking at exact coincidence instants (audited, pinned by
+/// tests/test_exact.cpp boundary tests): a publish at exactly t IS
+/// visible to a read at t.  This matches Definition 1 ("finishes no later
+/// than the start") and the simulator's event order (finish/publish
+/// before release at equal instants — sim/engine.hpp).  floor_div gives
+/// precisely that semantics on both branches: at t = o + (k+1)·T the
+/// non-source branch selects job k, whose publish instant is t itself,
+/// and at t = o + k·T the source branch selects the sample stamped t.
 Instant trace_source_timestamp(const TaskGraph& g, const Path& chain,
                                Instant t_read) {
   Instant t = t_read;
@@ -36,7 +45,46 @@ Instant trace_source_timestamp(const TaskGraph& g, const Path& chain,
   return t;
 }
 
+/// Max over `chains` of Σ_hops (buffer+1)·T(producer) — see
+/// exact_warmup_horizon for why this suffices.
+Duration horizon_over_chains(const TaskGraph& g,
+                             const std::vector<Path>& chains) {
+  Duration deepest = Duration::zero();
+  for (const Path& chain : chains) {
+    Duration span = Duration::zero();
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+      span += g.task(chain[i]).period *
+              (1 + g.channel(chain[i], chain[i + 1]).buffer_size);
+    }
+    deepest = std::max(deepest, span);
+  }
+  return deepest;
+}
+
 }  // namespace
+
+// Why Σ (buffer+1)·T per hop is a sufficient warm-up horizon: consider
+// tracing one hop backward through producer p with period T, offset
+// o ∈ [0, T) and FIFO depth n, from instant t.
+//   * non-source: k = ⌊(t−o)/T⌋ − 1 − (n−1) = ⌊(t−o)/T⌋ − n, so k ≥ 0
+//     iff t ≥ o + n·T, which t ≥ (n+1)·T implies;
+//   * source:     k = ⌊(t−o)/T⌋ − (n−1),     so k ≥ 0 iff t ≥ o + (n−1)·T,
+//     which t ≥ n·T implies;
+//   * either way the traced instant t' = o + k·T satisfies
+//     t' > t − (n+1)·T  (since ⌊x/T⌋ > x/T − 1 and o ≥ 0),
+//     i.e. one hop moves the instant back by less than (n+1)·T.
+// Accumulating the per-hop decrements along a chain: a read at
+// t ≥ Σ_hops (n_i+1)·T_i reaches every hop with enough slack left for
+// that hop's own requirement, so every traced index is non-negative.
+// Taking the max over all chains covers them all.  (The previous
+// implementation summed unproven ×3-period terms over the whole ancestor
+// closure *plus* per-hop terms over every chain — always larger, never
+// justified.)
+Duration exact_warmup_horizon(const TaskGraph& g, TaskId task,
+                              std::size_t path_cap) {
+  CETA_EXPECTS(task < g.num_tasks(), "exact_warmup_horizon: bad task id");
+  return horizon_over_chains(g, enumerate_source_chains(g, task, path_cap));
+}
 
 ExactLetResult exact_let_disparity(const TaskGraph& g, TaskId task,
                                    std::size_t path_cap,
@@ -46,8 +94,6 @@ ExactLetResult exact_let_disparity(const TaskGraph& g, TaskId task,
 
   const std::vector<TaskId> closure = ancestors(g, task);
   std::vector<std::int64_t> periods;
-  Duration warmup_span = Duration::zero();
-  int max_buffer = 1;
   for (const TaskId id : closure) {
     const Task& t = g.task(id);
     CETA_EXPECTS(g.is_source(id) || t.comm == CommSemantics::kLet,
@@ -58,12 +104,7 @@ ExactLetResult exact_let_disparity(const TaskGraph& g, TaskId task,
                  "exact_let_disparity: task '" + t.name +
                      "' has release jitter");
     periods.push_back(t.period.count());
-    warmup_span += t.period * 3;
-    for (const TaskId succ : g.successors(id)) {
-      max_buffer = std::max(max_buffer, g.channel(id, succ).buffer_size);
-    }
   }
-  warmup_span += g.task(task).period * (3 * max_buffer);
 
   const std::vector<Path> chains =
       enumerate_source_chains(g, task, path_cap);
@@ -71,14 +112,6 @@ ExactLetResult exact_let_disparity(const TaskGraph& g, TaskId task,
   out.worst_disparity = Duration::zero();
   out.worst_release = Instant::zero();
   if (chains.size() < 2) return out;
-
-  // Deepest chains also need (buffer-scaled) depth per hop.
-  for (const Path& chain : chains) {
-    for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
-      warmup_span += g.task(chain[i]).period *
-                     (1 + g.channel(chain[i], chain[i + 1]).buffer_size);
-    }
-  }
 
   const Duration hyper = hyperperiod(periods.data(), periods.size());
   const Task& analyzed = g.task(task);
@@ -89,8 +122,14 @@ ExactLetResult exact_let_disparity(const TaskGraph& g, TaskId task,
         "exact_let_disparity: hyperperiod spans too many releases");
   }
 
-  const std::int64_t k0 =
-      ceil_div(warmup_span - analyzed.offset, analyzed.period);
+  // Start at the first release past the derived sufficient horizon (plus
+  // one hyperperiod of margin, so the scanned window is certainly in
+  // steady state), clamped to the task's first release: the horizon is
+  // tight enough that large analyzed-task offsets could otherwise push k0
+  // negative.
+  const Duration warmup = horizon_over_chains(g, chains) + hyper;
+  const std::int64_t k0 = std::max<std::int64_t>(
+      0, ceil_div(warmup - analyzed.offset, analyzed.period));
   out.releases_examined = static_cast<std::size_t>(releases);
   for (std::int64_t k = k0; k < k0 + releases; ++k) {
     const Instant release = analyzed.offset + analyzed.period * k;

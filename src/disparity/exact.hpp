@@ -42,4 +42,13 @@ ExactLetResult exact_let_disparity(const TaskGraph& g, TaskId task,
                                    std::size_t path_cap = kDefaultPathCap,
                                    std::size_t max_releases = 1'000'000);
 
+/// Sufficient warm-up horizon for the exact trace: any release of `task`
+/// at or after this instant can be traced through every source chain
+/// without any intermediate job index going negative (proof in exact.cpp).
+/// The value is max over chains of Σ_hops (buffer+1)·T(producer) — also a
+/// useful simulation warm-up for FIFO pipelines, which is why it is
+/// exported.  Throws CapacityError past `path_cap`.
+Duration exact_warmup_horizon(const TaskGraph& g, TaskId task,
+                              std::size_t path_cap = kDefaultPathCap);
+
 }  // namespace ceta

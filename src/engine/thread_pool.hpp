@@ -13,8 +13,10 @@
 
 #pragma once
 
+#include <cerrno>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <functional>
@@ -84,24 +86,41 @@ class ThreadPool {
     return result;
   }
 
+  /// Ceiling on a CETA_THREADS override: anything above this is certainly
+  /// a typo (or strtol's LONG_MAX saturation on overflow), not a real
+  /// machine, and would make the constructor try to spawn that many
+  /// jthreads.
+  static constexpr long kMaxEnvThreads = 1024;
+
   /// Default worker count for analysis fan-out.  Precedence (documented in
   /// DESIGN.md): an explicit EngineOptions::num_threads bypasses this
   /// function entirely; otherwise a CETA_THREADS environment override wins
-  /// (clamped to >= 1, ignored if not a plain positive integer); otherwise
-  /// hardware_concurrency, capped at 8 — past a small handful the per-sink
-  /// units are too few to split.
+  /// (a plain integer in [1, kMaxEnvThreads]; anything else — zero,
+  /// negative, non-numeric, overflowing — falls back to the hardware
+  /// default with a stderr warning); otherwise hardware_concurrency,
+  /// capped at 8 — past a small handful the per-sink units are too few to
+  /// split.
   static std::size_t default_concurrency() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    const std::size_t hw_default =
+        hw == 0 ? 1 : (hw > 8 ? std::size_t{8} : static_cast<std::size_t>(hw));
     if (const char* env = std::getenv("CETA_THREADS"); env && *env) {
       char* end = nullptr;
+      errno = 0;
       const long v = std::strtol(env, &end, 10);
-      if (end != nullptr && *end == '\0' && v >= 1) {
+      // strtol saturates to LONG_MIN/LONG_MAX with errno == ERANGE on
+      // overflow while still consuming every digit, so the end-pointer
+      // check alone would accept e.g. CETA_THREADS=99999999999999999999.
+      if (end != nullptr && *end == '\0' && errno != ERANGE && v >= 1 &&
+          v <= kMaxEnvThreads) {
         return static_cast<std::size_t>(v);
       }
-      // Malformed or non-positive: fall through to the hardware default.
+      std::fprintf(stderr,
+                   "ceta: ignoring invalid CETA_THREADS='%s' (want an "
+                   "integer in [1, %ld]); using %zu worker(s)\n",
+                   env, kMaxEnvThreads, hw_default);
     }
-    const unsigned hw = std::thread::hardware_concurrency();
-    const std::size_t n = hw == 0 ? 1 : static_cast<std::size_t>(hw);
-    return n < 1 ? 1 : (n > 8 ? 8 : n);
+    return hw_default;
   }
 
  private:

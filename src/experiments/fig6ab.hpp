@@ -54,6 +54,10 @@ struct Fig6abPoint {
   /// Mean over graphs of (bound − sim) / sim, for graphs with sim > 0.
   double pdiff_ratio = 0.0;
   double sdiff_ratio = 0.0;
+  /// Draws discarded because an analysis hit a capacity limit (period lcm
+  /// overflow, path-cap, simulator job cap); skipped-and-counted, never
+  /// fatal.
+  std::size_t capacity_skips = 0;
 };
 
 using ProgressFn = std::function<void(const std::string&)>;

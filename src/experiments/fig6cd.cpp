@@ -81,8 +81,9 @@ Duration max_disparity_over_offsets(TaskGraph& g, TaskId sink, Duration warmup,
 }
 
 InstanceRun run_one_instance(std::size_t len, const Fig6cdConfig& cfg,
-                             Rng& rng) {
+                             Rng& rng, std::size_t& capacity_skips) {
   for (int attempt = 0; attempt < cfg.max_retries; ++attempt) {
+    try {
     TaskGraph g = merge_chains_at_sink(len, len);
     WatersAssignOptions wopt;
     wopt.num_ecus = cfg.num_ecus;
@@ -137,6 +138,11 @@ InstanceRun run_one_instance(std::size_t len, const Fig6cdConfig& cfg,
     out.sim_b_ms = sim_b.as_ms();
     out.buffer_size = design.buffer_size;
     return out;
+    } catch (const CapacityError&) {
+      // Pathological draw (period lcm overflow, path-cap, simulator job
+      // cap): skip-and-count, then retry with fresh randomness.
+      ++capacity_skips;
+    }
   }
   throw Error("run_fig6cd: no admissible instance after retries (len=" +
               std::to_string(len) + ")");
@@ -153,8 +159,9 @@ std::vector<Fig6cdPoint> run_fig6cd(const Fig6cdConfig& cfg,
   std::vector<Fig6cdPoint> points;
   for (std::size_t len : cfg.chain_lengths) {
     OnlineStats sdiff, sdiff_b, sim, sim_b, ratio, ratio_b, bufsz;
+    std::size_t capacity_skips = 0;
     for (std::size_t i = 0; i < cfg.instances_per_point; ++i) {
-      const InstanceRun r = run_one_instance(len, cfg, rng);
+      const InstanceRun r = run_one_instance(len, cfg, rng, capacity_skips);
       sdiff.add(r.sdiff_ms);
       sdiff_b.add(r.sdiff_b_ms);
       sim.add(r.sim_ms);
@@ -175,6 +182,7 @@ std::vector<Fig6cdPoint> run_fig6cd(const Fig6cdConfig& cfg,
     p.sdiff_ratio = ratio.empty() ? 0.0 : ratio.mean();
     p.sdiff_b_ratio = ratio_b.empty() ? 0.0 : ratio_b.mean();
     p.buffer_size = bufsz.mean();
+    p.capacity_skips = capacity_skips;
     points.push_back(p);
     if (progress) {
       progress("len=" + std::to_string(len) + " done: S-diff=" +

@@ -47,6 +47,9 @@ struct Fig6cdPoint {
   double sdiff_ratio = 0.0;
   /// Mean designed buffer size (diagnostic).
   double buffer_size = 0.0;
+  /// Draws discarded because an analysis hit a capacity limit; counted,
+  /// never fatal.
+  std::size_t capacity_skips = 0;
 };
 
 using ProgressFn2 = std::function<void(const std::string&)>;

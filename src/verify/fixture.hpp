@@ -1,0 +1,56 @@
+// Reloadable counterexample fixtures.
+//
+// A fixture is the plain-text graph format (graph/serialize.hpp) preceded
+// by `# key: value` directives that make the violation replayable:
+//
+//   # ceta-fixture v1
+//   # property: sim_within_bound
+//   # task: sink
+//   # sim-seed: 12345
+//   # detail: sim 12.4ms > S-diff 11.1ms
+//   task s0 0 0 20000000 0 0 -1
+//   ...
+//   edge s0 sink
+//
+// The directive lines are ordinary comments to graph_from_text, so any
+// tool that understands the graph format can load a fixture as-is; the
+// loader here additionally parses the directives so tests can re-run the
+// exact failing check (tests/test_verify.cpp, fixtures/ regression files).
+
+#pragma once
+
+#include <string>
+
+#include "graph/task_graph.hpp"
+#include "verify/property_checker.hpp"
+
+namespace ceta::verify {
+
+struct Fixture {
+  Property property = Property::kBoundsOrdered;
+  std::string task;  ///< analyzed task, by name
+  std::uint64_t sim_seed = 1;
+  std::string detail;
+  TaskGraph graph;
+};
+
+std::string to_text(const Fixture& f);
+/// Parse a fixture; throws PreconditionError on a missing/unknown
+/// directive or malformed graph text.
+Fixture fixture_from_text(const std::string& text);
+
+/// Resolve the fixture's task name in its graph; throws if absent.
+TaskId fixture_task(const Fixture& f);
+
+Fixture fixture_of(const Violation& v);
+
+/// Human-readable multi-line account of one violation (property, detail,
+/// shrink statistics, the full shrunken graph).
+std::string violation_report(const Violation& v);
+
+/// Write `v` as `<dir>/ceta_violation_<index>_<property>.txt`, creating
+/// `dir` if needed; returns the path.
+std::string write_fixture_file(const std::string& dir, const Violation& v,
+                               std::size_t index);
+
+}  // namespace ceta::verify

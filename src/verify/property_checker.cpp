@@ -1,0 +1,677 @@
+#include "verify/property_checker.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "chain/backward_bounds.hpp"
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+#include "disparity/analyzer.hpp"
+#include "disparity/buffer_opt.hpp"
+#include "disparity/exact.hpp"
+#include "disparity/forkjoin.hpp"
+#include "disparity/multi_buffer.hpp"
+#include "disparity/pairwise.hpp"
+#include "engine/analysis_engine.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generator.hpp"
+#include "graph/paths.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+#include "sched/npfp_rta.hpp"
+#include "sched/priority.hpp"
+#include "sim/backward.hpp"
+#include "sim/engine.hpp"
+#include "verify/shrink.hpp"
+#include "waters/generator.hpp"
+
+namespace ceta::verify {
+
+namespace {
+
+constexpr const char* kPropertyNames[kNumProperties] = {
+    "engine_matches_free", "bounds_ordered",
+    "sdiff_leq_pdiff",     "sim_within_bound",
+    "backward_in_bounds",  "exact_within_bound",
+    "exact_matches_sim",   "buffered_shift",
+    "buffer_design_consistent", "multi_buffer_safe"};
+
+constexpr Property kAllProperties[kNumProperties] = {
+    Property::kEngineMatchesFree,
+    Property::kBoundsOrdered,
+    Property::kSdiffLeqPdiff,
+    Property::kSimWithinBound,
+    Property::kBackwardInBounds,
+    Property::kExactWithinBound,
+    Property::kExactMatchesSim,
+    Property::kBufferedShift,
+    Property::kBufferDesignConsistent,
+    Property::kMultiBufferSafe};
+
+std::string dur(Duration d) { return std::to_string(d.count()) + "ns"; }
+
+std::string chain_str(const TaskGraph& g, const Path& c) {
+  std::string s;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (i) s += "->";
+    s += g.task(c[i]).name;
+  }
+  return s;
+}
+
+PropertyOutcome holds() { return {}; }
+
+PropertyOutcome violated(std::string detail) {
+  PropertyOutcome out;
+  out.status = PropertyOutcome::Status::kViolated;
+  out.detail = std::move(detail);
+  return out;
+}
+
+PropertyOutcome skipped(std::string why, bool capacity = false) {
+  PropertyOutcome out;
+  out.status = PropertyOutcome::Status::kSkipped;
+  out.detail = std::move(why);
+  out.capacity_skip = capacity;
+  return out;
+}
+
+/// Shared deterministic inputs of one property evaluation.
+struct Inputs {
+  const TaskGraph& g;
+  TaskId task;
+  const ResponseTimeMap& rtm;
+  const std::vector<Path>& chains;
+  const ProbeConfig& cfg;
+};
+
+/// The injected off-by-one: one head period of the analyzed chain set,
+/// the largest term a hop-bound derivation could plausibly drop.
+Duration fault_delta(const Inputs& in) {
+  if (in.cfg.fault == FaultInjection::kNone) return Duration::zero();
+  Duration d = Duration::zero();
+  for (const Path& c : in.chains) {
+    d = std::max(d, in.g.task(c.front()).period);
+  }
+  return d;
+}
+
+bool head_channel_unbuffered(const TaskGraph& g, const Path& c) {
+  return c.size() < 2 || g.channel(c[0], c[1]).buffer_size == 1;
+}
+
+bool chain_unbuffered(const TaskGraph& g, const Path& c) {
+  for (std::size_t i = 0; i + 1 < c.size(); ++i) {
+    if (g.channel(c[i], c[i + 1]).buffer_size != 1) return false;
+  }
+  return true;
+}
+
+DisparityOptions disparity_options(const Inputs& in, DisparityMethod m) {
+  DisparityOptions opt;
+  opt.method = m;
+  opt.path_cap = in.cfg.path_cap;
+  return opt;
+}
+
+/// Simulation warm-up after which every backward chain and FIFO window of
+/// `task` is in steady state: the deepest analytic backward span plus the
+/// buffer-fill horizon (exact_warmup_horizon covers (buffer+1)·T per hop).
+Duration sim_warmup(const Inputs& in) {
+  Duration w = Duration::zero();
+  for (const Path& c : in.chains) {
+    w = std::max(w, backward_bounds(in.g, c, in.rtm).wcbt);
+  }
+  return w + exact_warmup_horizon(in.g, in.task, in.cfg.path_cap);
+}
+
+SimResult run_sim(const TaskGraph& g, const ProbeConfig& cfg, Duration warmup,
+                  Duration duration, bool record_trace) {
+  // Estimate the job count before simulating: shrink candidates can carry
+  // microsecond periods under the same fixed measurement window, which
+  // would mean 1e8+ jobs (minutes of CPU, gigabytes of trace) for a
+  // candidate that is about to be discarded anyway.  Past the cap this is
+  // a capacity skip, and max_jobs backstops the estimate.
+  std::uint64_t estimated_jobs = 0;
+  for (TaskId id = 0; id < g.num_tasks(); ++id) {
+    const std::int64_t period = std::max<std::int64_t>(
+        std::int64_t{1}, g.task(id).period.count());
+    estimated_jobs +=
+        static_cast<std::uint64_t>(duration.count() / period) + 1;
+    if (estimated_jobs > cfg.max_sim_jobs) {
+      throw CapacityError(
+          "verify: estimated simulation job count exceeds max_sim_jobs");
+    }
+  }
+  SimOptions sopt;
+  sopt.duration = duration;
+  sopt.warmup = warmup;
+  sopt.seed = cfg.sim_seed;
+  sopt.exec_model = ExecTimeModel::kUniform;
+  sopt.record_trace = record_trace;
+  sopt.max_jobs = cfg.max_sim_jobs;
+  return simulate(g, sopt);
+}
+
+// ---------------------------------------------------------------------------
+// Property implementations.  Each recomputes what it needs from the graph
+// alone so the shrinker (and fixture replays) evaluate the identical check.
+
+PropertyOutcome check_engine_matches_free(const Inputs& in) {
+  const AnalysisEngine engine{in.g};
+  if (engine.response_times() != in.rtm) {
+    return violated("engine response_times() != analyze_response_times()");
+  }
+  for (const Path& c : in.chains) {
+    const BackwardBounds e = engine.chain_bounds(c);
+    const BackwardBounds f = backward_bounds(in.g, c, in.rtm);
+    if (e.wcbt != f.wcbt || e.bcbt != f.bcbt) {
+      return violated("engine chain_bounds differ on " + chain_str(in.g, c) +
+                      ": engine [" + dur(e.bcbt) + ", " + dur(e.wcbt) +
+                      "] vs free [" + dur(f.bcbt) + ", " + dur(f.wcbt) + "]");
+    }
+    const Duration he = engine.hop(c[0], c[1]);
+    const Duration hf =
+        hop_bound(in.g, c[0], c[1], in.rtm, HopBoundMethod::kNonPreemptive);
+    if (he != hf) {
+      return violated("engine hop(" + in.g.task(c[0]).name + ", " +
+                      in.g.task(c[1]).name + ") = " + dur(he) +
+                      " != free " + dur(hf));
+    }
+  }
+  for (const DisparityMethod m :
+       {DisparityMethod::kIndependent, DisparityMethod::kForkJoin}) {
+    const DisparityOptions dopt = disparity_options(in, m);
+    const DisparityReport re = engine.disparity(in.task, dopt);
+    const DisparityReport rf =
+        analyze_time_disparity(in.g, in.task, in.rtm, dopt);
+    if (re.worst_case != rf.worst_case || re.pairs.size() != rf.pairs.size()) {
+      return violated(std::string("engine disparity differs (") +
+                      (m == DisparityMethod::kIndependent ? "P" : "S") +
+                      "-diff): engine " + dur(re.worst_case) + " vs free " +
+                      dur(rf.worst_case));
+    }
+    for (std::size_t i = 0; i < re.pairs.size(); ++i) {
+      if (re.pairs[i].bound != rf.pairs[i].bound) {
+        return violated("engine pair bound " + std::to_string(i) +
+                        " differs: " + dur(re.pairs[i].bound) + " vs " +
+                        dur(rf.pairs[i].bound));
+      }
+    }
+  }
+  const Path& l = in.chains[0];
+  const Path& n = in.chains[1];
+  if (head_channel_unbuffered(in.g, l) && head_channel_unbuffered(in.g, n)) {
+    const BufferDesign de = engine.optimize_buffer_pair(l, n);
+    const BufferDesign df = design_buffer(in.g, l, n, in.rtm);
+    if (de.buffer_on_lambda != df.buffer_on_lambda ||
+        de.buffer_size != df.buffer_size || de.shift != df.shift ||
+        de.baseline_bound != df.baseline_bound ||
+        de.optimized_bound != df.optimized_bound) {
+      return violated("engine optimize_buffer_pair != design_buffer");
+    }
+  }
+  bool all_heads_plain = true;
+  for (const Path& c : in.chains) {
+    all_heads_plain = all_heads_plain && head_channel_unbuffered(in.g, c);
+  }
+  if (all_heads_plain) {
+    const DisparityOptions dopt =
+        disparity_options(in, DisparityMethod::kForkJoin);
+    const MultiBufferDesign me = engine.optimize_buffers(in.task, dopt);
+    const MultiBufferDesign mf =
+        design_buffers_for_task(in.g, in.task, in.rtm, dopt);
+    if (me.baseline_bound != mf.baseline_bound ||
+        me.optimized_bound != mf.optimized_bound ||
+        me.channels.size() != mf.channels.size()) {
+      return violated("engine optimize_buffers != design_buffers_for_task");
+    }
+  }
+  return holds();
+}
+
+PropertyOutcome check_bounds_ordered(const Inputs& in) {
+  const Duration delta = fault_delta(in);
+  for (const Path& c : in.chains) {
+    const BackwardBounds bb = backward_bounds(in.g, c, in.rtm);
+    const Duration w = bb.wcbt - delta;
+    if (bb.bcbt > w) {
+      return violated("B(π) = " + dur(bb.bcbt) + " > W(π) = " + dur(w) +
+                      " on chain " + chain_str(in.g, c));
+    }
+  }
+  return holds();
+}
+
+PropertyOutcome check_sdiff_leq_pdiff(const Inputs& in) {
+  const Duration pdiff =
+      analyze_time_disparity(in.g, in.task, in.rtm,
+                             disparity_options(in, DisparityMethod::kIndependent))
+          .worst_case;
+  const Duration sdiff =
+      analyze_time_disparity(in.g, in.task, in.rtm,
+                             disparity_options(in, DisparityMethod::kForkJoin))
+          .worst_case;
+  if (sdiff > pdiff) {
+    return violated("S-diff " + dur(sdiff) + " > P-diff " + dur(pdiff));
+  }
+  return holds();
+}
+
+PropertyOutcome check_sim_within_bound(const Inputs& in) {
+  const Duration warmup = sim_warmup(in);
+  const Duration horizon = warmup + in.cfg.sim_window;
+  if (horizon > in.cfg.max_sim_horizon) {
+    return skipped("simulation horizon exceeds max_sim_horizon");
+  }
+  const Duration bound =
+      analyze_time_disparity(in.g, in.task, in.rtm,
+                             disparity_options(in, DisparityMethod::kForkJoin))
+          .worst_case -
+      fault_delta(in);
+  const SimResult res = run_sim(in.g, in.cfg, warmup, horizon, false);
+  if (res.max_disparity[in.task] > bound) {
+    return violated("simulated disparity " + dur(res.max_disparity[in.task]) +
+                    " > S-diff bound " + dur(bound) + " (seed " +
+                    std::to_string(in.cfg.sim_seed) + ")");
+  }
+  return holds();
+}
+
+PropertyOutcome check_backward_in_bounds(const Inputs& in) {
+  const Duration warmup = sim_warmup(in);
+  const Duration horizon = warmup + in.cfg.sim_window;
+  if (horizon > in.cfg.max_sim_horizon) {
+    return skipped("simulation horizon exceeds max_sim_horizon");
+  }
+  const Duration delta = fault_delta(in);
+  const SimResult res = run_sim(in.g, in.cfg, warmup, horizon, true);
+  for (const Path& c : in.chains) {
+    // Lemmas 4/5 bound plain (register-channel) chains; FIFO windows are
+    // the buffered_shift property's business.
+    if (!chain_unbuffered(in.g, c)) continue;
+    const BackwardBounds bb = backward_bounds(in.g, c, in.rtm);
+    const Duration w = bb.wcbt - delta;
+    const BackwardMeasurement m =
+        measured_backward_times(in.g, res.trace, c, warmup);
+    for (const Duration len : m.lengths) {
+      if (len < bb.bcbt || len > w) {
+        return violated("measured backward time " + dur(len) +
+                        " outside [B, W] = [" + dur(bb.bcbt) + ", " + dur(w) +
+                        "] on chain " + chain_str(in.g, c));
+      }
+    }
+  }
+  return holds();
+}
+
+/// LET twin of the instance: identical graph with every task flipped to
+/// LET communication, making the exact oracle applicable.
+TaskGraph let_twin(const TaskGraph& g) {
+  TaskGraph t = g;
+  t.set_comm_semantics(CommSemantics::kLet);
+  return t;
+}
+
+bool closure_has_jitter(const TaskGraph& g, TaskId task) {
+  for (const TaskId id : ancestors(g, task)) {
+    if (g.task(id).jitter != Duration::zero()) return true;
+  }
+  return false;
+}
+
+PropertyOutcome check_exact_within_bound(const Inputs& in) {
+  if (closure_has_jitter(in.g, in.task)) {
+    return skipped("exact oracle needs a jitter-free closure");
+  }
+  const TaskGraph let = let_twin(in.g);
+  const RtaResult rta = analyze_response_times(let);
+  if (!rta.all_schedulable) return skipped("LET twin unschedulable");
+  const Duration bound =
+      analyze_time_disparity(let, in.task, rta.response_time,
+                             disparity_options(in, DisparityMethod::kForkJoin))
+          .worst_case -
+      fault_delta(in);
+  const ExactLetResult exact =
+      exact_let_disparity(let, in.task, in.cfg.path_cap, in.cfg.max_releases);
+  if (exact.worst_disparity > bound) {
+    return violated("exact LET disparity " + dur(exact.worst_disparity) +
+                    " > S-diff bound " + dur(bound) + " (worst release " +
+                    dur(exact.worst_release) + ")");
+  }
+  return holds();
+}
+
+PropertyOutcome check_exact_matches_sim(const Inputs& in) {
+  if (closure_has_jitter(in.g, in.task)) {
+    return skipped("exact oracle needs a jitter-free closure");
+  }
+  const TaskGraph let = let_twin(in.g);
+  const RtaResult rta = analyze_response_times(let);
+  // LET publishes fire at the deadline only if every closure job finishes
+  // by it; otherwise the run-time behavior legitimately diverges from the
+  // oracle's arithmetic.
+  if (!rta.all_schedulable) return skipped("LET twin unschedulable");
+
+  std::vector<std::int64_t> periods;
+  for (const TaskId id : ancestors(let, in.task)) {
+    periods.push_back(let.task(id).period.count());
+  }
+  const Duration hyper = hyperperiod(periods.data(), periods.size());
+  const Task& analyzed = let.task(in.task);
+  if (static_cast<std::size_t>(floor_div(hyper, analyzed.period)) >
+      in.cfg.max_releases) {
+    return skipped("hyperperiod spans too many releases", /*capacity=*/true);
+  }
+  const Duration warmup =
+      exact_warmup_horizon(let, in.task, in.cfg.path_cap) + hyper;
+  // One extra hyperperiod of measurement covers every steady-state phase
+  // the oracle scans, plus one analyzed period of slack for the release
+  // at the window edge.
+  const Duration horizon = warmup + hyper + analyzed.period;
+  if (horizon > in.cfg.max_sim_horizon) {
+    return skipped("simulation horizon exceeds max_sim_horizon");
+  }
+
+  const ExactLetResult exact =
+      exact_let_disparity(let, in.task, in.cfg.path_cap, in.cfg.max_releases);
+  const SimResult res = run_sim(let, in.cfg, warmup, horizon, false);
+  if (res.max_disparity[in.task] != exact.worst_disparity) {
+    return violated("LET simulation max disparity " +
+                    dur(res.max_disparity[in.task]) + " != exact oracle " +
+                    dur(exact.worst_disparity));
+  }
+  return holds();
+}
+
+PropertyOutcome check_buffered_shift(const Inputs& in) {
+  for (const Path& c : in.chains) {
+    if (!head_channel_unbuffered(in.g, c)) continue;
+    const BackwardBounds base = backward_bounds(in.g, c, in.rtm);
+    const Duration t_head = in.g.task(c.front()).period;
+    for (const int n : {2, 3}) {
+      const BackwardBounds b = buffered_backward_bounds(in.g, c, in.rtm, n);
+      const Duration shift = t_head * (n - 1);
+      if (b.wcbt != base.wcbt + shift || b.bcbt != base.bcbt + shift) {
+        return violated("Lemma 6 shift mismatch on " + chain_str(in.g, c) +
+                        " (n=" + std::to_string(n) + "): buffered [" +
+                        dur(b.bcbt) + ", " + dur(b.wcbt) + "] vs base+" +
+                        dur(shift));
+      }
+    }
+  }
+  return holds();
+}
+
+PropertyOutcome check_buffer_design_consistent(const Inputs& in) {
+  const Path& l = in.chains[0];
+  const Path& n = in.chains[1];
+  if (!head_channel_unbuffered(in.g, l) || !head_channel_unbuffered(in.g, n)) {
+    return skipped("head channel already buffered");
+  }
+  const BufferDesign d = design_buffer(in.g, l, n, in.rtm);
+  if (d.buffer_size < 1) {
+    return violated("designed buffer size " + std::to_string(d.buffer_size) +
+                    " < 1");
+  }
+  if (d.shift < Duration::zero() || d.optimized_bound > d.baseline_bound) {
+    return violated("design raises the bound: optimized " +
+                    dur(d.optimized_bound) + " vs baseline " +
+                    dur(d.baseline_bound));
+  }
+  if (d.optimized_bound != d.baseline_bound - d.shift) {
+    return violated("Theorem 3 arithmetic broken: optimized " +
+                    dur(d.optimized_bound) + " != baseline " +
+                    dur(d.baseline_bound) + " - shift " + dur(d.shift));
+  }
+  if (d.buffer_size == 1) {
+    if (d.shift != Duration::zero()) {
+      return violated("trivial design (size 1) with nonzero shift " +
+                      dur(d.shift));
+    }
+  } else {
+    const Path& chosen = d.buffer_on_lambda ? l : n;
+    if (chosen.size() < 2 || d.from != chosen[0] || d.to != chosen[1]) {
+      return violated("buffered channel is not the chosen chain's head hop");
+    }
+    if (d.shift != in.g.task(d.from).period * (d.buffer_size - 1)) {
+      return violated("shift " + dur(d.shift) + " != (n-1)·T(head) for n=" +
+                      std::to_string(d.buffer_size));
+    }
+  }
+  return holds();
+}
+
+PropertyOutcome check_multi_buffer_safe(const Inputs& in) {
+  for (const Path& c : in.chains) {
+    if (!head_channel_unbuffered(in.g, c)) {
+      return skipped("head channel already buffered");
+    }
+  }
+  const DisparityOptions dopt =
+      disparity_options(in, DisparityMethod::kForkJoin);
+  const MultiBufferDesign md =
+      design_buffers_for_task(in.g, in.task, in.rtm, dopt);
+  if (md.optimized_bound > md.baseline_bound) {
+    return violated("multi-buffer design raises the bound: " +
+                    dur(md.optimized_bound) + " > " + dur(md.baseline_bound));
+  }
+  const Duration base =
+      analyze_time_disparity(in.g, in.task, in.rtm, dopt).worst_case;
+  if (md.baseline_bound != base) {
+    return violated("multi-buffer baseline " + dur(md.baseline_bound) +
+                    " != analyzer bound " + dur(base));
+  }
+  if (md.channels.empty()) return holds();
+
+  TaskGraph buffered = in.g;
+  apply_multi_buffer_design(buffered, md);
+  // FIFO sizing does not change release times or execution demand, so the
+  // RTA map carries over to the buffered twin unchanged.
+  const Duration re =
+      analyze_time_disparity(buffered, in.task, in.rtm, dopt).worst_case;
+  if (re != md.optimized_bound) {
+    return violated("re-analysis of buffered graph " + dur(re) +
+                    " != designed optimized bound " + dur(md.optimized_bound));
+  }
+  const std::vector<Path> bchains =
+      enumerate_source_chains(buffered, in.task, in.cfg.path_cap);
+  const Inputs bin{buffered, in.task, in.rtm, bchains, in.cfg};
+  const Duration warmup = sim_warmup(bin);
+  const Duration horizon = warmup + in.cfg.sim_window;
+  if (horizon > in.cfg.max_sim_horizon) {
+    return skipped("simulation horizon exceeds max_sim_horizon");
+  }
+  const SimResult res = run_sim(buffered, in.cfg, warmup, horizon, false);
+  if (res.max_disparity[in.task] > md.optimized_bound) {
+    return violated("buffered simulation disparity " +
+                    dur(res.max_disparity[in.task]) +
+                    " > optimized bound " + dur(md.optimized_bound));
+  }
+  return holds();
+}
+
+PropertyOutcome dispatch(Property p, const Inputs& in) {
+  switch (p) {
+    case Property::kEngineMatchesFree: return check_engine_matches_free(in);
+    case Property::kBoundsOrdered: return check_bounds_ordered(in);
+    case Property::kSdiffLeqPdiff: return check_sdiff_leq_pdiff(in);
+    case Property::kSimWithinBound: return check_sim_within_bound(in);
+    case Property::kBackwardInBounds: return check_backward_in_bounds(in);
+    case Property::kExactWithinBound: return check_exact_within_bound(in);
+    case Property::kExactMatchesSim: return check_exact_matches_sim(in);
+    case Property::kBufferedShift: return check_buffered_shift(in);
+    case Property::kBufferDesignConsistent:
+      return check_buffer_design_consistent(in);
+    case Property::kMultiBufferSafe: return check_multi_buffer_safe(in);
+  }
+  throw Error("check_property: unknown property");
+}
+
+}  // namespace
+
+const char* property_name(Property p) {
+  return kPropertyNames[static_cast<std::size_t>(p)];
+}
+
+std::optional<Property> property_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kNumProperties; ++i) {
+    if (name == kPropertyNames[i]) return kAllProperties[i];
+  }
+  return std::nullopt;
+}
+
+PropertyOutcome check_property(Property p, const TaskGraph& g, TaskId task,
+                               const ProbeConfig& cfg) {
+  obs::Span span("verify", property_name(p));
+  try {
+    if (task >= g.num_tasks()) return skipped("analyzed task id out of range");
+    g.validate();
+    const RtaResult rta = analyze_response_times(g);
+    if (!rta.all_schedulable) return skipped("unschedulable");
+    const std::vector<Path> chains =
+        enumerate_source_chains(g, task, cfg.path_cap);
+    if (chains.size() < 2) return skipped("fewer than two source chains");
+    const Inputs in{g, task, rta.response_time, chains, cfg};
+    return dispatch(p, in);
+  } catch (const CapacityError& e) {
+    return skipped(e.what(), /*capacity=*/true);
+  } catch (const PreconditionError& e) {
+    // The harness stepped outside some function's contract (e.g. a shrink
+    // candidate with a shape an analysis rejects) — not a library bug.
+    return skipped(std::string("precondition: ") + e.what());
+  } catch (const std::exception& e) {
+    // An InvariantError (or any other unexpected throw) on a valid graph
+    // IS a finding: some internal assertion fired where math says it
+    // cannot.
+    return violated(std::string("analysis threw: ") + e.what());
+  }
+}
+
+PropertyChecker::PropertyChecker(CheckerOptions opt) : opt_(std::move(opt)) {
+  CETA_EXPECTS(opt_.min_tasks >= 3 && opt_.min_tasks <= opt_.max_tasks,
+               "PropertyChecker: need 3 <= min_tasks <= max_tasks");
+  CETA_EXPECTS(opt_.offset_probes >= 1, "PropertyChecker: need >= 1 probe");
+}
+
+namespace {
+
+/// Cycle the three evaluation topologies so every campaign exercises
+/// G(n,m) DAGs, Fig.-1 funnels and merged chain pairs.
+TaskGraph draw_topology(std::size_t trial, std::size_t min_tasks,
+                        std::size_t max_tasks, Rng& rng) {
+  const std::size_t n = static_cast<std::size_t>(rng.uniform_int(
+      static_cast<std::int64_t>(min_tasks),
+      static_cast<std::int64_t>(max_tasks)));
+  switch (trial % 3) {
+    case 0: {
+      GnmDagOptions opt;
+      opt.num_tasks = n;
+      return gnm_random_dag(opt, rng);
+    }
+    case 1: {
+      FunnelDagOptions opt;
+      opt.num_tasks = std::max<std::size_t>(4, n);
+      return funnel_random_dag(opt, rng);
+    }
+    default: {
+      const std::size_t len_a =
+          static_cast<std::size_t>(rng.uniform_int(2, 5));
+      const std::size_t len_b =
+          static_cast<std::size_t>(rng.uniform_int(2, 5));
+      return merge_chains_at_sink(len_a, len_b);
+    }
+  }
+}
+
+}  // namespace
+
+void PropertyChecker::check_instance(const TaskGraph& g, TaskId task,
+                                     const ProbeConfig& cfg,
+                                     CheckerReport& report) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  for (const Property p : kAllProperties) {
+    const PropertyOutcome out = check_property(p, g, task, cfg);
+    ++report.stats.properties_checked;
+    reg.counter("verify.properties").add();
+    if (out.status == PropertyOutcome::Status::kSkipped) {
+      if (out.capacity_skip) {
+        ++report.stats.skipped_capacity;
+        reg.counter("verify.skips.capacity").add();
+      } else {
+        ++report.stats.skipped_other;
+      }
+      continue;
+    }
+    if (out.status != PropertyOutcome::Status::kViolated) continue;
+    reg.counter("verify.violations").add();
+    Violation v;
+    v.property = p;
+    v.task = task;
+    v.sim_seed = cfg.sim_seed;
+    v.detail = out.detail;
+    v.original_tasks = g.num_tasks();
+    if (opt_.shrink) {
+      const ShrinkResult s = shrink_counterexample(
+          g, task, [&](const TaskGraph& cand, TaskId cand_task) {
+            return check_property(p, cand, cand_task, cfg).violated();
+          });
+      v.graph = s.graph;
+      v.task = s.task;
+      v.shrink_rounds = s.rounds;
+    } else {
+      v.graph = g;
+    }
+    report.violations.push_back(std::move(v));
+    if (report.violations.size() >= opt_.max_violations) return;
+  }
+}
+
+CheckerReport PropertyChecker::run() {
+  obs::Span span("verify", "checker.run");
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  Rng rng(opt_.seed);
+  CheckerReport report;
+  for (std::size_t trial = 0; trial < opt_.trials; ++trial) {
+    ++report.stats.trials;
+    reg.counter("verify.trials").add();
+    TaskGraph g = draw_topology(trial, opt_.min_tasks, opt_.max_tasks, rng);
+    WatersAssignOptions wopt;
+    wopt.num_ecus = opt_.num_ecus;
+    assign_waters_parameters(g, wopt, rng);
+
+    const TaskId sink = g.sinks().front();
+    const std::size_t n_chains = count_source_chains(g, sink);
+    if (n_chains < 2) {
+      ++report.stats.skipped_degenerate;
+      continue;
+    }
+    if (n_chains > opt_.probe.path_cap) {
+      ++report.stats.skipped_capacity;
+      reg.counter("verify.skips.capacity").add();
+      continue;
+    }
+    if (!analyze_response_times(g).all_schedulable) {
+      ++report.stats.skipped_unschedulable;
+      continue;
+    }
+    ++report.stats.graphs_checked;
+    reg.counter("verify.graphs").add();
+
+    for (std::size_t probe = 0; probe < opt_.offset_probes; ++probe) {
+      Rng offset_rng = rng.split();
+      randomize_offsets(g, offset_rng);
+      ProbeConfig cfg = opt_.probe;
+      cfg.sim_seed = offset_rng.seed();
+      check_instance(g, sink, cfg, report);
+      if (report.violations.size() >= opt_.max_violations) return report;
+    }
+  }
+  return report;
+}
+
+}  // namespace ceta::verify

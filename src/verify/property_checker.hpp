@@ -1,0 +1,170 @@
+// Randomized differential verification of the analysis stack.
+//
+// The paper's results are inequalities tying together quantities this
+// library computes in several independent ways: Lemmas 4/5 bound the
+// backward times that sim/backward.hpp measures from traces, Theorems 1/2
+// bound the disparity the simulator observes and the exact LET oracle
+// (disparity/exact.hpp) evaluates in closed form, Lemma 6/Theorem 3
+// relate buffered and unbuffered bounds by an exact arithmetic shift, and
+// the AnalysisEngine promises byte-identical results to the free
+// functions.  A PropertyChecker draws seeded random task graphs (the
+// evaluation's generators + WATERS workloads), randomizes release
+// offsets, and checks every such cross-implementation invariant on every
+// draw.  Violations are shrunk (verify/shrink.hpp) to a minimal failing
+// graph and reported as reloadable fixtures (verify/fixture.hpp).
+//
+// Each property is checked by a single pure function, check_property(),
+// that recomputes everything it needs from the graph alone — so the
+// shrinker can re-evaluate exactly the failing property on candidate
+// graphs, and a committed fixture replays with nothing but the graph
+// text, the property name and the simulation seed.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "graph/task_graph.hpp"
+
+namespace ceta::verify {
+
+/// One cross-checked invariant (see DESIGN.md §7 for the full statements).
+enum class Property {
+  kEngineMatchesFree,       ///< AnalysisEngine ≡ free functions, field-wise
+  kBoundsOrdered,           ///< B(π) ≤ W(π) per chain (Lemmas 4/5)
+  kSdiffLeqPdiff,           ///< Theorem 2 (clamped) ≤ Theorem 1
+  kSimWithinBound,          ///< simulated disparity ≤ S-diff (Theorem 2)
+  kBackwardInBounds,        ///< measured backward times ∈ [B(π), W(π)]
+  kExactWithinBound,        ///< exact LET disparity ≤ analyzer bound
+  kExactMatchesSim,         ///< exact LET oracle ≡ steady-state simulation
+  kBufferedShift,           ///< Lemma 6: bounds shift by exactly (n−1)·T(π¹)
+  kBufferDesignConsistent,  ///< Algorithm 1/Theorem 3 arithmetic invariants
+  kMultiBufferSafe,         ///< multi-chain design ≤ baseline, = re-analysis
+};
+
+inline constexpr std::size_t kNumProperties = 10;
+
+/// Stable lowercase identifier ("sim_within_bound", ...), used in fixture
+/// files and reports.
+const char* property_name(Property p);
+std::optional<Property> property_from_name(std::string_view name);
+
+/// Test-only mutation: weaken the analytical upper bounds by one head
+/// period before comparing, so the oracles must flag them.  Used to prove
+/// the harness can actually catch an unsound bound (and that the shrinker
+/// converges); never enabled in production runs.
+enum class FaultInjection {
+  kNone,
+  /// Subtract T(head) from W(π) and from the task-level disparity bound —
+  /// the classic off-by-one of dropping one period term from a hop bound.
+  kDropHeadPeriod,
+};
+
+/// Everything a single property evaluation depends on besides the graph:
+/// deterministic inputs only, so (graph, task, config) replays exactly.
+struct ProbeConfig {
+  std::uint64_t sim_seed = 1;
+  /// Measured simulation window appended after the derived warm-up.
+  Duration sim_window = Duration::ms(400);
+  std::size_t path_cap = 4'000;
+  /// Cap on exact-oracle releases per hyperperiod (CapacityError beyond —
+  /// counted as a capacity skip, not a failure).
+  std::size_t max_releases = 50'000;
+  /// Skip simulation-backed properties when the derived warm-up + window
+  /// horizon exceeds this (keeps pathological periods from stalling runs).
+  Duration max_sim_horizon = Duration::s(30);
+  /// Cap on the *estimated* job count of one simulation probe (Σ over
+  /// tasks of horizon/period).  Shrinking halves periods aggressively, so
+  /// a fixed measurement window can imply 10⁸+ jobs on a candidate; the
+  /// estimate turns those into instant capacity skips and also backstops
+  /// SimOptions::max_jobs.
+  std::size_t max_sim_jobs = 250'000;
+  FaultInjection fault = FaultInjection::kNone;
+};
+
+struct PropertyOutcome {
+  enum class Status { kHolds, kViolated, kSkipped };
+  Status status = Status::kHolds;
+  /// Violation message or skip reason.
+  std::string detail;
+  /// True when the skip was a CapacityError (hyperperiod/path-cap/...).
+  bool capacity_skip = false;
+
+  bool violated() const { return status == Status::kViolated; }
+};
+
+/// Evaluate one property of `task` on `g`.  Never throws on analysis
+/// capacity limits (returns a capacity skip); an unexpected ceta::Error
+/// from inside the analysis stack is itself reported as a violation (an
+/// invariant assertion firing on a valid graph *is* a bug).
+PropertyOutcome check_property(Property p, const TaskGraph& g, TaskId task,
+                               const ProbeConfig& cfg);
+
+/// A shrunken counterexample, ready for fixture serialization.
+struct Violation {
+  Property property = Property::kBoundsOrdered;
+  TaskGraph graph;  ///< minimal failing graph (offsets baked in)
+  TaskId task = 0;
+  std::uint64_t sim_seed = 1;
+  std::string detail;        ///< from the original (pre-shrink) failure
+  std::size_t shrink_rounds = 0;
+  std::size_t original_tasks = 0;  ///< graph size before shrinking
+};
+
+struct CheckerOptions {
+  std::uint64_t seed = 42;
+  std::size_t trials = 200;
+  /// Drawn graph sizes (task counts) for the G(n,m)/funnel topologies.
+  std::size_t min_tasks = 5;
+  std::size_t max_tasks = 12;
+  int num_ecus = 3;
+  /// Offset assignments (and thus property evaluations) per drawn graph.
+  std::size_t offset_probes = 1;
+  ProbeConfig probe;
+  bool shrink = true;
+  /// Stop the campaign early after this many violations.
+  std::size_t max_violations = 8;
+};
+
+struct CheckerStats {
+  std::size_t trials = 0;
+  std::size_t graphs_checked = 0;       ///< admissible + schedulable draws
+  std::size_t properties_checked = 0;   ///< individual property evaluations
+  std::size_t skipped_unschedulable = 0;
+  std::size_t skipped_degenerate = 0;   ///< < 2 source chains to the sink
+  std::size_t skipped_capacity = 0;     ///< CapacityError skips (counted, never fatal)
+  std::size_t skipped_other = 0;        ///< non-capacity property skips
+};
+
+struct CheckerReport {
+  CheckerStats stats;
+  std::vector<Violation> violations;
+  bool ok() const { return violations.empty(); }
+};
+
+/// The campaign driver.  Deterministic in CheckerOptions::seed.
+class PropertyChecker {
+ public:
+  explicit PropertyChecker(CheckerOptions opt = {});
+
+  /// Draw `trials` random WATERS instances and check every property of
+  /// each (the fixed-seed ctest smoke run calls exactly this).
+  CheckerReport run();
+
+  /// Check all properties of one concrete instance (offsets taken as-is),
+  /// accumulating into `report`.  Public so tests and fixture replays can
+  /// drive specific graphs through the identical code path.
+  void check_instance(const TaskGraph& g, TaskId task, const ProbeConfig& cfg,
+                      CheckerReport& report);
+
+  const CheckerOptions& options() const { return opt_; }
+
+ private:
+  CheckerOptions opt_;
+};
+
+}  // namespace ceta::verify

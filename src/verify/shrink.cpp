@@ -1,0 +1,220 @@
+#include "verify/shrink.hpp"
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "graph/algorithms.hpp"
+
+namespace ceta::verify {
+
+namespace {
+
+struct Candidate {
+  TaskGraph graph;
+  TaskId task = 0;
+};
+
+/// Tasks that lost their last predecessor in a rebuild become sources and
+/// must satisfy the source contract (zero execution time, no ECU).
+void repair_new_sources(TaskGraph& g, const std::vector<bool>& was_source) {
+  for (TaskId id = 0; id < g.num_tasks(); ++id) {
+    if (g.is_source(id) && !was_source[id]) {
+      Task& t = g.task(id);
+      t.wcet = Duration::zero();
+      t.bcet = Duration::zero();
+      t.jitter = Duration::zero();
+      t.ecu = kNoEcu;
+    }
+  }
+}
+
+/// Copy of `g` without the flagged tasks/edges (drop_edge indexed like
+/// g.edges(); may be empty for "keep all").  nullopt if the analyzed task
+/// itself was dropped.
+std::optional<Candidate> rebuild(const TaskGraph& g, TaskId target,
+                                 const std::vector<bool>& drop_task,
+                                 const std::vector<bool>& drop_edge) {
+  if (drop_task[target]) return std::nullopt;
+  std::vector<TaskId> map(g.num_tasks(), kNoTask);
+  TaskGraph out;
+  std::vector<bool> was_source;
+  for (TaskId id = 0; id < g.num_tasks(); ++id) {
+    if (drop_task[id]) continue;
+    map[id] = out.add_task(g.task(id));
+    was_source.push_back(g.is_source(id));
+  }
+  const std::vector<Edge>& edges = g.edges();
+  for (std::size_t ei = 0; ei < edges.size(); ++ei) {
+    if (ei < drop_edge.size() && drop_edge[ei]) continue;
+    const Edge& e = edges[ei];
+    if (map[e.from] == kNoTask || map[e.to] == kNoTask) continue;
+    out.add_edge(map[e.from], map[e.to], e.channel);
+  }
+  repair_new_sources(out, was_source);
+  return Candidate{std::move(out), map[target]};
+}
+
+/// Wraps the caller's predicate with the attempt budget and the validity
+/// screen: an invalid candidate, or one on which the predicate throws,
+/// does not count as still-failing.
+class Shrinker {
+ public:
+  Shrinker(const FailingPredicate& pred, std::size_t max_attempts)
+      : pred_(pred), max_attempts_(max_attempts) {}
+
+  bool fails(const Candidate& c) {
+    if (exhausted()) return false;
+    ++attempts_;
+    try {
+      c.graph.validate();
+      return pred_(c.graph, c.task);
+    } catch (...) {
+      return false;
+    }
+  }
+
+  bool exhausted() const { return attempts_ >= max_attempts_; }
+  std::size_t attempts() const { return attempts_; }
+
+ private:
+  const FailingPredicate& pred_;
+  std::size_t max_attempts_;
+  std::size_t attempts_ = 0;
+};
+
+/// One shot: cut everything outside the analyzed task's ancestor closure
+/// (the analysis depends on nothing else, so this almost always sticks).
+bool pass_restrict_to_ancestors(TaskGraph& g, TaskId& task, Shrinker& sh) {
+  std::vector<bool> drop(g.num_tasks(), true);
+  for (const TaskId id : ancestors(g, task)) drop[id] = false;
+  bool any = false;
+  for (TaskId id = 0; id < g.num_tasks(); ++id) any = any || drop[id];
+  if (!any) return false;
+  std::optional<Candidate> cand = rebuild(g, task, drop, {});
+  if (cand && sh.fails(*cand)) {
+    g = std::move(cand->graph);
+    task = cand->task;
+    return true;
+  }
+  return false;
+}
+
+bool pass_drop_tasks(TaskGraph& g, TaskId& task, Shrinker& sh) {
+  bool improved = false;
+  bool retry = true;
+  while (retry && !sh.exhausted()) {
+    retry = false;
+    for (TaskId victim = 0; victim < g.num_tasks(); ++victim) {
+      if (victim == task) continue;
+      std::vector<bool> drop(g.num_tasks(), false);
+      drop[victim] = true;
+      std::optional<Candidate> cand = rebuild(g, task, drop, {});
+      if (cand && sh.fails(*cand)) {
+        g = std::move(cand->graph);
+        task = cand->task;
+        improved = true;
+        retry = true;  // ids shifted; rescan from the top
+        break;
+      }
+    }
+  }
+  return improved;
+}
+
+bool pass_drop_edges(TaskGraph& g, TaskId& task, Shrinker& sh) {
+  bool improved = false;
+  bool retry = true;
+  while (retry && !sh.exhausted()) {
+    retry = false;
+    std::vector<bool> drop_task(g.num_tasks(), false);
+    for (std::size_t ei = 0; ei < g.num_edges(); ++ei) {
+      std::vector<bool> drop_edge(g.num_edges(), false);
+      drop_edge[ei] = true;
+      std::optional<Candidate> cand = rebuild(g, task, drop_task, drop_edge);
+      if (cand && sh.fails(*cand)) {
+        g = std::move(cand->graph);
+        task = cand->task;
+        improved = true;
+        retry = true;  // edge indices shifted; rescan
+        break;
+      }
+    }
+  }
+  return improved;
+}
+
+bool pass_shrink_params(TaskGraph& g, TaskId task, Shrinker& sh) {
+  bool improved = false;
+  const auto attempt = [&](auto&& mutate) {
+    if (sh.exhausted()) return;
+    TaskGraph copy = g;
+    mutate(copy);
+    Candidate cand{std::move(copy), task};
+    if (sh.fails(cand)) {
+      g = std::move(cand.graph);
+      improved = true;
+    }
+  };
+  for (TaskId id = 0; id < g.num_tasks(); ++id) {
+    if (g.task(id).period.count() >= 2) {
+      attempt([id](TaskGraph& c) {
+        Task& t = c.task(id);
+        t.period = Duration::ns(t.period.count() / 2);
+        t.offset = Duration::ns(floor_mod(t.offset.count(), t.period.count()));
+      });
+    }
+    if (g.task(id).wcet > Duration::zero() && !g.is_source(id)) {
+      attempt([id](TaskGraph& c) {
+        Task& t = c.task(id);
+        t.wcet = Duration::ns(t.wcet.count() / 2);
+        t.bcet = std::min(t.bcet, t.wcet);
+      });
+    }
+    if (g.task(id).offset != Duration::zero()) {
+      attempt([id](TaskGraph& c) { c.task(id).offset = Duration::zero(); });
+    }
+    if (g.task(id).jitter != Duration::zero()) {
+      attempt([id](TaskGraph& c) { c.task(id).jitter = Duration::zero(); });
+    }
+  }
+  for (const Edge& e : std::vector<Edge>(g.edges())) {
+    if (e.channel.buffer_size > 1) {
+      attempt([&e](TaskGraph& c) { c.set_buffer_size(e.from, e.to, 1); });
+      if (g.channel(e.from, e.to).buffer_size > 2) {
+        attempt([&e, &g](TaskGraph& c) {
+          c.set_buffer_size(e.from, e.to,
+                            g.channel(e.from, e.to).buffer_size / 2);
+        });
+      }
+    }
+  }
+  return improved;
+}
+
+}  // namespace
+
+ShrinkResult shrink_counterexample(TaskGraph g, TaskId task,
+                                   const FailingPredicate& still_fails,
+                                   std::size_t max_attempts) {
+  CETA_EXPECTS(task < g.num_tasks(), "shrink_counterexample: bad task id");
+  Shrinker sh(still_fails, max_attempts);
+  ShrinkResult out;
+  pass_restrict_to_ancestors(g, task, sh);
+  bool progress = true;
+  while (progress && !sh.exhausted() && out.rounds < 40) {
+    ++out.rounds;
+    progress = false;
+    progress = pass_drop_tasks(g, task, sh) || progress;
+    progress = pass_drop_edges(g, task, sh) || progress;
+    progress = pass_shrink_params(g, task, sh) || progress;
+  }
+  out.graph = std::move(g);
+  out.task = task;
+  out.attempts = sh.attempts();
+  return out;
+}
+
+}  // namespace ceta::verify

@@ -1,0 +1,45 @@
+// Counterexample shrinking for the differential-verification harness.
+//
+// Given a graph on which some predicate fails (a property violation), the
+// shrinker greedily searches for a smaller graph that still fails it:
+//   1. restrict to the ancestor closure of the analyzed task,
+//   2. drop whole tasks (rewiring nothing — consumers of a dropped
+//      producer simply become sources),
+//   3. drop single edges,
+//   4. shrink parameters (halve periods and WCETs, zero offsets and
+//      jitter) and reduce FIFO buffer sizes toward 1,
+// repeating all passes to a fixpoint (first-improvement, deterministic).
+// Candidates must pass TaskGraph::validate(); tasks that lose their last
+// predecessor are repaired into proper sources (zero execution time, no
+// ECU).  A candidate on which the predicate *throws* is treated as
+// not-failing and discarded, so shrinking can never escalate one bug into
+// a different one.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "graph/task_graph.hpp"
+
+namespace ceta::verify {
+
+/// Does this (graph, task) still exhibit the failure being shrunk?
+/// Must be deterministic; called many times.
+using FailingPredicate = std::function<bool(const TaskGraph&, TaskId)>;
+
+struct ShrinkResult {
+  TaskGraph graph;  ///< smallest failing graph found
+  TaskId task = 0;  ///< the analyzed task's id in `graph`
+  std::size_t rounds = 0;    ///< fixpoint iterations
+  std::size_t attempts = 0;  ///< candidate evaluations
+};
+
+/// Shrink (g, task), which must satisfy `still_fails`, to a locally
+/// minimal failing instance.  `max_attempts` caps predicate evaluations
+/// (the current best is returned when exhausted).
+ShrinkResult shrink_counterexample(TaskGraph g, TaskId task,
+                                   const FailingPredicate& still_fails,
+                                   std::size_t max_attempts = 4'000);
+
+}  // namespace ceta::verify

@@ -116,6 +116,33 @@ TEST(JsonWriter, NumberFormatting) {
   EXPECT_EQ(JsonWriter::format_double(std::nan("")), "null");
 }
 
+TEST(JsonWriter, NonFiniteDoublesEmitNullEverywhere) {
+  // format_double's "null" must also hold through value()/member() in any
+  // nesting position, and the resulting document must stay parseable (a
+  // bare `nan`/`inf` token would be rejected by the independent parser).
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::string doc = compact([&](JsonWriter& w) {
+    w.begin_object();
+    w.member("nan", nan);
+    w.member("pinf", inf);
+    w.member("ninf", -inf);
+    w.key("arr");
+    w.begin_array();
+    w.value(nan);
+    w.value(1.5);
+    w.end_array();
+    w.end_object();
+  });
+  const JsonValue root = JsonParser::parse(doc);
+  EXPECT_EQ(root.at("nan").kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(root.at("pinf").kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(root.at("ninf").kind, JsonValue::Kind::kNull);
+  ASSERT_EQ(root.at("arr").size(), 2u);
+  EXPECT_EQ(root.at("arr").items()[0].kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(root.at("arr").items()[1].number, 1.5);
+}
+
 TEST(JsonWriter, IntegerWidths) {
   const std::string doc = compact([](JsonWriter& w) {
     w.begin_object();

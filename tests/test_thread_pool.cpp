@@ -1,0 +1,117 @@
+// ThreadPool::default_concurrency(): the CETA_THREADS override must accept
+// exactly the sane values (plain integers in [1, kMaxEnvThreads]) and fall
+// back to the hardware clamp — with a warning, but without throwing — on
+// everything else.  The overflow case is the regression that motivated the
+// test: strtol saturates to LONG_MAX with errno == ERANGE while still
+// consuming every digit, so an end-pointer check alone accepts it.
+
+#include "engine/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+namespace ceta {
+namespace {
+
+/// Expected fallback: hardware_concurrency clamped to [1, 8].
+std::size_t hardware_default() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : (hw > 8 ? std::size_t{8} : static_cast<std::size_t>(hw));
+}
+
+/// Sets CETA_THREADS for one test and restores the previous value on exit.
+class ScopedEnv {
+ public:
+  explicit ScopedEnv(const char* value) {
+    const char* old = std::getenv("CETA_THREADS");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value) {
+      ::setenv("CETA_THREADS", value, /*overwrite=*/1);
+    } else {
+      ::unsetenv("CETA_THREADS");
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv("CETA_THREADS", old_.c_str(), 1);
+    } else {
+      ::unsetenv("CETA_THREADS");
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(DefaultConcurrency, UnsetUsesHardwareClamp) {
+  const ScopedEnv env(nullptr);
+  EXPECT_EQ(ThreadPool::default_concurrency(), hardware_default());
+}
+
+TEST(DefaultConcurrency, EmptyStringUsesHardwareClamp) {
+  const ScopedEnv env("");
+  EXPECT_EQ(ThreadPool::default_concurrency(), hardware_default());
+}
+
+TEST(DefaultConcurrency, ValidOverrideWins) {
+  const ScopedEnv env("3");
+  EXPECT_EQ(ThreadPool::default_concurrency(), 3u);
+}
+
+TEST(DefaultConcurrency, MaxAllowedOverrideWins) {
+  const ScopedEnv env("1024");
+  EXPECT_EQ(ThreadPool::default_concurrency(),
+            static_cast<std::size_t>(ThreadPool::kMaxEnvThreads));
+}
+
+TEST(DefaultConcurrency, ZeroFallsBack) {
+  const ScopedEnv env("0");
+  EXPECT_EQ(ThreadPool::default_concurrency(), hardware_default());
+}
+
+TEST(DefaultConcurrency, NegativeFallsBack) {
+  const ScopedEnv env("-4");
+  EXPECT_EQ(ThreadPool::default_concurrency(), hardware_default());
+}
+
+TEST(DefaultConcurrency, NonNumericFallsBack) {
+  const ScopedEnv env("lots");
+  EXPECT_EQ(ThreadPool::default_concurrency(), hardware_default());
+}
+
+TEST(DefaultConcurrency, TrailingGarbageFallsBack) {
+  const ScopedEnv env("4x");
+  EXPECT_EQ(ThreadPool::default_concurrency(), hardware_default());
+}
+
+TEST(DefaultConcurrency, OverflowFallsBack) {
+  // strtol saturates to LONG_MAX (errno == ERANGE) but consumes every
+  // digit; this value used to be accepted and passed to the constructor.
+  const ScopedEnv env("99999999999999999999");
+  EXPECT_EQ(ThreadPool::default_concurrency(), hardware_default());
+}
+
+TEST(DefaultConcurrency, AboveCapFallsBack) {
+  const ScopedEnv env("4096");
+  EXPECT_EQ(ThreadPool::default_concurrency(), hardware_default());
+}
+
+TEST(ThreadPool, SubmitReturnsResultsAndPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.size(), 2u);
+  auto ok = pool.submit([] { return 6 * 7; });
+  auto bad = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_EQ(ok.get(), 42);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ceta
