@@ -4,7 +4,10 @@
 // AnalysisEngine facade against the free-function path (cold cache, warm
 // cache, and disparity_all at several thread counts).  After the
 // google-benchmark run, a manual engine-vs-free comparison on a Fig. 6
-// style workload is written to BENCH_engine.json.
+// style workload is written to BENCH_engine.json, and the pairwise kernel
+// is timed against the reference analyzer on a 256-chain diamond stack
+// (cross-checked bit-for-bit) into BENCH_pairwise.json — the run fails if
+// the two ever diverge.
 
 #include <benchmark/benchmark.h>
 
@@ -20,6 +23,7 @@
 #include "disparity/analyzer.hpp"
 #include "disparity/buffer_opt.hpp"
 #include "disparity/exact.hpp"
+#include "disparity/pair_kernel.hpp"
 #include "disparity/sensitivity.hpp"
 #include "engine/analysis_engine.hpp"
 #include "engine/thread_pool.hpp"
@@ -175,6 +179,105 @@ void BM_AncestorSubgraph(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AncestorSubgraph);
+
+// ---- pairwise kernel vs reference -----------------------------------------
+
+/// S → F → `stages` serial diamonds: 2^stages source chains through the
+/// sink, every pair sharing the source and the per-stage merge tasks —
+/// the dense-joint workload the pairwise kernel targets.  Deterministic
+/// hand parameters (one 20ms rate, tiny WCETs over 2 ECUs) keep the
+/// instance schedulable by construction, so timings are seed-free.
+TaskGraph diamond_stack_graph(std::size_t stages) {
+  TaskGraph g;
+  Task s;
+  s.name = "S";
+  s.period = Duration::ms(20);
+  TaskId prev = g.add_task(s);
+
+  int prio[2] = {0, 0};
+  auto mk = [&](const std::string& name, EcuId ecu) {
+    Task t;
+    t.name = name;
+    t.wcet = Duration::us(200);
+    t.bcet = Duration::us(100);
+    t.period = Duration::ms(20);
+    t.ecu = ecu;
+    t.priority = prio[ecu]++;
+    return g.add_task(t);
+  };
+  const TaskId f = mk("F", 0);
+  g.add_edge(prev, f);
+  prev = f;
+  for (std::size_t i = 0; i < stages; ++i) {
+    const std::string n = std::to_string(i);
+    const TaskId a = mk("A" + n, 0);
+    const TaskId b = mk("B" + n, 1);
+    const TaskId m = mk("M" + n, 1);
+    g.add_edge(prev, a);
+    g.add_edge(prev, b);
+    g.add_edge(a, m);
+    g.add_edge(b, m);
+    prev = m;
+  }
+  g.validate();
+  return g;
+}
+
+void BM_PairReference(benchmark::State& state) {
+  const TaskGraph g =
+      diamond_stack_graph(static_cast<std::size_t>(state.range(0)));
+  const RtaResult rta = analyze_response_times(g);
+  const TaskId sink = g.sinks().front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analyze_time_disparity(g, sink, rta.response_time));
+  }
+  state.counters["chains"] = static_cast<double>(
+      count_source_chains(g, sink));
+}
+BENCHMARK(BM_PairReference)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_PairKernel(benchmark::State& state) {
+  const TaskGraph g =
+      diamond_stack_graph(static_cast<std::size_t>(state.range(0)));
+  const RtaResult rta = analyze_response_times(g);
+  const TaskId sink = g.sinks().front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analyze_time_disparity_kernel(g, sink, rta.response_time));
+  }
+  state.counters["chains"] = static_cast<double>(
+      count_source_chains(g, sink));
+}
+BENCHMARK(BM_PairKernel)->Arg(4)->Arg(6)->Arg(8);
+
+void BM_PairKernelParallel(benchmark::State& state) {
+  const TaskGraph g = diamond_stack_graph(8);
+  const RtaResult rta = analyze_response_times(g);
+  const TaskId sink = g.sinks().front();
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analyze_time_disparity_kernel(g, sink, rta.response_time, {}, &pool));
+  }
+}
+BENCHMARK(BM_PairKernelParallel)
+    ->Arg(2)
+    ->Arg(static_cast<long>(ThreadPool::default_concurrency()));
+
+void BM_PairKernelWorstOnly(benchmark::State& state) {
+  // Streaming mode: worst_case without materializing the O(K²) vector.
+  const TaskGraph g = diamond_stack_graph(8);
+  const RtaResult rta = analyze_response_times(g);
+  const TaskId sink = g.sinks().front();
+  DisparityOptions opt;
+  opt.keep_pairs = KeepPairs::kWorstOnly;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analyze_time_disparity_kernel(g, sink, rta.response_time, opt));
+  }
+}
+BENCHMARK(BM_PairKernelWorstOnly);
 
 // ---- AnalysisEngine vs free functions -------------------------------------
 
@@ -332,6 +435,78 @@ void write_engine_comparison(const std::string& path) {
             << "x)\n";
 }
 
+// ---- kernel-vs-reference comparison -> BENCH_pairwise.json -----------------
+
+bool reports_identical(const DisparityReport& a, const DisparityReport& b) {
+  if (a.worst_case != b.worst_case || a.chains != b.chains ||
+      a.pairs.size() != b.pairs.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.pairs.size(); ++i) {
+    if (a.pairs[i].chain_a != b.pairs[i].chain_a ||
+        a.pairs[i].chain_b != b.pairs[i].chain_b ||
+        a.pairs[i].bound != b.pairs[i].bound) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Reference analyzer vs the pairwise kernel (serial and parallel) on a
+/// 256-chain diamond stack, cross-checked bit-for-bit.  Writes
+/// BENCH_pairwise.json; returns false on any kernel-vs-reference
+/// divergence (perf_smoke and main() turn that into a failure).
+bool write_pairwise_comparison(const std::string& path) {
+  constexpr std::size_t kStages = 8;  // 2^8 = 256 chains, 32640 pairs
+  const TaskGraph g = diamond_stack_graph(kStages);
+  const RtaResult rta = analyze_response_times(g);
+  const TaskId sink = g.sinks().front();
+  const std::size_t chains = count_source_chains(g, sink);
+  const std::size_t pairs = chains * (chains - 1) / 2;
+  const DisparityOptions opt;  // S-diff, last-joint truncation, keep all
+  constexpr int kIters = 3;
+
+  DisparityReport ref, ker, par;
+  const double reference_ns = time_ns(
+      [&] { ref = analyze_time_disparity(g, sink, rta.response_time, opt); },
+      kIters);
+  const double kernel_ns = time_ns(
+      [&] {
+        ker = analyze_time_disparity_kernel(g, sink, rta.response_time, opt);
+      },
+      kIters);
+  ThreadPool pool(ThreadPool::default_concurrency());
+  const double kernel_parallel_ns = time_ns(
+      [&] {
+        par = analyze_time_disparity_kernel(g, sink, rta.response_time, opt,
+                                            &pool);
+      },
+      kIters);
+  const bool match = reports_identical(ref, ker) && reports_identical(ref, par);
+
+  bench::write_json_file(path, [&](obs::JsonWriter& w) {
+    w.member("bench", "pairwise_kernel_vs_reference")
+        .member("stages", static_cast<std::int64_t>(kStages))
+        .member("chains", static_cast<std::int64_t>(chains))
+        .member("pairs", static_cast<std::int64_t>(pairs))
+        .member("worst_case_ns",
+                static_cast<std::int64_t>(ref.worst_case.count()))
+        .member("reference_ns", reference_ns)
+        .member("kernel_ns", kernel_ns)
+        .member("speedup", reference_ns / kernel_ns)
+        .member("kernel_parallel_ns", kernel_parallel_ns)
+        .member("threads", static_cast<std::int64_t>(pool.size()))
+        .member("parallel_speedup", reference_ns / kernel_parallel_ns)
+        .member("match", match);
+  });
+  std::cout << "pairwise kernel comparison written to " << path << " ("
+            << chains << " chains, speedup: " << reference_ns / kernel_ns
+            << "x serial, " << reference_ns / kernel_parallel_ns << "x with "
+            << pool.size() << " threads, match: "
+            << (match ? "true" : "false") << ")\n";
+  return match;
+}
+
 // ---- disabled-tracing overhead budget --------------------------------------
 
 /// Assert the overhead budget of compiled-in-but-disabled tracing: spans
@@ -391,6 +566,10 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   write_engine_comparison("BENCH_engine.json");
+  if (!write_pairwise_comparison("BENCH_pairwise.json")) {
+    std::cerr << "FAIL: pairwise kernel diverges from the reference\n";
+    return 1;
+  }
   if (!ceta::obs::Tracer::enabled() && !check_disabled_tracing_overhead()) {
     std::cerr << "FAIL: disabled tracing exceeds the 2% overhead budget\n";
     return 1;

@@ -1,7 +1,9 @@
 #include "disparity/analyzer.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <tuple>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/math.hpp"
@@ -11,12 +13,6 @@
 namespace ceta {
 
 namespace {
-
-bool should_truncate(const DisparityOptions& opt) {
-  return opt.truncation == JointTruncation::kAlways ||
-         (opt.truncation == JointTruncation::kAuto &&
-          opt.method == DisparityMethod::kForkJoin);
-}
 
 /// Theorem 1 from precomputed backward bounds (avoids re-walking chains
 /// for every pair; the analyzer visits O(|P|^2) pairs).
@@ -32,19 +28,27 @@ Duration pdiff_from_bounds(const TaskGraph& g, const Path& a, const Path& b,
 
 /// True if a and b share only their common tail task and have distinct
 /// heads — the structure-free case where Theorem 2 degenerates to
-/// Theorem 1 and truncation is the identity.  O(|a|·|b|) without
-/// allocating; pays for itself because the analyzer visits O(|P|^2) pairs
-/// and most pairs in random DAGs are structure-free.
+/// Theorem 1 and truncation is the identity.  One mark-vector pass,
+/// O(|a|+|b|): stamp b's tasks, count how many of a's are stamped.  The
+/// stamp buffer is versioned and thread_local, so the analyzer's hot
+/// O(|P|²) pair loop neither allocates nor clears per pair (and stays
+/// safe under disparity_all's concurrent per-sink workers).
 bool structure_free(const Path& a, const Path& b) {
   if (a.front() == b.front()) return false;
+  thread_local std::vector<std::uint32_t> stamp;
+  thread_local std::uint32_t version = 0;
+  TaskId max_id = 0;
+  for (TaskId y : b) max_id = std::max(max_id, y);
+  if (stamp.size() <= max_id) stamp.resize(max_id + 1, 0);
+  if (++version == 0) {  // wrapped: old stamps could alias; reset
+    std::fill(stamp.begin(), stamp.end(), 0);
+    version = 1;
+  }
+  for (TaskId y : b) stamp[y] = version;
   std::size_t common = 0;
   for (TaskId x : a) {
-    for (TaskId y : b) {
-      if (x == y) {
-        ++common;
-        if (common > 1) return false;
-        break;
-      }
+    if (x < stamp.size() && stamp[x] == version) {
+      if (++common > 1) return false;
     }
   }
   return common == 1;  // exactly the shared tail
@@ -60,13 +64,43 @@ BackwardBoundsFn direct_bounds(const TaskGraph& g,
 
 }  // namespace
 
+bool disparity_uses_truncation(const DisparityOptions& opt) {
+  return opt.truncation == JointTruncation::kAlways ||
+         (opt.truncation == JointTruncation::kAuto &&
+          opt.method == DisparityMethod::kForkJoin);
+}
+
+void apply_keep_pairs(std::vector<PairDisparity>& pairs,
+                      const DisparityOptions& opt) {
+  if (opt.keep_pairs == KeepPairs::kAll || pairs.empty()) return;
+  const auto better = [](const PairDisparity& p, const PairDisparity& q) {
+    if (p.bound != q.bound) return q.bound < p.bound;
+    if (p.chain_a != q.chain_a) return p.chain_a < q.chain_a;
+    return p.chain_b < q.chain_b;
+  };
+  if (opt.keep_pairs == KeepPairs::kWorstOnly) {
+    PairDisparity best = pairs.front();
+    for (const PairDisparity& p : pairs) {
+      if (better(p, best)) best = p;
+    }
+    pairs.assign(1, best);
+    return;
+  }
+  const std::size_t k = std::min(opt.top_k, pairs.size());
+  std::partial_sort(pairs.begin(),
+                    pairs.begin() + static_cast<std::ptrdiff_t>(k),
+                    pairs.end(), better);
+  pairs.resize(k);
+  pairs.shrink_to_fit();
+}
+
 Duration pair_disparity_bound_from(const TaskGraph& g, const Path& a,
                                    const Path& b,
                                    const BackwardBounds& full_a,
                                    const BackwardBounds& full_b,
                                    const DisparityOptions& opt,
                                    const BackwardBoundsFn& bounds) {
-  const bool truncate = should_truncate(opt);
+  const bool truncate = disparity_uses_truncation(opt);
   if (opt.method == DisparityMethod::kIndependent && !truncate) {
     return pdiff_from_bounds(g, a, b, full_a, full_b);
   }
@@ -149,6 +183,7 @@ DisparityReport analyze_time_disparity(const TaskGraph& g, TaskId task,
   }
 
   const BackwardBoundsFn bounds = direct_bounds(g, rtm);
+  report.pairs.reserve(n < 2 ? 0 : n * (n - 1) / 2);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
       const Duration bound =
@@ -160,6 +195,7 @@ DisparityReport analyze_time_disparity(const TaskGraph& g, TaskId task,
   }
   span.arg("chains", static_cast<std::int64_t>(n));
   pairs_counter.add(report.pairs.size());
+  apply_keep_pairs(report.pairs, opt);
   return report;
 }
 

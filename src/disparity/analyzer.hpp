@@ -36,12 +36,30 @@ enum class DisparityMethod {
 /// paper's S-diff improves on.
 enum class JointTruncation { kAuto, kAlways, kNever };
 
+/// How much of the O(|P|²) per-pair vector a disparity report
+/// materializes.  worst_case is always the maximum over *all* pairs; this
+/// only selects which PairDisparity entries are kept.
+enum class KeepPairs {
+  kAll,        ///< every (i, j) pair, in (i, j)-lexicographic order
+  /// Only the single worst pair (ties broken toward the smallest
+  /// (chain_a, chain_b)); empty when there are no pairs.
+  kWorstOnly,
+  /// The top_k largest bounds, sorted by bound descending (ties by
+  /// (chain_a, chain_b) ascending).
+  kTopK,
+};
+
 struct DisparityOptions {
   DisparityMethod method = DisparityMethod::kForkJoin;
   HopBoundMethod hop_method = HopBoundMethod::kNonPreemptive;
   /// Cap on |P| (path enumeration); CapacityError beyond it.
   std::size_t path_cap = kDefaultPathCap;
   JointTruncation truncation = JointTruncation::kAuto;
+  /// Pair-reporting mode; the kernel streams kWorstOnly/kTopK without
+  /// ever materializing the full pair vector.
+  KeepPairs keep_pairs = KeepPairs::kAll;
+  /// Pairs kept when keep_pairs == kTopK (clamped to the pair count).
+  std::size_t top_k = 16;
 };
 
 /// Bound for one chain pair, for reporting.
@@ -57,7 +75,9 @@ struct DisparityReport {
   Duration worst_case;
   /// The enumerated chain set P (each from a source to the task).
   std::vector<Path> chains;
-  /// Per-pair bounds (|chains| choose 2 entries, unordered pairs).
+  /// Per-pair bounds: all |chains| choose 2 unordered pairs under
+  /// KeepPairs::kAll, a filtered subset otherwise (see KeepPairs for the
+  /// exact ordering contract).
   std::vector<PairDisparity> pairs;
 };
 
@@ -71,6 +91,19 @@ DisparityReport analyze_time_disparity(const TaskGraph& g, TaskId task,
 /// Truncate both chains at the start of their maximal common suffix; both
 /// returned chains end at that joint.  Exposed for tests.
 std::pair<Path, Path> truncate_at_last_joint(const Path& a, const Path& b);
+
+/// Whether `opt` applies the last-joint truncation before the pairwise
+/// bound (kAlways, or kAuto with the fork–join method).  Shared between
+/// the reference analyzer and the pairwise kernel.
+bool disparity_uses_truncation(const DisparityOptions& opt);
+
+/// Apply DisparityOptions::keep_pairs to a fully materialized pair list
+/// (in (i, j)-lexicographic order).  The single ordering contract shared
+/// by the reference analyzer and the kernel's streaming accumulators:
+/// pairs are ranked by bound descending, ties by (chain_a, chain_b)
+/// ascending.
+void apply_keep_pairs(std::vector<PairDisparity>& pairs,
+                      const DisparityOptions& opt);
 
 /// Bound for a single pair of chains under the given options (after
 /// optional truncation).

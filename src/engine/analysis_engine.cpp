@@ -6,6 +6,7 @@
 
 #include "chain/latency.hpp"
 #include "common/error.hpp"
+#include "disparity/pair_kernel.hpp"
 #include "engine/thread_pool.hpp"
 #include "obs/tracer.hpp"
 
@@ -42,6 +43,8 @@ std::size_t AnalysisEngine::ReportKeyHash::operator()(
   h = hash_mix(h, static_cast<std::uint64_t>(k.hop_method));
   h = hash_mix(h, k.path_cap);
   h = hash_mix(h, static_cast<std::uint64_t>(k.truncation));
+  h = hash_mix(h, static_cast<std::uint64_t>(k.keep_pairs));
+  h = hash_mix(h, k.top_k);
   return h;
 }
 
@@ -220,7 +223,8 @@ DisparityReport AnalysisEngine::disparity(TaskId task,
                                           const DisparityOptions& opt) const {
   CETA_EXPECTS(task < graph_.num_tasks(), "analyze_time_disparity: bad task id");
   const ReportKey key{task, opt.method, opt.hop_method, opt.path_cap,
-                      opt.truncation};
+                      opt.truncation, opt.keep_pairs,
+                      opt.keep_pairs == KeepPairs::kTopK ? opt.top_k : 0};
   obs::Span span("engine", "disparity");
   span.arg("task", static_cast<std::int64_t>(task));
   {
@@ -235,30 +239,30 @@ DisparityReport AnalysisEngine::disparity(TaskId task,
   span.arg("cache", "miss");
   const auto t0 = std::chrono::steady_clock::now();
 
-  // Mirror of analyze_time_disparity, with the chain set, the full-chain
-  // bounds and every sub-chain bound pulled from the engine's caches.
-  auto report = std::make_shared<DisparityReport>();
-  report->worst_case = Duration::zero();
-  report->chains = chains(task, opt.path_cap);
-
-  const std::size_t n = report->chains.size();
+  // The pairwise kernel (disparity/pair_kernel.hpp) does the O(|P|²) work,
+  // bit-identically to analyze_time_disparity; the engine supplies its
+  // memoized chain set and full-chain bounds (so the chain-bound cache
+  // keeps amortizing across hop methods and later latency queries) and,
+  // when the pair count warrants it, its thread pool for the intra-sink
+  // tiled reduction.  Never hand the pool over from inside one of its own
+  // workers (disparity_all's per-sink jobs): with no work stealing, tiles
+  // queued behind blocked workers would deadlock.
+  const std::vector<Path>& chain_list = chains(task, opt.path_cap);
+  const std::size_t n = chain_list.size();
   std::vector<BackwardBounds> full;
   full.reserve(n);
-  for (const Path& c : report->chains) {
+  for (const Path& c : chain_list) {
     full.push_back(chain_bounds(c, opt.hop_method));
   }
-
-  const BackwardBoundsFn bounds = bounds_provider();
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const Duration bound =
-          pair_disparity_bound_from(graph_, report->chains[i],
-                                    report->chains[j], full[i], full[j], opt,
-                                    bounds);
-      report->pairs.push_back(PairDisparity{i, j, bound});
-      report->worst_case = std::max(report->worst_case, bound);
-    }
+  ThreadPool* tile_pool = nullptr;
+  const std::size_t total_pairs = n < 2 ? 0 : n * (n - 1) / 2;
+  if (opt_.num_threads != 1 && total_pairs >= 128 &&
+      !ThreadPool::current_thread_in_pool()) {
+    tile_pool = &pool();
   }
+  auto report = std::make_shared<DisparityReport>(
+      pair_kernel_analyze(graph_, chain_list, response_times(), opt,
+                          tile_pool, &full));
 
   ins_.disparity_compute.observe(elapsed_since(t0));
   const std::lock_guard<std::mutex> lock(report_mutex_);

@@ -200,6 +200,10 @@ class AnalysisEngine {
     HopBoundMethod hop_method = HopBoundMethod::kNonPreemptive;
     std::size_t path_cap = 0;
     JointTruncation truncation = JointTruncation::kAuto;
+    KeepPairs keep_pairs = KeepPairs::kAll;
+    /// Normalized to 0 unless keep_pairs == kTopK (top_k is inert then, and
+    /// must not split cache entries).
+    std::size_t top_k = 0;
     bool operator==(const ReportKey&) const = default;
   };
   struct ReportKeyHash {

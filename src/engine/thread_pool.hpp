@@ -63,6 +63,13 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// True when called from a worker thread of *any* ThreadPool.  Pool
+  /// jobs must not submit sub-jobs and block on them — with no work
+  /// stealing, every worker could end up waiting on queued sub-jobs no
+  /// one is left to run.  Nested fan-out (e.g. the pairwise kernel inside
+  /// disparity_all's per-sink jobs) checks this and runs inline instead.
+  static bool current_thread_in_pool() { return in_worker_flag(); }
+
   /// Enqueue a fire-and-forget job.
   void post(std::function<void()> job) {
     CETA_EXPECTS(job != nullptr, "ThreadPool::post: empty job");
@@ -124,7 +131,13 @@ class ThreadPool {
   }
 
  private:
+  static bool& in_worker_flag() {
+    static thread_local bool in_worker = false;
+    return in_worker;
+  }
+
   void run() {
+    in_worker_flag() = true;
     for (;;) {
       std::function<void()> job;
       {

@@ -46,6 +46,9 @@ std::vector<Path> enumerate_source_chains(const TaskGraph& g, TaskId target,
   std::vector<bool> is_src(g.num_tasks(), false);
   for (TaskId s : g.sources()) is_src[s] = true;
   std::vector<Path> out;
+  // The DP count is O(V+E) and exact (saturating), so size the output
+  // once instead of growing it through the enumeration.
+  out.reserve(std::min(count_source_chains(g, target), cap));
   Path suffix{target};
   enumerate_backwards(g, target, is_src, cap, suffix, out);
   span.arg("chains", static_cast<std::int64_t>(out.size()));
@@ -101,19 +104,25 @@ bool is_path(const TaskGraph& g, const Path& p) {
 }
 
 std::vector<TaskId> common_tasks(const Path& a, const Path& b) {
+  // One mark pass, O(|a|+|b|): record each b-task's position, then scan a.
+  // The position doubles as the order-consistency check: the shared tasks
+  // must appear at strictly increasing b-positions (guaranteed for paths
+  // of a DAG; guards against malformed inputs).
+  constexpr std::size_t kNoPos = std::numeric_limits<std::size_t>::max();
+  TaskId max_id = 0;
+  for (TaskId y : b) max_id = std::max(max_id, y);
+  std::vector<std::size_t> pos_in_b(static_cast<std::size_t>(max_id) + 1,
+                                    kNoPos);
+  for (std::size_t i = 0; i < b.size(); ++i) pos_in_b[b[i]] = i;
   std::vector<TaskId> out;
+  std::size_t prev = kNoPos;
   for (TaskId t : a) {
-    if (std::find(b.begin(), b.end(), t) != b.end()) out.push_back(t);
-  }
-  // Consistency: the shared tasks must appear in the same relative order in
-  // b (guaranteed for paths of a DAG; guards against malformed inputs).
-  std::size_t pos = 0;
-  for (TaskId t : out) {
-    const auto it = std::find(b.begin() + static_cast<std::ptrdiff_t>(pos),
-                              b.end(), t);
-    CETA_EXPECTS(it != b.end(),
+    if (t > max_id || pos_in_b[t] == kNoPos) continue;
+    const std::size_t pos = pos_in_b[t];
+    CETA_EXPECTS(prev == kNoPos || pos > prev,
                  "common_tasks: inconsistent order of shared tasks");
-    pos = static_cast<std::size_t>(it - b.begin()) + 1;
+    out.push_back(t);
+    prev = pos;
   }
   return out;
 }

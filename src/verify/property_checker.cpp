@@ -15,6 +15,7 @@
 #include "disparity/exact.hpp"
 #include "disparity/forkjoin.hpp"
 #include "disparity/multi_buffer.hpp"
+#include "disparity/pair_kernel.hpp"
 #include "disparity/pairwise.hpp"
 #include "engine/analysis_engine.hpp"
 #include "graph/algorithms.hpp"
@@ -38,7 +39,8 @@ constexpr const char* kPropertyNames[kNumProperties] = {
     "sdiff_leq_pdiff",     "sim_within_bound",
     "backward_in_bounds",  "exact_within_bound",
     "exact_matches_sim",   "buffered_shift",
-    "buffer_design_consistent", "multi_buffer_safe"};
+    "buffer_design_consistent", "multi_buffer_safe",
+    "pair_kernel_matches_reference"};
 
 constexpr Property kAllProperties[kNumProperties] = {
     Property::kEngineMatchesFree,
@@ -50,7 +52,8 @@ constexpr Property kAllProperties[kNumProperties] = {
     Property::kExactMatchesSim,
     Property::kBufferedShift,
     Property::kBufferDesignConsistent,
-    Property::kMultiBufferSafe};
+    Property::kMultiBufferSafe,
+    Property::kPairKernelMatchesReference};
 
 std::string dur(Duration d) { return std::to_string(d.count()) + "ns"; }
 
@@ -495,6 +498,62 @@ PropertyOutcome check_multi_buffer_safe(const Inputs& in) {
   return holds();
 }
 
+PropertyOutcome check_pair_kernel_matches_reference(const Inputs& in) {
+  // The kernel promises *bit-identical* reports, so every field of every
+  // pair is compared, at every method × truncation × keep_pairs
+  // combination (18 report pairs per draw).
+  for (const DisparityMethod m :
+       {DisparityMethod::kIndependent, DisparityMethod::kForkJoin}) {
+    for (const JointTruncation tr : {JointTruncation::kAuto,
+                                     JointTruncation::kAlways,
+                                     JointTruncation::kNever}) {
+      for (const KeepPairs kp :
+           {KeepPairs::kAll, KeepPairs::kWorstOnly, KeepPairs::kTopK}) {
+        DisparityOptions opt = disparity_options(in, m);
+        opt.truncation = tr;
+        opt.keep_pairs = kp;
+        opt.top_k = 3;
+        const DisparityReport ref =
+            analyze_time_disparity(in.g, in.task, in.rtm, opt);
+        const DisparityReport ker =
+            analyze_time_disparity_kernel(in.g, in.task, in.rtm, opt);
+        const std::string combo =
+            std::string(m == DisparityMethod::kIndependent ? "P" : "S") +
+            "-diff/trunc=" + std::to_string(static_cast<int>(tr)) +
+            "/keep=" + std::to_string(static_cast<int>(kp));
+        if (ker.worst_case != ref.worst_case) {
+          return violated("pair kernel worst_case " + dur(ker.worst_case) +
+                          " != reference " + dur(ref.worst_case) + " at " +
+                          combo);
+        }
+        if (ker.chains != ref.chains) {
+          return violated("pair kernel chain set differs at " + combo);
+        }
+        if (ker.pairs.size() != ref.pairs.size()) {
+          return violated("pair kernel keeps " +
+                          std::to_string(ker.pairs.size()) + " pairs vs " +
+                          std::to_string(ref.pairs.size()) + " at " + combo);
+        }
+        for (std::size_t i = 0; i < ker.pairs.size(); ++i) {
+          if (ker.pairs[i].chain_a != ref.pairs[i].chain_a ||
+              ker.pairs[i].chain_b != ref.pairs[i].chain_b ||
+              ker.pairs[i].bound != ref.pairs[i].bound) {
+            return violated(
+                "pair kernel pair " + std::to_string(i) + " (" +
+                std::to_string(ker.pairs[i].chain_a) + "," +
+                std::to_string(ker.pairs[i].chain_b) + ") " +
+                dur(ker.pairs[i].bound) + " != reference (" +
+                std::to_string(ref.pairs[i].chain_a) + "," +
+                std::to_string(ref.pairs[i].chain_b) + ") " +
+                dur(ref.pairs[i].bound) + " at " + combo);
+          }
+        }
+      }
+    }
+  }
+  return holds();
+}
+
 PropertyOutcome dispatch(Property p, const Inputs& in) {
   switch (p) {
     case Property::kEngineMatchesFree: return check_engine_matches_free(in);
@@ -508,6 +567,8 @@ PropertyOutcome dispatch(Property p, const Inputs& in) {
     case Property::kBufferDesignConsistent:
       return check_buffer_design_consistent(in);
     case Property::kMultiBufferSafe: return check_multi_buffer_safe(in);
+    case Property::kPairKernelMatchesReference:
+      return check_pair_kernel_matches_reference(in);
   }
   throw Error("check_property: unknown property");
 }

@@ -44,9 +44,12 @@ enum class Property {
   kBufferedShift,           ///< Lemma 6: bounds shift by exactly (n−1)·T(π¹)
   kBufferDesignConsistent,  ///< Algorithm 1/Theorem 3 arithmetic invariants
   kMultiBufferSafe,         ///< multi-chain design ≤ baseline, = re-analysis
+  /// Pairwise kernel ≡ reference analyzer, field-wise, at every
+  /// DisparityMethod × JointTruncation × KeepPairs combination.
+  kPairKernelMatchesReference,
 };
 
-inline constexpr std::size_t kNumProperties = 10;
+inline constexpr std::size_t kNumProperties = 11;
 
 /// Stable lowercase identifier ("sim_within_bound", ...), used in fixture
 /// files and reports.

@@ -1,0 +1,64 @@
+// Standalone validator for BENCH_pairwise.json (the perf_smoke ctest
+// pair): parses the file with the independent JSON parser the obs tests
+// use, checks the schema the bench promises, and fails (exit 1) if the
+// kernel-vs-reference cross-check recorded a divergence.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "json_checker.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: check_bench_json <BENCH_pairwise.json>\n";
+    return 2;
+  }
+  const std::string path = argv[1];
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "FAIL: cannot open '" << path
+              << "' (did the perf_smoke run produce it?)\n";
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  try {
+    const ceta::testing::JsonValue doc =
+        ceta::testing::JsonParser::parse(buf.str());
+    for (const char* key :
+         {"bench", "chains", "pairs", "reference_ns", "kernel_ns", "speedup",
+          "kernel_parallel_ns", "threads", "parallel_speedup", "match"}) {
+      if (!doc.has(key)) {
+        std::cerr << "FAIL: " << path << " lacks member '" << key << "'\n";
+        return 1;
+      }
+    }
+    if (doc.at("bench").string != "pairwise_kernel_vs_reference") {
+      std::cerr << "FAIL: unexpected bench id '" << doc.at("bench").string
+                << "'\n";
+      return 1;
+    }
+    if (doc.at("chains").number < 2 || doc.at("pairs").number < 1 ||
+        doc.at("kernel_ns").number <= 0) {
+      std::cerr << "FAIL: degenerate bench record in " << path << "\n";
+      return 1;
+    }
+    if (!doc.at("match").boolean) {
+      std::cerr << "FAIL: pairwise kernel diverged from the reference "
+                   "analyzer (match: false in "
+                << path << ")\n";
+      return 1;
+    }
+    std::cout << "OK: " << path << " (" << doc.at("chains").number
+              << " chains, speedup " << doc.at("speedup").number
+              << "x, match: true)\n";
+  } catch (const std::exception& e) {
+    std::cerr << "FAIL: " << path << " is not valid JSON: " << e.what()
+              << "\n";
+    return 1;
+  }
+  return 0;
+}
