@@ -4,10 +4,12 @@
 // AnalysisEngine facade against the free-function path (cold cache, warm
 // cache, and disparity_all at several thread counts).  After the
 // google-benchmark run, a manual engine-vs-free comparison on a Fig. 6
-// style workload is written to BENCH_engine.json, and the pairwise kernel
+// style workload is written to BENCH_engine.json, the pairwise kernel
 // is timed against the reference analyzer on a 256-chain diamond stack
-// (cross-checked bit-for-bit) into BENCH_pairwise.json — the run fails if
-// the two ever diverge.
+// (cross-checked bit-for-bit) into BENCH_pairwise.json, and a 64-point
+// FIFO-depth sweep through the mutation API is timed against per-point
+// fresh-engine rebuilds (again cross-checked bit-for-bit) into
+// BENCH_incremental.json — the run fails if any comparison ever diverges.
 
 #include <benchmark/benchmark.h>
 
@@ -507,6 +509,141 @@ bool write_pairwise_comparison(const std::string& path) {
   return match;
 }
 
+// ---- incremental mutation API vs fresh rebuilds -> BENCH_incremental.json --
+
+/// Deterministic 55-task workload for the buffer sweep: two 28-task
+/// chains merged at one sink, WATERS parameters, first schedulable seed.
+/// Long chains make the fresh-rebuild cost (full RTA + enumeration + all
+/// bounds) dwarf what a buffer edit actually dirties (one chain's bounds
+/// plus the sink report).
+TaskGraph incremental_sweep_graph() {
+  for (std::uint64_t seed = 1;; ++seed) {
+    Rng rng(seed);
+    TaskGraph g = merge_chains_at_sink(28, 28);
+    WatersAssignOptions wopt;
+    wopt.num_ecus = 4;
+    assign_waters_parameters(g, wopt, rng);
+    if (analyze_response_times(g).all_schedulable) return g;
+  }
+}
+
+/// One 64-point buffer sweep through the mutation API: resize the head
+/// channel of chain λ₀, re-query the sink disparity, repeat.  Each point
+/// pays only the §9 "buffer" row: the resized chain's bounds + the sink
+/// report; RTA, hops, the other chain's bounds and the chain sets survive.
+void BM_IncrementalBufferSweep(benchmark::State& state) {
+  const TaskGraph g = incremental_sweep_graph();
+  const TaskId sink = g.sinks().front();
+  const auto chains = enumerate_source_chains(g, sink);
+  const TaskId from = chains[0][0];
+  const TaskId to = chains[0][1];
+  AnalysisEngine engine{TaskGraph{g}};
+  (void)engine.disparity(sink);  // warm
+  for (auto _ : state) {
+    for (int n = 1; n <= 64; ++n) {
+      engine.set_buffer(from, to, n);
+      benchmark::DoNotOptimize(engine.disparity(sink));
+    }
+    engine.set_buffer(from, to, 1);
+  }
+  state.counters["points"] = 64;
+}
+BENCHMARK(BM_IncrementalBufferSweep);
+
+/// The same sweep paying a full engine rebuild per point (the pre-mutation
+/// API workflow): graph copy + validate + RTA + enumeration + every bound.
+void BM_FreshBufferSweep(benchmark::State& state) {
+  const TaskGraph g = incremental_sweep_graph();
+  const TaskId sink = g.sinks().front();
+  const auto chains = enumerate_source_chains(g, sink);
+  const TaskId from = chains[0][0];
+  const TaskId to = chains[0][1];
+  for (auto _ : state) {
+    for (int n = 1; n <= 64; ++n) {
+      TaskGraph copy = g;
+      copy.set_buffer_size(from, to, n);
+      const AnalysisEngine fresh{std::move(copy)};
+      benchmark::DoNotOptimize(fresh.disparity(sink));
+    }
+  }
+  state.counters["points"] = 64;
+}
+BENCHMARK(BM_FreshBufferSweep);
+
+/// 64-point buffer sweep, incremental engine vs fresh-engine rebuilds,
+/// cross-checked bit-for-bit per point.  Writes BENCH_incremental.json;
+/// returns false on any divergence (perf_smoke and main() fail then).
+bool write_incremental_comparison(const std::string& path) {
+  constexpr int kPoints = 64;
+  const TaskGraph g = incremental_sweep_graph();
+  const TaskId sink = g.sinks().front();
+  const auto chains = enumerate_source_chains(g, sink);
+  const TaskId from = chains[0][0];
+  const TaskId to = chains[0][1];
+
+  // Correctness pass first: every sweep point must match a fresh engine
+  // on the identically-buffered graph, field for field.
+  AnalysisEngine engine{TaskGraph{g}};
+  (void)engine.disparity(sink);
+  bool match = true;
+  for (int n = 1; n <= kPoints && match; ++n) {
+    engine.set_buffer(from, to, n);
+    TaskGraph copy = g;
+    copy.set_buffer_size(from, to, n);
+    const AnalysisEngine fresh{std::move(copy)};
+    match = reports_identical(engine.disparity(sink), fresh.disparity(sink));
+  }
+  engine.set_buffer(from, to, 1);
+  (void)engine.disparity(sink);
+
+  constexpr int kIters = 5;
+  const double incremental_ns = time_ns(
+      [&] {
+        for (int n = 1; n <= kPoints; ++n) {
+          engine.set_buffer(from, to, n);
+          benchmark::DoNotOptimize(engine.disparity(sink));
+        }
+        engine.set_buffer(from, to, 1);
+        benchmark::DoNotOptimize(engine.disparity(sink));
+      },
+      kIters);
+  const double fresh_ns = time_ns(
+      [&] {
+        for (int n = 1; n <= kPoints; ++n) {
+          TaskGraph copy = g;
+          copy.set_buffer_size(from, to, n);
+          const AnalysisEngine fresh{std::move(copy)};
+          benchmark::DoNotOptimize(fresh.disparity(sink));
+        }
+      },
+      kIters);
+  const double speedup = fresh_ns / incremental_ns;
+
+  const obs::MetricsSnapshot m = engine.metrics();
+  std::int64_t retention_ppm = 0;
+  for (const auto& [name, value] : m.gauges) {
+    if (name == "engine.mutate.retention_ppm") retention_ppm = value;
+  }
+  bench::write_json_file(path, [&](obs::JsonWriter& w) {
+    w.member("bench", "incremental_vs_fresh")
+        .member("graph_tasks", static_cast<std::int64_t>(g.num_tasks()))
+        .member("sweep_points", static_cast<std::int64_t>(kPoints))
+        .member("fresh_ns", fresh_ns)
+        .member("incremental_ns", incremental_ns)
+        .member("speedup", speedup)
+        .member("commits",
+                static_cast<std::int64_t>(m.counter("engine.mutate.commits")))
+        .member("retention_ppm", retention_ppm)
+        .member("match", match);
+    bench::write_metrics_member(w, "engine_metrics", m);
+  });
+  std::cout << "incremental-vs-fresh comparison written to " << path << " ("
+            << kPoints << " sweep points, speedup: " << speedup
+            << "x, retention: " << static_cast<double>(retention_ppm) / 10'000.0
+            << "%, match: " << (match ? "true" : "false") << ")\n";
+  return match;
+}
+
 // ---- disabled-tracing overhead budget --------------------------------------
 
 /// Assert the overhead budget of compiled-in-but-disabled tracing: spans
@@ -568,6 +705,10 @@ int main(int argc, char** argv) {
   write_engine_comparison("BENCH_engine.json");
   if (!write_pairwise_comparison("BENCH_pairwise.json")) {
     std::cerr << "FAIL: pairwise kernel diverges from the reference\n";
+    return 1;
+  }
+  if (!write_incremental_comparison("BENCH_incremental.json")) {
+    std::cerr << "FAIL: incremental engine diverges from fresh rebuilds\n";
     return 1;
   }
   if (!ceta::obs::Tracer::enabled() && !check_disabled_tracing_overhead()) {

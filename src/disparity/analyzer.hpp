@@ -21,6 +21,7 @@
 
 namespace ceta {
 
+/// Which theorem bounds each chain pair.
 enum class DisparityMethod {
   kIndependent,  ///< Theorem 1, "P-diff"
   /// Theorem 2 ("S-diff"), clamped by Theorem 1: both bounds are safe and
@@ -49,8 +50,12 @@ enum class KeepPairs {
   kTopK,
 };
 
+/// Knobs of the task-level analyzer (and of AnalysisEngine::disparity —
+/// every distinct option tuple is a distinct cache entry there).
 struct DisparityOptions {
+  /// Pairwise bound: Theorem 1 (kIndependent) or Theorem 2 (kForkJoin).
   DisparityMethod method = DisparityMethod::kForkJoin;
+  /// Per-hop bound used inside W(π): Lemma 4 or the agnostic baseline.
   HopBoundMethod hop_method = HopBoundMethod::kNonPreemptive;
   /// Cap on |P| (path enumeration); CapacityError beyond it.
   std::size_t path_cap = kDefaultPathCap;
@@ -65,10 +70,11 @@ struct DisparityOptions {
 /// Bound for one chain pair, for reporting.
 struct PairDisparity {
   std::size_t chain_a = 0;  ///< indices into DisparityReport::chains
-  std::size_t chain_b = 0;
-  Duration bound;
+  std::size_t chain_b = 0;  ///< second index; chain_a < chain_b always
+  Duration bound;           ///< disparity bound of this pair
 };
 
+/// Result of analyze_time_disparity / AnalysisEngine::disparity.
 struct DisparityReport {
   /// Upper bound on the worst-case time disparity of the analyzed task;
   /// zero when it has fewer than two source chains.

@@ -23,7 +23,7 @@ struct BufferDesign {
   bool buffer_on_lambda = true;
   /// The buffered channel (head → second task of the chosen chain).
   TaskId from = 0;
-  TaskId to = 0;
+  TaskId to = 0;  ///< consumer end of the buffered channel
   /// Designed FIFO size (>= 1; 1 means no change was useful).
   int buffer_size = 1;
   /// Window shift L achieved by the design (multiple of T(head)).
@@ -34,19 +34,36 @@ struct BufferDesign {
   Duration optimized_bound;
   /// Sampling windows before buffering (anchored at λ's o_1 job release).
   Interval window_lambda;
-  Interval window_nu;
+  Interval window_nu;  ///< ν's pre-buffering window, same anchor
 };
 
-/// Run Algorithm 1 on two non-identical chains of g ending at the same
-/// task.  A chain must have at least two tasks to host a buffer; if the
-/// chain that would be buffered is a single task, the design is trivial
-/// (size 1, L = 0).
+/// @brief Run Algorithm 1 on two non-identical chains of g ending at the
+/// same task.
+/// @param g       The analyzed graph.
+/// @param lambda,nu  The chain pair (both must end at the same task).
+/// @param rtm     Safe WCRT upper bound per task.
+/// @param method  Hop-bound method for the Theorem 2 windows.
+/// @return The designed FIFO size and the Theorem 3 bound.  A chain must
+///   have at least two tasks to host a buffer; if the chain that would be
+///   buffered is a single task, the design is trivial (size 1, L = 0).
+/// Complexity: one Theorem 2 evaluation, O(c · max chain length).
 BufferDesign design_buffer(const TaskGraph& g, const Path& lambda,
                            const Path& nu, const ResponseTimeMap& rtm,
                            HopBoundMethod method =
                                HopBoundMethod::kNonPreemptive);
 
-/// Apply a design to a graph (sets the channel's FIFO size).
+/// @brief Same design with every sub-chain's backward bounds pulled from
+/// `bounds` instead of recomputed — the memoization hook used by
+/// AnalysisEngine::optimize_buffer_pair.
+/// @param bounds  Must agree with backward_bounds on g (see
+///   sdiff_pair_bound).
+BufferDesign design_buffer(const TaskGraph& g, const Path& lambda,
+                           const Path& nu, HopBoundMethod method,
+                           const BackwardBoundsFn& bounds);
+
+/// @brief Apply a design to a graph (sets the channel's FIFO size).
+/// @param design  As returned by design_buffer; sizes <= 1 are no-ops.
+/// Complexity: O(E) edge lookup.
 void apply_buffer_design(TaskGraph& g, const BufferDesign& design);
 
 }  // namespace ceta

@@ -23,6 +23,7 @@
 
 namespace ceta {
 
+/// Result of exact_let_disparity.
 struct ExactLetResult {
   /// Exact worst-case disparity of the task for the given offsets.
   Duration worst_disparity;

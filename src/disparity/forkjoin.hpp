@@ -40,16 +40,16 @@ struct ForkJoinBound {
   std::vector<TaskId> joints;
   /// x_j / y_j per joint (index aligned with `joints`).
   std::vector<std::int64_t> x;
-  std::vector<std::int64_t> y;
+  std::vector<std::int64_t> y;  ///< upper counterpart of `x`
   /// Backward-time bounds of the first sub-chain pair.
   BackwardBounds alpha1;
-  BackwardBounds beta1;
+  BackwardBounds beta1;  ///< ν-side counterpart of `alpha1`
   /// Sampling windows of the two traced sources, anchored at the release
   /// of λ's o_1 job: t(λ̄¹) ∈ window_lambda, t(ν̄¹) ∈ window_nu
   /// (Lemma 1 / Lemma 2; Algorithm 1 lines 4–5).
   Interval window_lambda;
-  Interval window_nu;
-  bool shared_head = false;
+  Interval window_nu;        ///< ν's sampling window, same anchor
+  bool shared_head = false;  ///< chains start at the same source task
   /// True when the fork-join recursion was inapplicable (a joint task or
   /// the shared head has release jitter, breaking the multiple-of-period
   /// arguments) and the bound fell back to the Theorem 1 computation on

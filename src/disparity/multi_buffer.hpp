@@ -28,20 +28,21 @@ namespace ceta {
 
 /// One buffered channel of a multi-chain design.
 struct ChannelBuffer {
-  TaskId from = 0;
-  TaskId to = 0;
-  int buffer_size = 1;
+  TaskId from = 0;        ///< producer end of the channel
+  TaskId to = 0;          ///< consumer end of the channel
+  int buffer_size = 1;    ///< FIFO depth to install (Lemma 6)
   /// Window shift of the chains through this channel: (size−1)·T(from).
   Duration shift;
 };
 
+/// A complete buffer assignment for one fusion task.
 struct MultiBufferDesign {
   /// Channels to buffer (sizes > 1 only; empty = nothing to gain).
   std::vector<ChannelBuffer> channels;
   /// Worst-case disparity bound of the task before / after buffering
   /// (both via the task-level analyzer with the given options).
-  Duration baseline_bound;
-  Duration optimized_bound;
+  Duration baseline_bound;   ///< bound on the unbuffered graph
+  Duration optimized_bound;  ///< bound after applying `channels`
 };
 
 /// Design buffers for all chains fusing at `task`.  Requires the head

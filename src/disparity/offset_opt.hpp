@@ -30,26 +30,32 @@ namespace ceta {
 /// only the sensors are phase-controllable.
 enum class OffsetTunables { kAllClosureTasks, kSourcesOnly };
 
+/// Knobs of plan_source_offsets.
 struct OffsetPlanOptions {
+  /// Which offsets the coordinate descent may move.
   OffsetTunables tunables = OffsetTunables::kAllClosureTasks;
   /// Offset grid step for the sweep; must be positive.  1 ms matches the
   /// WATERS period lattice.
   Duration granularity = Duration::ms(1);
   /// Coordinate-descent passes over the tunable tasks.
   int passes = 2;
+  /// Chain-enumeration capacity (CapacityError beyond).
   std::size_t path_cap = kDefaultPathCap;
+  /// Exact-oracle release cap per evaluation (CapacityError beyond).
   std::size_t max_releases = 1'000'000;
 };
 
+/// One tuned offset of an OffsetPlan.
 struct OffsetAssignment {
-  TaskId task = 0;
-  Duration offset;
+  TaskId task = 0;  ///< the task whose offset was planned
+  Duration offset;  ///< planned release offset, in [0, T)
 };
 
+/// Result of plan_source_offsets.
 struct OffsetPlan {
   /// Exact disparity before / after the synthesis.
   Duration baseline;
-  Duration optimized;
+  Duration optimized;  ///< exact disparity under the planned offsets
   /// The tuned offsets of the optimized assignment.
   std::vector<OffsetAssignment> offsets;
   /// Number of exact evaluations performed.

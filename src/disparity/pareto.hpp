@@ -19,6 +19,7 @@
 
 namespace ceta {
 
+/// One point of the memory/disparity trade-off curve.
 struct ParetoPoint {
   /// FIFO size on the Algorithm 1 channel (1 = unbuffered).
   int buffer_size = 1;

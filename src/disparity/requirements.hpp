@@ -20,21 +20,24 @@
 
 namespace ceta {
 
+/// One (task, threshold) requirement to verify.
 struct DisparityRequirement {
-  TaskId task = 0;
+  TaskId task = 0;  ///< the task whose disparity is constrained
   /// Required upper bound on the task's worst-case time disparity.
   Duration max_disparity;
 };
 
+/// Verdict for one requirement after verification (and remediation).
 enum class RequirementStatus {
   kSatisfied,          ///< bound <= threshold on the input graph
   kFixedByBuffers,     ///< violated, but the buffer remedy closes the gap
   kViolated,           ///< violated and the remedy does not close the gap
 };
 
+/// Per-requirement verification result.
 struct RequirementOutcome {
-  DisparityRequirement requirement;
-  RequirementStatus status = RequirementStatus::kSatisfied;
+  DisparityRequirement requirement;                       ///< as given
+  RequirementStatus status = RequirementStatus::kSatisfied;  ///< verdict
   /// S-diff bound on the input graph.
   Duration bound;
   /// S-diff bound on the remedied graph (== bound when untouched).
@@ -44,8 +47,9 @@ struct RequirementOutcome {
   std::vector<ChannelBuffer> buffers;
 };
 
+/// Result of verify_disparity_requirements.
 struct RequirementsReport {
-  std::vector<RequirementOutcome> outcomes;
+  std::vector<RequirementOutcome> outcomes;  ///< one per requirement, in order
   /// All requirements hold on the final (possibly buffered) graph.
   bool all_satisfied = false;
   /// The graph with every applied remedy (equals the input when none).

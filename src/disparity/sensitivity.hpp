@@ -19,28 +19,31 @@
 
 namespace ceta {
 
+/// Which parameter a sensitivity probe perturbed.
 enum class PerturbedParam {
   kPeriod,  ///< period scaled by period_factor (default: 2x faster)
   kWcet,    ///< WCET scaled by wcet_factor (BCET clamped to stay <= WCET)
 };
 
+/// Knobs of disparity_sensitivity.
 struct SensitivityOptions {
   /// Multiplier applied to a task's period (default 0.5 = double rate).
   double period_factor = 0.5;
   /// Multiplier applied to a task's WCET (default 0.5 = half the work).
   double wcet_factor = 0.5;
-  DisparityOptions disparity;
-  RtaOptions rta;
+  DisparityOptions disparity;  ///< analyzer options for both bounds
+  RtaOptions rta;              ///< RTA options for the re-analysis
 };
 
+/// One (task, parameter) probe of the sensitivity scan.
 struct SensitivityEntry {
-  TaskId task = 0;
-  PerturbedParam param = PerturbedParam::kPeriod;
+  TaskId task = 0;                                ///< perturbed task
+  PerturbedParam param = PerturbedParam::kPeriod;  ///< perturbed knob
   /// Bound before / after the perturbation; `schedulable` is false when
   /// the perturbed system lost schedulability (perturbed then meaningless).
-  Duration baseline;
-  Duration perturbed;
-  bool schedulable = true;
+  Duration baseline;        ///< bound with original parameters
+  Duration perturbed;       ///< bound with the perturbation applied
+  bool schedulable = true;  ///< perturbed system still schedulable?
 
   /// perturbed − baseline (negative = the perturbation helps).
   Duration delta() const { return perturbed - baseline; }

@@ -1,13 +1,16 @@
 #include "engine/analysis_engine.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <future>
+#include <unordered_map>
 #include <utility>
 
 #include "chain/latency.hpp"
 #include "common/error.hpp"
 #include "disparity/pair_kernel.hpp"
 #include "engine/thread_pool.hpp"
+#include "graph/algorithms.hpp"
 #include "obs/tracer.hpp"
 
 namespace ceta {
@@ -58,12 +61,30 @@ AnalysisEngine::Instruments::Instruments(obs::MetricsRegistry& r)
       chain_set_misses(r.counter("engine.chain_sets.misses")),
       report_hits(r.counter("engine.reports.hits")),
       report_misses(r.counter("engine.reports.misses")),
+      hop_stale(r.counter("engine.hop.stale")),
+      chain_bound_stale(r.counter("engine.chain_bounds.stale")),
+      chain_set_stale(r.counter("engine.chain_sets.stale")),
+      report_stale(r.counter("engine.reports.stale")),
+      mutate_commits(r.counter("engine.mutate.commits")),
+      mutate_edits(r.counter("engine.mutate.edits")),
+      mutate_dirty_rta(r.counter("engine.mutate.dirty.rta_tasks")),
+      mutate_dirty_bounds(r.counter("engine.mutate.dirty.bound_tasks")),
+      mutate_dirty_edges(r.counter("engine.mutate.dirty.edges")),
+      mutate_dirty_chain_sets(r.counter("engine.mutate.dirty.chain_sets")),
+      mutate_dirty_reports(r.counter("engine.mutate.dirty.reports")),
+      rta_refreshed_tasks(r.counter("engine.rta.refreshed_tasks")),
+      survived_hits(r.counter("engine.cache.survived_hits")),
+      retention_ppm(r.gauge("engine.mutate.retention_ppm")),
       rta_compute(r.histogram("engine.rta.compute")),
       disparity_compute(r.histogram("engine.disparity.compute")) {}
 
 AnalysisEngine::AnalysisEngine(TaskGraph graph, EngineOptions opt)
     : graph_(std::move(graph)), opt_(opt) {
   graph_.validate();
+  deps_.rebuild(graph_);
+  task_epoch_.assign(graph_.num_tasks(), 0);
+  chain_set_epoch_.assign(graph_.num_tasks(), 0);
+  report_epoch_.assign(graph_.num_tasks(), 0);
 }
 
 AnalysisEngine::AnalysisEngine(TaskGraph graph, ResponseTimeMap rtm,
@@ -73,19 +94,39 @@ AnalysisEngine::AnalysisEngine(TaskGraph graph, ResponseTimeMap rtm,
   CETA_EXPECTS(rtm.size() == graph_.num_tasks(),
                "AnalysisEngine: response-time map size mismatch");
   external_rtm_ = std::make_unique<ResponseTimeMap>(std::move(rtm));
+  deps_.rebuild(graph_);
+  task_epoch_.assign(graph_.num_tasks(), 0);
+  chain_set_epoch_.assign(graph_.num_tasks(), 0);
+  report_epoch_.assign(graph_.num_tasks(), 0);
 }
 
 AnalysisEngine::~AnalysisEngine() = default;
 
 void AnalysisEngine::ensure_rta() const {
   const std::lock_guard<std::mutex> lock(rta_mutex_);
-  if (rta_ || external_rtm_) return;
-  obs::Span span("engine", "rta");
-  span.arg("tasks", static_cast<std::int64_t>(graph_.num_tasks()));
-  const auto t0 = std::chrono::steady_clock::now();
-  rta_ = std::make_unique<RtaResult>(analyze_response_times(graph_, opt_.rta));
-  ins_.rta_compute.observe(elapsed_since(t0));
-  ins_.rta_runs.add();
+  if (external_rtm_) return;
+  if (!rta_) {
+    obs::Span span("engine", "rta");
+    span.arg("tasks", static_cast<std::int64_t>(graph_.num_tasks()));
+    const auto t0 = std::chrono::steady_clock::now();
+    rta_ =
+        std::make_unique<RtaResult>(analyze_response_times(graph_, opt_.rta));
+    ins_.rta_compute.observe(elapsed_since(t0));
+    ins_.rta_runs.add();
+    rta_dirty_.clear();
+    return;
+  }
+  if (!rta_dirty_.empty()) {
+    // Scoped refresh: only the cohorts dirtied since the last query are
+    // re-run (bit-identical to a full run, see reanalyze_response_times).
+    obs::Span span("engine", "rta_refresh");
+    span.arg("tasks", static_cast<std::int64_t>(rta_dirty_.size()));
+    const auto t0 = std::chrono::steady_clock::now();
+    reanalyze_response_times(graph_, opt_.rta, rta_dirty_, *rta_);
+    ins_.rta_compute.observe(elapsed_since(t0));
+    ins_.rta_refreshed_tasks.add(rta_dirty_.size());
+    rta_dirty_.clear();
+  }
 }
 
 const RtaResult& AnalysisEngine::rta() const {
@@ -112,50 +153,109 @@ bool AnalysisEngine::schedulable() const {
   return rta().all_schedulable;
 }
 
+void AnalysisEngine::note_survivor(std::uint64_t stamp) const {
+  if (commit_epoch_ != 0 && stamp < commit_epoch_) ins_.survived_hits.add();
+}
+
+std::uint64_t AnalysisEngine::hop_inputs_epoch(TaskId from, TaskId to) const {
+  // Hops read task parameters and WCRTs but never channel depths, so only
+  // removal epochs apply here — buffer resizes must not dirty hop entries
+  // (§9 row "buffer": hop bounds survive).
+  std::uint64_t e = std::max(task_epoch_[from], task_epoch_[to]);
+  if (!removed_edge_epoch_.empty()) {
+    const auto it = removed_edge_epoch_.find(
+        static_cast<std::uint64_t>(from) * graph_.num_tasks() + to);
+    if (it != removed_edge_epoch_.end()) e = std::max(e, it->second);
+  }
+  return e;
+}
+
+std::uint64_t AnalysisEngine::chain_inputs_epoch(const Path& chain) const {
+  std::uint64_t e = 0;
+  for (const TaskId t : chain) e = std::max(e, task_epoch_[t]);
+  const auto edge_max = [&](
+      const std::unordered_map<std::uint64_t, std::uint64_t>& epochs) {
+    if (epochs.empty()) return;
+    for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+      const auto it = epochs.find(
+          static_cast<std::uint64_t>(chain[i]) * graph_.num_tasks() +
+          chain[i + 1]);
+      if (it != epochs.end()) e = std::max(e, it->second);
+    }
+  };
+  edge_max(buffer_edge_epoch_);  // Lemma 6 shift moves W(π)/B(π)
+  edge_max(removed_edge_epoch_);
+  return e;
+}
+
 Duration AnalysisEngine::hop(TaskId from, TaskId to,
                              HopBoundMethod method) const {
+  return hop_impl(from, to, method, /*counted=*/true);
+}
+
+Duration AnalysisEngine::hop_impl(TaskId from, TaskId to,
+                                  HopBoundMethod method, bool counted) const {
   // Edge ids are dense (< num_tasks each), so (from, to, method) packs
   // losslessly into one word.
   const std::uint64_t key =
       (static_cast<std::uint64_t>(from) * graph_.num_tasks() + to) * 2 +
       static_cast<std::uint64_t>(method);
   obs::Span span("engine", "hop");
+  bool stale = false;
   {
     const std::lock_guard<std::mutex> lock(hop_mutex_);
     const auto it = hop_cache_.find(key);
     if (it != hop_cache_.end()) {
-      ins_.hop_hits.add();
-      span.arg("cache", "hit");
-      return it->second;
+      if (it->second.stamp >= hop_inputs_epoch(from, to)) {
+        if (counted) ins_.hop_hits.add();
+        note_survivor(it->second.stamp);
+        span.arg("cache", "hit");
+        return it->second.value;
+      }
+      ins_.hop_stale.add();
+      stale = true;
     }
   }
-  span.arg("cache", "miss");
+  span.arg("cache", stale ? "stale" : "miss");
   const Duration theta =
       hop_bound(graph_, from, to, response_times(), method);
   const std::lock_guard<std::mutex> lock(hop_mutex_);
-  ins_.hop_misses.add();
-  hop_cache_.emplace(key, theta);
+  if (counted) ins_.hop_misses.add();
+  hop_cache_[key] = {theta, commit_epoch_};
   return theta;
 }
 
 BackwardBounds AnalysisEngine::chain_bounds(const Path& chain,
                                             HopBoundMethod method) const {
+  return chain_bounds_impl(chain, method, /*counted=*/true);
+}
+
+BackwardBounds AnalysisEngine::chain_bounds_impl(const Path& chain,
+                                                 HopBoundMethod method,
+                                                 bool counted) const {
   ChainKey key{chain, method};
   obs::Span span("engine", "chain_bounds");
+  bool stale = false;
   {
     const std::lock_guard<std::mutex> lock(chain_bound_mutex_);
     const auto it = chain_bound_cache_.find(key);
     if (it != chain_bound_cache_.end()) {
-      ins_.chain_bound_hits.add();
-      span.arg("cache", "hit");
-      return it->second;
+      if (it->second.stamp >= chain_inputs_epoch(chain)) {
+        if (counted) ins_.chain_bound_hits.add();
+        note_survivor(it->second.stamp);
+        span.arg("cache", "hit");
+        return it->second.value;
+      }
+      ins_.chain_bound_stale.add();
+      stale = true;
     }
   }
-  span.arg("cache", "miss");
+  span.arg("cache", stale ? "stale" : "miss");
   // B(π) first: bcbt_bound validates the chain (path of the graph, finite
   // WCRTs), exactly like the free backward_bounds entry point.  W(π) is
   // then assembled from the memoized hops — bit-identical to wcbt_bound,
-  // which sums the same θs left to right.
+  // which sums the same θs left to right.  The nested hop reads are
+  // uncounted plumbing of this one logical chain-bound lookup.
   BackwardBounds b;
   b.bcbt = bcbt_bound(graph_, chain, response_times());
   if (chain.size() == 1) {
@@ -163,46 +263,69 @@ BackwardBounds AnalysisEngine::chain_bounds(const Path& chain,
   } else {
     Duration total = Duration::zero();
     for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
-      total += hop(chain[i], chain[i + 1], method);
+      total += hop_impl(chain[i], chain[i + 1], method, /*counted=*/false);
     }
     b.wcbt = total + fifo_shift_upper(graph_, chain);
   }
   const std::lock_guard<std::mutex> lock(chain_bound_mutex_);
-  ins_.chain_bound_misses.add();
-  chain_bound_cache_.emplace(std::move(key), b);
+  if (counted) ins_.chain_bound_misses.add();
+  chain_bound_cache_[std::move(key)] = {b, commit_epoch_};
   return b;
 }
 
 const std::vector<Path>& AnalysisEngine::chains(TaskId task,
                                                 std::size_t path_cap) const {
+  return chains_impl(task, path_cap, /*counted=*/true);
+}
+
+const std::vector<Path>& AnalysisEngine::chains_impl(TaskId task,
+                                                     std::size_t path_cap,
+                                                     bool counted) const {
   CETA_EXPECTS(task < graph_.num_tasks(), "AnalysisEngine::chains: bad id");
   const std::uint64_t key =
       static_cast<std::uint64_t>(task) ^ (static_cast<std::uint64_t>(path_cap)
                                           << 32);
   obs::Span span("engine", "chains");
   span.arg("task", static_cast<std::int64_t>(task));
+  bool stale = false;
   {
     const std::lock_guard<std::mutex> lock(chain_set_mutex_);
     const auto it = chain_set_cache_.find(key);
     if (it != chain_set_cache_.end()) {
-      ins_.chain_set_hits.add();
-      span.arg("cache", "hit");
-      return *it->second;
+      if (it->second->stamp >= chain_set_epoch_[task]) {
+        if (counted) ins_.chain_set_hits.add();
+        note_survivor(it->second->stamp);
+        span.arg("cache", "hit");
+        return it->second->chains;
+      }
+      ins_.chain_set_stale.add();
+      stale = true;
     }
   }
-  span.arg("cache", "miss");
-  auto set = std::make_unique<std::vector<Path>>(
-      enumerate_source_chains(graph_, task, path_cap));
+  span.arg("cache", stale ? "stale" : "miss");
+  std::vector<Path> set = enumerate_source_chains(graph_, task, path_cap);
   const std::lock_guard<std::mutex> lock(chain_set_mutex_);
-  // A concurrent caller may have inserted meanwhile; keep the first entry
-  // (both are identical) so previously returned references stay unique.
-  auto [it, inserted] = chain_set_cache_.emplace(key, std::move(set));
-  if (inserted) {
-    ins_.chain_set_misses.add();
-  } else {
-    ins_.chain_set_hits.add();
+  const auto it = chain_set_cache_.find(key);
+  if (it == chain_set_cache_.end()) {
+    auto entry = std::make_unique<ChainSetEntry>();
+    entry->chains = std::move(set);
+    entry->stamp = commit_epoch_;
+    const auto pos = chain_set_cache_.emplace(key, std::move(entry)).first;
+    if (counted) ins_.chain_set_misses.add();
+    return pos->second->chains;
   }
-  return *it->second;
+  if (it->second->stamp < chain_set_epoch_[task]) {
+    // Refresh *in place*: references handed out before the mutation stay
+    // valid and observe the updated enumeration (see chains()).
+    it->second->chains = std::move(set);
+    it->second->stamp = commit_epoch_;
+    if (counted) ins_.chain_set_misses.add();
+  } else {
+    // A concurrent caller filled or refreshed the entry meanwhile; keep
+    // the first result (both are identical).
+    if (counted) ins_.chain_set_hits.add();
+  }
+  return it->second->chains;
 }
 
 std::vector<TaskId> AnalysisEngine::fusing_tasks() const {
@@ -215,7 +338,7 @@ std::vector<TaskId> AnalysisEngine::fusing_tasks() const {
 
 BackwardBoundsFn AnalysisEngine::bounds_provider() const {
   return [this](const Path& chain, HopBoundMethod m) {
-    return chain_bounds(chain, m);
+    return chain_bounds_impl(chain, m, /*counted=*/false);
   };
 }
 
@@ -227,16 +350,22 @@ DisparityReport AnalysisEngine::disparity(TaskId task,
                       opt.keep_pairs == KeepPairs::kTopK ? opt.top_k : 0};
   obs::Span span("engine", "disparity");
   span.arg("task", static_cast<std::int64_t>(task));
+  bool stale = false;
   {
     const std::lock_guard<std::mutex> lock(report_mutex_);
     const auto it = report_cache_.find(key);
     if (it != report_cache_.end()) {
-      ins_.report_hits.add();
-      span.arg("cache", "hit");
-      return *it->second;
+      if (it->second.stamp >= report_epoch_[task]) {
+        ins_.report_hits.add();
+        note_survivor(it->second.stamp);
+        span.arg("cache", "hit");
+        return *it->second.value;
+      }
+      ins_.report_stale.add();
+      stale = true;
     }
   }
-  span.arg("cache", "miss");
+  span.arg("cache", stale ? "stale" : "miss");
   const auto t0 = std::chrono::steady_clock::now();
 
   // The pairwise kernel (disparity/pair_kernel.hpp) does the O(|P|²) work,
@@ -246,13 +375,16 @@ DisparityReport AnalysisEngine::disparity(TaskId task,
   // when the pair count warrants it, its thread pool for the intra-sink
   // tiled reduction.  Never hand the pool over from inside one of its own
   // workers (disparity_all's per-sink jobs): with no work stealing, tiles
-  // queued behind blocked workers would deadlock.
-  const std::vector<Path>& chain_list = chains(task, opt.path_cap);
+  // queued behind blocked workers would deadlock.  The chain-set and
+  // chain-bound reads are uncounted plumbing of this one logical report
+  // lookup (see EngineCacheStats).
+  const std::vector<Path>& chain_list =
+      chains_impl(task, opt.path_cap, /*counted=*/false);
   const std::size_t n = chain_list.size();
   std::vector<BackwardBounds> full;
   full.reserve(n);
   for (const Path& c : chain_list) {
-    full.push_back(chain_bounds(c, opt.hop_method));
+    full.push_back(chain_bounds_impl(c, opt.hop_method, /*counted=*/false));
   }
   ThreadPool* tile_pool = nullptr;
   const std::size_t total_pairs = n < 2 ? 0 : n * (n - 1) / 2;
@@ -260,19 +392,23 @@ DisparityReport AnalysisEngine::disparity(TaskId task,
       !ThreadPool::current_thread_in_pool()) {
     tile_pool = &pool();
   }
-  auto report = std::make_shared<DisparityReport>(
+  auto report = std::make_shared<const DisparityReport>(
       pair_kernel_analyze(graph_, chain_list, response_times(), opt,
                           tile_pool, &full));
 
   ins_.disparity_compute.observe(elapsed_since(t0));
   const std::lock_guard<std::mutex> lock(report_mutex_);
-  auto [it, inserted] = report_cache_.emplace(key, std::move(report));
-  if (inserted) {
+  const auto it = report_cache_.find(key);
+  if (it == report_cache_.end() || it->second.stamp < report_epoch_[task]) {
     ins_.report_misses.add();
-  } else {
-    ins_.report_hits.add();
+    auto& slot = report_cache_[key];
+    slot.value = std::move(report);
+    slot.stamp = commit_epoch_;
+    return *slot.value;
   }
-  return *it->second;
+  // A concurrent caller inserted a fresh entry meanwhile; serve it.
+  ins_.report_hits.add();
+  return *it->second.value;
 }
 
 ThreadPool& AnalysisEngine::pool() const {
@@ -331,7 +467,10 @@ LatencyReport AnalysisEngine::latency(const Path& chain,
 BufferDesign AnalysisEngine::optimize_buffer_pair(const Path& lambda,
                                                   const Path& nu,
                                                   HopBoundMethod method) const {
-  return design_buffer(graph_, lambda, nu, response_times(), method);
+  // Route the Theorem 2 sub-chain bounds through the chain-bound cache;
+  // bit-identical to design_buffer(graph_, lambda, nu, response_times(),
+  // method) because chain_bounds ≡ backward_bounds.
+  return design_buffer(graph_, lambda, nu, method, bounds_provider());
 }
 
 MultiBufferDesign AnalysisEngine::optimize_buffers(
@@ -339,7 +478,360 @@ MultiBufferDesign AnalysisEngine::optimize_buffers(
   return design_buffers_for_task(graph_, task, response_times(), opt);
 }
 
+// --- Mutation API ----------------------------------------------------------
+
+void AnalysisEngine::apply_one(const engine::Mutation& m) {
+  using engine::MutationKind;
+  switch (m.kind) {
+    case MutationKind::kPeriod:
+      graph_.task(m.task).period = m.period;
+      break;
+    case MutationKind::kWcetRange: {
+      Task& t = graph_.task(m.task);
+      t.bcet = m.bcet;
+      t.wcet = m.wcet;
+      break;
+    }
+    case MutationKind::kPriority:
+      graph_.task(m.task).priority = m.priority;
+      break;
+    case MutationKind::kBuffer:
+      graph_.set_buffer_size(m.from, m.to, m.channel.buffer_size);
+      break;
+    case MutationKind::kOffset:
+      graph_.task(m.task).offset = m.offset;
+      break;
+    case MutationKind::kAddEdge:
+      graph_.add_edge(m.from, m.to, m.channel);
+      break;
+    case MutationKind::kRemoveEdge:
+      graph_.remove_edge(m.from, m.to);
+      break;
+  }
+}
+
+void AnalysisEngine::validate_staged(
+    const std::vector<engine::Mutation>& edits) const {
+  using engine::MutationKind;
+  // Final parameters of every edited task after the whole batch
+  // (last-write-wins per field, like apply_one in order).
+  std::unordered_map<TaskId, Task> finals;
+  const auto final_task = [&](TaskId id) -> Task& {
+    CETA_EXPECTS(id < graph_.num_tasks(),
+                 "AnalysisEngine: mutation names unknown task id " +
+                     std::to_string(id));
+    return finals.try_emplace(id, graph_.task(id)).first->second;
+  };
+  for (const engine::Mutation& m : edits) {
+    switch (m.kind) {
+      case MutationKind::kPeriod:
+        final_task(m.task).period = m.period;
+        break;
+      case MutationKind::kWcetRange: {
+        Task& t = final_task(m.task);
+        t.bcet = m.bcet;
+        t.wcet = m.wcet;
+        break;
+      }
+      case MutationKind::kPriority:
+        final_task(m.task).priority = m.priority;
+        break;
+      case MutationKind::kOffset:
+        final_task(m.task).offset = m.offset;
+        break;
+      case MutationKind::kBuffer:
+        CETA_EXPECTS(m.from < graph_.num_tasks() &&
+                         m.to < graph_.num_tasks() &&
+                         graph_.has_edge(m.from, m.to),
+                     "AnalysisEngine::set_buffer: no such edge");
+        CETA_EXPECTS(m.channel.buffer_size >= 1,
+                     "validate: channel buffer size must be >= 1");
+        break;
+      case MutationKind::kAddEdge:
+      case MutationKind::kRemoveEdge:
+        CETA_EXPECTS(false, "validate_staged: structural edit in a "
+                            "non-structural batch");
+    }
+  }
+  for (const auto& [id, t] : finals) {
+    validate_task(t);
+    if (graph_.is_source(id)) {
+      CETA_EXPECTS(t.wcet == Duration::zero() && t.bcet == Duration::zero(),
+                   "validate: source task '" + t.name +
+                       "' must have zero execution time");
+    }
+    if (t.ecu == kNoEcu) continue;
+    // Uniqueness against the cohort's *final* priorities, so a batched
+    // swap validates while a genuine collision is rejected.
+    for (const TaskId other : deps_.ecu_cohort(id)) {
+      if (other == id) continue;
+      const auto it = finals.find(other);
+      const int other_prio =
+          it != finals.end() ? it->second.priority : graph_.task(other).priority;
+      CETA_EXPECTS(other_prio != t.priority,
+                   "validate: duplicate priority " +
+                       std::to_string(t.priority) + " on ECU " +
+                       std::to_string(t.ecu));
+    }
+  }
+}
+
+void AnalysisEngine::apply_mutations(
+    const std::vector<engine::Mutation>& edits) {
+  if (edits.empty()) return;
+  obs::Span span("engine", "mutate");
+  span.arg("edits", static_cast<std::int64_t>(edits.size()));
+
+  if (external_rtm_) {
+    for (const engine::Mutation& m : edits) {
+      const bool sched_edit = m.kind == engine::MutationKind::kPeriod ||
+                              m.kind == engine::MutationKind::kWcetRange ||
+                              m.kind == engine::MutationKind::kPriority;
+      CETA_EXPECTS(!sched_edit,
+                   "AnalysisEngine: scheduling mutations are unavailable "
+                   "when the engine adopted an external response-time map "
+                   "(the engine cannot refresh it)");
+    }
+  }
+
+  // Descendant closures of removed-edge heads, on the *pre-commit* graph —
+  // removal destroys the very reachability that defines the affected set.
+  std::vector<std::vector<TaskId>> removed_closures;
+  for (const engine::Mutation& m : edits) {
+    if (m.kind == engine::MutationKind::kRemoveEdge) {
+      CETA_EXPECTS(m.to < graph_.num_tasks(),
+                   "AnalysisEngine::remove_edge: unknown task id");
+      removed_closures.push_back(descendants(graph_, m.to));
+    }
+  }
+
+  // Strong guarantee, two ways.  Structural batches (edge edits) can make
+  // the graph cyclic or strand a task, which only full validation of the
+  // applied state can detect: apply against a snapshot and restore
+  // wholesale on rejection (a snapshot, instead of per-edit undo records,
+  // also restores adjacency-list *order*, which enumeration results
+  // depend on).  Parameter-only batches are instead validated *before*
+  // applying — every invariant they can break is local to the final value
+  // of an edited task/edge (validate_staged) — after which apply_one
+  // cannot throw, so the O(V) snapshot copy and O(V+E) revalidation are
+  // skipped; they otherwise cost more than what a buffer-sweep point
+  // re-analyzes.
+  const bool structural = std::any_of(
+      edits.begin(), edits.end(), [](const engine::Mutation& m) {
+        return m.kind == engine::MutationKind::kAddEdge ||
+               m.kind == engine::MutationKind::kRemoveEdge;
+      });
+  if (structural) {
+    TaskGraph backup = graph_;
+    try {
+      for (const engine::Mutation& m : edits) apply_one(m);
+      graph_.validate();
+    } catch (...) {
+      graph_ = std::move(backup);
+      throw;
+    }
+  } else {
+    validate_staged(edits);
+    for (const engine::Mutation& m : edits) apply_one(m);
+  }
+
+  const engine::InvalidationPlan plan =
+      engine::plan_invalidation(graph_, deps_, edits, removed_closures);
+
+  // One epoch bump under every cache mutex: lookups either see the
+  // pre-commit state or the fully bumped epochs, never a mix.
+  const std::scoped_lock all(rta_mutex_, hop_mutex_, chain_bound_mutex_,
+                             chain_set_mutex_, report_mutex_);
+  ++commit_epoch_;
+  if (!plan.rta_tasks.empty()) {
+    rta_dirty_.insert(rta_dirty_.end(), plan.rta_tasks.begin(),
+                      plan.rta_tasks.end());
+    std::sort(rta_dirty_.begin(), rta_dirty_.end());
+    rta_dirty_.erase(std::unique(rta_dirty_.begin(), rta_dirty_.end()),
+                     rta_dirty_.end());
+  }
+  for (const TaskId t : plan.bound_tasks) task_epoch_[t] = commit_epoch_;
+  if (!opt_.fault_skip_edge_invalidation) {
+    for (const auto& [u, v] : plan.buffer_edges) {
+      buffer_edge_epoch_[static_cast<std::uint64_t>(u) * graph_.num_tasks() +
+                         v] = commit_epoch_;
+    }
+  }
+  for (const auto& [u, v] : plan.removed_edges) {
+    removed_edge_epoch_[static_cast<std::uint64_t>(u) * graph_.num_tasks() +
+                        v] = commit_epoch_;
+  }
+  for (const TaskId t : plan.chain_set_tasks) {
+    chain_set_epoch_[t] = commit_epoch_;
+  }
+  for (const TaskId t : plan.report_tasks) report_epoch_[t] = commit_epoch_;
+
+  ins_.mutate_commits.add();
+  ins_.mutate_edits.add(edits.size());
+  ins_.mutate_dirty_rta.add(plan.rta_tasks.size());
+  ins_.mutate_dirty_bounds.add(plan.bound_tasks.size());
+  ins_.mutate_dirty_edges.add(plan.buffer_edges.size() +
+                              plan.removed_edges.size());
+  ins_.mutate_dirty_chain_sets.add(plan.chain_set_tasks.size());
+  ins_.mutate_dirty_reports.add(plan.report_tasks.size());
+  span.arg("dirty_bounds", static_cast<std::int64_t>(plan.bound_tasks.size()));
+  span.arg("dirty_reports",
+           static_cast<std::int64_t>(plan.report_tasks.size()));
+}
+
+void AnalysisEngine::set_period(TaskId task, Duration period) {
+  engine::Mutation m;
+  m.kind = engine::MutationKind::kPeriod;
+  m.task = task;
+  m.period = period;
+  apply_mutations({m});
+}
+
+void AnalysisEngine::set_wcet_range(TaskId task, Duration bcet,
+                                    Duration wcet) {
+  engine::Mutation m;
+  m.kind = engine::MutationKind::kWcetRange;
+  m.task = task;
+  m.bcet = bcet;
+  m.wcet = wcet;
+  apply_mutations({m});
+}
+
+void AnalysisEngine::set_priority(TaskId task, int priority) {
+  engine::Mutation m;
+  m.kind = engine::MutationKind::kPriority;
+  m.task = task;
+  m.priority = priority;
+  apply_mutations({m});
+}
+
+void AnalysisEngine::set_buffer(TaskId from, TaskId to, int buffer_size) {
+  engine::Mutation m;
+  m.kind = engine::MutationKind::kBuffer;
+  m.from = from;
+  m.to = to;
+  m.channel.buffer_size = buffer_size;
+  apply_mutations({m});
+}
+
+void AnalysisEngine::set_offset(TaskId task, Duration offset) {
+  engine::Mutation m;
+  m.kind = engine::MutationKind::kOffset;
+  m.task = task;
+  m.offset = offset;
+  apply_mutations({m});
+}
+
+void AnalysisEngine::add_edge(TaskId from, TaskId to, ChannelSpec spec) {
+  engine::Mutation m;
+  m.kind = engine::MutationKind::kAddEdge;
+  m.from = from;
+  m.to = to;
+  m.channel = spec;
+  apply_mutations({m});
+}
+
+void AnalysisEngine::remove_edge(TaskId from, TaskId to) {
+  engine::Mutation m;
+  m.kind = engine::MutationKind::kRemoveEdge;
+  m.from = from;
+  m.to = to;
+  apply_mutations({m});
+}
+
+AnalysisEngine::Transaction& AnalysisEngine::Transaction::set_period(
+    TaskId task, Duration period) {
+  engine::Mutation m;
+  m.kind = engine::MutationKind::kPeriod;
+  m.task = task;
+  m.period = period;
+  staged_.push_back(m);
+  return *this;
+}
+
+AnalysisEngine::Transaction& AnalysisEngine::Transaction::set_wcet_range(
+    TaskId task, Duration bcet, Duration wcet) {
+  engine::Mutation m;
+  m.kind = engine::MutationKind::kWcetRange;
+  m.task = task;
+  m.bcet = bcet;
+  m.wcet = wcet;
+  staged_.push_back(m);
+  return *this;
+}
+
+AnalysisEngine::Transaction& AnalysisEngine::Transaction::set_priority(
+    TaskId task, int priority) {
+  engine::Mutation m;
+  m.kind = engine::MutationKind::kPriority;
+  m.task = task;
+  m.priority = priority;
+  staged_.push_back(m);
+  return *this;
+}
+
+AnalysisEngine::Transaction& AnalysisEngine::Transaction::set_buffer(
+    TaskId from, TaskId to, int buffer_size) {
+  engine::Mutation m;
+  m.kind = engine::MutationKind::kBuffer;
+  m.from = from;
+  m.to = to;
+  m.channel.buffer_size = buffer_size;
+  staged_.push_back(m);
+  return *this;
+}
+
+AnalysisEngine::Transaction& AnalysisEngine::Transaction::set_offset(
+    TaskId task, Duration offset) {
+  engine::Mutation m;
+  m.kind = engine::MutationKind::kOffset;
+  m.task = task;
+  m.offset = offset;
+  staged_.push_back(m);
+  return *this;
+}
+
+AnalysisEngine::Transaction& AnalysisEngine::Transaction::add_edge(
+    TaskId from, TaskId to, ChannelSpec spec) {
+  engine::Mutation m;
+  m.kind = engine::MutationKind::kAddEdge;
+  m.from = from;
+  m.to = to;
+  m.channel = spec;
+  staged_.push_back(m);
+  return *this;
+}
+
+AnalysisEngine::Transaction& AnalysisEngine::Transaction::remove_edge(
+    TaskId from, TaskId to) {
+  engine::Mutation m;
+  m.kind = engine::MutationKind::kRemoveEdge;
+  m.from = from;
+  m.to = to;
+  staged_.push_back(m);
+  return *this;
+}
+
+void AnalysisEngine::Transaction::commit() {
+  CETA_EXPECTS(!committed_, "Transaction::commit: already committed");
+  committed_ = true;
+  engine_.apply_mutations(staged_);
+}
+
 obs::MetricsSnapshot AnalysisEngine::metrics() const {
+  // Refresh the derived retention gauge: of all lookups that could have
+  // been lost to invalidation, the fraction served from surviving entries.
+  const std::uint64_t survived =
+      static_cast<std::uint64_t>(ins_.survived_hits.value());
+  const std::uint64_t stale =
+      static_cast<std::uint64_t>(ins_.hop_stale.value()) +
+      static_cast<std::uint64_t>(ins_.chain_bound_stale.value()) +
+      static_cast<std::uint64_t>(ins_.chain_set_stale.value()) +
+      static_cast<std::uint64_t>(ins_.report_stale.value());
+  const std::uint64_t denom = survived + stale;
+  ins_.retention_ppm.set(
+      denom == 0 ? 0
+                 : static_cast<std::int64_t>(survived * 1'000'000 / denom));
   return metrics_.snapshot();
 }
 
@@ -357,6 +849,16 @@ EngineCacheStats AnalysisEngine::cache_stats() const {
   s.chain_set_misses = static_cast<std::size_t>(ins_.chain_set_misses.value());
   s.report_hits = static_cast<std::size_t>(ins_.report_hits.value());
   s.report_misses = static_cast<std::size_t>(ins_.report_misses.value());
+  s.hop_stale = static_cast<std::size_t>(ins_.hop_stale.value());
+  s.chain_bound_stale =
+      static_cast<std::size_t>(ins_.chain_bound_stale.value());
+  s.chain_set_stale = static_cast<std::size_t>(ins_.chain_set_stale.value());
+  s.report_stale = static_cast<std::size_t>(ins_.report_stale.value());
+  s.mutation_commits = static_cast<std::size_t>(ins_.mutate_commits.value());
+  s.mutation_edits = static_cast<std::size_t>(ins_.mutate_edits.value());
+  s.rta_refreshed_tasks =
+      static_cast<std::size_t>(ins_.rta_refreshed_tasks.value());
+  s.survived_hits = static_cast<std::size_t>(ins_.survived_hits.value());
   return s;
 }
 

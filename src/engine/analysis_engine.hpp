@@ -10,9 +10,9 @@
 // many sinks, methods or trials of the *same* graph (the Fig. 6 sweeps,
 // the ablation benches, a what-if design loop).
 //
-// An AnalysisEngine owns an immutable copy of the graph plus lazily
-// computed, memoized artifacts of all four kinds, and re-exposes the
-// analyses as methods that share them:
+// An AnalysisEngine owns a copy of the graph plus lazily computed,
+// memoized artifacts of all four kinds, and re-exposes the analyses as
+// methods that share them:
 //
 //   AnalysisEngine engine(graph);
 //   if (!engine.rta().all_schedulable) ...          // fixpoint runs once
@@ -21,13 +21,27 @@
 //   engine.optimize_buffers(sink);                   // §IV buffer design
 //   engine.disparity_all(engine.fusing_tasks());     // parallel batch
 //
+// The graph is mutable *through the engine only*: the mutation API
+// (set_period .. remove_edge, batched by Transaction) edits the owned copy
+// and invalidates exactly the cache entries whose inputs changed, per the
+// normative mutation × cache matrix in DESIGN.md §9.  Queries after a
+// commit are bit-identical to a freshly constructed engine on the edited
+// graph (the `incremental_matches_fresh` verify property).  Invalidation
+// is epoch-based: each cache entry records the commit epoch it was
+// computed under, each task/edge records the last commit that dirtied it,
+// and a lookup recomputes iff the entry's stamp is older than any of its
+// inputs' epochs — commits cost O(affected region), never a cache scan.
+//
 // Every method returns byte-identical results to the corresponding free
 // function (asserted by tests/test_engine_cache.cpp); the free functions
 // remain the single source of truth for the math, the engine only decides
-// *when* to evaluate and remember it.  All methods are const and safe to
-// call from several threads; disparity_all fans independent tasks out over
-// a fixed-size internal thread pool (thread_pool.hpp) and is verified
-// bit-identical to the serial loop (tests/test_engine_parallel.cpp).
+// *when* to evaluate and remember it.  All query methods are const and
+// safe to call from several threads; disparity_all fans independent tasks
+// out over a fixed-size internal thread pool (thread_pool.hpp) and is
+// verified bit-identical to the serial loop (tests/test_engine_parallel.cpp).
+// Mutations are NOT safe against concurrent queries: a commit assumes
+// exclusive access to the engine, like non-const methods of standard
+// containers.
 
 #pragma once
 
@@ -42,6 +56,7 @@
 #include "disparity/analyzer.hpp"
 #include "disparity/buffer_opt.hpp"
 #include "disparity/multi_buffer.hpp"
+#include "engine/invalidation.hpp"
 #include "graph/paths.hpp"
 #include "graph/task_graph.hpp"
 #include "obs/metrics.hpp"
@@ -57,6 +72,13 @@ struct EngineOptions {
   RtaOptions rta;
   /// Worker threads for disparity_all; 0 = ThreadPool::default_concurrency().
   std::size_t num_threads = 0;
+  /// TEST ONLY — deliberately skip the edge-epoch bump of buffer-resize
+  /// mutations, leaving chain-bound entries over the resized channel
+  /// stale.  Exists so the verify campaign can prove the
+  /// `incremental_matches_fresh` property catches a broken invalidation
+  /// edge (`verify_bounds --inject-stale-cache`).  Never set in
+  /// production code.
+  bool fault_skip_edge_invalidation = false;
 };
 
 /// End-to-end latency bounds of one chain (chain/latency.hpp), bundled.
@@ -77,6 +99,14 @@ struct LatencyReport {
 /// together with duration histograms.  cache_stats() remains as a thin
 /// shim over the registry and will be marked [[deprecated]] once callers
 /// migrate.
+///
+/// Counting contract: each *logical* lookup is counted once, at the layer
+/// where it enters the engine.  disparity() counts one report lookup; the
+/// chain-set and chain-bound reads it performs internally (to feed the
+/// pair kernel's memoized truncated-pair table) are uncounted plumbing.
+/// chain_bounds() counts one chain-bound lookup; its per-edge hop() reads
+/// are uncounted.  Direct hop()/chains() calls count at their own layer.
+/// Uncounted reads still warm the caches and are still staleness-checked.
 struct EngineCacheStats {
   std::size_t rta_runs = 0;
   std::size_t hop_hits = 0;
@@ -87,102 +117,268 @@ struct EngineCacheStats {
   std::size_t chain_set_misses = 0;
   std::size_t report_hits = 0;
   std::size_t report_misses = 0;
+  /// Entries found but discarded because a mutation dirtied their inputs
+  /// (recomputed like misses; counted on uncounted internal reads too).
+  std::size_t hop_stale = 0;
+  std::size_t chain_bound_stale = 0;
+  std::size_t chain_set_stale = 0;
+  std::size_t report_stale = 0;
+  /// Committed transactions / primitive edits within them.
+  std::size_t mutation_commits = 0;
+  std::size_t mutation_edits = 0;
+  /// Tasks re-run through the scoped RTA refresh (cohorts of edits).
+  std::size_t rta_refreshed_tasks = 0;
+  /// Cache hits on entries computed before the latest commit — entries
+  /// that *survived* invalidation.  retention = survived_hits /
+  /// (survived_hits + stale evictions).
+  std::size_t survived_hits = 0;
 };
 
 class AnalysisEngine {
  public:
-  /// Own a copy of `graph` (validated here; the engine's results can never
-  /// be invalidated by later caller-side mutation) and run the RTA lazily
+  /// @brief Own a copy of `graph` (validated here) and run the RTA lazily
   /// on first use.
+  /// @param graph  Analyzed graph; copied, later edits via the mutation
+  ///   API only.
+  /// @param opt    Engine configuration (RTA options, pool size).
+  /// Complexity: O(V + E) validation; analyses run lazily.
   explicit AnalysisEngine(TaskGraph graph, EngineOptions opt = {});
 
-  /// Same, but adopt an externally computed WCRT map (alternative RTAs,
-  /// Audsley feasibility runs, ...).  rta() is unavailable in this mode;
-  /// response_times() returns the adopted map.
+  /// @brief Same, but adopt an externally computed WCRT map (alternative
+  /// RTAs, Audsley feasibility runs, ...).
+  /// @param rtm  One WCRT per task; the engine then owns no RtaResult —
+  ///   rta() throws, response_times() returns this map, and scheduling
+  ///   mutations (set_period/set_wcet_range/set_priority) are rejected
+  ///   because the engine cannot refresh an adopted map.
   AnalysisEngine(TaskGraph graph, ResponseTimeMap rtm, EngineOptions opt = {});
 
   ~AnalysisEngine();
   AnalysisEngine(const AnalysisEngine&) = delete;
   AnalysisEngine& operator=(const AnalysisEngine&) = delete;
 
-  /// The engine's immutable copy of the analyzed graph.
+  /// @brief The engine's copy of the analyzed graph (always reflects every
+  /// committed mutation).
   const TaskGraph& graph() const { return graph_; }
+  /// @brief The options the engine was constructed with.
   const EngineOptions& options() const { return opt_; }
 
-  /// The memoized RTA result (computed on first call).  Throws
-  /// PreconditionError if the engine adopted an external map — the engine
-  /// then has no RtaResult, only response times.
+  /// @brief The memoized RTA result (computed on first call, refreshed
+  /// per-cohort after mutations).
+  /// @throws PreconditionError if the engine adopted an external map — the
+  ///   engine then has no RtaResult, only response times.
+  /// Complexity: first call O(RTA fixpoints); afterwards O(dirty cohorts).
   const RtaResult& rta() const;
 
-  /// WCRT map used by every analysis of this engine (engine-owned RTA or
-  /// the adopted external map).
+  /// @brief WCRT map used by every analysis of this engine (engine-owned
+  /// RTA or the adopted external map).
   const ResponseTimeMap& response_times() const;
 
-  /// Convenience: all tasks schedulable?  (External-map mode: true iff
-  /// every adopted WCRT is finite.)
+  /// @brief Convenience: all tasks schedulable?  (External-map mode: true
+  /// iff every adopted WCRT is finite.)
   bool schedulable() const;
 
-  /// Memoized θ hop bound of Lemma 4 / the scheduling-agnostic variant for
-  /// the edge (from, to).
+  /// @brief Memoized θ hop bound of Lemma 4 / the scheduling-agnostic
+  /// variant for the edge (from, to).
+  /// @param from,to  Edge endpoints (the hop is defined for any task pair
+  ///   with finite WCRTs; edges are the common case).
+  /// @param method   Lemma 4 (kNonPreemptive) or θ = T + R baseline.
+  /// Complexity: O(1) amortized after the first evaluation.
   Duration hop(TaskId from, TaskId to,
                HopBoundMethod method = HopBoundMethod::kNonPreemptive) const;
 
-  /// Memoized W(π)/B(π) of a chain; equals backward_bounds(graph(), chain,
-  /// response_times(), method), with W assembled from the memoized hops.
+  /// @brief Memoized W(π)/B(π) of a chain; equals backward_bounds(graph(),
+  /// chain, response_times(), method), with W assembled from the memoized
+  /// hops.
+  /// @param chain   A path of graph() ending anywhere.
+  /// @param method  Hop-bound method used for W(π).
+  /// Complexity: O(|π|) per call (hash + staleness check), hop fixpoints
+  /// amortized across chains sharing edges.
   BackwardBounds chain_bounds(
       const Path& chain,
       HopBoundMethod method = HopBoundMethod::kNonPreemptive) const;
 
-  /// Memoized enumerated source→task chain set P (reference stays valid
-  /// for the engine's lifetime).  Throws CapacityError past `path_cap`.
+  /// @brief Memoized enumerated source→task chain set P.
+  /// @param task      Fusion task whose inbound chains are enumerated.
+  /// @param path_cap  Enumeration capacity; throws CapacityError past it.
+  /// @return Reference valid for the engine's lifetime; after a mutation
+  ///   that dirties it, the *contents* are refreshed in place on the next
+  ///   call, so long-held references observe the updated set rather than
+  ///   dangling.
+  /// Complexity: O(|P| · avg chain length) on first evaluation.
   const std::vector<Path>& chains(
       TaskId task, std::size_t path_cap = kDefaultPathCap) const;
 
-  /// All tasks fusing >= 2 source chains (the tasks with a nontrivial
-  /// disparity) — the natural argument for disparity_all.
+  /// @brief All tasks fusing >= 2 source chains (the tasks with a
+  /// nontrivial disparity) — the natural argument for disparity_all.
+  /// Complexity: O(V · E) counting pass; uncached (cheap and
+  /// structure-dependent).
   std::vector<TaskId> fusing_tasks() const;
 
-  /// Memoized task-level disparity analysis; byte-identical to
+  /// @brief Memoized task-level disparity analysis; byte-identical to
   /// analyze_time_disparity(graph(), task, response_times(), opt).
+  /// @param task  Fusion task to analyze.
+  /// @param opt   Analysis options; every distinct option tuple is its own
+  ///   cache entry (top_k normalized out unless keep_pairs == kTopK).
+  /// Complexity: O(|P|²) pair kernel on a miss, O(1) on a hit.
   DisparityReport disparity(TaskId task, const DisparityOptions& opt = {}) const;
 
-  /// Batch analysis of many tasks, fanned out over the engine's thread
-  /// pool (options().num_threads workers; <= 1 runs inline).  Results are
-  /// positionally aligned with `tasks` and bit-identical to calling
-  /// disparity() serially for each.
+  /// @brief Batch analysis of many tasks, fanned out over the engine's
+  /// thread pool (options().num_threads workers; <= 1 runs inline).
+  /// @return Positionally aligned with `tasks` and bit-identical to
+  ///   calling disparity() serially for each.
   std::vector<DisparityReport> disparity_all(
       const std::vector<TaskId>& tasks, const DisparityOptions& opt = {}) const;
 
-  /// End-to-end latency bounds of one chain (must be a path of graph()).
+  /// @brief End-to-end latency bounds of one chain (must be a path of
+  /// graph()).
+  /// @param chain   The chain to bound.
+  /// @param method  Hop-bound method for the backward bounds.
+  /// Complexity: O(|π|) plus one memoized chain_bounds lookup.
   LatencyReport latency(
       const Path& chain,
       HopBoundMethod method = HopBoundMethod::kNonPreemptive) const;
 
-  /// Algorithm 1 on one chain pair (both ending at the same task).
+  /// @brief Algorithm 1 on one chain pair (both ending at the same task),
+  /// fed from the memoized chain-bound cache.
+  /// @param lambda,nu  The chain pair; design targets nu's head channel.
+  /// Complexity: O(|λ| + |ν|) beyond the memoized bounds.
   BufferDesign optimize_buffer_pair(
       const Path& lambda, const Path& nu,
       HopBoundMethod method = HopBoundMethod::kNonPreemptive) const;
 
-  /// Multi-chain buffer design for every chain fusing at `task` (§IV
-  /// generalized); equals design_buffers_for_task on this graph.
+  /// @brief Multi-chain buffer design for every chain fusing at `task`
+  /// (§IV generalized); equals design_buffers_for_task on this graph.
+  /// Complexity: dominated by two disparity analyses of `task`.
   MultiBufferDesign optimize_buffers(TaskId task,
                                      const DisparityOptions& opt = {}) const;
 
-  /// Snapshot of the engine's private metrics registry: the cache
-  /// counters ("engine.rta.runs", "engine.hop.hits", ...) plus duration
-  /// histograms for RTA and disparity computation ("engine.rta.compute",
-  /// "engine.disparity.compute").  Point-in-time consistent per
+  // --- Mutation API -------------------------------------------------------
+  //
+  // Each setter edits the engine's graph copy and invalidates dependent
+  // cache entries per the DESIGN.md §9 matrix; a single call is a
+  // one-edit Transaction (validate, commit, invalidate).  To batch edits
+  // — and pay one validation + one invalidation walk for all of them —
+  // use Transaction.  After any commit, every query is bit-identical to a
+  // fresh engine on the edited graph.  Mutations require exclusive access
+  // (no concurrent queries) and are rejected wholesale (strong guarantee:
+  // graph and caches unchanged) if the edited graph fails validate().
+
+  /// @brief Set the period of `task` and commit.
+  /// @throws PreconditionError in external-rtm mode (the adopted WCRT map
+  ///   cannot be refreshed), or if the edited graph fails validate().
+  /// Invalidates: RTA + hop/chain bounds of the ECU cohort, chain sets and
+  /// reports downstream of `task` (§9 row "period").
+  /// Complexity: O(affected region) at commit; queries pay lazily.
+  void set_period(TaskId task, Duration period);
+
+  /// @brief Set the execution-time range of `task` and commit.
+  /// @param bcet,wcet  New range; bcet <= wcet enforced by validate().
+  /// @throws PreconditionError in external-rtm mode or on invalid edits.
+  /// Invalidates: RTA + bounds of the ECU cohort, reports downstream (§9
+  /// row "WCET"); chain sets survive.
+  void set_wcet_range(TaskId task, Duration bcet, Duration wcet);
+
+  /// @brief Set the fixed priority of `task` and commit.
+  /// @throws PreconditionError in external-rtm mode, or if the edit
+  ///   collides with another priority on the ECU (validate()).
+  /// Invalidates: like set_wcet_range (§9 row "priority").
+  void set_priority(TaskId task, int priority);
+
+  /// @brief Resize the FIFO of channel (from, to) and commit.
+  /// @param buffer_size  New depth (>= 1; 1 is the overwrite register).
+  /// Invalidates: chain bounds traversing the edge (Lemma 6 shift) and
+  /// reports downstream of `to` — RTA, hop bounds and chain sets all
+  /// survive (§9 row "buffer").
+  void set_buffer(TaskId from, TaskId to, int buffer_size);
+
+  /// @brief Set the release offset of `task` and commit.
+  /// Invalidates: nothing — offsets enter no cached artifact (only the
+  /// exact LET oracle and the simulator, both uncached; §9 row "offset").
+  void set_offset(TaskId task, Duration offset);
+
+  /// @brief Add the edge (from, to) and commit.
+  /// @param spec  Channel configuration of the new edge.
+  /// @throws PreconditionError on duplicate edges, cycles, or if `to` was
+  ///   a source (sources carry no ECU; giving them an inbound edge would
+  ///   reclassify them, which validate() rejects).
+  /// Invalidates: chain sets and reports downstream of `to`; RTA, hop and
+  /// existing chain bounds survive (§9 row "add edge").
+  void add_edge(TaskId from, TaskId to, ChannelSpec spec = {});
+
+  /// @brief Remove the edge (from, to) and commit.
+  /// @throws PreconditionError if absent, or if removal strands `to` as a
+  ///   source with non-source parameters (validate()).
+  /// Invalidates: chain sets and reports downstream of `to` *on the
+  /// pre-commit graph* (removal destroys reachability), plus the edge's
+  /// hop entry and chain bounds traversing it (§9 row "remove edge").
+  void remove_edge(TaskId from, TaskId to);
+
+  /// A batch of mutations applied as one commit: stage edits with the
+  /// fluent setters, then commit().  The batch validates once and runs one
+  /// invalidation walk over the union of the edits — the cheap way to
+  /// express design-space moves that are only valid jointly (swapping two
+  /// priorities, rewiring an edge).  Destroying an uncommitted Transaction
+  /// discards its staged edits.  commit() provides the strong guarantee:
+  /// if the edited graph fails validate(), the graph and all caches are
+  /// left untouched and the error is rethrown.
+  ///
+  ///   AnalysisEngine::Transaction txn(engine);
+  ///   txn.set_priority(a, engine.graph().task(b).priority)
+  ///      .set_priority(b, engine.graph().task(a).priority);
+  ///   txn.commit();
+  class Transaction {
+   public:
+    /// @brief Start an empty batch against `engine`.
+    explicit Transaction(AnalysisEngine& engine) : engine_(engine) {}
+    Transaction(const Transaction&) = delete;
+    Transaction& operator=(const Transaction&) = delete;
+
+    /// Staged counterparts of the engine setters; arguments as there.
+    Transaction& set_period(TaskId task, Duration period);
+    Transaction& set_wcet_range(TaskId task, Duration bcet, Duration wcet);
+    Transaction& set_priority(TaskId task, int priority);
+    Transaction& set_buffer(TaskId from, TaskId to, int buffer_size);
+    Transaction& set_offset(TaskId task, Duration offset);
+    Transaction& add_edge(TaskId from, TaskId to, ChannelSpec spec = {});
+    Transaction& remove_edge(TaskId from, TaskId to);
+
+    /// @brief Number of staged edits.
+    std::size_t size() const { return staged_.size(); }
+
+    /// @brief Apply all staged edits as one commit (empty batches are
+    /// no-ops).  The Transaction is spent afterwards.
+    /// @throws PreconditionError if the batch is rejected (graph and
+    ///   caches unchanged), or if already committed.
+    /// Complexity: O(edits + affected region) — one validate(), one
+    /// invalidation plan, one epoch bump.
+    void commit();
+
+   private:
+    AnalysisEngine& engine_;
+    std::vector<engine::Mutation> staged_;
+    bool committed_ = false;
+  };
+
+  /// @brief Snapshot of the engine's private metrics registry: the cache
+  /// counters ("engine.rta.runs", "engine.hop.hits", ...), the mutation /
+  /// invalidation counters ("engine.mutate.commits",
+  /// "engine.hop.stale", ...), the cache-retention gauge
+  /// ("engine.mutate.retention_ppm", parts-per-million of post-commit
+  /// lookups served from surviving entries) plus duration histograms for
+  /// RTA and disparity computation.  Point-in-time consistent per
   /// instrument.
   obs::MetricsSnapshot metrics() const;
 
-  /// The engine's private registry (stable for the engine's lifetime);
-  /// exposed so callers can attach their own instruments to the same
-  /// snapshot.
+  /// @brief The engine's private registry (stable for the engine's
+  /// lifetime); exposed so callers can attach their own instruments to the
+  /// same snapshot.
   obs::MetricsRegistry& metrics_registry() const { return metrics_; }
 
-  /// Snapshot of the cache counters.  Thin shim over metrics(): each field
-  /// is the value of the corresponding registry counter (asserted
-  /// byte-identical in tests/test_engine_cache.cpp).  Prefer metrics().
+  /// @brief Snapshot of the cache counters.  Thin shim over metrics():
+  /// each field is the value of the corresponding registry counter
+  /// (asserted byte-identical in tests/test_engine_cache.cpp).  Prefer
+  /// metrics().  See EngineCacheStats for the once-per-logical-lookup
+  /// counting contract.
   EngineCacheStats cache_stats() const;
 
  private:
@@ -210,6 +406,18 @@ class AnalysisEngine {
     std::size_t operator()(const ReportKey& k) const;
   };
 
+  /// A cached value plus the commit epoch it was computed under; stale iff
+  /// the stamp is older than any input's epoch.
+  template <typename T>
+  struct Stamped {
+    T value;
+    std::uint64_t stamp = 0;
+  };
+  struct ChainSetEntry {
+    std::vector<Path> chains;
+    std::uint64_t stamp = 0;
+  };
+
   /// Cache instruments, resolved once against metrics_ (counter() takes
   /// the registry mutex; the references are wait-free afterwards).
   struct Instruments {
@@ -223,6 +431,20 @@ class AnalysisEngine {
     obs::Counter& chain_set_misses;
     obs::Counter& report_hits;
     obs::Counter& report_misses;
+    obs::Counter& hop_stale;
+    obs::Counter& chain_bound_stale;
+    obs::Counter& chain_set_stale;
+    obs::Counter& report_stale;
+    obs::Counter& mutate_commits;
+    obs::Counter& mutate_edits;
+    obs::Counter& mutate_dirty_rta;
+    obs::Counter& mutate_dirty_bounds;
+    obs::Counter& mutate_dirty_edges;
+    obs::Counter& mutate_dirty_chain_sets;
+    obs::Counter& mutate_dirty_reports;
+    obs::Counter& rta_refreshed_tasks;
+    obs::Counter& survived_hits;
+    obs::Gauge& retention_ppm;
     obs::DurationHistogram& rta_compute;
     obs::DurationHistogram& disparity_compute;
   };
@@ -230,6 +452,45 @@ class AnalysisEngine {
   void ensure_rta() const;
   BackwardBoundsFn bounds_provider() const;
   ThreadPool& pool() const;
+
+  // Counting-contract impls: `counted` selects whether this lookup bumps
+  // the layer's hit/miss counters (false = internal plumbing on behalf of
+  // an outer query).  Staleness checks and cache warming always happen.
+  Duration hop_impl(TaskId from, TaskId to, HopBoundMethod method,
+                    bool counted) const;
+  BackwardBounds chain_bounds_impl(const Path& chain, HopBoundMethod method,
+                                   bool counted) const;
+  const std::vector<Path>& chains_impl(TaskId task, std::size_t path_cap,
+                                       bool counted) const;
+
+  /// Record a hit on an entry that predates the latest commit (survived
+  /// invalidation) for the retention ratio.
+  void note_survivor(std::uint64_t stamp) const;
+
+  /// Epoch of the newest input of a hop (task epochs of both endpoints,
+  /// plus the removal epoch of the edge — buffer-resize epochs do NOT
+  /// apply, hops never read channel depths).  Caller holds hop_mutex_.
+  std::uint64_t hop_inputs_epoch(TaskId from, TaskId to) const;
+  /// Epoch of the newest input of a chain (member task epochs + buffer and
+  /// removal epochs of traversed edges).  Caller holds chain_bound_mutex_.
+  std::uint64_t chain_inputs_epoch(const Path& chain) const;
+
+  /// Apply one staged batch, then plan and commit the invalidation
+  /// (single writer; takes every cache mutex).  Non-structural batches
+  /// (no edge edits) are validated up front by validate_staged so applying
+  /// cannot fail; structural batches fall back to snapshot-and-rollback.
+  void apply_mutations(const std::vector<engine::Mutation>& edits);
+  void apply_one(const engine::Mutation& m);
+  /// Check a non-structural batch against the graph state it would
+  /// produce — per-task parameter invariants on final values (so batched
+  /// edits to one task, e.g. period + offset, are judged jointly),
+  /// priority uniqueness against the ECU cohort's final priorities (so
+  /// priority *swaps* batch-validate), buffer edits against existing
+  /// edges.  Throws PreconditionError without touching any state; on
+  /// success every apply_one of the batch is infallible, which is what
+  /// lets apply_mutations skip the whole-graph snapshot + revalidation
+  /// that otherwise dominate a single-edit commit.
+  void validate_staged(const std::vector<engine::Mutation>& edits) const;
 
   TaskGraph graph_;
   EngineOptions opt_;
@@ -241,24 +502,43 @@ class AnalysisEngine {
   mutable std::mutex rta_mutex_;
   mutable std::unique_ptr<RtaResult> rta_;          // engine-owned mode
   mutable std::unique_ptr<ResponseTimeMap> external_rtm_;  // external mode
+  /// Tasks whose RTA entry awaits a scoped refresh (drained by
+  /// ensure_rta; sorted, unique).  Guarded by rta_mutex_.
+  mutable std::vector<TaskId> rta_dirty_;
+
+  // --- invalidation state --------------------------------------------------
+  // Epochs are written during commits (all cache mutexes held) and read
+  // under the respective cache mutex, which establishes the necessary
+  // happens-before without extra synchronization.
+  engine::DependencyIndex deps_;
+  std::uint64_t commit_epoch_ = 0;
+  std::vector<std::uint64_t> task_epoch_;       // bound inputs changed
+  std::vector<std::uint64_t> chain_set_epoch_;  // enumeration changed
+  std::vector<std::uint64_t> report_epoch_;     // report inputs changed
+  /// Sparse: only edges ever dirtied appear, so the common no-mutation
+  /// path pays nothing.  Key: from * V + to.  Split by mutation kind so a
+  /// buffer resize (which moves W(π)/B(π) but not θ) dirties chain bounds
+  /// without dirtying the edge's hop entry, while a removal dirties both.
+  std::unordered_map<std::uint64_t, std::uint64_t> buffer_edge_epoch_;
+  std::unordered_map<std::uint64_t, std::uint64_t> removed_edge_epoch_;
 
   mutable std::mutex hop_mutex_;
-  mutable std::unordered_map<std::uint64_t, Duration> hop_cache_;
+  mutable std::unordered_map<std::uint64_t, Stamped<Duration>> hop_cache_;
 
   mutable std::mutex chain_bound_mutex_;
-  mutable std::unordered_map<ChainKey, BackwardBounds, ChainKeyHash>
+  mutable std::unordered_map<ChainKey, Stamped<BackwardBounds>, ChainKeyHash>
       chain_bound_cache_;
 
   mutable std::mutex chain_set_mutex_;
   // Keyed by (task, cap); unique_ptr keeps returned references stable
-  // across rehashes.
-  mutable std::unordered_map<std::uint64_t,
-                             std::unique_ptr<std::vector<Path>>>
+  // across rehashes, and stale sets are refreshed *in place* so they stay
+  // stable across mutations too.
+  mutable std::unordered_map<std::uint64_t, std::unique_ptr<ChainSetEntry>>
       chain_set_cache_;
 
   mutable std::mutex report_mutex_;
   mutable std::unordered_map<ReportKey,
-                             std::shared_ptr<const DisparityReport>,
+                             Stamped<std::shared_ptr<const DisparityReport>>,
                              ReportKeyHash>
       report_cache_;
 

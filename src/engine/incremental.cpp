@@ -1,0 +1,342 @@
+#include "engine/incremental.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "chain/backward_bounds.hpp"
+#include "common/error.hpp"
+#include "common/interval.hpp"
+#include "disparity/exact.hpp"
+#include "disparity/forkjoin.hpp"
+#include "graph/algorithms.hpp"
+#include "obs/tracer.hpp"
+
+namespace ceta {
+
+namespace {
+
+Duration scaled(Duration d, double factor) {
+  return Duration::ns(static_cast<std::int64_t>(
+      std::llround(static_cast<double>(d.count()) * factor)));
+}
+
+}  // namespace
+
+MultiBufferDesign design_buffers_for_task(AnalysisEngine& engine, TaskId task,
+                                          const DisparityOptions& opt) {
+  obs::Span span("engine", "design_buffers_for_task");
+  span.arg("task", static_cast<std::int64_t>(task));
+  const TaskGraph& g = engine.graph();
+  MultiBufferDesign design;
+  const DisparityReport base = engine.disparity(task, opt);
+  design.baseline_bound = base.worst_case;
+  design.optimized_bound = base.worst_case;
+  if (base.chains.size() < 2) return design;
+
+  // Group chains by head channel; a group's window midpoint summary is
+  // the mean of its members' (doubled) midpoints under Lemma 1 windows
+  // anchored at r(J) = 0.  Mirrors disparity/multi_buffer.cpp, with the
+  // bounds served from the engine's chain-bound cache.
+  struct Group {
+    TaskId from;
+    TaskId to;
+    double sum_m2 = 0.0;
+    int members = 0;
+  };
+  std::map<std::pair<TaskId, TaskId>, Group> groups;
+  for (const Path& chain : base.chains) {
+    if (chain.size() < 2) continue;  // the task itself is a source
+    const BackwardBounds b = engine.chain_bounds(chain, opt.hop_method);
+    const Interval window(-b.wcbt, -b.bcbt);
+    const auto key = std::make_pair(chain[0], chain[1]);
+    Group& grp = groups
+                     .try_emplace(key, Group{chain[0], chain[1], 0.0, 0})
+                     .first->second;
+    grp.sum_m2 += static_cast<double>(window.doubled_midpoint());
+    ++grp.members;
+  }
+  if (groups.size() < 2) return design;
+
+  double target_m2 = 0.0;
+  bool first = true;
+  for (const auto& [key, grp] : groups) {
+    const double m2 = grp.sum_m2 / grp.members;
+    if (first || m2 < target_m2) {
+      target_m2 = m2;
+      first = false;
+    }
+  }
+
+  std::vector<ChannelBuffer> channels;
+  for (const auto& [key, grp] : groups) {
+    CETA_EXPECTS(g.channel(grp.from, grp.to).buffer_size == 1,
+                 "design_buffers_for_task: head channel '" +
+                     g.task(grp.from).name + "->" + g.task(grp.to).name +
+                     "' already buffered");
+    const double m2 = grp.sum_m2 / grp.members;
+    const Duration t_head = g.task(grp.from).period;
+    const auto k = static_cast<std::int64_t>(
+        std::floor((m2 - target_m2) / (2.0 * static_cast<double>(t_head.count()))));
+    if (k <= 0) continue;
+    ChannelBuffer cb;
+    cb.from = grp.from;
+    cb.to = grp.to;
+    cb.buffer_size = static_cast<int>(k) + 1;
+    cb.shift = t_head * k;
+    channels.push_back(cb);
+  }
+  if (channels.empty()) return design;
+
+  // Probe the buffered configuration in place: one transaction resizes
+  // every designed channel, invalidating only the chain bounds through
+  // them (RTA, hops and the enumeration survive — §9 row "buffer").
+  {
+    AnalysisEngine::Transaction txn(engine);
+    for (const ChannelBuffer& cb : channels) {
+      txn.set_buffer(cb.from, cb.to, cb.buffer_size);
+    }
+    txn.commit();
+  }
+  Duration optimized;
+  try {
+    optimized = engine.disparity(task, opt).worst_case;
+  } catch (...) {
+    AnalysisEngine::Transaction revert(engine);
+    for (const ChannelBuffer& cb : channels) {
+      revert.set_buffer(cb.from, cb.to, 1);
+    }
+    revert.commit();
+    throw;
+  }
+  {
+    AnalysisEngine::Transaction revert(engine);
+    for (const ChannelBuffer& cb : channels) {
+      revert.set_buffer(cb.from, cb.to, 1);
+    }
+    revert.commit();
+  }
+
+  // Keep the design only if it actually helps.
+  if (optimized >= design.baseline_bound) return design;
+  design.channels = std::move(channels);
+  design.optimized_bound = optimized;
+  return design;
+}
+
+std::vector<ParetoPoint> buffer_pareto(AnalysisEngine& engine,
+                                       const Path& lambda, const Path& nu,
+                                       HopBoundMethod method) {
+  obs::Span span("engine", "buffer_pareto");
+  const BufferDesign design = engine.optimize_buffer_pair(lambda, nu, method);
+  const Duration t_head = engine.graph().task(design.from).period;
+  const BackwardBoundsFn bounds = [&engine](const Path& chain,
+                                            HopBoundMethod m) {
+    return engine.chain_bounds(chain, m);
+  };
+
+  std::vector<ParetoPoint> points;
+  points.reserve(static_cast<std::size_t>(design.buffer_size));
+  try {
+    for (int n = 1; n <= design.buffer_size; ++n) {
+      ParetoPoint p;
+      p.buffer_size = n;
+      p.shift = t_head * (n - 1);
+      // Theorem 3 with a partial shift (still on the aligning side),
+      // clamped by the Lemma 6-aware Theorem 2 re-analysis at this size.
+      // Only the chain bounds over the resized edge recompute per step.
+      const Duration analytic = design.baseline_bound - p.shift;
+      if (n == 1) {
+        p.bound = design.baseline_bound;
+      } else {
+        engine.set_buffer(design.from, design.to, n);
+        const Duration rerun =
+            sdiff_pair_bound(engine.graph(), lambda, nu, method, bounds)
+                .bound;
+        p.bound = std::min(analytic, rerun);
+      }
+      points.push_back(p);
+    }
+  } catch (...) {
+    if (design.buffer_size > 1) engine.set_buffer(design.from, design.to, 1);
+    throw;
+  }
+  if (design.buffer_size > 1) engine.set_buffer(design.from, design.to, 1);
+  CETA_ASSERT(!points.empty(), "buffer_pareto: no points");
+  CETA_ASSERT(points.back().bound <= design.optimized_bound,
+              "buffer_pareto: final point must reach the Algorithm 1 bound");
+  return points;
+}
+
+std::vector<SensitivityEntry> disparity_sensitivity(
+    AnalysisEngine& engine, TaskId task, const SensitivityOptions& opt) {
+  obs::Span span("engine", "disparity_sensitivity");
+  span.arg("task", static_cast<std::int64_t>(task));
+  CETA_EXPECTS(task < engine.graph().num_tasks(),
+               "disparity_sensitivity: bad task id");
+  CETA_EXPECTS(opt.period_factor > 0.0 && opt.wcet_factor >= 0.0,
+               "disparity_sensitivity: factors must be positive");
+
+  // Parameter edits never change the structure, so the ancestor closure
+  // (and the chain sets behind the disparity queries) is stable.
+  const std::vector<TaskId> closure = ancestors(engine.graph(), task);
+
+  // Mirrors bound_of in disparity/sensitivity.cpp: schedulability of the
+  // closure gates the disparity query.  The engine's scoped RTA refresh
+  // replaces the free function's full re-analysis per probe.
+  const auto bound_of = [&](Duration& out) {
+    const RtaResult& rta = engine.rta();
+    for (const TaskId anc : closure) {
+      if (!rta.schedulable[anc]) return false;
+    }
+    out = engine.disparity(task, opt.disparity).worst_case;
+    return true;
+  };
+
+  Duration baseline;
+  CETA_EXPECTS(bound_of(baseline),
+               "disparity_sensitivity: baseline system is unschedulable");
+
+  std::vector<SensitivityEntry> entries;
+  for (const TaskId anc : closure) {
+    // Period perturbation.
+    {
+      const Task& t = engine.graph().task(anc);
+      const Duration original = t.period;
+      const Duration new_period = scaled(original, opt.period_factor);
+      if (new_period > Duration::zero() && new_period > t.wcet &&
+          t.offset < new_period && t.jitter < new_period) {
+        engine.set_period(anc, new_period);
+        SensitivityEntry e;
+        e.task = anc;
+        e.param = PerturbedParam::kPeriod;
+        e.baseline = baseline;
+        try {
+          e.schedulable = bound_of(e.perturbed);
+        } catch (...) {
+          engine.set_period(anc, original);
+          throw;
+        }
+        if (!e.schedulable) e.perturbed = baseline;
+        entries.push_back(e);
+        engine.set_period(anc, original);
+      }
+    }
+    // WCET perturbation (sources have zero execution time — skip).
+    if (engine.graph().task(anc).wcet > Duration::zero()) {
+      const Task& t = engine.graph().task(anc);
+      const Duration old_bcet = t.bcet;
+      const Duration old_wcet = t.wcet;
+      const Duration new_wcet = scaled(old_wcet, opt.wcet_factor);
+      engine.set_wcet_range(anc, std::min(old_bcet, new_wcet), new_wcet);
+      SensitivityEntry e;
+      e.task = anc;
+      e.param = PerturbedParam::kWcet;
+      e.baseline = baseline;
+      try {
+        e.schedulable = bound_of(e.perturbed);
+      } catch (...) {
+        engine.set_wcet_range(anc, old_bcet, old_wcet);
+        throw;
+      }
+      if (!e.schedulable) e.perturbed = baseline;
+      entries.push_back(e);
+      engine.set_wcet_range(anc, old_bcet, old_wcet);
+    }
+  }
+
+  std::sort(entries.begin(), entries.end(),
+            [](const SensitivityEntry& a, const SensitivityEntry& b) {
+              if (a.schedulable != b.schedulable) return a.schedulable;
+              const Duration da = a.delta() < Duration::zero() ? -a.delta()
+                                                               : a.delta();
+              const Duration db = b.delta() < Duration::zero() ? -b.delta()
+                                                               : b.delta();
+              return da > db;
+            });
+  return entries;
+}
+
+OffsetPlan plan_source_offsets(AnalysisEngine& engine, TaskId task,
+                               const OffsetPlanOptions& opt) {
+  obs::Span span("engine", "plan_source_offsets");
+  span.arg("task", static_cast<std::int64_t>(task));
+  const TaskGraph& g = engine.graph();
+  CETA_EXPECTS(task < g.num_tasks(), "plan_source_offsets: bad task id");
+  CETA_EXPECTS(opt.granularity > Duration::zero(),
+               "plan_source_offsets: granularity must be positive");
+  CETA_EXPECTS(opt.passes >= 1, "plan_source_offsets: need >= 1 pass");
+
+  OffsetPlan plan;
+  plan.baseline =
+      exact_let_disparity(g, task, opt.path_cap, opt.max_releases)
+          .worst_disparity;
+  plan.optimized = plan.baseline;
+  ++plan.evaluations;
+
+  // The tunable coordinates, with their pre-call offsets for the restore.
+  std::vector<TaskId> tunables;
+  std::vector<Duration> originals;
+  for (const TaskId id : ancestors(g, task)) {
+    if (g.is_source(id) ||
+        opt.tunables == OffsetTunables::kAllClosureTasks) {
+      tunables.push_back(id);
+      originals.push_back(g.task(id).offset);
+    }
+  }
+
+  const auto restore = [&] {
+    AnalysisEngine::Transaction txn(engine);
+    for (std::size_t i = 0; i < tunables.size(); ++i) {
+      txn.set_offset(tunables[i], originals[i]);
+    }
+    txn.commit();
+  };
+
+  try {
+    // Offset edits invalidate nothing (§9 row "offset"): the sweep pays
+    // exactly the exact-oracle evaluations, no graph copies, no cache
+    // churn.
+    for (int pass = 0;
+         pass < opt.passes && plan.optimized > Duration::zero(); ++pass) {
+      bool improved = false;
+      for (const TaskId src : tunables) {
+        const Duration start = g.task(src).offset;
+        const Duration period = g.task(src).period;
+        Duration best_offset = start;
+        Duration best = plan.optimized;
+        for (Duration cand = Duration::zero(); cand < period;
+             cand += opt.granularity) {
+          if (cand == start) continue;
+          engine.set_offset(src, cand);
+          const Duration d =
+              exact_let_disparity(g, task, opt.path_cap, opt.max_releases)
+                  .worst_disparity;
+          ++plan.evaluations;
+          if (d < best) {
+            best = d;
+            best_offset = cand;
+          }
+        }
+        engine.set_offset(src, best_offset);
+        if (best < plan.optimized) {
+          plan.optimized = best;
+          improved = true;
+        }
+      }
+      if (!improved) break;
+    }
+  } catch (...) {
+    restore();
+    throw;
+  }
+
+  for (const TaskId src : tunables) {
+    plan.offsets.push_back(OffsetAssignment{src, g.task(src).offset});
+  }
+  restore();
+  return plan;
+}
+
+}  // namespace ceta

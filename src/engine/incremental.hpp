@@ -1,0 +1,86 @@
+// Incremental design-space loops on an AnalysisEngine.
+//
+// The optimization loops of disparity/ — §IV multi-chain buffer design,
+// the buffer-memory Pareto sweep, parameter sensitivity, LET offset
+// synthesis — all follow the same shape: edit the graph a little,
+// re-analyze, compare, repeat.  Their free-function forms copy the graph
+// and recompute everything per probe; the overloads here run the same
+// loops through AnalysisEngine's mutation API instead, so each probe pays
+// only for the caches its edit actually dirtied (DESIGN.md §9) — the RTA
+// refresh is scoped to the edited ECU cohort, untouched chains keep their
+// bounds, and so on.
+//
+// Results are bit-identical to the free functions (asserted by
+// tests/test_engine_incremental.cpp): both run the same math, the engine
+// only reuses what provably did not change.  Every function here restores
+// the engine's graph to its pre-call state before returning (also on
+// exceptions), mirroring the free functions' "input graph is not
+// modified" contract.
+//
+// These live in engine/ (not disparity/) because they link against
+// AnalysisEngine; disparity/ stays engine-free.
+
+#pragma once
+
+#include "disparity/multi_buffer.hpp"
+#include "disparity/offset_opt.hpp"
+#include "disparity/pareto.hpp"
+#include "disparity/sensitivity.hpp"
+#include "engine/analysis_engine.hpp"
+
+namespace ceta {
+
+/// @brief §IV multi-chain buffer design for `task`, probing the buffered
+/// configuration through `engine`'s mutation API.
+/// @param engine  Engine owning the graph (restored before returning).
+/// @param task    Fusion task to design for.
+/// @param opt     Analyzer options, as for design_buffers_for_task.
+/// @return Bit-identical to design_buffers_for_task(engine.graph(), task,
+///   engine.response_times(), opt).
+/// Complexity: two disparity analyses of `task`; the second reuses every
+/// cache entry not dirtied by the FIFO resizes (chain sets, RTA, hops).
+MultiBufferDesign design_buffers_for_task(AnalysisEngine& engine, TaskId task,
+                                          const DisparityOptions& opt = {});
+
+/// @brief Buffer-memory / disparity Pareto sweep of one chain pair,
+/// resizing the Algorithm 1 channel in place via the mutation API.
+/// @param engine     Engine owning the graph (restored before returning).
+/// @param lambda,nu  The chain pair (both ending at the same task).
+/// @param method     Hop-bound method for the Theorem 2 windows.
+/// @return Bit-identical to buffer_pareto(engine.graph(), lambda, nu,
+///   engine.response_times(), method).
+/// Complexity: O(design size) Theorem 2 re-evaluations; sub-chain bounds
+/// not traversing the resized edge are served from the chain-bound cache.
+std::vector<ParetoPoint> buffer_pareto(
+    AnalysisEngine& engine, const Path& lambda, const Path& nu,
+    HopBoundMethod method = HopBoundMethod::kNonPreemptive);
+
+/// @brief Period/WCET sensitivity of `task`'s disparity bound, probing
+/// each perturbation through the mutation API.
+/// @param engine  Engine owning the graph (restored before returning).
+///   Must own its RTA (not external-rtm mode): each probe refreshes the
+///   edited cohort.  The engine's RtaOptions govern the analysis —
+///   `opt.rta` is ignored; construct the engine with the desired options.
+/// @param task    Analyzed fusion task.
+/// @param opt     Perturbation factors and analyzer options.
+/// @return Bit-identical to disparity_sensitivity(engine.graph(), task,
+///   opt) when engine.options().rta == opt.rta.
+/// Complexity: O(ancestors) probes; each re-runs only the perturbed ECU
+/// cohort's fixpoints plus the dirtied bounds, instead of the whole graph.
+std::vector<SensitivityEntry> disparity_sensitivity(
+    AnalysisEngine& engine, TaskId task, const SensitivityOptions& opt = {});
+
+/// @brief LET offset synthesis for `task`, sweeping offsets through the
+/// mutation API (offset edits invalidate nothing, §9 row "offset" — the
+/// exact evaluator is the only consumer).
+/// @param engine  Engine owning the graph; offsets are restored before
+///   returning.  Apply the result with apply_offset_plan.
+/// @param task    Analyzed task (same preconditions as exact_let_disparity).
+/// @param opt     Sweep configuration.
+/// @return Bit-identical to plan_source_offsets(engine.graph(), task, opt).
+/// Complexity: evaluations × exact_let_disparity; graph copies are
+/// eliminated versus the free function.
+OffsetPlan plan_source_offsets(AnalysisEngine& engine, TaskId task,
+                               const OffsetPlanOptions& opt = {});
+
+}  // namespace ceta

@@ -1,0 +1,124 @@
+// Dependency index + invalidation planning for the incremental engine.
+//
+// AnalysisEngine's caches memoize four artifact kinds — RTA entries, hop
+// bounds θ(u,v), per-chain W/B bounds and enumerated chain sets / reports.
+// When the graph is edited through the mutation API the engine must drop
+// exactly the entries whose *inputs* changed and keep everything else;
+// DESIGN.md §9 is the normative mutation × cache contract.  This header
+// holds the pieces that compute the "what is affected" half of that
+// contract as plain data, with no locking and no knowledge of the cache
+// containers:
+//
+//  * DependencyIndex — the static dependency structure (task → same-ECU
+//    cohort).  ECU placement is immutable under the mutation API, so the
+//    index is built once per engine.
+//  * Mutation — one primitive edit, the unit a Transaction batches.
+//  * InvalidationPlan / plan_invalidation — maps a committed edit batch to
+//    the dirty sets per cache layer, O(affected) in the sense that each
+//    listed element is genuinely reachable from an edited task/edge
+//    (cohorts + closure walks), never "the whole graph" by default.
+//
+// The engine turns a plan into epoch bumps (see analysis_engine.hpp): every
+// cache entry is stamped with the commit epoch it was computed under, and
+// per-task/per-edge epochs record the last commit that dirtied them; a
+// lookup treats an entry as stale iff its stamp is older than the epoch of
+// any of its inputs.  That keeps commits O(affected) — no cache scans.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+#include "graph/task_graph.hpp"
+
+namespace ceta::engine {
+
+/// The kind of one primitive graph edit (the rows of the DESIGN.md §9
+/// invalidation matrix).
+enum class MutationKind {
+  kPeriod,
+  kWcetRange,
+  kPriority,
+  kBuffer,
+  kOffset,
+  kAddEdge,
+  kRemoveEdge,
+};
+
+/// One primitive edit, as staged by AnalysisEngine::Transaction.  Only the
+/// fields relevant to `kind` are meaningful.
+struct Mutation {
+  MutationKind kind = MutationKind::kPeriod;
+  /// Target of a task-parameter edit (kPeriod/kWcetRange/kPriority/kOffset).
+  TaskId task = 0;
+  /// Endpoints of an edge edit (kBuffer/kAddEdge/kRemoveEdge).
+  TaskId from = 0;
+  TaskId to = 0;
+  Duration period = Duration::zero();
+  Duration bcet = Duration::zero();
+  Duration wcet = Duration::zero();
+  Duration offset = Duration::zero();
+  int priority = 0;
+  /// New FIFO depth (kBuffer) or the spec of an added edge (kAddEdge).
+  ChannelSpec channel;
+};
+
+/// Static dependency structure of a graph, built once per engine.
+///
+/// The only non-local dependency of the per-task NP-FP fixpoint is the
+/// same-ECU competitor set, so the index is the ECU partition: editing the
+/// WCET/period/priority of τ dirties exactly ecu_cohort(τ).  Tasks are
+/// never re-mapped by the mutation API (and add_edge cannot turn a task
+/// into a source, see AnalysisEngine::add_edge), so cohorts stay valid for
+/// the engine's lifetime.
+class DependencyIndex {
+ public:
+  /// Build the ECU partition of `g`.  Source tasks (no ECU) get singleton
+  /// cohorts.  O(V log V).
+  void rebuild(const TaskGraph& g);
+
+  /// All tasks sharing `t`'s ECU, `t` included, in ascending id order; the
+  /// exact set whose WCRTs can change when `t`'s scheduling parameters do.
+  const std::vector<TaskId>& ecu_cohort(TaskId t) const;
+
+ private:
+  std::vector<std::size_t> group_of_;
+  std::vector<std::vector<TaskId>> groups_;
+};
+
+/// Dirty sets of one committed edit batch, per cache layer.  Each vector is
+/// deduplicated and sorted.
+struct InvalidationPlan {
+  /// Tasks whose RTA entry must be recomputed (scoped refresh).
+  std::vector<TaskId> rta_tasks;
+  /// Tasks whose *bound inputs* (WCRT or scheduling parameters) changed:
+  /// hop bounds touching them and chain bounds containing them are stale.
+  std::vector<TaskId> bound_tasks;
+  /// Edges whose FIFO depth changed: chain bounds traversing them are
+  /// stale (Lemma 6 shift), hop bounds and RTA are not.
+  std::vector<std::pair<TaskId, TaskId>> buffer_edges;
+  /// Edges removed from the graph: their hop entry and any chain bound
+  /// traversing them must never be served again.
+  std::vector<std::pair<TaskId, TaskId>> removed_edges;
+  /// Tasks whose enumerated source→task chain set changed.
+  std::vector<TaskId> chain_set_tasks;
+  /// Tasks whose disparity report may have changed (union of everything
+  /// above, propagated downstream).
+  std::vector<TaskId> report_tasks;
+};
+
+/// Map a committed batch of edits to its per-layer dirty sets, following
+/// the DESIGN.md §9 matrix.  `post` is the graph *after* the batch was
+/// applied; `removed_closures` holds, for the i-th kRemoveEdge mutation in
+/// `edits` (in order), the descendant closure of its head computed on the
+/// *pre-commit* graph — removal destroys reachability, so the affected
+/// tasks are only visible in the pre-state.  Cost: one multi-source
+/// forward walk per edit class, O(V + E) worst case but proportional to
+/// the reachable region in practice — never a cache scan.
+InvalidationPlan plan_invalidation(
+    const TaskGraph& post, const DependencyIndex& deps,
+    const std::vector<Mutation>& edits,
+    const std::vector<std::vector<TaskId>>& removed_closures);
+
+}  // namespace ceta::engine

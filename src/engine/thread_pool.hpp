@@ -34,6 +34,8 @@
 
 namespace ceta {
 
+/// Fixed-size worker pool used by AnalysisEngine to fan out independent
+/// analysis units; see the file comment for the design constraints.
 class ThreadPool {
  public:
   /// Spawn `num_threads` workers (>= 1).
@@ -61,6 +63,7 @@ class ThreadPool {
     ready_.notify_all();
   }
 
+  /// Number of worker threads.
   std::size_t size() const { return workers_.size(); }
 
   /// True when called from a worker thread of *any* ThreadPool.  Pool

@@ -30,6 +30,16 @@ void TaskGraph::add_edge(TaskId from, TaskId to, ChannelSpec spec) {
   pred_[to].push_back(from);
 }
 
+void TaskGraph::remove_edge(TaskId from, TaskId to) {
+  const std::size_t i = edge_index(from, to);
+  CETA_EXPECTS(i != npos, "remove_edge: no such edge");
+  edges_.erase(edges_.begin() + static_cast<std::ptrdiff_t>(i));
+  auto& succ = succ_[from];
+  succ.erase(std::find(succ.begin(), succ.end(), to));
+  auto& pred = pred_[to];
+  pred.erase(std::find(pred.begin(), pred.end(), from));
+}
+
 const Task& TaskGraph::task(TaskId id) const {
   CETA_EXPECTS(id < tasks_.size(), "task: unknown task id");
   return tasks_[id];

@@ -41,6 +41,14 @@ class TaskGraph {
   /// self loops and duplicate edges.  Acyclicity is checked by validate().
   void add_edge(TaskId from, TaskId to, ChannelSpec spec = {});
 
+  /// Remove an existing edge (throws PreconditionError if absent).  The
+  /// relative order of the remaining edges, successors and predecessors is
+  /// preserved, so enumeration orders stay stable.  Note the structural
+  /// classification of `to` may change (it becomes a source when this was
+  /// its last inbound edge) — validate() then enforces the source
+  /// parameter rules.  O(E).
+  void remove_edge(TaskId from, TaskId to);
+
   std::size_t num_tasks() const { return tasks_.size(); }
   std::size_t num_edges() const { return edges_.size(); }
 

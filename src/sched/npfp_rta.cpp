@@ -52,6 +52,61 @@ Duration queueing_delay(Duration blocking, Duration own_wcet, std::int64_t q,
   return Duration::max();
 }
 
+/// WCRT + schedulability of one task, written into `res`.  Single source
+/// of truth shared by analyze_response_times and
+/// reanalyze_response_times — scoped refreshes are bit-identical to a
+/// full run because both execute exactly this routine per task.
+void analyze_task_into(const TaskGraph& g, const RtaOptions& opt, TaskId id,
+                       RtaResult& res) {
+  const Task& t = g.task(id);
+  res.schedulable[id] = true;
+  if (t.ecu == kNoEcu) {
+    // Source tasks (external stimuli) finish instantly at their actual
+    // release, up to `jitter` after the nominal one.
+    res.response_time[id] = t.jitter;
+    return;
+  }
+
+  // Partition same-resource competitors by priority.
+  std::vector<Competitor> hp;
+  Duration blocking = Duration::zero();
+  for (TaskId other = 0; other < g.num_tasks(); ++other) {
+    if (other == id) continue;
+    const Task& o = g.task(other);
+    if (o.ecu != t.ecu) continue;
+    CETA_EXPECTS(o.priority != t.priority,
+                 "analyze_response_times: duplicate priority on ECU " +
+                     std::to_string(t.ecu));
+    if (higher_priority(o, t)) {
+      hp.push_back({o.wcet, o.period, o.jitter});
+    } else {
+      blocking = std::max(blocking, o.wcet);
+    }
+  }
+
+  if (resource_utilization(g, t.ecu) >= 1.0) {
+    res.response_time[id] = Duration::max();
+    res.schedulable[id] = false;
+    return;
+  }
+
+  const Duration worst =
+      opt.policy == SchedPolicy::kPreemptive
+          ? preemptive_response_time(t.wcet, t.period, hp, t.jitter,
+                                     opt.max_iterations)
+          : npfp_response_time(t.wcet, t.period, blocking, hp, t.jitter,
+                               opt.max_iterations);
+  if (worst == Duration::max()) {
+    res.response_time[id] = Duration::max();
+    res.schedulable[id] = false;
+    return;
+  }
+  res.response_time[id] = worst;
+  if (opt.implicit_deadline && worst > t.period) {
+    res.schedulable[id] = false;
+  }
+}
+
 }  // namespace
 
 Duration npfp_response_time(Duration wcet, Duration period, Duration blocking,
@@ -157,58 +212,38 @@ RtaResult analyze_response_times(const TaskGraph& g, const RtaOptions& opt) {
   res.schedulable.assign(g.num_tasks(), true);
 
   for (TaskId id = 0; id < g.num_tasks(); ++id) {
-    const Task& t = g.task(id);
-    if (t.ecu == kNoEcu) {
-      // Source tasks (external stimuli) finish instantly at their actual
-      // release, up to `jitter` after the nominal one.
-      res.response_time[id] = t.jitter;
-      continue;
-    }
-
-    // Partition same-resource competitors by priority.
-    std::vector<Competitor> hp;
-    Duration blocking = Duration::zero();
-    for (TaskId other = 0; other < g.num_tasks(); ++other) {
-      if (other == id) continue;
-      const Task& o = g.task(other);
-      if (o.ecu != t.ecu) continue;
-      CETA_EXPECTS(o.priority != t.priority,
-                   "analyze_response_times: duplicate priority on ECU " +
-                       std::to_string(t.ecu));
-      if (higher_priority(o, t)) {
-        hp.push_back({o.wcet, o.period, o.jitter});
-      } else {
-        blocking = std::max(blocking, o.wcet);
-      }
-    }
-
-    if (resource_utilization(g, t.ecu) >= 1.0) {
-      res.response_time[id] = Duration::max();
-      res.schedulable[id] = false;
-      continue;
-    }
-
-    const Duration worst =
-        opt.policy == SchedPolicy::kPreemptive
-            ? preemptive_response_time(t.wcet, t.period, hp, t.jitter,
-                                       opt.max_iterations)
-            : npfp_response_time(t.wcet, t.period, blocking, hp, t.jitter,
-                                 opt.max_iterations);
-    if (worst == Duration::max()) {
-      res.response_time[id] = Duration::max();
-      res.schedulable[id] = false;
-      continue;
-    }
-    res.response_time[id] = worst;
-    if (opt.implicit_deadline && worst > t.period) {
-      res.schedulable[id] = false;
-    }
+    analyze_task_into(g, opt, id, res);
   }
 
   res.all_schedulable = std::all_of(res.schedulable.begin(),
                                     res.schedulable.end(),
                                     [](bool b) { return b; });
   return res;
+}
+
+void reanalyze_response_times(const TaskGraph& g, const RtaOptions& opt,
+                              const std::vector<TaskId>& tasks,
+                              RtaResult& res) {
+  CETA_EXPECTS(res.response_time.size() == g.num_tasks() &&
+                   res.schedulable.size() == g.num_tasks(),
+               "reanalyze_response_times: result size mismatch");
+  obs::Span span("sched", "reanalyze_response_times");
+  span.arg("tasks", static_cast<std::int64_t>(tasks.size()));
+  static obs::Counter& refreshes =
+      obs::MetricsRegistry::global().counter("sched.rta.refreshes");
+  static obs::Counter& tasks_analyzed =
+      obs::MetricsRegistry::global().counter("sched.rta.tasks");
+  refreshes.add();
+  tasks_analyzed.add(tasks.size());
+
+  for (const TaskId id : tasks) {
+    CETA_EXPECTS(id < g.num_tasks(),
+                 "reanalyze_response_times: unknown task id");
+    analyze_task_into(g, opt, id, res);
+  }
+  res.all_schedulable = std::all_of(res.schedulable.begin(),
+                                    res.schedulable.end(),
+                                    [](bool b) { return b; });
 }
 
 }  // namespace ceta

@@ -69,6 +69,21 @@ using ResponseTimeMap = std::vector<Duration>;
 RtaResult analyze_response_times(const TaskGraph& g,
                                  const RtaOptions& opt = {});
 
+/// Re-run the analysis for `tasks` only, updating `res` in place.
+///
+/// The NP-FP fixpoint is strictly per-task: R(τ) depends only on τ's own
+/// parameters and its same-ECU competitors, never on other tasks' response
+/// times.  Re-analyzing exactly the tasks whose inputs changed (their ECU
+/// cohort after a WCET/priority/period edit) therefore reproduces the
+/// corresponding entries of a full analyze_response_times() run
+/// bit-identically — both call the same per-task routine.  `res` must come
+/// from a prior analysis of a graph with the same task count;
+/// res.all_schedulable is recomputed from the updated vector.  O(Σ cohort
+/// fixpoints + V) instead of O(all fixpoints).
+void reanalyze_response_times(const TaskGraph& g, const RtaOptions& opt,
+                              const std::vector<TaskId>& tasks,
+                              RtaResult& res);
+
 /// A higher-priority competitor on the same resource.
 struct CompetingTask {
   Duration wcet;

@@ -40,7 +40,7 @@ constexpr const char* kPropertyNames[kNumProperties] = {
     "backward_in_bounds",  "exact_within_bound",
     "exact_matches_sim",   "buffered_shift",
     "buffer_design_consistent", "multi_buffer_safe",
-    "pair_kernel_matches_reference"};
+    "pair_kernel_matches_reference", "incremental_matches_fresh"};
 
 constexpr Property kAllProperties[kNumProperties] = {
     Property::kEngineMatchesFree,
@@ -53,7 +53,8 @@ constexpr Property kAllProperties[kNumProperties] = {
     Property::kBufferedShift,
     Property::kBufferDesignConsistent,
     Property::kMultiBufferSafe,
-    Property::kPairKernelMatchesReference};
+    Property::kPairKernelMatchesReference,
+    Property::kIncrementalMatchesFresh};
 
 std::string dur(Duration d) { return std::to_string(d.count()) + "ns"; }
 
@@ -95,7 +96,7 @@ struct Inputs {
 /// The injected off-by-one: one head period of the analyzed chain set,
 /// the largest term a hop-bound derivation could plausibly drop.
 Duration fault_delta(const Inputs& in) {
-  if (in.cfg.fault == FaultInjection::kNone) return Duration::zero();
+  if (in.cfg.fault != FaultInjection::kDropHeadPeriod) return Duration::zero();
   Duration d = Duration::zero();
   for (const Path& c : in.chains) {
     d = std::max(d, in.g.task(c.front()).period);
@@ -554,6 +555,197 @@ PropertyOutcome check_pair_kernel_matches_reference(const Inputs& in) {
   return holds();
 }
 
+// --- incremental_matches_fresh ---------------------------------------------
+
+/// Field-wise comparison of a (possibly mutated) engine against the free
+/// functions on its *current* graph — exactly what a freshly constructed
+/// engine would compute.  `when` labels the mutation-script step.
+std::optional<std::string> engine_fresh_divergence(const AnalysisEngine& e,
+                                                   TaskId task,
+                                                   const ProbeConfig& cfg,
+                                                   const std::string& when) {
+  const TaskGraph& g = e.graph();
+  const RtaResult fresh = analyze_response_times(g, e.options().rta);
+  if (e.response_times() != fresh.response_time) {
+    return "response_times diverge from fresh RTA " + when;
+  }
+  // An edit may leave the graph unschedulable (e.g. a priority swap); the
+  // WCRT-map parity above is then the whole contract — backward/disparity
+  // bounds are undefined without finite WCRTs.
+  if (!fresh.all_schedulable) return std::nullopt;
+  for (const Edge& edge : g.edges()) {
+    const Duration he = e.hop(edge.from, edge.to);
+    const Duration hf = hop_bound(g, edge.from, edge.to, fresh.response_time,
+                                  HopBoundMethod::kNonPreemptive);
+    if (he != hf) {
+      return "hop(" + g.task(edge.from).name + ", " + g.task(edge.to).name +
+             ") = " + dur(he) + " != fresh " + dur(hf) + " " + when;
+    }
+  }
+  const std::vector<Path> chains =
+      enumerate_source_chains(g, task, cfg.path_cap);
+  for (const Path& c : chains) {
+    const BackwardBounds be = e.chain_bounds(c);
+    const BackwardBounds bf = backward_bounds(g, c, fresh.response_time);
+    if (be.wcbt != bf.wcbt || be.bcbt != bf.bcbt) {
+      return "chain_bounds diverge on " + chain_str(g, c) + " " + when +
+             ": engine [" + dur(be.bcbt) + ", " + dur(be.wcbt) +
+             "] vs fresh [" + dur(bf.bcbt) + ", " + dur(bf.wcbt) + "]";
+    }
+  }
+  if (chains.size() >= 2) {
+    for (const DisparityMethod m :
+         {DisparityMethod::kIndependent, DisparityMethod::kForkJoin}) {
+      DisparityOptions dopt;
+      dopt.method = m;
+      dopt.path_cap = cfg.path_cap;
+      const DisparityReport re = e.disparity(task, dopt);
+      const DisparityReport rf =
+          analyze_time_disparity(g, task, fresh.response_time, dopt);
+      if (re.worst_case != rf.worst_case || re.chains != rf.chains ||
+          re.pairs.size() != rf.pairs.size()) {
+        return std::string("disparity (") +
+               (m == DisparityMethod::kIndependent ? "P" : "S") +
+               "-diff) diverges " + when + ": engine " + dur(re.worst_case) +
+               " vs fresh " + dur(rf.worst_case);
+      }
+      for (std::size_t i = 0; i < re.pairs.size(); ++i) {
+        if (re.pairs[i].chain_a != rf.pairs[i].chain_a ||
+            re.pairs[i].chain_b != rf.pairs[i].chain_b ||
+            re.pairs[i].bound != rf.pairs[i].bound) {
+          return "disparity pair " + std::to_string(i) + " diverges " + when;
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+PropertyOutcome check_incremental_matches_fresh(const Inputs& in) {
+  EngineOptions eopt;
+  eopt.rta = RtaOptions{};
+  eopt.num_threads = 1;
+  eopt.fault_skip_edge_invalidation =
+      in.cfg.fault == FaultInjection::kSkipInvalidation;
+  AnalysisEngine e(in.g, eopt);
+
+  // Warm every cache layer so the script exercises invalidation of live
+  // entries, not cold recomputation.
+  (void)e.rta();
+  (void)e.chains(in.task, in.cfg.path_cap);
+  for (const Path& c : in.chains) (void)e.chain_bounds(c);
+  for (const DisparityMethod m :
+       {DisparityMethod::kIndependent, DisparityMethod::kForkJoin}) {
+    (void)e.disparity(in.task, disparity_options(in, m));
+  }
+
+  std::optional<std::string> diverged;
+  const auto compare = [&](const char* when) {
+    if (!diverged) diverged = engine_fresh_divergence(e, in.task, in.cfg, when);
+    return diverged.has_value();
+  };
+
+  // Step 1: FIFO resize of λ₀'s head channel (§9 row "buffer"); under
+  // kSkipInvalidation this is the step that must trip — the stale
+  // chain-bound entry misses the Lemma 6 shift (n−1)·T(head) > 0.
+  {
+    const Path& c = in.chains[0];
+    const int old_size = in.g.channel(c[0], c[1]).buffer_size;
+    e.set_buffer(c[0], c[1], old_size + 1);
+    if (compare("after buffer resize")) return violated(*diverged);
+    e.set_buffer(c[0], c[1], old_size);
+    if (compare("after buffer revert")) return violated(*diverged);
+  }
+
+  // Step 2: WCET decrease on the analyzed task (§9 row "WCET").
+  {
+    const Task& t = e.graph().task(in.task);
+    const Duration bcet = t.bcet;
+    const Duration wcet = t.wcet;
+    const Duration new_wcet = bcet + (wcet - bcet) / 2;
+    if (new_wcet != wcet) {
+      e.set_wcet_range(in.task, bcet, new_wcet);
+      if (compare("after wcet decrease")) return violated(*diverged);
+      e.set_wcet_range(in.task, bcet, wcet);
+      if (compare("after wcet revert")) return violated(*diverged);
+    }
+  }
+
+  // Step 3: period doubling on ν₀'s source (§9 row "period"; lengthening
+  // keeps offset/jitter admissible and can only lower utilization).
+  {
+    const TaskId head = in.chains[1].front();
+    const Duration period = e.graph().task(head).period;
+    e.set_period(head, period * 2);
+    if (compare("after period doubling")) return violated(*diverged);
+    e.set_period(head, period);
+    if (compare("after period revert")) return violated(*diverged);
+  }
+
+  // Step 4: priority swap of two same-ECU tasks, batched as one
+  // Transaction (only jointly valid — each half alone collides).
+  {
+    TaskId a = 0, b = 0;
+    bool found = false;
+    const TaskGraph& g = e.graph();
+    for (TaskId i = 0; i < g.num_tasks() && !found; ++i) {
+      if (g.is_source(i)) continue;
+      for (TaskId j = i + 1; j < g.num_tasks() && !found; ++j) {
+        if (g.is_source(j) || g.task(j).ecu != g.task(i).ecu) continue;
+        a = i;
+        b = j;
+        found = true;
+      }
+    }
+    if (found) {
+      const int pa = g.task(a).priority;
+      const int pb = g.task(b).priority;
+      AnalysisEngine::Transaction txn(e);
+      txn.set_priority(a, pb).set_priority(b, pa);
+      txn.commit();
+      if (compare("after priority swap")) return violated(*diverged);
+      AnalysisEngine::Transaction back(e);
+      back.set_priority(a, pa).set_priority(b, pb);
+      back.commit();
+      if (compare("after priority swap revert")) return violated(*diverged);
+    }
+  }
+
+  // Step 5: offset nudge on λ₀'s source (§9 row "offset": invalidates
+  // nothing; the commit must still leave every cache coherent).
+  {
+    const TaskId head = in.chains[0].front();
+    const Duration old_offset = e.graph().task(head).offset;
+    e.set_offset(head, e.graph().task(head).period / 2);
+    if (compare("after offset nudge")) return violated(*diverged);
+    e.set_offset(head, old_offset);
+    if (compare("after offset revert")) return violated(*diverged);
+  }
+
+  // Step 6: structural edit — add a fresh source→task edge, then remove
+  // it (§9 rows "add edge" / "remove edge"; removal exercises the
+  // pre-commit descendant closure).
+  {
+    const TaskGraph& g = e.graph();
+    TaskId u = static_cast<TaskId>(g.num_tasks());
+    for (const TaskId s : g.sources()) {
+      const auto& succ = g.successors(s);
+      if (std::find(succ.begin(), succ.end(), in.task) == succ.end()) {
+        u = s;
+        break;
+      }
+    }
+    if (u != static_cast<TaskId>(g.num_tasks())) {
+      e.add_edge(u, in.task);
+      if (compare("after add_edge")) return violated(*diverged);
+      e.remove_edge(u, in.task);
+      if (compare("after remove_edge")) return violated(*diverged);
+    }
+  }
+
+  return holds();
+}
+
 PropertyOutcome dispatch(Property p, const Inputs& in) {
   switch (p) {
     case Property::kEngineMatchesFree: return check_engine_matches_free(in);
@@ -569,6 +761,8 @@ PropertyOutcome dispatch(Property p, const Inputs& in) {
     case Property::kMultiBufferSafe: return check_multi_buffer_safe(in);
     case Property::kPairKernelMatchesReference:
       return check_pair_kernel_matches_reference(in);
+    case Property::kIncrementalMatchesFresh:
+      return check_incremental_matches_fresh(in);
   }
   throw Error("check_property: unknown property");
 }

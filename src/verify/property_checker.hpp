@@ -47,9 +47,14 @@ enum class Property {
   /// Pairwise kernel ≡ reference analyzer, field-wise, at every
   /// DisparityMethod × JointTruncation × KeepPairs combination.
   kPairKernelMatchesReference,
+  /// A warmed AnalysisEngine driven through a scripted mutation sequence
+  /// (buffer resize, WCET/period edits, priority swap, offset nudge, edge
+  /// add/remove) stays field-identical to a freshly constructed engine
+  /// after every commit and every revert (DESIGN.md §9).
+  kIncrementalMatchesFresh,
 };
 
-inline constexpr std::size_t kNumProperties = 11;
+inline constexpr std::size_t kNumProperties = 12;
 
 /// Stable lowercase identifier ("sim_within_bound", ...), used in fixture
 /// files and reports.
@@ -65,6 +70,12 @@ enum class FaultInjection {
   /// Subtract T(head) from W(π) and from the task-level disparity bound —
   /// the classic off-by-one of dropping one period term from a hop bound.
   kDropHeadPeriod,
+  /// Build the probed AnalysisEngine with
+  /// EngineOptions::fault_skip_edge_invalidation, so buffer-resize commits
+  /// skip their edge-epoch bump and chain-bound entries over the resized
+  /// channel go stale — the incremental_matches_fresh property must catch
+  /// the divergence.  Affects only that property.
+  kSkipInvalidation,
 };
 
 /// Everything a single property evaluation depends on besides the graph:

@@ -15,7 +15,10 @@
 // --inject-fault enables the test-only off-by-one mutation (one head
 // period subtracted from every analytical upper bound) to demonstrate the
 // harness catching and shrinking an unsound bound; it makes a nonzero
-// exit the expected outcome.
+// exit the expected outcome.  --inject-stale-cache instead breaks the
+// engine's buffer-edge invalidation (EngineOptions::
+// fault_skip_edge_invalidation), which the incremental_matches_fresh
+// property must catch; nonzero exit expected likewise.
 
 #include <cstdint>
 #include <exception>
@@ -38,7 +41,8 @@ int usage(const char* argv0) {
       << " [--trials N] [--seed N] [--probes N] [--min-tasks N]"
          " [--max-tasks N]\n"
          "       [--ecus N] [--shrink | --no-shrink] [--fixture-dir PATH]\n"
-         "       [--inject-fault] [--trace PATH] [--metrics PATH] [--quiet]\n";
+         "       [--inject-fault] [--inject-stale-cache] [--trace PATH]\n"
+         "       [--metrics PATH] [--quiet]\n";
   return 2;
 }
 
@@ -104,6 +108,8 @@ int main(int argc, char** argv) {
         fixture_dir = v;
       } else if (arg == "--inject-fault") {
         opt.probe.fault = FaultInjection::kDropHeadPeriod;
+      } else if (arg == "--inject-stale-cache") {
+        opt.probe.fault = FaultInjection::kSkipInvalidation;
       } else if (arg == "--trace") {
         const char* v = next_arg(i);
         if (!v) return usage(argv[0]);

@@ -1,7 +1,13 @@
-// Standalone validator for BENCH_pairwise.json (the perf_smoke ctest
-// pair): parses the file with the independent JSON parser the obs tests
-// use, checks the schema the bench promises, and fails (exit 1) if the
-// kernel-vs-reference cross-check recorded a divergence.
+// Standalone validator for the BENCH_*.json files the perf_smoke ctest
+// produces: parses the file with the independent JSON parser the obs
+// tests use, checks the schema the bench promises, and fails (exit 1) if
+// the recorded cross-check ever reported a divergence.
+//
+//   check_bench_json <file> [pairwise|incremental]
+//
+// The optional second argument selects the schema; "pairwise" (the
+// kernel-vs-reference comparison) is the default, "incremental" validates
+// the mutation-API-vs-fresh-rebuild sweep.
 
 #include <fstream>
 #include <iostream>
@@ -10,12 +16,80 @@
 
 #include "json_checker.hpp"
 
+namespace {
+
+int fail(const std::string& why) {
+  std::cerr << "FAIL: " << why << "\n";
+  return 1;
+}
+
+int check_pairwise(const ceta::testing::JsonValue& doc,
+                   const std::string& path) {
+  for (const char* key :
+       {"bench", "chains", "pairs", "reference_ns", "kernel_ns", "speedup",
+        "kernel_parallel_ns", "threads", "parallel_speedup", "match"}) {
+    if (!doc.has(key)) return fail(path + " lacks member '" + key + "'");
+  }
+  if (doc.at("bench").string != "pairwise_kernel_vs_reference") {
+    return fail("unexpected bench id '" + doc.at("bench").string + "'");
+  }
+  if (doc.at("chains").number < 2 || doc.at("pairs").number < 1 ||
+      doc.at("kernel_ns").number <= 0) {
+    return fail("degenerate bench record in " + path);
+  }
+  if (!doc.at("match").boolean) {
+    return fail(
+        "pairwise kernel diverged from the reference analyzer (match: "
+        "false in " +
+        path + ")");
+  }
+  std::cout << "OK: " << path << " (" << doc.at("chains").number
+            << " chains, speedup " << doc.at("speedup").number
+            << "x, match: true)\n";
+  return 0;
+}
+
+int check_incremental(const ceta::testing::JsonValue& doc,
+                      const std::string& path) {
+  for (const char* key :
+       {"bench", "graph_tasks", "sweep_points", "fresh_ns", "incremental_ns",
+        "speedup", "commits", "retention_ppm", "match"}) {
+    if (!doc.has(key)) return fail(path + " lacks member '" + key + "'");
+  }
+  if (doc.at("bench").string != "incremental_vs_fresh") {
+    return fail("unexpected bench id '" + doc.at("bench").string + "'");
+  }
+  if (doc.at("sweep_points").number < 2 ||
+      doc.at("incremental_ns").number <= 0 ||
+      doc.at("commits").number < doc.at("sweep_points").number) {
+    return fail("degenerate bench record in " + path);
+  }
+  if (!doc.at("match").boolean) {
+    return fail(
+        "incremental engine diverged from fresh rebuilds (match: false "
+        "in " +
+        path + ")");
+  }
+  std::cout << "OK: " << path << " (" << doc.at("sweep_points").number
+            << " sweep points, speedup " << doc.at("speedup").number
+            << "x, match: true)\n";
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::cerr << "usage: check_bench_json <BENCH_pairwise.json>\n";
+  if (argc < 2 || argc > 3) {
+    std::cerr << "usage: check_bench_json <BENCH_*.json> "
+                 "[pairwise|incremental]\n";
     return 2;
   }
   const std::string path = argv[1];
+  const std::string schema = argc == 3 ? argv[2] : "pairwise";
+  if (schema != "pairwise" && schema != "incremental") {
+    std::cerr << "unknown schema '" << schema << "'\n";
+    return 2;
+  }
   std::ifstream in(path);
   if (!in) {
     std::cerr << "FAIL: cannot open '" << path
@@ -28,37 +102,11 @@ int main(int argc, char** argv) {
   try {
     const ceta::testing::JsonValue doc =
         ceta::testing::JsonParser::parse(buf.str());
-    for (const char* key :
-         {"bench", "chains", "pairs", "reference_ns", "kernel_ns", "speedup",
-          "kernel_parallel_ns", "threads", "parallel_speedup", "match"}) {
-      if (!doc.has(key)) {
-        std::cerr << "FAIL: " << path << " lacks member '" << key << "'\n";
-        return 1;
-      }
-    }
-    if (doc.at("bench").string != "pairwise_kernel_vs_reference") {
-      std::cerr << "FAIL: unexpected bench id '" << doc.at("bench").string
-                << "'\n";
-      return 1;
-    }
-    if (doc.at("chains").number < 2 || doc.at("pairs").number < 1 ||
-        doc.at("kernel_ns").number <= 0) {
-      std::cerr << "FAIL: degenerate bench record in " << path << "\n";
-      return 1;
-    }
-    if (!doc.at("match").boolean) {
-      std::cerr << "FAIL: pairwise kernel diverged from the reference "
-                   "analyzer (match: false in "
-                << path << ")\n";
-      return 1;
-    }
-    std::cout << "OK: " << path << " (" << doc.at("chains").number
-              << " chains, speedup " << doc.at("speedup").number
-              << "x, match: true)\n";
+    return schema == "pairwise" ? check_pairwise(doc, path)
+                                : check_incremental(doc, path);
   } catch (const std::exception& e) {
     std::cerr << "FAIL: " << path << " is not valid JSON: " << e.what()
               << "\n";
     return 1;
   }
-  return 0;
 }

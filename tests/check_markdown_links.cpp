@@ -1,0 +1,165 @@
+// Markdown cross-reference checker for the repo's documentation, run as a
+// ctest (plain-text parsing, no regex — same style as check_bench_json):
+//
+//   check_markdown_links <repo_root> <file.md>...
+//
+// Checks, per file:
+//  1. Every inline link `[text](target)` with a relative target resolves
+//     to an existing file or directory (http(s)/mailto/anchor-only
+//     targets are skipped; `#fragment` suffixes are stripped first).
+//  2. Every arabic section reference `§N` (the DESIGN.md numbering;
+//     Roman-numeral references like §IV cite the paper and are ignored)
+//     names an actual `## N.` heading of DESIGN.md, so prose can never
+//     cite a section that was renumbered away.
+//
+// Exit 0 when every reference resolves, 1 otherwise (each failure is
+// reported), 2 on usage errors.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path.string());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Section numbers of `## N.` headings in DESIGN.md.
+std::set<int> design_sections(const std::string& text) {
+  std::set<int> out;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("## ", 0) != 0) continue;
+    std::size_t i = 3;
+    std::size_t digits = 0;
+    int n = 0;
+    while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
+      n = n * 10 + (line[i] - '0');
+      ++i;
+      ++digits;
+    }
+    if (digits > 0 && i < line.size() && line[i] == '.') out.insert(n);
+  }
+  return out;
+}
+
+bool external_target(const std::string& t) {
+  return t.rfind("http://", 0) == 0 || t.rfind("https://", 0) == 0 ||
+         t.rfind("mailto:", 0) == 0 || (!t.empty() && t[0] == '#');
+}
+
+/// Collect `[text](target)` inline-link targets.  Deliberately simple:
+/// a ']' directly followed by '(' closes a link; nested brackets and
+/// reference-style links don't occur in this repo's docs.
+std::vector<std::string> link_targets(const std::string& text) {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i + 1 < text.size(); ++i) {
+    if (text[i] != ']' || text[i + 1] != '(') continue;
+    const std::size_t close = text.find(')', i + 2);
+    if (close == std::string::npos) break;
+    out.push_back(text.substr(i + 2, close - i - 2));
+    i = close;
+  }
+  return out;
+}
+
+/// 1-based line number of byte offset `pos`.
+std::size_t line_of(const std::string& text, std::size_t pos) {
+  std::size_t line = 1;
+  for (std::size_t i = 0; i < pos && i < text.size(); ++i) {
+    if (text[i] == '\n') ++line;
+  }
+  return line;
+}
+
+int check_file(const fs::path& root, const fs::path& file,
+               const std::set<int>& sections) {
+  int failures = 0;
+  const std::string text = read_file(file);
+
+  for (const std::string& raw : link_targets(text)) {
+    if (external_target(raw)) continue;
+    std::string target = raw.substr(0, raw.find('#'));
+    if (target.empty()) continue;
+    const fs::path resolved = file.parent_path() / target;
+    if (!fs::exists(resolved)) {
+      std::cerr << "FAIL: " << fs::relative(file, root).string()
+                << ": broken link target '" << raw << "' (resolved to "
+                << resolved.string() << ")\n";
+      ++failures;
+    }
+  }
+
+  // UTF-8 '§' is the byte pair 0xC2 0xA7; only arabic-digit references
+  // are DESIGN.md sections.
+  for (std::size_t i = 0; i + 2 < text.size(); ++i) {
+    if (static_cast<unsigned char>(text[i]) != 0xC2 ||
+        static_cast<unsigned char>(text[i + 1]) != 0xA7) {
+      continue;
+    }
+    std::size_t j = i + 2;
+    int n = 0;
+    std::size_t digits = 0;
+    while (j < text.size() && text[j] >= '0' && text[j] <= '9') {
+      n = n * 10 + (text[j] - '0');
+      ++j;
+      ++digits;
+    }
+    if (digits == 0) continue;
+    if (sections.count(n) == 0) {
+      std::cerr << "FAIL: " << fs::relative(file, root).string() << ":"
+                << line_of(text, i) << ": reference to DESIGN.md §" << n
+                << " but DESIGN.md has no '## " << n << ".' heading\n";
+      ++failures;
+    }
+  }
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::cerr << "usage: check_markdown_links <repo_root> <file.md>...\n";
+    return 2;
+  }
+  try {
+    const fs::path root = argv[1];
+    const std::set<int> sections =
+        design_sections(read_file(root / "DESIGN.md"));
+    if (sections.empty()) {
+      std::cerr << "FAIL: no '## N.' headings found in DESIGN.md\n";
+      return 1;
+    }
+    int failures = 0;
+    std::size_t checked = 0;
+    for (int i = 2; i < argc; ++i) {
+      fs::path file = argv[i];
+      if (file.is_relative()) file = root / file;
+      failures += check_file(root, file, sections);
+      ++checked;
+    }
+    if (failures > 0) {
+      std::cerr << failures << " broken reference(s)\n";
+      return 1;
+    }
+    std::cout << "OK: " << checked << " markdown files, all links and §"
+              << " references resolve\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "FAIL: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,658 @@
+// The mutation API and its fine-grained invalidation (DESIGN.md §9).
+//
+// Three layers of evidence, mirroring the §9 contract:
+//  1. Per-mutation-kind tests assert each matrix row *cell-wise* through
+//     the engine's cache counters: entries the row marks "kept" must be
+//     served as hits after the commit (survived_hits), entries it marks
+//     "invalidated" must show up as stale evictions.
+//  2. A 100-seed random-edit sweep checks that a mutated engine stays
+//     field-identical to a freshly constructed engine after every edit.
+//  3. The engine overloads of the design-space loops (multi-buffer,
+//     Pareto, sensitivity, offset synthesis) must be bit-identical to
+//     their free-function forms and restore the engine's graph.
+
+#include "engine/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "disparity/multi_buffer.hpp"
+#include "disparity/offset_opt.hpp"
+#include "disparity/pareto.hpp"
+#include "disparity/sensitivity.hpp"
+#include "engine/analysis_engine.hpp"
+#include "graph/paths.hpp"
+#include "helpers.hpp"
+#include "verify/property_checker.hpp"
+
+namespace ceta {
+namespace {
+
+using ceta::testing::diamond_graph;
+using ceta::testing::random_dag_graph;
+using ceta::testing::response_times_of;
+
+/// Two disjoint-ECU chains merging at a third-ECU sink:
+///   s1 -> a1 -> a2 -> f      (a* on ECU 0)
+///   s2 -> b1 -> b2 -> f      (b* on ECU 1, f on ECU 2)
+/// The ECU separation makes the §9 "cohort" scoping observable: an edit
+/// on the a-side must leave every b-side artifact untouched.
+TaskGraph two_ecu_chains() {
+  TaskGraph g;
+  auto src = [&](const char* name, int ms) {
+    Task t;
+    t.name = name;
+    t.period = Duration::ms(ms);
+    return g.add_task(t);
+  };
+  auto tsk = [&](const char* name, int ms, EcuId ecu, int prio) {
+    Task t;
+    t.name = name;
+    t.wcet = Duration::ms(1);
+    t.bcet = Duration::us(500);
+    t.period = Duration::ms(ms);
+    t.ecu = ecu;
+    t.priority = prio;
+    return g.add_task(t);
+  };
+  const TaskId s1 = src("s1", 10);
+  const TaskId s2 = src("s2", 20);
+  const TaskId a1 = tsk("a1", 10, 0, 0);
+  const TaskId a2 = tsk("a2", 10, 0, 1);
+  const TaskId b1 = tsk("b1", 20, 1, 0);
+  const TaskId b2 = tsk("b2", 20, 1, 1);
+  const TaskId f = tsk("f", 20, 2, 0);
+  g.add_edge(s1, a1);
+  g.add_edge(a1, a2);
+  g.add_edge(a2, f);
+  g.add_edge(s2, b1);
+  g.add_edge(b1, b2);
+  g.add_edge(b2, f);
+  g.validate();
+  return g;
+}
+
+void expect_reports_equal(const DisparityReport& a, const DisparityReport& b) {
+  EXPECT_EQ(a.worst_case, b.worst_case);
+  ASSERT_EQ(a.chains, b.chains);
+  ASSERT_EQ(a.pairs.size(), b.pairs.size());
+  for (std::size_t i = 0; i < a.pairs.size(); ++i) {
+    EXPECT_EQ(a.pairs[i].chain_a, b.pairs[i].chain_a);
+    EXPECT_EQ(a.pairs[i].chain_b, b.pairs[i].chain_b);
+    EXPECT_EQ(a.pairs[i].bound, b.pairs[i].bound);
+  }
+}
+
+void expect_graphs_equal(const TaskGraph& a, const TaskGraph& b) {
+  ASSERT_EQ(a.num_tasks(), b.num_tasks());
+  for (TaskId id = 0; id < a.num_tasks(); ++id) {
+    EXPECT_EQ(a.task(id).period, b.task(id).period) << "task " << id;
+    EXPECT_EQ(a.task(id).wcet, b.task(id).wcet) << "task " << id;
+    EXPECT_EQ(a.task(id).bcet, b.task(id).bcet) << "task " << id;
+    EXPECT_EQ(a.task(id).offset, b.task(id).offset) << "task " << id;
+    EXPECT_EQ(a.task(id).priority, b.task(id).priority) << "task " << id;
+  }
+  ASSERT_EQ(a.edges().size(), b.edges().size());
+  for (std::size_t i = 0; i < a.edges().size(); ++i) {
+    EXPECT_EQ(a.edges()[i].from, b.edges()[i].from);
+    EXPECT_EQ(a.edges()[i].to, b.edges()[i].to);
+    EXPECT_EQ(a.edges()[i].channel.buffer_size,
+              b.edges()[i].channel.buffer_size);
+  }
+}
+
+/// Field-wise comparison of a (mutated) engine against a fresh engine on
+/// the same graph — the incremental ≡ fresh contract.
+void expect_matches_fresh(const AnalysisEngine& e, TaskId task) {
+  const AnalysisEngine fresh(e.graph());
+  EXPECT_EQ(e.response_times(), fresh.response_times());
+  for (const Path& c : fresh.chains(task)) {
+    const BackwardBounds be = e.chain_bounds(c);
+    const BackwardBounds bf = fresh.chain_bounds(c);
+    EXPECT_EQ(be.wcbt, bf.wcbt);
+    EXPECT_EQ(be.bcbt, bf.bcbt);
+  }
+  EXPECT_EQ(e.chains(task), fresh.chains(task));
+  for (const DisparityMethod m :
+       {DisparityMethod::kIndependent, DisparityMethod::kForkJoin}) {
+    DisparityOptions opt;
+    opt.method = m;
+    expect_reports_equal(e.disparity(task, opt), fresh.disparity(task, opt));
+  }
+}
+
+/// Warm every cache layer for `task`.
+void warm(const AnalysisEngine& e, TaskId task) {
+  (void)e.rta();
+  for (const Path& c : e.chains(task)) (void)e.chain_bounds(c);
+  for (const Edge& edge : e.graph().edges()) (void)e.hop(edge.from, edge.to);
+  (void)e.disparity(task);
+}
+
+const Path& chain_with_front(const std::vector<Path>& chains, TaskId front) {
+  for (const Path& c : chains) {
+    if (c.front() == front) return c;
+  }
+  ADD_FAILURE() << "no chain with front " << front;
+  return chains.front();
+}
+
+// ---- per-mutation-kind invalidation (§9 matrix rows) -----------------------
+
+TEST(EngineIncremental, BufferResizeInvalidatesOnlyTraversingChains) {
+  const TaskGraph g = two_ecu_chains();
+  AnalysisEngine e{TaskGraph{g}};
+  const TaskId f = g.sinks().front();
+  warm(e, f);
+  const std::vector<Path> chains = e.chains(f);
+  const Path chain_a = chain_with_front(chains, 0);  // s1 -> a1 -> a2 -> f
+  const Path chain_b = chain_with_front(chains, 1);  // s2 -> b1 -> b2 -> f
+
+  const EngineCacheStats before = e.cache_stats();
+  e.set_buffer(chain_a[0], chain_a[1], 3);
+
+  // §9 row "buffer", column RTA: kept — no refresh, no rerun.
+  (void)e.response_times();
+  EXPECT_EQ(e.cache_stats().rta_runs, 1u);
+  EXPECT_EQ(e.cache_stats().rta_refreshed_tasks, 0u);
+
+  // Column chain sets: kept (the enumeration ignores channel depths).
+  (void)e.chains(f);
+  EXPECT_EQ(e.cache_stats().chain_set_stale, before.chain_set_stale);
+  EXPECT_EQ(e.cache_stats().chain_set_hits, before.chain_set_hits + 1);
+
+  // Column WCBT/BCBT: invalidated for the traversing chain only.  The
+  // b-chain entry predates the commit and must be served as a survivor.
+  const BackwardBounds bb = e.chain_bounds(chain_b);
+  EXPECT_EQ(e.cache_stats().chain_bound_stale, before.chain_bound_stale);
+  EXPECT_EQ(e.cache_stats().chain_bound_hits, before.chain_bound_hits + 1);
+  EXPECT_GT(e.cache_stats().survived_hits, before.survived_hits);
+  (void)e.chain_bounds(chain_a);
+  EXPECT_EQ(e.cache_stats().chain_bound_stale, before.chain_bound_stale + 1);
+
+  // Column hop bounds: kept — θ does not read channel depths.
+  for (const Edge& edge : e.graph().edges()) (void)e.hop(edge.from, edge.to);
+  EXPECT_EQ(e.cache_stats().hop_stale, before.hop_stale);
+  EXPECT_EQ(e.cache_stats().hop_misses, before.hop_misses);
+
+  // Column disparity reports: invalidated downstream of the edge.
+  (void)e.disparity(f);
+  EXPECT_EQ(e.cache_stats().report_stale, before.report_stale + 1);
+
+  // The recomputed values equal a fresh engine's, and the resize is the
+  // Lemma 6 shift: the buffered chain's WCBT moved, the other did not.
+  expect_matches_fresh(e, f);
+  const ResponseTimeMap rtm = response_times_of(e.graph());
+  EXPECT_EQ(bb.wcbt, backward_bounds(e.graph(), chain_b, rtm).wcbt);
+}
+
+TEST(EngineIncremental, WcetEditInvalidatesEcuCohortOnly) {
+  const TaskGraph g = two_ecu_chains();
+  AnalysisEngine e{TaskGraph{g}};
+  const TaskId f = g.sinks().front();
+  warm(e, f);
+  const std::vector<Path> chains = e.chains(f);
+  const Path chain_a = chain_with_front(chains, 0);
+  const Path chain_b = chain_with_front(chains, 1);
+  const TaskId a1 = chain_a[1];
+
+  const EngineCacheStats before = e.cache_stats();
+  e.set_wcet_range(a1, Duration::us(200), Duration::us(500));
+
+  // §9 row "WCET", column RTA: scoped refresh of a1's ECU cohort {a1, a2}
+  // only — not a full rerun, and the b-side/f entries are untouched.
+  (void)e.response_times();
+  EXPECT_EQ(e.cache_stats().rta_runs, 1u);
+  EXPECT_EQ(e.cache_stats().rta_refreshed_tasks, 2u);
+
+  // Column WCBT/BCBT: the cohort-free b-chain survives; the a-chain is
+  // stale (its member epochs moved with the cohort).
+  (void)e.chain_bounds(chain_b);
+  EXPECT_EQ(e.cache_stats().chain_bound_stale, before.chain_bound_stale);
+  EXPECT_EQ(e.cache_stats().chain_bound_hits, before.chain_bound_hits + 1);
+  (void)e.chain_bounds(chain_a);
+  EXPECT_EQ(e.cache_stats().chain_bound_stale, before.chain_bound_stale + 1);
+
+  // Column chain sets: kept — WCET edits cannot change the topology.
+  (void)e.chains(f);
+  EXPECT_EQ(e.cache_stats().chain_set_stale, before.chain_set_stale);
+
+  expect_matches_fresh(e, f);
+}
+
+TEST(EngineIncremental, PeriodEditAlsoInvalidatesChainSets) {
+  const TaskGraph g = two_ecu_chains();
+  AnalysisEngine e{TaskGraph{g}};
+  const TaskId f = g.sinks().front();
+  warm(e, f);
+  const std::vector<Path> chains = e.chains(f);
+  const Path chain_a = chain_with_front(chains, 0);
+  const Path chain_b = chain_with_front(chains, 1);
+
+  const EngineCacheStats before = e.cache_stats();
+  e.set_period(chain_a.front(), Duration::ms(20));  // s1: 10ms -> 20ms
+
+  // §9 row "period": chain sets downstream of the task are invalidated
+  // (period changes can alter enumeration pruning in general), bounds of
+  // chains through the task are stale, everything else survives.
+  (void)e.chains(f);
+  EXPECT_EQ(e.cache_stats().chain_set_stale, before.chain_set_stale + 1);
+  (void)e.chain_bounds(chain_b);
+  EXPECT_EQ(e.cache_stats().chain_bound_stale, before.chain_bound_stale);
+  (void)e.chain_bounds(chain_a);
+  EXPECT_EQ(e.cache_stats().chain_bound_stale, before.chain_bound_stale + 1);
+
+  expect_matches_fresh(e, f);
+}
+
+TEST(EngineIncremental, OffsetEditInvalidatesNothing) {
+  const TaskGraph g = two_ecu_chains();
+  AnalysisEngine e{TaskGraph{g}};
+  const TaskId f = g.sinks().front();
+  warm(e, f);
+
+  const EngineCacheStats before = e.cache_stats();
+  e.set_offset(0, Duration::ms(5));
+
+  // §9 row "offset": every column kept — offsets feed only the exact LET
+  // oracle and the simulator, neither of which the engine caches.
+  warm(e, f);
+  const EngineCacheStats after = e.cache_stats();
+  EXPECT_EQ(after.mutation_commits, before.mutation_commits + 1);
+  EXPECT_EQ(after.hop_stale, before.hop_stale);
+  EXPECT_EQ(after.chain_bound_stale, before.chain_bound_stale);
+  EXPECT_EQ(after.chain_set_stale, before.chain_set_stale);
+  EXPECT_EQ(after.report_stale, before.report_stale);
+  EXPECT_EQ(after.rta_refreshed_tasks, before.rta_refreshed_tasks);
+  EXPECT_EQ(e.graph().task(0).offset, Duration::ms(5));
+  expect_matches_fresh(e, f);
+}
+
+TEST(EngineIncremental, EdgeEditsRebuildScopedRegion) {
+  const TaskGraph g = two_ecu_chains();
+  AnalysisEngine e{TaskGraph{g}};
+  const TaskId f = g.sinks().front();
+  warm(e, f);
+  const std::vector<Path> chains = e.chains(f);
+  const Path chain_b = chain_with_front(chains, 1);
+
+  // §9 row "add edge": chain sets + reports downstream of `to` rebuild;
+  // RTA and existing bounds survive (the new edge is in no cached chain).
+  const EngineCacheStats before = e.cache_stats();
+  e.add_edge(0, f);  // new chain s1 -> f
+  EXPECT_EQ(e.chains(f), enumerate_source_chains(e.graph(), f));
+  EXPECT_EQ(e.chains(f).size(), 3u);
+  EXPECT_EQ(e.cache_stats().rta_refreshed_tasks, 0u);
+  (void)e.chain_bounds(chain_b);
+  EXPECT_EQ(e.cache_stats().chain_bound_stale, before.chain_bound_stale);
+  expect_matches_fresh(e, f);
+
+  // §9 row "remove edge": the closure is taken on the *pre-commit* graph
+  // (removal destroys reachability), restoring the original chain set.
+  e.remove_edge(0, f);
+  EXPECT_EQ(e.chains(f), enumerate_source_chains(e.graph(), f));
+  EXPECT_EQ(e.chains(f).size(), 2u);
+  expect_matches_fresh(e, f);
+}
+
+// ---- incremental ≡ fresh under random edit sequences -----------------------
+
+TEST(EngineIncremental, RandomEditSweepMatchesFreshOver100Seeds) {
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    const TaskGraph g = random_dag_graph(10, 3, seed);
+    const TaskId sink = g.sinks().front();
+    AnalysisEngine e{TaskGraph{g}};
+    warm(e, sink);
+    Rng rng(seed * 7919);
+    for (int edit = 0; edit < 5; ++edit) {
+      switch (rng.uniform_int(0, 3)) {
+        case 0: {  // FIFO resize on a random edge
+          const auto& edges = e.graph().edges();
+          const Edge& edge = edges[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(edges.size()) - 1))];
+          e.set_buffer(edge.from, edge.to,
+                       static_cast<int>(rng.uniform_int(1, 3)));
+          break;
+        }
+        case 1: {  // WCET decrease on a random non-source task
+          const TaskId t = static_cast<TaskId>(rng.uniform_int(
+              0, static_cast<std::int64_t>(e.graph().num_tasks()) - 1));
+          if (e.graph().is_source(t)) continue;
+          const Task& task = e.graph().task(t);
+          const Duration w = task.bcet + (task.wcet - task.bcet) / 2;
+          e.set_wcet_range(t, task.bcet, w);
+          break;
+        }
+        case 2: {  // period doubling on a random source
+          const auto sources = e.graph().sources();
+          const TaskId s = sources[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(sources.size()) - 1))];
+          e.set_period(s, e.graph().task(s).period * 2);
+          break;
+        }
+        default: {  // offset nudge on a random source
+          const auto sources = e.graph().sources();
+          const TaskId s = sources[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(sources.size()) - 1))];
+          e.set_offset(s, e.graph().task(s).period / 2);
+          break;
+        }
+      }
+      expect_matches_fresh(e, sink);
+      if (::testing::Test::HasFailure()) {
+        FAIL() << "divergence at seed " << seed << ", edit " << edit;
+      }
+    }
+  }
+}
+
+// ---- engine ports of the design-space loops --------------------------------
+
+TEST(EngineIncremental, MultiBufferPortMatchesFreeFunction) {
+  const TaskGraph g = diamond_graph();
+  const ResponseTimeMap rtm = response_times_of(g);
+  const TaskId sink = g.sinks().front();
+  AnalysisEngine e{TaskGraph{g}};
+
+  const MultiBufferDesign free = design_buffers_for_task(g, sink, rtm);
+  const MultiBufferDesign port = design_buffers_for_task(e, sink);
+  EXPECT_EQ(port.baseline_bound, free.baseline_bound);
+  EXPECT_EQ(port.optimized_bound, free.optimized_bound);
+  ASSERT_EQ(port.channels.size(), free.channels.size());
+  for (std::size_t i = 0; i < port.channels.size(); ++i) {
+    EXPECT_EQ(port.channels[i].from, free.channels[i].from);
+    EXPECT_EQ(port.channels[i].to, free.channels[i].to);
+    EXPECT_EQ(port.channels[i].buffer_size, free.channels[i].buffer_size);
+    EXPECT_EQ(port.channels[i].shift, free.channels[i].shift);
+  }
+  expect_graphs_equal(e.graph(), g);  // restore-on-return contract
+}
+
+TEST(EngineIncremental, ParetoPortMatchesFreeFunction) {
+  const TaskGraph g = diamond_graph();
+  const ResponseTimeMap rtm = response_times_of(g);
+  const TaskId sink = g.sinks().front();
+  const std::vector<Path> chains = enumerate_source_chains(g, sink);
+  ASSERT_GE(chains.size(), 2u);
+  AnalysisEngine e{TaskGraph{g}};
+
+  const std::vector<ParetoPoint> free =
+      buffer_pareto(g, chains[0], chains[1], rtm);
+  const std::vector<ParetoPoint> port = buffer_pareto(e, chains[0], chains[1]);
+  ASSERT_EQ(port.size(), free.size());
+  for (std::size_t i = 0; i < port.size(); ++i) {
+    EXPECT_EQ(port[i].buffer_size, free[i].buffer_size);
+    EXPECT_EQ(port[i].shift, free[i].shift);
+    EXPECT_EQ(port[i].bound, free[i].bound);
+  }
+  expect_graphs_equal(e.graph(), g);
+}
+
+TEST(EngineIncremental, SensitivityPortMatchesFreeFunction) {
+  const TaskGraph g = random_dag_graph(10, 3, /*seed=*/5);
+  const TaskId sink = g.sinks().front();
+  AnalysisEngine e{TaskGraph{g}};
+
+  const std::vector<SensitivityEntry> free = disparity_sensitivity(g, sink);
+  const std::vector<SensitivityEntry> port = disparity_sensitivity(e, sink);
+  ASSERT_EQ(port.size(), free.size());
+  for (std::size_t i = 0; i < port.size(); ++i) {
+    EXPECT_EQ(port[i].task, free[i].task);
+    EXPECT_EQ(port[i].param, free[i].param);
+    EXPECT_EQ(port[i].baseline, free[i].baseline);
+    EXPECT_EQ(port[i].perturbed, free[i].perturbed);
+    EXPECT_EQ(port[i].schedulable, free[i].schedulable);
+  }
+  expect_graphs_equal(e.graph(), g);
+}
+
+TEST(EngineIncremental, OffsetPlanPortMatchesFreeFunction) {
+  // The hand-computed LET fixture of test_offset_opt (misaligned sources).
+  TaskGraph g;
+  Task s1;
+  s1.name = "S1";
+  s1.period = Duration::ms(10);
+  const TaskId s1id = g.add_task(s1);
+  Task s2;
+  s2.name = "S2";
+  s2.period = Duration::ms(20);
+  s2.offset = Duration::ms(5);
+  const TaskId s2id = g.add_task(s2);
+  auto mk = [](const char* name, Duration period, EcuId ecu, int prio) {
+    Task t;
+    t.name = name;
+    t.wcet = t.bcet = Duration::ms(1);
+    t.period = period;
+    t.ecu = ecu;
+    t.priority = prio;
+    t.comm = CommSemantics::kLet;
+    return t;
+  };
+  const TaskId a = g.add_task(mk("A", Duration::ms(10), 0, 0));
+  const TaskId b = g.add_task(mk("B", Duration::ms(20), 0, 1));
+  const TaskId f = g.add_task(mk("F", Duration::ms(20), 1, 0));
+  g.add_edge(s1id, a);
+  g.add_edge(s2id, b);
+  g.add_edge(a, f);
+  g.add_edge(b, f);
+  g.validate();
+
+  AnalysisEngine e{TaskGraph{g}};
+  const OffsetPlan free = plan_source_offsets(g, f);
+  const OffsetPlan port = plan_source_offsets(e, f);
+  EXPECT_EQ(port.baseline, free.baseline);
+  EXPECT_EQ(port.optimized, free.optimized);
+  EXPECT_EQ(port.evaluations, free.evaluations);
+  ASSERT_EQ(port.offsets.size(), free.offsets.size());
+  for (std::size_t i = 0; i < port.offsets.size(); ++i) {
+    EXPECT_EQ(port.offsets[i].task, free.offsets[i].task);
+    EXPECT_EQ(port.offsets[i].offset, free.offsets[i].offset);
+  }
+  expect_graphs_equal(e.graph(), g);
+}
+
+// ---- counting contract, transactions, modes --------------------------------
+
+TEST(EngineIncremental, LookupsAreCountedOnceAtTheEntryLayer) {
+  // Regression pin for the double-count fix: a disparity() query counts
+  // exactly one report lookup; its internal chain-set/bound/hop reads
+  // (feeding the pair kernel's memoized truncated-pair table) stay
+  // uncounted but still warm the caches.
+  const TaskGraph g = two_ecu_chains();
+  AnalysisEngine e{TaskGraph{g}};
+  const TaskId f = g.sinks().front();
+  (void)e.disparity(f);
+
+  EngineCacheStats stats = e.cache_stats();
+  EXPECT_EQ(stats.report_misses, 1u);
+  EXPECT_EQ(stats.report_hits, 0u);
+  EXPECT_EQ(stats.chain_bound_misses, 0u);
+  EXPECT_EQ(stats.chain_bound_hits, 0u);
+  EXPECT_EQ(stats.hop_misses, 0u);
+  EXPECT_EQ(stats.hop_hits, 0u);
+  EXPECT_EQ(stats.chain_set_misses, 0u);
+  EXPECT_EQ(stats.chain_set_hits, 0u);
+
+  // The caches WERE warmed by the uncounted traffic: direct queries at
+  // each layer are hits on their first counted lookup.
+  const std::vector<Path> chains = enumerate_source_chains(g, f);
+  (void)e.hop(chains[0][0], chains[0][1]);
+  (void)e.chain_bounds(chains[0]);
+  (void)e.chains(f);
+  stats = e.cache_stats();
+  EXPECT_EQ(stats.hop_hits, 1u);
+  EXPECT_EQ(stats.hop_misses, 0u);
+  EXPECT_EQ(stats.chain_bound_hits, 1u);
+  EXPECT_EQ(stats.chain_bound_misses, 0u);
+  EXPECT_EQ(stats.chain_set_hits, 1u);
+  EXPECT_EQ(stats.chain_set_misses, 0u);
+}
+
+TEST(EngineIncremental, TransactionBatchesOneCommit) {
+  const TaskGraph g = two_ecu_chains();
+  AnalysisEngine e{TaskGraph{g}};
+  const TaskId f = g.sinks().front();
+  warm(e, f);
+
+  // A priority swap is only valid jointly — each half alone collides.
+  const int pa = e.graph().task(2).priority;
+  const int pb = e.graph().task(3).priority;
+  AnalysisEngine::Transaction txn(e);
+  txn.set_priority(2, pb).set_priority(3, pa);
+  EXPECT_EQ(txn.size(), 2u);
+  txn.commit();
+
+  EXPECT_EQ(e.cache_stats().mutation_commits, 1u);
+  EXPECT_EQ(e.cache_stats().mutation_edits, 2u);
+  EXPECT_EQ(e.graph().task(2).priority, pb);
+  EXPECT_EQ(e.graph().task(3).priority, pa);
+  expect_matches_fresh(e, f);
+}
+
+TEST(EngineIncremental, RejectedCommitLeavesGraphAndCachesUntouched) {
+  const TaskGraph g = two_ecu_chains();
+  AnalysisEngine e{TaskGraph{g}};
+  const TaskId f = g.sinks().front();
+  const DisparityReport before = e.disparity(f);
+  const EngineCacheStats stats_before = e.cache_stats();
+
+  // Second edit invalidates the graph (zero period): the whole batch must
+  // be rejected with the strong guarantee.
+  AnalysisEngine::Transaction txn(e);
+  txn.set_wcet_range(2, Duration::us(100), Duration::us(800))
+      .set_period(0, Duration::zero());
+  EXPECT_THROW(txn.commit(), PreconditionError);
+
+  expect_graphs_equal(e.graph(), g);
+  EXPECT_EQ(e.cache_stats().mutation_commits, stats_before.mutation_commits);
+  // The cached report survived: re-query is a pure hit.
+  expect_reports_equal(e.disparity(f), before);
+  EXPECT_EQ(e.cache_stats().report_hits, stats_before.report_hits + 1);
+  EXPECT_EQ(e.cache_stats().report_stale, stats_before.report_stale);
+}
+
+// Parameter-only batches are validated against the *final* batch state
+// before anything is applied (the commit fast path skips the snapshot),
+// so every rejection below must leave the graph byte-identical.
+TEST(EngineIncremental, PrecheckedCommitRejectsInvalidFinalStates) {
+  const TaskGraph g = two_ecu_chains();
+  AnalysisEngine e{TaskGraph{g}};
+
+  // Priority collision within the ECU cohort (a1 p0, a2 p1 on ECU 0).
+  EXPECT_THROW(e.set_priority(2, g.task(3).priority), PreconditionError);
+  // Joint per-task invariant: offset must stay inside the final period.
+  EXPECT_THROW(e.set_offset(2, Duration::ms(15)), PreconditionError);
+  {
+    AnalysisEngine::Transaction txn(e);
+    txn.set_offset(2, Duration::ms(8)).set_period(2, Duration::ms(5));
+    EXPECT_THROW(txn.commit(), PreconditionError);
+  }
+  // Buffer edits need an existing edge and a positive depth.
+  EXPECT_THROW(e.set_buffer(0, 5, 2), PreconditionError);
+  EXPECT_THROW(e.set_buffer(0, 2, 0), PreconditionError);
+  EXPECT_THROW(e.set_period(99, Duration::ms(10)), PreconditionError);
+
+  expect_graphs_equal(e.graph(), g);
+  EXPECT_EQ(e.cache_stats().mutation_commits, 0u);
+
+  // A batched swap is judged on final priorities, so it still commits.
+  AnalysisEngine::Transaction swap(e);
+  swap.set_priority(2, g.task(3).priority).set_priority(3, g.task(2).priority);
+  swap.commit();
+  EXPECT_EQ(e.graph().task(2).priority, g.task(3).priority);
+  EXPECT_EQ(e.graph().task(3).priority, g.task(2).priority);
+}
+
+TEST(EngineIncremental, ExternalRtmModeRejectsSchedulingEdits) {
+  const TaskGraph g = two_ecu_chains();
+  ResponseTimeMap rtm = response_times_of(g);
+  AnalysisEngine e(TaskGraph{g}, std::move(rtm));
+
+  // The adopted WCRT map cannot be refreshed: scheduling edits throw...
+  EXPECT_THROW(e.set_period(0, Duration::ms(20)), PreconditionError);
+  EXPECT_THROW(e.set_wcet_range(2, Duration::zero(), Duration::ms(1)),
+               PreconditionError);
+  EXPECT_THROW(e.set_priority(2, 7), PreconditionError);
+
+  // ...while buffer/offset/structural edits stay available and correct.
+  const TaskId f = g.sinks().front();
+  e.set_buffer(2, 3, 2);
+  e.set_offset(0, Duration::ms(1));
+  TaskGraph edited = g;
+  edited.set_buffer_size(2, 3, 2);
+  edited.task(0).offset = Duration::ms(1);
+  const AnalysisEngine fresh(edited, response_times_of(edited));
+  expect_reports_equal(e.disparity(f), fresh.disparity(f));
+}
+
+TEST(EngineIncremental, ChainSetReferenceSurvivesMutation) {
+  const TaskGraph g = two_ecu_chains();
+  AnalysisEngine e{TaskGraph{g}};
+  const TaskId f = g.sinks().front();
+  const std::vector<Path>& ref = e.chains(f);
+  EXPECT_EQ(ref.size(), 2u);
+
+  // A structural edit refreshes the set *in place*: the old reference
+  // stays valid and observes the new contents.
+  e.add_edge(0, f);
+  const std::vector<Path>& again = e.chains(f);
+  EXPECT_EQ(&ref, &again);
+  EXPECT_EQ(again.size(), 3u);
+  EXPECT_EQ(again, enumerate_source_chains(e.graph(), f));
+}
+
+// ---- the verify property and its fault injection ---------------------------
+
+TEST(EngineIncremental, VerifyPropertyHoldsAndFaultIsCaught) {
+  const TaskGraph g = two_ecu_chains();
+  const TaskId f = g.sinks().front();
+  verify::ProbeConfig cfg;
+  EXPECT_FALSE(verify::check_property(
+                   verify::Property::kIncrementalMatchesFresh, g, f, cfg)
+                   .violated());
+
+  // Skipping the buffer-edge epoch bump must be caught at the resize step
+  // (the stale entry misses the Lemma 6 shift).
+  cfg.fault = verify::FaultInjection::kSkipInvalidation;
+  const verify::PropertyOutcome out = verify::check_property(
+      verify::Property::kIncrementalMatchesFresh, g, f, cfg);
+  EXPECT_TRUE(out.violated());
+  EXPECT_NE(out.detail.find("buffer resize"), std::string::npos)
+      << out.detail;
+}
+
+TEST(EngineIncremental, InjectedFaultViolationShrinks) {
+  const TaskGraph g = random_dag_graph(12, 3, /*seed=*/7);
+  const TaskId sink = g.sinks().front();
+  ASSERT_GE(count_source_chains(g, sink), 2u);
+
+  verify::PropertyChecker checker{verify::CheckerOptions{}};
+  verify::CheckerReport report;
+  verify::ProbeConfig cfg;
+  cfg.fault = verify::FaultInjection::kSkipInvalidation;
+  checker.check_instance(g, sink, cfg, report);
+
+  ASSERT_FALSE(report.violations.empty());
+  const verify::Violation& v = report.violations.front();
+  EXPECT_EQ(v.property, verify::Property::kIncrementalMatchesFresh);
+  EXPECT_EQ(v.original_tasks, g.num_tasks());
+  EXPECT_LE(v.graph.num_tasks(), v.original_tasks);
+  EXPECT_GT(v.shrink_rounds, 0u);
+  // The shrunken graph still reproduces the violation.
+  EXPECT_TRUE(verify::check_property(v.property, v.graph, v.task, cfg)
+                  .violated());
+}
+
+TEST(EngineIncremental, PropertyNameRoundTrips) {
+  EXPECT_STREQ(
+      verify::property_name(verify::Property::kIncrementalMatchesFresh),
+      "incremental_matches_fresh");
+  EXPECT_EQ(verify::property_from_name("incremental_matches_fresh"),
+            verify::Property::kIncrementalMatchesFresh);
+}
+
+}  // namespace
+}  // namespace ceta

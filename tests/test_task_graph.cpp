@@ -57,6 +57,48 @@ TEST(TaskGraph, AddEdgeRejectsBadInput) {
   EXPECT_THROW(g.add_edge(b, a, ChannelSpec{0}), PreconditionError);
 }
 
+TEST(TaskGraph, RemoveEdgeDeletesEdgeAndAdjacency) {
+  TaskGraph g;
+  const TaskId a = g.add_task(simple_task("a"));
+  const TaskId b = g.add_task(simple_task("b", 0, 1));
+  const TaskId c = g.add_task(simple_task("c", 0, 2));
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, c);
+
+  g.remove_edge(a, c);
+  EXPECT_FALSE(g.has_edge(a, c));
+  EXPECT_EQ(g.num_edges(), 2u);
+  // Remaining adjacency preserves insertion order.
+  ASSERT_EQ(g.successors(a).size(), 1u);
+  EXPECT_EQ(g.successors(a)[0], b);
+  ASSERT_EQ(g.predecessors(c).size(), 1u);
+  EXPECT_EQ(g.predecessors(c)[0], b);
+
+  EXPECT_THROW(g.remove_edge(a, c), PreconditionError);   // already gone
+  EXPECT_THROW(g.remove_edge(c, a), PreconditionError);   // never existed
+  EXPECT_THROW(g.remove_edge(a, 99), PreconditionError);  // unknown id
+}
+
+TEST(TaskGraph, RemoveEdgeCanStrandTaskAsInvalidSource) {
+  TaskGraph g;
+  Task s;
+  s.name = "s";
+  s.period = Duration::ms(10);
+  const TaskId sid = g.add_task(s);
+  const TaskId a = g.add_task(simple_task("a", 0, 1));
+  const TaskId b = g.add_task(simple_task("b", 0, 2));
+  g.add_edge(sid, a);
+  g.add_edge(a, b);
+  EXPECT_NO_THROW(g.validate());
+
+  // Removing a's only inbound edge reclassifies it as a source, but it
+  // still carries WCET > 0 and an ECU — validate() must now reject.
+  g.remove_edge(sid, a);
+  EXPECT_TRUE(g.is_source(a));
+  EXPECT_THROW(g.validate(), PreconditionError);
+}
+
 TEST(TaskGraph, ChannelSpecStoredAndMutable) {
   TaskGraph g;
   const TaskId a = g.add_task(simple_task("a"));
