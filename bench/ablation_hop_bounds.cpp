@@ -9,7 +9,6 @@
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
-#include "disparity/forkjoin.hpp"
 #include "engine/analysis_engine.hpp"
 #include "experiments/table.hpp"
 #include "graph/generator.hpp"
@@ -41,22 +40,19 @@ int main(int argc, char** argv) {
         --i;
         continue;
       }
-      const TaskGraph& eg = engine.graph();
-      const auto& chains = engine.chains(eg.sinks().front());
-      for (const Path& c : chains) {
+      const TaskId sink = engine.graph().sinks().front();
+      for (const Path& c : engine.chains(sink)) {
         w_np.add(
             engine.chain_bounds(c, HopBoundMethod::kNonPreemptive).wcbt.as_ms());
         w_ag.add(engine.chain_bounds(c, HopBoundMethod::kSchedulingAgnostic)
                      .wcbt.as_ms());
       }
-      d_np.add(sdiff_pair_bound(eg, chains[0], chains[1],
-                                engine.response_times(),
-                                HopBoundMethod::kNonPreemptive)
-                   .bound.as_ms());
-      d_ag.add(sdiff_pair_bound(eg, chains[0], chains[1],
-                                engine.response_times(),
-                                HopBoundMethod::kSchedulingAgnostic)
-                   .bound.as_ms());
+      DisparityOptions dopt;
+      dopt.method = DisparityMethod::kForkJoin;
+      dopt.hop_method = HopBoundMethod::kNonPreemptive;
+      d_np.add(engine.disparity(sink, dopt).worst_case.as_ms());
+      dopt.hop_method = HopBoundMethod::kSchedulingAgnostic;
+      d_ag.add(engine.disparity(sink, dopt).worst_case.as_ms());
     }
     const double gain = (d_ag.mean() - d_np.mean()) / d_ag.mean();
     table.add_row({std::to_string(len), fmt_double(w_np.mean()),

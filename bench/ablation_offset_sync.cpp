@@ -23,6 +23,7 @@
 #include "disparity/multi_buffer.hpp"
 #include "disparity/offset_opt.hpp"
 #include "engine/analysis_engine.hpp"
+#include "engine/incremental.hpp"
 #include "experiments/table.hpp"
 #include "graph/generator.hpp"
 #include "sched/priority.hpp"
@@ -64,7 +65,7 @@ void run_table(const char* label, bool harmonic, std::size_t instances,
       g.set_comm_semantics(CommSemantics::kLet);
       Rng offset_rng = rng.split();
       randomize_offsets(g, offset_rng);
-      const AnalysisEngine engine(g);
+      AnalysisEngine engine(g);
       if (!engine.schedulable()) {
         --i;
         continue;
@@ -80,7 +81,7 @@ void run_table(const char* label, bool harmonic, std::size_t instances,
       apply_multi_buffer_design(buffered, d);
       buf.add(exact_let_disparity(buffered, sink).worst_disparity.as_ms());
 
-      off.add(plan_source_offsets(g, sink).optimized.as_ms());
+      off.add(plan_source_offsets(engine, sink).optimized.as_ms());
     }
     table.add_row({std::to_string(len), fmt_double(base.mean()),
                    fmt_double(buf.mean()), fmt_double(off.mean())});

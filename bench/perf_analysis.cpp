@@ -9,7 +9,9 @@
 // (cross-checked bit-for-bit) into BENCH_pairwise.json, and a 64-point
 // FIFO-depth sweep through the mutation API is timed against per-point
 // fresh-engine rebuilds (again cross-checked bit-for-bit) into
-// BENCH_incremental.json — the run fails if any comparison ever diverges.
+// BENCH_incremental.json, and the DAG-DP disparity backend is checked
+// against the kernel and timed on a 10⁴-task ladder into
+// BENCH_dagdp.json — the run fails if any comparison ever diverges.
 
 #include <benchmark/benchmark.h>
 
@@ -24,6 +26,7 @@
 #include "common/rng.hpp"
 #include "disparity/analyzer.hpp"
 #include "disparity/buffer_opt.hpp"
+#include "disparity/dag_dp.hpp"
 #include "disparity/exact.hpp"
 #include "disparity/pair_kernel.hpp"
 #include "disparity/sensitivity.hpp"
@@ -281,6 +284,96 @@ void BM_PairKernelWorstOnly(benchmark::State& state) {
 }
 BENCHMARK(BM_PairKernelWorstOnly);
 
+// ---- DAG-DP backend --------------------------------------------------------
+
+/// `layers` serial diamonds with every task alone on its own ECU
+/// (WCRT = WCET trivially): 1 + 3·layers tasks, 2^layers source chains —
+/// far beyond any enumeration cap at the sizes benchmarked here, which is
+/// exactly the regime the DP backend exists for.
+TaskGraph dagdp_ladder_graph(std::size_t layers) {
+  TaskGraph g;
+  Task s;
+  s.name = "S";
+  s.period = Duration::ms(10);
+  TaskId prev = g.add_task(s);
+  EcuId next_ecu = 0;
+  auto mk = [&](const std::string& name) {
+    Task t;
+    t.name = name;
+    t.wcet = t.bcet = Duration::ms(1);
+    t.period = Duration::ms(10);
+    t.ecu = next_ecu++;
+    t.priority = 0;
+    return g.add_task(t);
+  };
+  for (std::size_t i = 0; i < layers; ++i) {
+    const std::string n = std::to_string(i);
+    const TaskId a = mk("a" + n);
+    const TaskId b = mk("b" + n);
+    const TaskId j = mk("j" + n);
+    g.add_edge(prev, a);
+    g.add_edge(prev, b);
+    g.add_edge(a, j);
+    g.add_edge(b, j);
+    prev = j;
+  }
+  g.validate();
+  return g;
+}
+
+/// The exact DP combination the huge-graph workloads use: P-diff on full
+/// chains, streamed worst pair only.
+DisparityOptions dagdp_options() {
+  DisparityOptions opt;
+  opt.method = DisparityMethod::kIndependent;
+  opt.truncation = JointTruncation::kNever;
+  opt.keep_pairs = KeepPairs::kWorstOnly;
+  opt.backend = DisparityBackend::kDagDp;
+  return opt;
+}
+
+/// One DP analysis of the ladder sink; 100/1000/10000-task graphs whose
+/// chain sets (2^33 .. 2^3333) no enumerator could touch.
+void BM_DagDpSerial(benchmark::State& state) {
+  const std::size_t layers = static_cast<std::size_t>(state.range(0));
+  const TaskGraph g = dagdp_ladder_graph(layers);
+  const RtaResult rta = analyze_response_times(g);
+  const TaskId sink = g.sinks().front();
+  const DisparityOptions opt = dagdp_options();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analyze_time_disparity_dag_dp(g, sink, rta.response_time, opt));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_tasks()));
+  state.counters["tasks"] = static_cast<double>(g.num_tasks());
+}
+BENCHMARK(BM_DagDpSerial)->Arg(33)->Arg(333)->Arg(3333);
+
+/// DP-served sinks sharded across the engine pool: disparity_all over a
+/// sample of the ladder's junction tasks (each an independent DP run on
+/// its own ancestor cone) at 1 vs N workers.
+void BM_DagDpParallel(benchmark::State& state) {
+  const TaskGraph g = dagdp_ladder_graph(1000);
+  EngineOptions eopt;
+  eopt.num_threads = static_cast<std::size_t>(state.range(0));
+  const AnalysisEngine engine(g, eopt);
+  // Every 125th junction: 8 cones from 375 to 3000 tasks.
+  std::vector<TaskId> sample;
+  for (std::size_t i = 125; i <= 1000; i += 125) {
+    sample.push_back(static_cast<TaskId>(3 * i));  // j_{i-1}
+  }
+  const DisparityOptions opt = dagdp_options();
+  for (auto _ : state) {
+    const AnalysisEngine fresh(g, eopt);
+    benchmark::DoNotOptimize(fresh.disparity_all(sample, opt));
+  }
+  state.counters["sinks"] = static_cast<double>(sample.size());
+}
+BENCHMARK(BM_DagDpParallel)
+    ->Arg(1)
+    ->Arg(static_cast<long>(ThreadPool::default_concurrency()));
+
 // ---- AnalysisEngine vs free functions -------------------------------------
 
 /// Free-function session: RTA + task-level S-diff from scratch (what a
@@ -509,6 +602,91 @@ bool write_pairwise_comparison(const std::string& path) {
   return match;
 }
 
+// ---- DAG DP vs enumeration -> BENCH_dagdp.json -----------------------------
+
+/// DP backend vs the enumerating kernel: worst-pair agreement is checked
+/// bit-for-bit on an enumerable 256-chain diamond stack, then the DP's
+/// throughput is recorded on a 10⁴-task ladder (2^3333 chains — beyond
+/// any enumeration cap, and beyond size_t) serially and with DP-served
+/// sinks sharded across the engine pool.  Writes BENCH_dagdp.json;
+/// returns false on any DP-vs-kernel divergence (perf_smoke and main()
+/// turn that into a failure).
+bool write_dagdp_comparison(const std::string& path) {
+  const DisparityOptions opt = dagdp_options();
+
+  // Agreement pass on an enumerable instance (same options, both ways).
+  const TaskGraph small = diamond_stack_graph(8);
+  const RtaResult small_rta = analyze_response_times(small);
+  const TaskId small_sink = small.sinks().front();
+  const DisparityReport dp_small = analyze_time_disparity_dag_dp(
+      small, small_sink, small_rta.response_time, opt);
+  const DisparityReport ker_small = analyze_time_disparity_kernel(
+      small, small_sink, small_rta.response_time, opt);
+  const bool match = dp_small.exact &&
+                     dp_small.worst_case == ker_small.worst_case &&
+                     dp_small.chain_count == ker_small.chain_count;
+
+  // Throughput pass on the 10⁴-task ladder.
+  constexpr std::size_t kLayers = 3333;  // 1 + 3*3333 = 10000 tasks
+  const TaskGraph g = dagdp_ladder_graph(kLayers);
+  const RtaResult rta = analyze_response_times(g);
+  const TaskId sink = g.sinks().front();
+  constexpr int kIters = 3;
+  DisparityReport huge;
+  const double serial_ns = time_ns(
+      [&] {
+        huge = analyze_time_disparity_dag_dp(g, sink, rta.response_time, opt);
+      },
+      kIters);
+  const double tasks_per_sec =
+      static_cast<double>(g.num_tasks()) / (serial_ns * 1e-9);
+
+  // Batch: 8 junction cones via disparity_all, 1 thread vs default.
+  std::vector<TaskId> sample;
+  for (std::size_t i = 416; i <= kLayers; i += 416) {
+    sample.push_back(static_cast<TaskId>(3 * i));
+  }
+  auto batch_ns = [&](std::size_t threads) {
+    EngineOptions eopt;
+    eopt.num_threads = threads;
+    const AnalysisEngine engine(g, eopt);
+    return time_ns(
+        [&] {
+          const AnalysisEngine fresh(g, eopt);
+          benchmark::DoNotOptimize(fresh.disparity_all(sample, opt));
+        },
+        2);
+  };
+  const double batch1 = batch_ns(1);
+  const std::size_t n_default = ThreadPool::default_concurrency();
+  const double batchn = batch_ns(n_default);
+
+  bench::write_json_file(path, [&](obs::JsonWriter& w) {
+    w.member("bench", "dagdp_vs_enumeration")
+        .member("agreement_chains",
+                static_cast<std::int64_t>(ker_small.chain_count))
+        .member("match", match)
+        .member("graph_tasks", static_cast<std::int64_t>(g.num_tasks()))
+        .member("chain_count_saturated", huge.chain_count_saturated)
+        .member("worst_case_ns",
+                static_cast<std::int64_t>(huge.worst_case.count()))
+        .member("exact", huge.exact)
+        .member("serial_ns", serial_ns)
+        .member("tasks_per_sec", tasks_per_sec)
+        .member("batch_sinks", static_cast<std::int64_t>(sample.size()))
+        .member("batch_threads_1_ns", batch1)
+        .member("threads_default", static_cast<std::int64_t>(n_default))
+        .member("batch_threads_default_ns", batchn)
+        .member("parallel_speedup", batch1 / batchn);
+  });
+  std::cout << "dag-dp comparison written to " << path << " ("
+            << g.num_tasks() << " tasks, " << tasks_per_sec
+            << " tasks/sec serial, batch speedup: " << batch1 / batchn
+            << "x with " << n_default << " threads, match: "
+            << (match ? "true" : "false") << ")\n";
+  return match;
+}
+
 // ---- incremental mutation API vs fresh rebuilds -> BENCH_incremental.json --
 
 /// Deterministic 55-task workload for the buffer sweep: two 28-task
@@ -709,6 +887,10 @@ int main(int argc, char** argv) {
   }
   if (!write_incremental_comparison("BENCH_incremental.json")) {
     std::cerr << "FAIL: incremental engine diverges from fresh rebuilds\n";
+    return 1;
+  }
+  if (!write_dagdp_comparison("BENCH_dagdp.json")) {
+    std::cerr << "FAIL: DAG-DP backend diverges from the enumerating kernel\n";
     return 1;
   }
   if (!ceta::obs::Tracer::enabled() && !check_disabled_tracing_overhead()) {

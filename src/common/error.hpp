@@ -39,6 +39,16 @@ class CapacityError : public Error {
   explicit CapacityError(const std::string& what) : Error(what) {}
 };
 
+/// An options struct passed to a public analysis entry point fails its
+/// validate() contract (e.g. KeepPairs::kTopK with top_k == 0, or a
+/// backend/method combination the analysis cannot serve).  Distinct from
+/// PreconditionError so callers can map it to a usage diagnostic rather
+/// than a caller bug.
+class InvalidOptionsError : public Error {
+ public:
+  explicit InvalidOptionsError(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] void throw_precondition(const char* expr, const char* file,
                                      int line, const std::string& msg);

@@ -64,6 +64,60 @@ BackwardBoundsFn direct_bounds(const TaskGraph& g,
 
 }  // namespace
 
+void DisparityOptions::validate() const {
+  const auto bad = [](const std::string& what) {
+    throw InvalidOptionsError("DisparityOptions: " + what);
+  };
+  switch (method) {
+    case DisparityMethod::kIndependent:
+    case DisparityMethod::kForkJoin:
+      break;
+    default:
+      bad("unknown DisparityMethod");
+  }
+  switch (hop_method) {
+    case HopBoundMethod::kNonPreemptive:
+    case HopBoundMethod::kSchedulingAgnostic:
+      break;
+    default:
+      bad("unknown HopBoundMethod");
+  }
+  switch (truncation) {
+    case JointTruncation::kAuto:
+    case JointTruncation::kAlways:
+    case JointTruncation::kNever:
+      break;
+    default:
+      bad("unknown JointTruncation");
+  }
+  switch (keep_pairs) {
+    case KeepPairs::kAll:
+    case KeepPairs::kWorstOnly:
+    case KeepPairs::kTopK:
+      break;
+    default:
+      bad("unknown KeepPairs");
+  }
+  switch (backend) {
+    case DisparityBackend::kAuto:
+    case DisparityBackend::kEnumerate:
+    case DisparityBackend::kDagDp:
+      break;
+    default:
+      bad("unknown DisparityBackend");
+  }
+  if (path_cap == 0) bad("path_cap must be >= 1");
+  if (keep_pairs == KeepPairs::kTopK && top_k == 0) {
+    bad("keep_pairs == kTopK requires top_k >= 1");
+  }
+  if (backend == DisparityBackend::kDagDp &&
+      keep_pairs == KeepPairs::kAll) {
+    bad(
+        "backend == kDagDp cannot serve keep_pairs == kAll (the DP never "
+        "materializes the pair set; use kTopK or kWorstOnly)");
+  }
+}
+
 bool disparity_uses_truncation(const DisparityOptions& opt) {
   return opt.truncation == JointTruncation::kAlways ||
          (opt.truncation == JointTruncation::kAuto &&
@@ -164,6 +218,7 @@ DisparityReport analyze_time_disparity(const TaskGraph& g, TaskId task,
                                        const ResponseTimeMap& rtm,
                                        const DisparityOptions& opt) {
   CETA_EXPECTS(task < g.num_tasks(), "analyze_time_disparity: bad task id");
+  opt.validate();
   obs::Span span("disparity", "analyze_time_disparity");
   span.arg("task", static_cast<std::int64_t>(task));
   static obs::Counter& runs =
@@ -174,6 +229,7 @@ DisparityReport analyze_time_disparity(const TaskGraph& g, TaskId task,
   DisparityReport report;
   report.worst_case = Duration::zero();
   report.chains = enumerate_source_chains(g, task, opt.path_cap);
+  report.chain_count = report.chains.size();
 
   const std::size_t n = report.chains.size();
   std::vector<BackwardBounds> full;

@@ -37,6 +37,23 @@ enum class DisparityMethod {
 /// paper's S-diff improves on.
 enum class JointTruncation { kAuto, kAlways, kNever };
 
+/// Which implementation serves a disparity query.
+enum class DisparityBackend {
+  /// Route automatically: enumerate when the chain count fits under
+  /// DisparityOptions::path_cap, otherwise the DAG dynamic program —
+  /// big sinks degrade to summary analysis instead of CapacityError.
+  kAuto,
+  /// Enumerate the chain set P and run the pairwise kernel.  Exact per
+  /// the paper; throws CapacityError beyond path_cap.
+  kEnumerate,
+  /// DAG dynamic program over per-task path summaries (disparity/
+  /// dag_dp.hpp): no chain materialization, with an automatic exact
+  /// fallback to the enumerating kernel when joint structure or
+  /// truncation demands it and the instance is enumerable.  See
+  /// DESIGN.md §10 for the exactness contract.
+  kDagDp,
+};
+
 /// How much of the O(|P|²) per-pair vector a disparity report
 /// materializes.  worst_case is always the maximum over *all* pairs; this
 /// only selects which PairDisparity entries are kept.
@@ -65,6 +82,16 @@ struct DisparityOptions {
   KeepPairs keep_pairs = KeepPairs::kAll;
   /// Pairs kept when keep_pairs == kTopK (clamped to the pair count).
   std::size_t top_k = 16;
+  /// Which implementation serves the query (see DisparityBackend).
+  DisparityBackend backend = DisparityBackend::kAuto;
+
+  /// Reject option tuples no backend can serve: out-of-range enum values,
+  /// path_cap == 0, kTopK with top_k == 0, and kDagDp with
+  /// KeepPairs::kAll (the DP never materializes the pair set, so "all
+  /// pairs" is unsatisfiable by construction; use kTopK or kWorstOnly).
+  /// Throws InvalidOptionsError.  The one validation path shared by the
+  /// free analyzer, the kernel, the DP backend and AnalysisEngine.
+  void validate() const;
 };
 
 /// Bound for one chain pair, for reporting.
@@ -74,17 +101,51 @@ struct PairDisparity {
   Duration bound;           ///< disparity bound of this pair
 };
 
+/// Worst-pair witness at *source* granularity, reported by the DAG-DP
+/// backend (which never materializes individual chains): the bound is the
+/// maximum over all chain pairs (a from source_a, b from source_b).
+/// source_a == source_b describes a pair of distinct chains from one
+/// source.  source_a <= source_b always.
+struct SourcePairDisparity {
+  TaskId source_a = 0;
+  TaskId source_b = 0;
+  Duration bound;
+};
+
 /// Result of analyze_time_disparity / AnalysisEngine::disparity.
 struct DisparityReport {
   /// Upper bound on the worst-case time disparity of the analyzed task;
   /// zero when it has fewer than two source chains.
   Duration worst_case;
-  /// The enumerated chain set P (each from a source to the task).
+  /// The enumerated chain set P (each from a source to the task).  Empty
+  /// when `truncated` is set (DP-served query: P was never materialized).
   std::vector<Path> chains;
   /// Per-pair bounds: all |chains| choose 2 unordered pairs under
   /// KeepPairs::kAll, a filtered subset otherwise (see KeepPairs for the
-  /// exact ordering contract).
+  /// exact ordering contract).  Empty when `truncated` is set.
   std::vector<PairDisparity> pairs;
+  /// Source-granularity worst pairs (DP-served queries only; empty when
+  /// the chain set was enumerated).  Ranked like `pairs`: bound
+  /// descending, ties by (source_a, source_b) ascending; KeepPairs
+  /// governs how many are kept.
+  std::vector<SourcePairDisparity> source_pairs;
+  /// Which backend actually served the query — never kAuto; a kDagDp
+  /// request that took the exact enumeration fallback reports kEnumerate.
+  DisparityBackend backend = DisparityBackend::kEnumerate;
+  /// True when worst_case is bit-identical to the paper's enumeration
+  /// semantics (always for kEnumerate; for kDagDp see DESIGN.md §10).
+  /// False marks a DP-relaxed safe upper bound.
+  bool exact = true;
+  /// |P|: number of source chains of the analyzed task (saturating; the
+  /// DP computes it without enumeration).
+  std::size_t chain_count = 0;
+  /// True when chain_count saturated at SIZE_MAX (the true count is
+  /// larger than representable).
+  bool chain_count_saturated = false;
+  /// True when the chain set was *not* materialized (`chains`/`pairs`
+  /// empty, `source_pairs` filled) — the structured outcome that replaces
+  /// a CapacityError throw on graphs beyond path_cap.
+  bool truncated = false;
 };
 
 /// Bound the worst-case time disparity of `task`.  `rtm` maps every task

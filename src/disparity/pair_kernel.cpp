@@ -455,12 +455,14 @@ DisparityReport pair_kernel_analyze(
   static obs::Counter& memo_hit_counter =
       obs::MetricsRegistry::global().counter("disparity.kernel.memo_hits");
   runs.add();
+  opt.validate();
   CETA_EXPECTS(full_bounds == nullptr || full_bounds->size() == chains.size(),
                "pair_kernel_analyze: full_bounds/chains size mismatch");
 
   DisparityReport report;
   report.worst_case = Duration::zero();
   report.chains = chains;
+  report.chain_count = chains.size();
 
   const std::size_t n = chains.size();
   KernelState st{g, rtm, opt, disparity_uses_truncation(opt), {}, {}, {}};

@@ -8,6 +8,7 @@
 
 #include "chain/latency.hpp"
 #include "common/error.hpp"
+#include "disparity/dag_dp.hpp"
 #include "disparity/pair_kernel.hpp"
 #include "engine/thread_pool.hpp"
 #include "graph/algorithms.hpp"
@@ -48,6 +49,7 @@ std::size_t AnalysisEngine::ReportKeyHash::operator()(
   h = hash_mix(h, static_cast<std::uint64_t>(k.truncation));
   h = hash_mix(h, static_cast<std::uint64_t>(k.keep_pairs));
   h = hash_mix(h, k.top_k);
+  h = hash_mix(h, static_cast<std::uint64_t>(k.backend));
   return h;
 }
 
@@ -345,9 +347,11 @@ BackwardBoundsFn AnalysisEngine::bounds_provider() const {
 DisparityReport AnalysisEngine::disparity(TaskId task,
                                           const DisparityOptions& opt) const {
   CETA_EXPECTS(task < graph_.num_tasks(), "analyze_time_disparity: bad task id");
+  opt.validate();
   const ReportKey key{task, opt.method, opt.hop_method, opt.path_cap,
                       opt.truncation, opt.keep_pairs,
-                      opt.keep_pairs == KeepPairs::kTopK ? opt.top_k : 0};
+                      opt.keep_pairs == KeepPairs::kTopK ? opt.top_k : 0,
+                      opt.backend};
   obs::Span span("engine", "disparity");
   span.arg("task", static_cast<std::int64_t>(task));
   bool stale = false;
@@ -368,33 +372,60 @@ DisparityReport AnalysisEngine::disparity(TaskId task,
   span.arg("cache", stale ? "stale" : "miss");
   const auto t0 = std::chrono::steady_clock::now();
 
-  // The pairwise kernel (disparity/pair_kernel.hpp) does the O(|P|²) work,
-  // bit-identically to analyze_time_disparity; the engine supplies its
-  // memoized chain set and full-chain bounds (so the chain-bound cache
-  // keeps amortizing across hop methods and later latency queries) and,
-  // when the pair count warrants it, its thread pool for the intra-sink
-  // tiled reduction.  Never hand the pool over from inside one of its own
-  // workers (disparity_all's per-sink jobs): with no work stealing, tiles
-  // queued behind blocked workers would deadlock.  The chain-set and
-  // chain-bound reads are uncounted plumbing of this one logical report
-  // lookup (see EngineCacheStats).
-  const std::vector<Path>& chain_list =
-      chains_impl(task, opt.path_cap, /*counted=*/false);
-  const std::size_t n = chain_list.size();
-  std::vector<BackwardBounds> full;
-  full.reserve(n);
-  for (const Path& c : chain_list) {
-    full.push_back(chain_bounds_impl(c, opt.hop_method, /*counted=*/false));
+  // Backend routing, mirroring analyze_time_disparity_backend: kDagDp runs
+  // the DP (falling back to enumeration only when exactness demands it and
+  // the instance fits under path_cap); kAuto checks the overflow-safe
+  // chain count and degrades dense sinks to the DP instead of throwing
+  // CapacityError.  The DP reads graph_ and response_times() only — both
+  // inputs are covered by report_epoch_, so the cache/invalidation
+  // machinery is untouched.
+  bool use_dp = opt.backend == DisparityBackend::kDagDp;
+  if (opt.backend == DisparityBackend::kAuto) {
+    use_dp = count_source_chains_checked(graph_, task).exceeds(opt.path_cap);
   }
-  ThreadPool* tile_pool = nullptr;
-  const std::size_t total_pairs = n < 2 ? 0 : n * (n - 1) / 2;
-  if (opt_.num_threads != 1 && total_pairs >= 128 &&
-      !ThreadPool::current_thread_in_pool()) {
-    tile_pool = &pool();
+  std::shared_ptr<const DisparityReport> report;
+  if (use_dp) {
+    DisparityReport dp_report =
+        analyze_time_disparity_dag_dp(graph_, task, response_times(), opt);
+    if (opt.backend == DisparityBackend::kDagDp && !dp_report.exact &&
+        !ChainCount{dp_report.chain_count, dp_report.chain_count_saturated}
+             .exceeds(opt.path_cap)) {
+      use_dp = false;  // exact enumeration fallback below
+    } else {
+      span.arg("backend", "dag_dp");
+      report =
+          std::make_shared<const DisparityReport>(std::move(dp_report));
+    }
   }
-  auto report = std::make_shared<const DisparityReport>(
-      pair_kernel_analyze(graph_, chain_list, response_times(), opt,
-                          tile_pool, &full));
+  if (!use_dp) {
+    // The pairwise kernel (disparity/pair_kernel.hpp) does the O(|P|²)
+    // work, bit-identically to analyze_time_disparity; the engine supplies
+    // its memoized chain set and full-chain bounds (so the chain-bound
+    // cache keeps amortizing across hop methods and later latency queries)
+    // and, when the pair count warrants it, its thread pool for the
+    // intra-sink tiled reduction.  Never hand the pool over from inside
+    // one of its own workers (disparity_all's per-sink jobs): with no work
+    // stealing, tiles queued behind blocked workers would deadlock.  The
+    // chain-set and chain-bound reads are uncounted plumbing of this one
+    // logical report lookup (see EngineCacheStats).
+    const std::vector<Path>& chain_list =
+        chains_impl(task, opt.path_cap, /*counted=*/false);
+    const std::size_t n = chain_list.size();
+    std::vector<BackwardBounds> full;
+    full.reserve(n);
+    for (const Path& c : chain_list) {
+      full.push_back(chain_bounds_impl(c, opt.hop_method, /*counted=*/false));
+    }
+    ThreadPool* tile_pool = nullptr;
+    const std::size_t total_pairs = n < 2 ? 0 : n * (n - 1) / 2;
+    if (opt_.num_threads != 1 && total_pairs >= 128 &&
+        !ThreadPool::current_thread_in_pool()) {
+      tile_pool = &pool();
+    }
+    report = std::make_shared<const DisparityReport>(
+        pair_kernel_analyze(graph_, chain_list, response_times(), opt,
+                            tile_pool, &full));
+  }
 
   ins_.disparity_compute.observe(elapsed_since(t0));
   const std::lock_guard<std::mutex> lock(report_mutex_);

@@ -215,11 +215,17 @@ class AnalysisEngine {
   std::vector<TaskId> fusing_tasks() const;
 
   /// @brief Memoized task-level disparity analysis; byte-identical to
-  /// analyze_time_disparity(graph(), task, response_times(), opt).
+  /// analyze_time_disparity_backend(graph(), task, response_times(), opt):
+  /// opt.backend picks the enumerating kernel or the DAG DP
+  /// (disparity/dag_dp.hpp), with kAuto degrading sinks whose
+  /// overflow-checked chain count exceeds opt.path_cap to the DP instead
+  /// of throwing CapacityError.
   /// @param task  Fusion task to analyze.
-  /// @param opt   Analysis options; every distinct option tuple is its own
-  ///   cache entry (top_k normalized out unless keep_pairs == kTopK).
-  /// Complexity: O(|P|²) pair kernel on a miss, O(1) on a hit.
+  /// @param opt   Analysis options (validate()d here); every distinct
+  ///   option tuple is its own cache entry (top_k normalized out unless
+  ///   keep_pairs == kTopK).
+  /// Complexity: O(|P|²) pair kernel or O(V + E·sources) DP on a miss,
+  /// O(1) on a hit.
   DisparityReport disparity(TaskId task, const DisparityOptions& opt = {}) const;
 
   /// @brief Batch analysis of many tasks, fanned out over the engine's
@@ -400,6 +406,10 @@ class AnalysisEngine {
     /// Normalized to 0 unless keep_pairs == kTopK (top_k is inert then, and
     /// must not split cache entries).
     std::size_t top_k = 0;
+    /// Backend selector: distinct backends produce structurally different
+    /// reports (chains/pairs vs source_pairs), so they must not share an
+    /// entry even when their worst_case agrees.
+    DisparityBackend backend = DisparityBackend::kAuto;
     bool operator==(const ReportKey&) const = default;
   };
   struct ReportKeyHash {

@@ -71,25 +71,38 @@ std::vector<Path> enumerate_paths(const TaskGraph& g, TaskId from, TaskId to,
 }
 
 std::size_t count_source_chains(const TaskGraph& g, TaskId target) {
-  CETA_EXPECTS(target < g.num_tasks(), "count_source_chains: bad target");
+  return count_source_chains_checked(g, target).count;
+}
+
+ChainCount count_source_chains_checked(const TaskGraph& g, TaskId target) {
+  CETA_EXPECTS(target < g.num_tasks(),
+               "count_source_chains_checked: bad target");
   constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
   std::vector<std::size_t> count(g.num_tasks(), 0);
+  // sat[id] records whether count[id] is a saturated lower bound rather
+  // than the exact path count — either its own sum overflowed or any
+  // predecessor contribution was already saturated.
+  std::vector<bool> sat(g.num_tasks(), false);
   for (TaskId id : g.topological_order()) {
     if (g.is_source(id)) {
       count[id] = 1;
       continue;
     }
     std::size_t total = 0;
+    bool saturated = false;
     for (TaskId p : g.predecessors(id)) {
+      if (sat[p]) saturated = true;
       if (count[p] > kMax - total) {
         total = kMax;
+        saturated = true;
         break;
       }
       total += count[p];
     }
-    count[id] = total;
+    count[id] = saturated ? kMax : total;
+    sat[id] = saturated;
   }
-  return count[target];
+  return ChainCount{count[target], sat[target]};
 }
 
 bool is_path(const TaskGraph& g, const Path& p) {

@@ -36,6 +36,25 @@ std::vector<Path> enumerate_paths(const TaskGraph& g, TaskId from, TaskId to,
 /// enumeration (saturates at SIZE_MAX on overflow).
 std::size_t count_source_chains(const TaskGraph& g, TaskId target);
 
+/// Result of count_source_chains_checked: the (saturating) path count plus
+/// an explicit overflow signal.  On 10⁴-task dense DAGs the true count can
+/// exceed SIZE_MAX; `saturated` lets backend selection distinguish "exactly
+/// SIZE_MAX chains" (never happens in practice) from "too many to count",
+/// instead of silently comparing a wrapped/clamped number against a cap.
+struct ChainCount {
+  std::size_t count = 0;
+  bool saturated = false;
+
+  /// True when the (possibly saturated) count exceeds `cap` — i.e. the
+  /// chain set is not enumerable under that cap.
+  bool exceeds(std::size_t cap) const { return saturated || count > cap; }
+};
+
+/// Overflow-safe variant of count_source_chains: identical DP, but reports
+/// whether any per-task count (not just the target's) saturated, so a
+/// wrapped intermediate cannot mis-route backend selection.
+ChainCount count_source_chains_checked(const TaskGraph& g, TaskId target);
+
 /// True if `p` is a path of `g` (each consecutive pair is an edge).
 bool is_path(const TaskGraph& g, const Path& p);
 

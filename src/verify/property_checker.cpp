@@ -12,6 +12,7 @@
 #include "common/rng.hpp"
 #include "disparity/analyzer.hpp"
 #include "disparity/buffer_opt.hpp"
+#include "disparity/dag_dp.hpp"
 #include "disparity/exact.hpp"
 #include "disparity/forkjoin.hpp"
 #include "disparity/multi_buffer.hpp"
@@ -40,7 +41,8 @@ constexpr const char* kPropertyNames[kNumProperties] = {
     "backward_in_bounds",  "exact_within_bound",
     "exact_matches_sim",   "buffered_shift",
     "buffer_design_consistent", "multi_buffer_safe",
-    "pair_kernel_matches_reference", "incremental_matches_fresh"};
+    "pair_kernel_matches_reference", "incremental_matches_fresh",
+    "dag_dp_matches_enumeration"};
 
 constexpr Property kAllProperties[kNumProperties] = {
     Property::kEngineMatchesFree,
@@ -54,7 +56,8 @@ constexpr Property kAllProperties[kNumProperties] = {
     Property::kBufferDesignConsistent,
     Property::kMultiBufferSafe,
     Property::kPairKernelMatchesReference,
-    Property::kIncrementalMatchesFresh};
+    Property::kIncrementalMatchesFresh,
+    Property::kDagDpMatchesEnumeration};
 
 std::string dur(Duration d) { return std::to_string(d.count()) + "ns"; }
 
@@ -746,6 +749,96 @@ PropertyOutcome check_incremental_matches_fresh(const Inputs& in) {
   return holds();
 }
 
+// --- dag_dp_matches_enumeration --------------------------------------------
+
+PropertyOutcome check_dag_dp_matches_enumeration(const Inputs& in) {
+  DagDpOptions dpo;
+  dpo.fault_drop_source_period =
+      in.cfg.fault == FaultInjection::kCorruptDpSummary;
+
+  // The DP's relaxation target is fixed: kIndependent on the full chains
+  // (DESIGN.md §10), independent of the requested method × truncation.
+  DisparityOptions relax_opt = disparity_options(in, DisparityMethod::kIndependent);
+  relax_opt.truncation = JointTruncation::kNever;
+  relax_opt.keep_pairs = KeepPairs::kWorstOnly;
+  const DisparityReport relax =
+      analyze_time_disparity_kernel(in.g, in.task, in.rtm, relax_opt);
+
+  for (const DisparityMethod m :
+       {DisparityMethod::kIndependent, DisparityMethod::kForkJoin}) {
+    for (const JointTruncation tr : {JointTruncation::kAuto,
+                                     JointTruncation::kAlways,
+                                     JointTruncation::kNever}) {
+      DisparityOptions opt = disparity_options(in, m);
+      opt.truncation = tr;
+      opt.keep_pairs = KeepPairs::kWorstOnly;
+      const std::string combo =
+          std::string(m == DisparityMethod::kIndependent ? "P" : "S") +
+          "-diff/trunc=" + std::to_string(static_cast<int>(tr));
+
+      const DisparityReport ref =
+          analyze_time_disparity_kernel(in.g, in.task, in.rtm, opt);
+      const DisparityReport dp =
+          analyze_time_disparity_dag_dp(in.g, in.task, in.rtm, opt, dpo);
+
+      if (dp.chain_count_saturated || dp.chain_count != in.chains.size()) {
+        return violated("DP chain_count " + std::to_string(dp.chain_count) +
+                        (dp.chain_count_saturated ? " (saturated)" : "") +
+                        " != enumerated |P| " +
+                        std::to_string(in.chains.size()) + " at " + combo);
+      }
+      if (dp.exact) {
+        // Exactness claim: bit-identical to the enumerating kernel at the
+        // *requested* combination.
+        if (dp.worst_case != ref.worst_case) {
+          return violated("exact DP worst_case " + dur(dp.worst_case) +
+                          " != kernel " + dur(ref.worst_case) + " at " +
+                          combo);
+        }
+      } else {
+        // Relaxation contract: equal by construction to the kIndependent +
+        // kNever enumeration, hence never below a kNever reference
+        // (Theorem 2 is clamped by Theorem 1 on the full chains).
+        if (dp.worst_case != relax.worst_case) {
+          return violated("relaxed DP worst_case " + dur(dp.worst_case) +
+                          " != P-diff/kNever kernel " +
+                          dur(relax.worst_case) + " at " + combo);
+        }
+        if (tr == JointTruncation::kNever && dp.worst_case < ref.worst_case) {
+          return violated("relaxed DP worst_case " + dur(dp.worst_case) +
+                          " below kernel " + dur(ref.worst_case) + " at " +
+                          combo);
+        }
+      }
+
+      // The routed front door must always land on the exact result for
+      // enumerable instances: DP when its claim holds, kernel fallback
+      // otherwise.
+      DisparityOptions bopt = opt;
+      bopt.backend = DisparityBackend::kDagDp;
+      const DisparityReport routed = analyze_time_disparity_backend(
+          in.g, in.task, in.rtm, bopt, nullptr, dpo);
+      const DisparityBackend want =
+          dp.exact ? DisparityBackend::kDagDp : DisparityBackend::kEnumerate;
+      if (routed.backend != want) {
+        return violated(std::string("routed backend ") +
+                        (routed.backend == DisparityBackend::kDagDp
+                             ? "dag_dp"
+                             : "enumerate") +
+                        " != expected " +
+                        (want == DisparityBackend::kDagDp ? "dag_dp"
+                                                          : "enumerate") +
+                        " at " + combo);
+      }
+      if (routed.worst_case != ref.worst_case) {
+        return violated("routed worst_case " + dur(routed.worst_case) +
+                        " != kernel " + dur(ref.worst_case) + " at " + combo);
+      }
+    }
+  }
+  return holds();
+}
+
 PropertyOutcome dispatch(Property p, const Inputs& in) {
   switch (p) {
     case Property::kEngineMatchesFree: return check_engine_matches_free(in);
@@ -763,6 +856,8 @@ PropertyOutcome dispatch(Property p, const Inputs& in) {
       return check_pair_kernel_matches_reference(in);
     case Property::kIncrementalMatchesFresh:
       return check_incremental_matches_fresh(in);
+    case Property::kDagDpMatchesEnumeration:
+      return check_dag_dp_matches_enumeration(in);
   }
   throw Error("check_property: unknown property");
 }

@@ -52,9 +52,16 @@ enum class Property {
   /// add/remove) stays field-identical to a freshly constructed engine
   /// after every commit and every revert (DESIGN.md §9).
   kIncrementalMatchesFresh,
+  /// DAG-DP backend ≡ enumerating kernel on every enumerable instance, at
+  /// every DisparityMethod × JointTruncation combination: bit-identical
+  /// worst_case whenever the DP claims exactness, and equal to the
+  /// kIndependent + kNever enumeration otherwise (the DP's relaxation
+  /// contract, DESIGN.md §10); the routed backend front door must always
+  /// land on the exact result.
+  kDagDpMatchesEnumeration,
 };
 
-inline constexpr std::size_t kNumProperties = 12;
+inline constexpr std::size_t kNumProperties = 13;
 
 /// Stable lowercase identifier ("sim_within_bound", ...), used in fixture
 /// files and reports.
@@ -76,6 +83,11 @@ enum class FaultInjection {
   /// channel go stale — the incremental_matches_fresh property must catch
   /// the divergence.  Affects only that property.
   kSkipInvalidation,
+  /// Run the DAG DP with DagDpOptions::fault_drop_source_period, so its
+  /// combination step under-reports the final worst case by one source
+  /// period — the dag_dp_matches_enumeration property must flag the
+  /// divergence from the enumerating kernel.  Affects only that property.
+  kCorruptDpSummary,
 };
 
 /// Everything a single property evaluation depends on besides the graph:

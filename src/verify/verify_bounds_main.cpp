@@ -3,7 +3,8 @@
 //   verify_bounds [--trials N] [--seed N] [--probes N]
 //                 [--min-tasks N] [--max-tasks N] [--ecus N]
 //                 [--shrink | --no-shrink] [--fixture-dir PATH]
-//                 [--inject-fault] [--trace PATH] [--metrics PATH] [--quiet]
+//                 [--inject-fault] [--inject-dp-fault]
+//                 [--trace PATH] [--metrics PATH] [--quiet]
 //
 // Draws N seeded random WATERS instances, checks every cross-implementation
 // invariant (see DESIGN.md §7) on each, shrinks any violation to a minimal
@@ -18,7 +19,9 @@
 // exit the expected outcome.  --inject-stale-cache instead breaks the
 // engine's buffer-edge invalidation (EngineOptions::
 // fault_skip_edge_invalidation), which the incremental_matches_fresh
-// property must catch; nonzero exit expected likewise.
+// property must catch; nonzero exit expected likewise.  --inject-dp-fault
+// corrupts the DAG-DP combination step (DagDpOptions::
+// fault_drop_source_period), which dag_dp_matches_enumeration must catch.
 
 #include <cstdint>
 #include <exception>
@@ -41,8 +44,8 @@ int usage(const char* argv0) {
       << " [--trials N] [--seed N] [--probes N] [--min-tasks N]"
          " [--max-tasks N]\n"
          "       [--ecus N] [--shrink | --no-shrink] [--fixture-dir PATH]\n"
-         "       [--inject-fault] [--inject-stale-cache] [--trace PATH]\n"
-         "       [--metrics PATH] [--quiet]\n";
+         "       [--inject-fault] [--inject-stale-cache] [--inject-dp-fault]\n"
+         "       [--trace PATH] [--metrics PATH] [--quiet]\n";
   return 2;
 }
 
@@ -110,6 +113,8 @@ int main(int argc, char** argv) {
         opt.probe.fault = FaultInjection::kDropHeadPeriod;
       } else if (arg == "--inject-stale-cache") {
         opt.probe.fault = FaultInjection::kSkipInvalidation;
+      } else if (arg == "--inject-dp-fault") {
+        opt.probe.fault = FaultInjection::kCorruptDpSummary;
       } else if (arg == "--trace") {
         const char* v = next_arg(i);
         if (!v) return usage(argv[0]);

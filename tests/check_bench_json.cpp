@@ -3,11 +3,12 @@
 // tests use, checks the schema the bench promises, and fails (exit 1) if
 // the recorded cross-check ever reported a divergence.
 //
-//   check_bench_json <file> [pairwise|incremental]
+//   check_bench_json <file> [pairwise|incremental|dagdp]
 //
 // The optional second argument selects the schema; "pairwise" (the
 // kernel-vs-reference comparison) is the default, "incremental" validates
-// the mutation-API-vs-fresh-rebuild sweep.
+// the mutation-API-vs-fresh-rebuild sweep, "dagdp" the DAG-DP backend's
+// agreement-plus-throughput record.
 
 #include <fstream>
 #include <iostream>
@@ -76,17 +77,49 @@ int check_incremental(const ceta::testing::JsonValue& doc,
   return 0;
 }
 
+int check_dagdp(const ceta::testing::JsonValue& doc, const std::string& path) {
+  for (const char* key :
+       {"bench", "agreement_chains", "match", "graph_tasks",
+        "chain_count_saturated", "exact", "serial_ns", "tasks_per_sec",
+        "batch_sinks", "batch_threads_1_ns", "threads_default",
+        "batch_threads_default_ns", "parallel_speedup"}) {
+    if (!doc.has(key)) return fail(path + " lacks member '" + key + "'");
+  }
+  if (doc.at("bench").string != "dagdp_vs_enumeration") {
+    return fail("unexpected bench id '" + doc.at("bench").string + "'");
+  }
+  if (doc.at("agreement_chains").number < 2 ||
+      doc.at("graph_tasks").number < 10'000 ||
+      doc.at("serial_ns").number <= 0 || doc.at("tasks_per_sec").number <= 0) {
+    return fail("degenerate bench record in " + path);
+  }
+  if (!doc.at("chain_count_saturated").boolean) {
+    return fail("huge-graph fixture lost its beyond-size_t chain count in " +
+                path);
+  }
+  if (!doc.at("match").boolean) {
+    return fail(
+        "DAG-DP backend diverged from the enumerating kernel (match: "
+        "false in " +
+        path + ")");
+  }
+  std::cout << "OK: " << path << " (" << doc.at("graph_tasks").number
+            << " tasks, " << doc.at("tasks_per_sec").number
+            << " tasks/sec, match: true)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2 || argc > 3) {
     std::cerr << "usage: check_bench_json <BENCH_*.json> "
-                 "[pairwise|incremental]\n";
+                 "[pairwise|incremental|dagdp]\n";
     return 2;
   }
   const std::string path = argv[1];
   const std::string schema = argc == 3 ? argv[2] : "pairwise";
-  if (schema != "pairwise" && schema != "incremental") {
+  if (schema != "pairwise" && schema != "incremental" && schema != "dagdp") {
     std::cerr << "unknown schema '" << schema << "'\n";
     return 2;
   }
@@ -102,8 +135,9 @@ int main(int argc, char** argv) {
   try {
     const ceta::testing::JsonValue doc =
         ceta::testing::JsonParser::parse(buf.str());
-    return schema == "pairwise" ? check_pairwise(doc, path)
-                                : check_incremental(doc, path);
+    if (schema == "pairwise") return check_pairwise(doc, path);
+    if (schema == "incremental") return check_incremental(doc, path);
+    return check_dagdp(doc, path);
   } catch (const std::exception& e) {
     std::cerr << "FAIL: " << path << " is not valid JSON: " << e.what()
               << "\n";
