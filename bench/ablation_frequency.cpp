@@ -77,10 +77,10 @@ int main(int argc, char** argv) {
     SimOptions sopt;
     sopt.duration = sim_time;
     sopt.warmup = sim_time / 5;
-    const SimResult base = simulate(g, sopt);
+    const SimResult base = Simulator(g, sopt).run();
     TaskGraph buffered = g;
     apply_buffer_design(buffered, d);
-    const SimResult opt = simulate(buffered, sopt);
+    const SimResult opt = Simulator(buffered, sopt).run();
 
     table.add_row({to_string(period), fmt_double(sdiff.as_ms()),
                    fmt_double(d.optimized_bound.as_ms()),

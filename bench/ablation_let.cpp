@@ -27,7 +27,7 @@ Duration measure(TaskGraph g, TaskId sink, std::uint64_t seed) {
   opt.warmup = Duration::s(2);
   opt.duration = Duration::s(6);
   opt.seed = seed;
-  return simulate(g, opt).max_disparity[sink];
+  return Simulator(g, opt).run().max_disparity[sink];
 }
 
 }  // namespace

@@ -75,9 +75,9 @@ int main(int argc, char** argv) {
       sopt.duration = Duration::s(4);
       sopt.warmup = Duration::s(1);
       sopt.seed = rng.split().seed();
-      const SimResult res_np = simulate(g, sopt);
+      const SimResult res_np = Simulator(g, sopt).run();
       sopt.policy = SchedPolicy::kPreemptive;
-      const SimResult res_p = simulate(g, sopt);
+      const SimResult res_p = Simulator(g, sopt).run();
       s_np.add(res_np.max_disparity[sink].as_ms());
       s_p.add(res_p.max_disparity[sink].as_ms());
       preempts.add(static_cast<double>(

@@ -1,10 +1,21 @@
-// Performance microbenchmarks of the discrete-event simulator: jobs per
-// second across graph sizes, channel modes and tracing.  After the run,
-// the simulator's global counters (runs, events, jobs, preemptions) are
-// written to BENCH_sim.json.
+// Simulator-core performance benchmarks and the old-vs-new acceptance
+// gate.  Microbenchmarks compare the retained reference engine (binary
+// heap, allocating token maps) against the rewritten calendar-queue
+// Simulator for single runs and seeded replication batches; after the
+// benchmark pass, main() runs a 100-seed trace-equivalence sweep
+// (reference vs Simulator, every result field and every trace record)
+// plus the timed replication workload — a fleet of short seeded
+// Monte-Carlo runs through both engines, where the old engine pays its
+// per-run construction cost and the resettable core does not — and
+// writes the combined record to BENCH_sim.json.  Exit status 1 if any
+// seed diverges — the
+// perf_smoke_sim ctest runs this binary, and perf_smoke_sim_json
+// revalidates the JSON with an independent parser.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
 #include <iostream>
 #include <numeric>
 
@@ -13,6 +24,8 @@
 #include "graph/generator.hpp"
 #include "sched/npfp_rta.hpp"
 #include "sim/engine.hpp"
+#include "sim/montecarlo.hpp"
+#include "sim/reference_engine.hpp"
 #include "waters/generator.hpp"
 
 namespace {
@@ -37,73 +50,203 @@ std::int64_t total_jobs(const SimResult& res) {
                          std::int64_t{0});
 }
 
-void BM_Simulate(benchmark::State& state) {
+void BM_SimulateReference(benchmark::State& state) {
   const TaskGraph g = make_graph(static_cast<std::size_t>(state.range(0)), 1);
   SimOptions opt;
   opt.duration = Duration::s(1);
   std::int64_t jobs = 0;
   for (auto _ : state) {
-    const SimResult res = simulate(g, opt);
+    const SimResult res = sim::simulate_reference(g, opt);
     jobs += total_jobs(res);
     benchmark::DoNotOptimize(res.max_disparity.data());
   }
   state.counters["jobs/s"] = benchmark::Counter(
       static_cast<double>(jobs), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_Simulate)->Arg(10)->Arg(20)->Arg(35);
+BENCHMARK(BM_SimulateReference)->Arg(10)->Arg(20)->Arg(35);
 
-void BM_SimulateWithTrace(benchmark::State& state) {
+void BM_SimulatorRun(benchmark::State& state) {
+  const TaskGraph g = make_graph(static_cast<std::size_t>(state.range(0)), 1);
+  SimOptions opt;
+  opt.duration = Duration::s(1);
+  Simulator simulator(g, opt);  // construct once, reset per run — the new shape
+  std::int64_t jobs = 0;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const SimResult res = simulator.run(seed++);
+    jobs += total_jobs(res);
+    benchmark::DoNotOptimize(res.max_disparity.data());
+  }
+  state.counters["jobs/s"] = benchmark::Counter(
+      static_cast<double>(jobs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorRun)->Arg(10)->Arg(20)->Arg(35);
+
+void BM_SimulatorRunWithTrace(benchmark::State& state) {
   const TaskGraph g = make_graph(static_cast<std::size_t>(state.range(0)), 1);
   SimOptions opt;
   opt.duration = Duration::s(1);
   opt.record_trace = true;
+  Simulator simulator(g, opt);
   std::int64_t jobs = 0;
+  std::uint64_t seed = 1;
   for (auto _ : state) {
-    const SimResult res = simulate(g, opt);
+    const SimResult res = simulator.run(seed++);
     jobs += total_jobs(res);
     benchmark::DoNotOptimize(res.trace.tasks.data());
   }
   state.counters["jobs/s"] = benchmark::Counter(
       static_cast<double>(jobs), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_SimulateWithTrace)->Arg(10)->Arg(20);
+BENCHMARK(BM_SimulatorRunWithTrace)->Arg(10)->Arg(20);
 
-void BM_SimulateWorstCaseModel(benchmark::State& state) {
-  const TaskGraph g = make_graph(20, 2);
+void BM_SimulatorBatch(benchmark::State& state) {
+  const TaskGraph g = make_graph(20, 1);
   SimOptions opt;
-  opt.duration = Duration::s(1);
-  opt.exec_model = ExecTimeModel::kWorstCase;
-  std::int64_t jobs = 0;
+  opt.duration = Duration::ms(250);
+  Simulator simulator(g, opt);
+  const auto reps = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t sims = 0;
   for (auto _ : state) {
-    const SimResult res = simulate(g, opt);
-    jobs += total_jobs(res);
+    const sim::SimBatchResult batch = simulator.run_batch(1, reps);
+    sims += batch.replications;
+    benchmark::DoNotOptimize(batch.max_disparity.data());
   }
-  state.counters["jobs/s"] = benchmark::Counter(
-      static_cast<double>(jobs), benchmark::Counter::kIsRate);
+  state.counters["sims/s"] = benchmark::Counter(
+      static_cast<double>(sims), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_SimulateWorstCaseModel);
+BENCHMARK(BM_SimulatorBatch)->Arg(16)->Arg(64);
 
-void BM_SimulateBufferedChannels(benchmark::State& state) {
-  Rng rng(3);
-  TaskGraph g = merge_chains_at_sink(10, 10);
-  WatersAssignOptions wopt;
-  assign_waters_parameters(g, wopt, rng);
-  // FIFO on both head channels.
-  const auto sources = g.sources();
-  for (TaskId s : sources) {
-    g.set_buffer_size(s, g.successors(s).front(), 8);
-  }
-  SimOptions opt;
-  opt.duration = Duration::s(1);
-  std::int64_t jobs = 0;
+void BM_MonteCarlo(benchmark::State& state) {
+  const TaskGraph g = make_graph(20, 1);
+  sim::MonteCarloOptions opt;
+  opt.sim.duration = Duration::ms(250);
+  opt.replications = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t sims = 0;
   for (auto _ : state) {
-    const SimResult res = simulate(g, opt);
-    jobs += total_jobs(res);
+    const sim::MonteCarloResult res = sim::run_monte_carlo(g, opt);
+    sims += res.replications;
+    benchmark::DoNotOptimize(&res.tasks);
   }
-  state.counters["jobs/s"] = benchmark::Counter(
-      static_cast<double>(jobs), benchmark::Counter::kIsRate);
+  state.counters["sims/s"] = benchmark::Counter(
+      static_cast<double>(sims), benchmark::Counter::kIsRate);
 }
-BENCHMARK(BM_SimulateBufferedChannels);
+BENCHMARK(BM_MonteCarlo)->Arg(64);
+
+// --- old-vs-new acceptance sweep (runs after the benchmarks) ---
+
+bool same_result(const SimResult& a, const SimResult& b) {
+  if (a.max_disparity != b.max_disparity) return false;
+  if (a.jobs_observed != b.jobs_observed) return false;
+  if (a.jobs_finished != b.jobs_finished) return false;
+  if (a.max_response_time != b.max_response_time) return false;
+  if (a.preemptions != b.preemptions) return false;
+  if (a.trace.tasks.size() != b.trace.tasks.size()) return false;
+  for (std::size_t t = 0; t < a.trace.tasks.size(); ++t) {
+    const auto& ja = a.trace.tasks[t].jobs;
+    const auto& jb = b.trace.tasks[t].jobs;
+    if (ja.size() != jb.size()) return false;
+    for (std::size_t k = 0; k < ja.size(); ++k) {
+      if (ja[k].index != jb[k].index || ja[k].release != jb[k].release ||
+          ja[k].start != jb[k].start || ja[k].finish != jb[k].finish ||
+          ja[k].reads.size() != jb[k].reads.size()) {
+        return false;
+      }
+      for (std::size_t r = 0; r < ja[k].reads.size(); ++r) {
+        if (ja[k].reads[r].from != jb[k].reads[r].from ||
+            ja[k].reads[r].producer_job != jb[k].reads[r].producer_job ||
+            ja[k].reads[r].producer_release !=
+                jb[k].reads[r].producer_release) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+struct SweepOutcome {
+  std::size_t graph_tasks = 0;
+  std::uint64_t seeds_checked = 0;
+  std::uint64_t replications = 0;
+  double reference_ns = 0.0;  ///< traced single run, old engine
+  double simulator_ns = 0.0;  ///< traced single run, new core
+  double fleet_reference_s = 0.0;  ///< replication fleet, old engine
+  double fleet_simulator_s = 0.0;  ///< replication fleet, new core
+  std::uint64_t events = 0;
+  bool match = true;
+};
+
+/// 100 seeds through both engines with full traces: every field and
+/// every job record must agree (the rewrite's bit-identity contract).
+/// The speedup/throughput numbers come from an untraced replication
+/// fleet timed through both engines.
+SweepOutcome run_equivalence_sweep() {
+  using Clock = std::chrono::steady_clock;
+  SweepOutcome out;
+  const TaskGraph g = make_graph(20, 7);
+  out.graph_tasks = g.num_tasks();
+
+  SimOptions opt;
+  opt.duration = Duration::ms(400);
+  opt.record_trace = true;
+  Simulator simulator(g, opt);
+  double ref_ns = 0.0;
+  double new_ns = 0.0;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    opt.seed = seed;
+    const auto r0 = Clock::now();
+    const SimResult oldr = sim::simulate_reference(g, opt);
+    const auto r1 = Clock::now();
+    const SimResult newr = simulator.run(seed);
+    const auto r2 = Clock::now();
+    ref_ns += std::chrono::duration<double, std::nano>(r1 - r0).count();
+    new_ns += std::chrono::duration<double, std::nano>(r2 - r1).count();
+    ++out.seeds_checked;
+    if (!same_result(oldr, newr)) {
+      std::cerr << "FAIL: reference and Simulator diverged at seed " << seed
+                << "\n";
+      out.match = false;
+      return out;
+    }
+  }
+  out.reference_ns = ref_ns / static_cast<double>(out.seeds_checked);
+  out.simulator_ns = new_ns / static_cast<double>(out.seeds_checked);
+
+  // Replication workload: a Monte-Carlo fleet of short seeded runs (the
+  // 10^5-replications-per-sweep regime of DESIGN.md S11), untraced.  The
+  // old engine rebuilds channels/tables every run — exactly the per-run
+  // cost the resettable Simulator amortizes away.  Three passes each,
+  // best taken, to keep the record stable on noisy shared machines.
+  SimOptions ropt;
+  ropt.duration = Duration::ms(10);
+  const std::uint64_t fleet = 2000;
+  Simulator fleet_sim(g, ropt);
+  double ref_best = 1e300;
+  double new_best = 1e300;
+  for (int pass = 0; pass < 3; ++pass) {
+    const auto f0 = Clock::now();
+    for (std::uint64_t k = 1; k <= fleet; ++k) {
+      ropt.seed = k;
+      const SimResult r = sim::simulate_reference(g, ropt);
+      benchmark::DoNotOptimize(r.max_disparity.data());
+    }
+    const auto f1 = Clock::now();
+    const std::uint64_t before = fleet_sim.events_processed();
+    const sim::SimBatchResult batch = fleet_sim.run_batch(1, fleet);
+    const auto f2 = Clock::now();
+    benchmark::DoNotOptimize(batch.replications);
+    ref_best =
+        std::min(ref_best, std::chrono::duration<double>(f1 - f0).count());
+    new_best =
+        std::min(new_best, std::chrono::duration<double>(f2 - f1).count());
+    out.replications = batch.replications;
+    out.events = fleet_sim.events_processed() - before;
+  }
+  out.fleet_reference_s = ref_best;
+  out.fleet_simulator_s = new_best;
+  return out;
+}
 
 }  // namespace
 
@@ -113,11 +256,45 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  ceta::bench::write_json_file("BENCH_sim.json", [](ceta::obs::JsonWriter& w) {
-    w.member("bench", "sim");
+
+  const SweepOutcome sweep = run_equivalence_sweep();
+  // Acceptance speedup is measured on the replication workload: a fleet
+  // of seeded Monte-Carlo runs, old engine constructing per run vs the
+  // resettable Simulator reusing its arenas across run_batch.
+  const double speedup = sweep.fleet_simulator_s > 0.0
+                             ? sweep.fleet_reference_s / sweep.fleet_simulator_s
+                             : 0.0;
+  const double sims_per_sec =
+      sweep.fleet_simulator_s > 0.0
+          ? static_cast<double>(sweep.replications) / sweep.fleet_simulator_s
+          : 0.0;
+  const double events_per_sec =
+      sweep.fleet_simulator_s > 0.0
+          ? static_cast<double>(sweep.events) / sweep.fleet_simulator_s
+          : 0.0;
+  ceta::bench::write_json_file("BENCH_sim.json", [&](ceta::obs::JsonWriter& w) {
+    w.member("bench", "sim_montecarlo_vs_reference");
+    w.member("graph_tasks", static_cast<std::int64_t>(sweep.graph_tasks));
+    w.member("seeds_checked", static_cast<std::int64_t>(sweep.seeds_checked));
+    w.member("match", sweep.match);
+    w.member("reference_ns", sweep.reference_ns);
+    w.member("simulator_ns", sweep.simulator_ns);
+    w.member("fleet_reference_s", sweep.fleet_reference_s);
+    w.member("fleet_simulator_s", sweep.fleet_simulator_s);
+    w.member("speedup", speedup);
+    w.member("replications", static_cast<std::int64_t>(sweep.replications));
+    w.member("events", static_cast<std::int64_t>(sweep.events));
+    w.member("sims_per_sec", sims_per_sec);
+    w.member("events_per_sec", events_per_sec);
     ceta::bench::write_metrics_member(
         w, "global_metrics", ceta::obs::MetricsRegistry::global().snapshot());
   });
-  std::cout << "simulator metrics written to BENCH_sim.json\n";
+  if (!sweep.match) {
+    std::cerr << "BENCH_sim.json written (match: false)\n";
+    return 1;
+  }
+  std::cout << "100-seed sweep: reference == Simulator; replication fleet "
+            << "speedup " << speedup << "x; " << sims_per_sec << " sims/s, "
+            << events_per_sec << " events/s (BENCH_sim.json)\n";
   return 0;
 }

@@ -292,7 +292,7 @@ int main(int argc, char** argv) {
   if (sim_seconds > 0) {
     SimOptions sopt;
     sopt.duration = Duration::s(sim_seconds);
-    const SimResult res = simulate(g, sopt);
+    const SimResult res = Simulator(g, sopt).run();
     std::cout << "\nSimulation (" << sim_seconds
               << "s, uniform execution times):\n";
     bool safe = true;

@@ -113,7 +113,7 @@ int main() {
 
     SimOptions sopt;
     sopt.duration = Duration::s(20);
-    const SimResult sim = simulate(with_bus, sopt);
+    const SimResult sim = Simulator(with_bus, sopt).run();
     std::cout << "  Sim:    " << to_string(sim.max_disparity[analyzed])
               << '\n';
     if (sim.max_disparity[analyzed] > rep.worst_case) {

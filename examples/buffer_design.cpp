@@ -74,8 +74,8 @@ void report(const char* label, const ceta::TaskGraph& g) {
   SimOptions sopt;
   sopt.duration = Duration::s(30);
   sopt.warmup = Duration::s(5);
-  const SimResult base = simulate(g, sopt);
-  const SimResult opt = simulate(buffered, sopt);
+  const SimResult base = Simulator(g, sopt).run();
+  const SimResult opt = Simulator(buffered, sopt).run();
   std::cout << "  measured disparity:  base " << to_string(base.max_disparity[4])
             << "  buffered " << to_string(opt.max_disparity[4]) << "\n\n";
 }

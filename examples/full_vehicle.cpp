@@ -295,7 +295,7 @@ int main(int argc, char** argv) {
   SimOptions sopt;
   sopt.warmup = Duration::s(4);
   sopt.duration = Duration::s(12);
-  const SimResult sim = simulate(rr2.final_graph, sopt);
+  const SimResult sim = Simulator(rr2.final_graph, sopt).run();
   std::cout << "\nSimulated disparity at obstacle_fusion: "
             << to_string(sim.max_disparity[sys_fusion]) << " (bound "
             << to_string(out2.final_bound) << ")\n";
@@ -310,7 +310,7 @@ int main(int argc, char** argv) {
   gopt.duration = Duration::ms(100);
   gopt.record_trace = true;
   gopt.exec_model = ExecTimeModel::kWorstCase;
-  const SimResult gtrace = simulate(sys, gopt);
+  const SimResult gtrace = Simulator(sys, gopt).run();
   GanttOptions gv;
   gv.from = Duration::zero();
   gv.to = Duration::ms(100);

@@ -79,7 +79,7 @@ int main() {
   SimOptions sopt;
   sopt.duration = Duration::s(10);
   sopt.exec_model = ExecTimeModel::kUniform;
-  const SimResult sim = simulate(g, sopt);
+  const SimResult sim = Simulator(g, sopt).run();
   std::cout << "  Sim (10 s, uniform execution):          "
             << to_string(sim.max_disparity[fuse]) << "  ("
             << sim.jobs_observed[fuse] << " jobs observed)\n";

@@ -79,7 +79,7 @@ int main(int argc, char** argv) {
   SimOptions sopt;
   sopt.duration = Duration::s(5);
   sopt.seed = seed;
-  const SimResult sim = simulate(g, sopt);
+  const SimResult sim = Simulator(g, sopt).run();
   std::cout << "  Sim(5s): " << to_string(sim.max_disparity[sink]) << '\n';
 
   return sim.max_disparity[sink] <= rep.worst_case ? 0 : 1;

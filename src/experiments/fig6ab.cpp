@@ -67,7 +67,7 @@ GraphRun run_one_graph(std::size_t n, const Fig6abConfig& cfg, Rng& rng,
         sopt.duration = cfg.sim_duration;
         sopt.seed = offset_rng.seed();
         sopt.exec_model = ExecTimeModel::kUniform;
-        const SimResult res = simulate(g, sopt);
+        const SimResult res = Simulator(g, sopt).run();
         sim = std::max(sim, res.max_disparity[sink]);
       }
 

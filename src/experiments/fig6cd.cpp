@@ -63,7 +63,7 @@ Duration max_disparity_over_offsets(TaskGraph& g, TaskId sink, Duration warmup,
     sopt.duration = warmup + window;
     sopt.seed = seed;
     sopt.exec_model = ExecTimeModel::kUniform;
-    const SimResult res = simulate(g, sopt);
+    const SimResult res = Simulator(g, sopt).run();
     best = std::max(best, res.max_disparity[sink]);
   };
   // Random offset draws (the paper's procedure) ...

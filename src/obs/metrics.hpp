@@ -12,7 +12,20 @@
 // Usage pattern: resolve instruments ONCE (construction, session setup) —
 // `counter()` takes a registry mutex — then increment through the returned
 // reference, which is wait-free and stable for the registry's lifetime.
-// Hot loops should accumulate locally and flush once (see sim/engine.cpp).
+// Hot loops should accumulate locally and flush once (see
+// sim/simulator.cpp).
+//
+// Simulator counter taxonomy (global registry, one flush per run/batch):
+//   sim.runs / sim.events / sim.jobs_finished / sim.preemptions
+//       — the Simulator front door (and the simulate() shim through it);
+//   sim.reference.*  — the same four for the differential-testing
+//       reference engine, kept separate so old-vs-new benchmarks can
+//       attribute event counts;
+//   sim.mc.replications / sim.mc.events — Monte-Carlo driver totals
+//       (per-replication counts are already folded into sim.*).
+// Matching span categories: "sim" with names "simulate",
+// "simulator.run", "simulator.run_batch", "simulate_reference",
+// "montecarlo.run".
 //
 // `MetricsRegistry::global()` is the process-wide registry used by the
 // free analysis functions and the simulator; `AnalysisEngine` owns a

@@ -1,76 +1,20 @@
-// Discrete-event simulator of the run-time behavior in §II-B.
+// Legacy front door of src/sim/ — kept so existing includes keep working.
 //
-// Semantics implemented:
-//  * every task releases jobs periodically from its release offset;
-//  * source tasks execute in zero time at their release (external stimuli,
-//    no ECU) and emit a token stamped with the release time;
-//  * each ECU (and the bus, if modeled as a resource) dispatches ready
-//    jobs non-preemptively by fixed priority (smaller value first, ties
-//    by task id);
-//  * implicit communication — a job reads *all* input channels when it
-//    starts and writes all output channels when it finishes;
-//  * channels are FIFO sliding windows of the last n tokens (n = 1 is the
-//    plain overwrite register); reads return the oldest buffered token;
-//  * at equal instants, finish events (writes) are processed before
-//    release events, matching Definition 1's "finishes no later than the
-//    start" (inclusive).
-//
-// The simulator measures, per task, the maximum observed time disparity
-// (an unsafe lower bound on the worst case — the paper's "Sim") and can
-// optionally record a full trace for backward-chain reconstruction.
+// The simulator proper now lives in simulator.hpp (ceta::sim::Simulator,
+// resettable and Monte-Carlo-scale) with the shared option/result structs
+// in options.hpp.  This header re-exports both and declares the original
+// one-shot entry point as a thin shim.
 
 #pragma once
 
-#include <cstdint>
-#include <vector>
-
-#include "graph/task_graph.hpp"
-#include "sched/npfp_rta.hpp"
-#include "sim/exec_model.hpp"
-#include "sim/trace.hpp"
+#include "sim/options.hpp"
+#include "sim/simulator.hpp"
 
 namespace ceta {
 
-struct SimOptions {
-  /// Dispatching discipline of every ECU.  The paper's model (and the
-  /// default) is non-preemptive; kPreemptive suspends the running job
-  /// whenever a higher-priority job is released on its ECU.  Implicit
-  /// communication reads stay at the job's *first* start.
-  SchedPolicy policy = SchedPolicy::kNonPreemptive;
-  /// Simulated horizon; jobs released at t < duration are processed to
-  /// completion.
-  Duration duration = Duration::s(1);
-  /// Jobs released before this instant are excluded from disparity
-  /// statistics (lets FIFO buffers fill — Lemma 6 holds "in the long
-  /// term").
-  Duration warmup = Duration::zero();
-  std::uint64_t seed = 1;
-  ExecTimeModel exec_model = ExecTimeModel::kUniform;
-  ExecTimeHook exec_hook;  ///< used when exec_model == kCustom
-  /// Record a full trace (memory ∝ number of jobs).
-  bool record_trace = false;
-  /// Hard cap on processed jobs; CapacityError beyond it.
-  std::uint64_t max_jobs = 100'000'000;
-};
-
-struct SimResult {
-  /// Per task: maximum observed time disparity over jobs released in
-  /// [warmup, duration); zero when no job carried >= 1 source stamp.
-  std::vector<Duration> max_disparity;
-  /// Per task: number of jobs whose disparity was observed.
-  std::vector<std::int64_t> jobs_observed;
-  /// Per task: total finished jobs.
-  std::vector<std::int64_t> jobs_finished;
-  /// Per task: maximum observed response time (sanity/schedulability).
-  std::vector<Duration> max_response_time;
-  /// Per task: times one of its jobs was preempted (always 0 under
-  /// non-preemptive dispatch).
-  std::vector<std::int64_t> preemptions;
-  /// Present when SimOptions::record_trace.
-  Trace trace;
-};
-
-/// Run the simulation.  The graph must pass TaskGraph::validate().
+/// One-shot simulation: constructs a Simulator and runs opt.seed.
+/// Bit-identical to Simulator(g, opt).run() — prefer the Simulator API,
+/// which amortizes the setup across seeded replications.
 SimResult simulate(const TaskGraph& g, const SimOptions& opt);
 
 }  // namespace ceta

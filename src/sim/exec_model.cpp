@@ -5,7 +5,8 @@
 namespace ceta {
 
 Duration sample_execution_time(ExecTimeModel model, const ExecTimeHook& hook,
-                               const Task& task, std::int64_t job, Rng& rng) {
+                               const Task& task, TaskId id, std::int64_t job,
+                               const SimStream& stream) {
   switch (model) {
     case ExecTimeModel::kWorstCase:
       return task.wcet;
@@ -13,10 +14,12 @@ Duration sample_execution_time(ExecTimeModel model, const ExecTimeHook& hook,
       return task.bcet;
     case ExecTimeModel::kUniform:
       if (task.bcet == task.wcet) return task.wcet;
-      return rng.uniform_duration(task.bcet, task.wcet);
+      return stream.uniform_duration(task.bcet, task.wcet, id, job,
+                                     SimStream::kExec);
     case ExecTimeModel::kCustom: {
       CETA_EXPECTS(static_cast<bool>(hook),
                    "sample_execution_time: kCustom requires a hook");
+      Rng rng(stream.bits(id, job, SimStream::kHook));
       const Duration e = hook(task, job, rng);
       CETA_EXPECTS(e >= task.bcet && e <= task.wcet,
                    "sample_execution_time: hook value outside [BCET, WCET]");
@@ -24,6 +27,13 @@ Duration sample_execution_time(ExecTimeModel model, const ExecTimeHook& hook,
     }
   }
   throw InvariantError("sample_execution_time: unknown model");
+}
+
+Instant sample_release(const Task& task, TaskId id, std::int64_t job,
+                       Instant nominal, const SimStream& stream) {
+  if (task.jitter <= Duration::zero()) return nominal;
+  return nominal + stream.uniform_duration(Duration::zero(), task.jitter, id,
+                                           job, SimStream::kJitter);
 }
 
 }  // namespace ceta

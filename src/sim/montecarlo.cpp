@@ -1,0 +1,269 @@
+#include "sim/montecarlo.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+#include "engine/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+#include "sim/exec_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace ceta::sim {
+
+void MonteCarloOptions::validate(const TaskGraph& g) const {
+  sim.validate();
+  if (replications == 0) {
+    throw InvalidOptionsError("MonteCarloOptions: replications must be >= 1");
+  }
+  if (sim.record_trace) {
+    throw InvalidOptionsError(
+        "MonteCarloOptions: record_trace is unsupported at replication "
+        "scale (memory ~ jobs x replications); trace a single "
+        "Simulator::run instead");
+  }
+  for (const TaskId t : observed) {
+    if (t >= g.num_tasks()) {
+      throw InvalidOptionsError("MonteCarloOptions: observed task id out of "
+                                "range for this graph");
+    }
+  }
+  if (!bounds.empty()) {
+    if (observed.empty()) {
+      throw InvalidOptionsError(
+          "MonteCarloOptions: bounds require an explicit observed list "
+          "(parallel vectors)");
+    }
+    if (bounds.size() != observed.size()) {
+      throw InvalidOptionsError(
+          "MonteCarloOptions: bounds must be parallel to observed");
+    }
+  }
+  if (fault_scale_samples < 1) {
+    throw InvalidOptionsError(
+        "MonteCarloOptions: fault_scale_samples must be >= 1");
+  }
+}
+
+namespace {
+
+/// One worker's aggregate; merged single-threaded after the fan-in.
+struct Partial {
+  std::uint64_t replications = 0;
+  std::uint64_t events = 0;
+  std::uint64_t jobs_finished = 0;
+  std::vector<TaskMonteCarlo> tasks;
+
+  void merge(const Partial& o) {
+    replications += o.replications;
+    events += o.events;
+    jobs_finished += o.jobs_finished;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      tasks[i].disparity.merge(o.tasks[i].disparity);
+      tasks[i].data_age.merge(o.tasks[i].data_age);
+      tasks[i].reaction.merge(o.tasks[i].reaction);
+      tasks[i].bound_violations += o.tasks[i].bound_violations;
+      tasks[i].worst_sample =
+          std::max(tasks[i].worst_sample, o.tasks[i].worst_sample);
+    }
+  }
+};
+
+/// Streams observed jobs of one Simulator into per-task histograms.
+class Collector final : public JobObserver {
+ public:
+  Collector(const Simulator& sim, const std::vector<TaskId>& observed,
+            const std::vector<Duration>& bounds, std::int64_t fault_scale)
+      : sim_(sim), fault_scale_(fault_scale) {
+    const TaskGraph& g = sim.graph();
+    observed_slot_.assign(g.num_tasks(), -1);
+    tasks_.resize(observed.size());
+    for (std::size_t i = 0; i < observed.size(); ++i) {
+      observed_slot_[observed[i]] = static_cast<std::int32_t>(i);
+      tasks_[i].task = observed[i];
+      if (!bounds.empty()) {
+        tasks_[i].bound_checked = true;
+        tasks_[i].bound = bounds[i];
+      }
+    }
+    rstate_.resize(observed.size() * sim.num_sources());
+  }
+
+  void on_run_begin(std::uint64_t seed) override {
+    seed_ = seed;
+    std::fill(rstate_.begin(), rstate_.end(), RState{});
+  }
+
+  void on_observed_job(TaskId task, std::int64_t /*job*/, Instant /*release*/,
+                       Instant /*start*/, Instant finish,
+                       const Instant* min_ts, const Instant* max_ts,
+                       std::size_t num_sources) override {
+    const std::int32_t slot = observed_slot_[task];
+    if (slot < 0) return;
+    TaskMonteCarlo& agg = tasks_[static_cast<std::size_t>(slot)];
+
+    Instant lo = Duration::max();
+    Instant hi = Duration::min();
+    for (std::size_t s = 0; s < num_sources; ++s) {
+      lo = std::min(lo, min_ts[s]);
+      hi = std::max(hi, max_ts[s]);
+    }
+    if (lo == Duration::max()) return;  // no stamp (observer filters, but
+                                        // stay total)
+
+    const Duration sample =
+        Duration::ns((hi - lo).count() * fault_scale_);
+    agg.disparity.add(sample);
+    agg.worst_sample = std::max(agg.worst_sample, sample);
+    if (agg.bound_checked && sample > agg.bound) ++agg.bound_violations;
+
+    agg.data_age.add(finish - lo);
+
+    // Reaction: each source job first reflected at this finish (its
+    // timestamp pushed the per-source running maximum) reacted after
+    // finish - release.  The jittered releases are recomputed from the
+    // run seed — see exec_model.hpp.
+    for (std::size_t s = 0; s < num_sources; ++s) {
+      const Instant m = max_ts[s];
+      if (m == Duration::min()) continue;  // source absent from this job
+      RState& st =
+          rstate_[static_cast<std::size_t>(slot) * num_sources + s];
+      if (st.has && m <= st.max_seen) continue;
+      const TaskId sid = sim_.source_task(s);
+      const Task& src = sim_.graph().task(sid);
+      std::int64_t k_cap = floor_div(m - src.offset, src.period);
+      if (k_cap < -1) k_cap = -1;
+      if (!st.has) {
+        // First output of the run: baseline only, nothing to attribute.
+        st.has = true;
+        st.max_seen = m;
+        st.credited = k_cap;
+        continue;
+      }
+      const SimStream stream(seed_);
+      for (std::int64_t k = st.credited + 1; k <= k_cap; ++k) {
+        const Instant nominal = src.offset + src.period * k;
+        const Instant r = sample_release(src, sid, k, nominal, stream);
+        agg.reaction.add(std::max(finish - r, Duration::zero()));
+      }
+      st.credited = k_cap;
+      st.max_seen = m;
+    }
+  }
+
+  Partial take(const SimBatchResult& batch) {
+    Partial p;
+    p.replications = batch.replications;
+    p.events = batch.events;
+    for (const std::int64_t f : batch.jobs_finished) {
+      p.jobs_finished += static_cast<std::uint64_t>(f);
+    }
+    p.tasks = std::move(tasks_);
+    return p;
+  }
+
+ private:
+  struct RState {
+    bool has = false;
+    Instant max_seen;
+    std::int64_t credited = -1;
+  };
+
+  const Simulator& sim_;
+  std::int64_t fault_scale_;
+  std::vector<std::int32_t> observed_slot_;  ///< task -> slot or -1
+  std::vector<TaskMonteCarlo> tasks_;
+  std::vector<RState> rstate_;  ///< slot-major [slot][source]
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace
+
+MonteCarloResult run_monte_carlo(const TaskGraph& g,
+                                 const MonteCarloOptions& opt) {
+  opt.validate(g);
+  const std::vector<TaskId> observed =
+      opt.observed.empty() ? g.sinks() : opt.observed;
+
+  obs::Span span("sim", "montecarlo.run");
+  span.arg("replications", static_cast<std::int64_t>(opt.replications));
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const std::size_t threads =
+      opt.num_threads != 0 ? opt.num_threads : ThreadPool::default_concurrency();
+
+  // One Simulator + collector per chunk: arenas warm up once per worker,
+  // the hot loop is lock-free, and the merge below is order-independent.
+  const auto run_chunk = [&](std::uint64_t first,
+                             std::uint64_t count) -> Partial {
+    Simulator simulator(g, opt.sim);
+    Collector collector(simulator, observed, opt.bounds,
+                        opt.fault_scale_samples);
+    simulator.set_observer(&collector);
+    const SimBatchResult batch = simulator.run_batch(first, count);
+    return collector.take(batch);
+  };
+
+  Partial total;
+  // Pool jobs must not nest (thread_pool.hpp); run inline from a worker.
+  if (threads <= 1 || opt.replications == 1 ||
+      ThreadPool::current_thread_in_pool()) {
+    total = run_chunk(opt.first_seed, opt.replications);
+  } else {
+    const std::uint64_t chunks = std::min<std::uint64_t>(
+        opt.replications, static_cast<std::uint64_t>(threads) * 4);
+    ThreadPool pool(threads);
+    std::vector<std::future<Partial>> partials;
+    partials.reserve(chunks);
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+      const std::uint64_t lo = opt.replications * c / chunks;
+      const std::uint64_t hi = opt.replications * (c + 1) / chunks;
+      partials.push_back(pool.submit(
+          [&, lo, hi] { return run_chunk(opt.first_seed + lo, hi - lo); }));
+    }
+    bool first = true;
+    for (std::future<Partial>& f : partials) {
+      Partial p = f.get();
+      if (first) {
+        total = std::move(p);
+        first = false;
+      } else {
+        total.merge(p);
+      }
+    }
+  }
+
+  const std::chrono::duration<double> wall =
+      std::chrono::steady_clock::now() - t0;
+
+  MonteCarloResult result;
+  result.replications = total.replications;
+  result.events = total.events;
+  result.jobs_finished = total.jobs_finished;
+  result.wall_seconds = wall.count();
+  if (wall.count() > 0.0) {
+    result.sims_per_sec = static_cast<double>(total.replications) /
+                          wall.count();
+    result.events_per_sec = static_cast<double>(total.events) / wall.count();
+  }
+  result.tasks = std::move(total.tasks);
+  for (TaskMonteCarlo& t : result.tasks) {
+    if (t.bound_checked) {
+      if (t.bound_violations > 0) result.all_within_bounds = false;
+      if (t.bound > Duration::zero()) {
+        t.tightness = t.worst_sample.ratio(t.bound);
+      }
+    }
+  }
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  reg.counter("sim.mc.replications").add(total.replications);
+  reg.counter("sim.mc.events").add(total.events);
+  return result;
+}
+
+}  // namespace ceta::sim

@@ -1,0 +1,30 @@
+// Reference simulator: the pre-calendar-queue engine, kept verbatim for
+// differential testing.
+//
+// simulate_reference() implements exactly the §II-B semantics of
+// simulator.hpp with the original data structures (binary heap event
+// queue, std::deque channels, per-job Provenance vectors, per-run
+// allocation).  Randomness goes through the same counter-based SimStream
+// as the new core, so for any (graph, options, seed) the two engines
+// process the identical event sequence and must produce field-for-field
+// identical SimResults — the property pinned by the 100-seed equivalence
+// sweep in tests/ and re-checked by bench/perf_sim.cpp on every perf run.
+//
+// Do not extend this engine; new functionality goes into Simulator.  Its
+// only jobs are (a) being the oracle for trace equivalence and (b) being
+// the baseline of the old-vs-new speedup reported in BENCH_sim.json.
+
+#pragma once
+
+#include "graph/task_graph.hpp"
+#include "sim/options.hpp"
+
+namespace ceta::sim {
+
+/// Run one simulation on the reference engine.  Same contract as
+/// Simulator::run(options.seed): validates options (InvalidOptionsError)
+/// and the graph, throws CapacityError past max_jobs.  Flushes
+/// "sim.reference.*" metrics so benchmarks can separate the two engines.
+SimResult simulate_reference(const TaskGraph& g, const SimOptions& opt);
+
+}  // namespace ceta::sim

@@ -1,0 +1,27 @@
+#include "sim/trace.hpp"
+
+namespace ceta {
+
+const JobRecord* Trace::find(TaskId task, std::int64_t k) const {
+  if (task >= tasks.size()) return nullptr;
+  const auto& jobs = tasks[task].jobs;
+  // Jobs are appended in finish order; indices are unique per task, so a
+  // binary search over index works after sorting-by-index is established.
+  // Finish order can deviate from index order across ECUs? No — jobs of
+  // one task finish in release order under non-preemptive FP on one ECU,
+  // but be defensive and search linearly from the likely position.
+  if (!jobs.empty()) {
+    const std::int64_t first = jobs.front().index;
+    const std::int64_t pos = k - first;
+    if (pos >= 0 && pos < static_cast<std::int64_t>(jobs.size()) &&
+        jobs[static_cast<std::size_t>(pos)].index == k) {
+      return &jobs[static_cast<std::size_t>(pos)];
+    }
+  }
+  for (const JobRecord& j : jobs) {
+    if (j.index == k) return &j;
+  }
+  return nullptr;
+}
+
+}  // namespace ceta

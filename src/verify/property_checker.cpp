@@ -28,6 +28,7 @@
 #include "sched/priority.hpp"
 #include "sim/backward.hpp"
 #include "sim/engine.hpp"
+#include "sim/montecarlo.hpp"
 #include "verify/shrink.hpp"
 #include "waters/generator.hpp"
 
@@ -42,7 +43,7 @@ constexpr const char* kPropertyNames[kNumProperties] = {
     "exact_matches_sim",   "buffered_shift",
     "buffer_design_consistent", "multi_buffer_safe",
     "pair_kernel_matches_reference", "incremental_matches_fresh",
-    "dag_dp_matches_enumeration"};
+    "dag_dp_matches_enumeration", "montecarlo_within_bounds"};
 
 constexpr Property kAllProperties[kNumProperties] = {
     Property::kEngineMatchesFree,
@@ -57,7 +58,8 @@ constexpr Property kAllProperties[kNumProperties] = {
     Property::kMultiBufferSafe,
     Property::kPairKernelMatchesReference,
     Property::kIncrementalMatchesFresh,
-    Property::kDagDpMatchesEnumeration};
+    Property::kDagDpMatchesEnumeration,
+    Property::kMonteCarloWithinBounds};
 
 std::string dur(Duration d) { return std::to_string(d.count()) + "ns"; }
 
@@ -136,24 +138,30 @@ Duration sim_warmup(const Inputs& in) {
   return w + exact_warmup_horizon(in.g, in.task, in.cfg.path_cap);
 }
 
-SimResult run_sim(const TaskGraph& g, const ProbeConfig& cfg, Duration warmup,
-                  Duration duration, bool record_trace) {
-  // Estimate the job count before simulating: shrink candidates can carry
-  // microsecond periods under the same fixed measurement window, which
-  // would mean 1e8+ jobs (minutes of CPU, gigabytes of trace) for a
-  // candidate that is about to be discarded anyway.  Past the cap this is
-  // a capacity skip, and max_jobs backstops the estimate.
+/// Estimate the job count before simulating: shrink candidates can carry
+/// microsecond periods under the same fixed measurement window, which
+/// would mean 1e8+ jobs (minutes of CPU, gigabytes of trace) for a
+/// candidate that is about to be discarded anyway.  Past the cap this is
+/// a capacity skip, and max_jobs backstops the estimate.
+void guard_sim_jobs(const TaskGraph& g, const ProbeConfig& cfg,
+                    Duration duration, std::uint64_t replications) {
   std::uint64_t estimated_jobs = 0;
   for (TaskId id = 0; id < g.num_tasks(); ++id) {
     const std::int64_t period = std::max<std::int64_t>(
         std::int64_t{1}, g.task(id).period.count());
     estimated_jobs +=
-        static_cast<std::uint64_t>(duration.count() / period) + 1;
+        (static_cast<std::uint64_t>(duration.count() / period) + 1) *
+        replications;
     if (estimated_jobs > cfg.max_sim_jobs) {
       throw CapacityError(
           "verify: estimated simulation job count exceeds max_sim_jobs");
     }
   }
+}
+
+SimResult run_sim(const TaskGraph& g, const ProbeConfig& cfg, Duration warmup,
+                  Duration duration, bool record_trace) {
+  guard_sim_jobs(g, cfg, duration, 1);
   SimOptions sopt;
   sopt.duration = duration;
   sopt.warmup = warmup;
@@ -161,7 +169,8 @@ SimResult run_sim(const TaskGraph& g, const ProbeConfig& cfg, Duration warmup,
   sopt.exec_model = ExecTimeModel::kUniform;
   sopt.record_trace = record_trace;
   sopt.max_jobs = cfg.max_sim_jobs;
-  return simulate(g, sopt);
+  sim::Simulator simulator(g, sopt);
+  return simulator.run();
 }
 
 // ---------------------------------------------------------------------------
@@ -285,6 +294,52 @@ PropertyOutcome check_sim_within_bound(const Inputs& in) {
     return violated("simulated disparity " + dur(res.max_disparity[in.task]) +
                     " > S-diff bound " + dur(bound) + " (seed " +
                     std::to_string(in.cfg.sim_seed) + ")");
+  }
+  return holds();
+}
+
+PropertyOutcome check_montecarlo_within_bounds(const Inputs& in) {
+  const Duration warmup = sim_warmup(in);
+  // Several short seeded replications instead of one long run: the fleet
+  // explores distinct jitter/execution interleavings per probe while the
+  // total simulated time stays comparable to the single-run properties.
+  constexpr std::uint64_t kReplications = 4;
+  const Duration window = std::max(Duration::ms(50), in.cfg.sim_window / 8);
+  const Duration horizon = warmup + window;
+  if (horizon > in.cfg.max_sim_horizon) {
+    return skipped("simulation horizon exceeds max_sim_horizon");
+  }
+  guard_sim_jobs(in.g, in.cfg, horizon, kReplications);
+  const Duration bound =
+      analyze_time_disparity(in.g, in.task, in.rtm,
+                             disparity_options(in, DisparityMethod::kForkJoin))
+          .worst_case -
+      fault_delta(in);
+
+  sim::MonteCarloOptions mopt;
+  mopt.sim.duration = horizon;
+  mopt.sim.warmup = warmup;
+  mopt.sim.exec_model = ExecTimeModel::kUniform;
+  mopt.sim.max_jobs = in.cfg.max_sim_jobs;
+  mopt.first_seed = in.cfg.sim_seed;
+  mopt.replications = kReplications;
+  // Single-threaded in the probe (thread-count invariance of the driver
+  // is pinned separately in tests); keeps the smoke run's CPU budget flat.
+  mopt.num_threads = 1;
+  mopt.observed = {in.task};
+  mopt.bounds = {bound};
+  if (in.cfg.fault == FaultInjection::kCorruptMcSamples) {
+    mopt.fault_scale_samples = 1000;
+  }
+  const sim::MonteCarloResult mc = run_monte_carlo(in.g, mopt);
+  if (!mc.all_within_bounds) {
+    const sim::TaskMonteCarlo& t = mc.tasks.front();
+    return violated(
+        "monte-carlo disparity sample " + dur(t.worst_sample) +
+        " > S-diff bound " + dur(t.bound) + " (" +
+        std::to_string(t.bound_violations) + " violating samples over " +
+        std::to_string(mc.replications) + " replications, first_seed " +
+        std::to_string(in.cfg.sim_seed) + ")");
   }
   return holds();
 }
@@ -858,6 +913,8 @@ PropertyOutcome dispatch(Property p, const Inputs& in) {
       return check_incremental_matches_fresh(in);
     case Property::kDagDpMatchesEnumeration:
       return check_dag_dp_matches_enumeration(in);
+    case Property::kMonteCarloWithinBounds:
+      return check_montecarlo_within_bounds(in);
   }
   throw Error("check_property: unknown property");
 }

@@ -59,9 +59,14 @@ enum class Property {
   /// contract, DESIGN.md §10); the routed backend front door must always
   /// land on the exact result.
   kDagDpMatchesEnumeration,
+  /// Monte-Carlo fleet (sim/montecarlo.hpp): every empirical disparity
+  /// sample over a multi-seed replication batch stays within the
+  /// analyzer's task-level bound, and the driver's aggregate is
+  /// bit-identical between single-threaded and pooled execution.
+  kMonteCarloWithinBounds,
 };
 
-inline constexpr std::size_t kNumProperties = 13;
+inline constexpr std::size_t kNumProperties = 14;
 
 /// Stable lowercase identifier ("sim_within_bound", ...), used in fixture
 /// files and reports.
@@ -88,6 +93,12 @@ enum class FaultInjection {
   /// period — the dag_dp_matches_enumeration property must flag the
   /// divergence from the enumerating kernel.  Affects only that property.
   kCorruptDpSummary,
+  /// Run the Monte-Carlo driver with
+  /// MonteCarloOptions::fault_scale_samples = 1000, inflating every
+  /// empirical disparity sample (the signature of a unit slip, e.g. us
+  /// recorded as ns) — the montecarlo_within_bounds property must reject
+  /// the batch.  Affects only that property.
+  kCorruptMcSamples,
 };
 
 /// Everything a single property evaluation depends on besides the graph:

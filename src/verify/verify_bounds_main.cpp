@@ -3,7 +3,7 @@
 //   verify_bounds [--trials N] [--seed N] [--probes N]
 //                 [--min-tasks N] [--max-tasks N] [--ecus N]
 //                 [--shrink | --no-shrink] [--fixture-dir PATH]
-//                 [--inject-fault] [--inject-dp-fault]
+//                 [--inject-fault] [--inject-dp-fault] [--inject-mc-fault]
 //                 [--trace PATH] [--metrics PATH] [--quiet]
 //
 // Draws N seeded random WATERS instances, checks every cross-implementation
@@ -22,6 +22,9 @@
 // property must catch; nonzero exit expected likewise.  --inject-dp-fault
 // corrupts the DAG-DP combination step (DagDpOptions::
 // fault_drop_source_period), which dag_dp_matches_enumeration must catch.
+// --inject-mc-fault inflates every Monte-Carlo disparity sample 1000x
+// (MonteCarloOptions::fault_scale_samples), which
+// montecarlo_within_bounds must catch.
 
 #include <cstdint>
 #include <exception>
@@ -45,6 +48,7 @@ int usage(const char* argv0) {
          " [--max-tasks N]\n"
          "       [--ecus N] [--shrink | --no-shrink] [--fixture-dir PATH]\n"
          "       [--inject-fault] [--inject-stale-cache] [--inject-dp-fault]\n"
+         "       [--inject-mc-fault]\n"
          "       [--trace PATH] [--metrics PATH] [--quiet]\n";
   return 2;
 }
@@ -115,6 +119,8 @@ int main(int argc, char** argv) {
         opt.probe.fault = FaultInjection::kSkipInvalidation;
       } else if (arg == "--inject-dp-fault") {
         opt.probe.fault = FaultInjection::kCorruptDpSummary;
+      } else if (arg == "--inject-mc-fault") {
+        opt.probe.fault = FaultInjection::kCorruptMcSamples;
       } else if (arg == "--trace") {
         const char* v = next_arg(i);
         if (!v) return usage(argv[0]);

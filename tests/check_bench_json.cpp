@@ -3,12 +3,13 @@
 // tests use, checks the schema the bench promises, and fails (exit 1) if
 // the recorded cross-check ever reported a divergence.
 //
-//   check_bench_json <file> [pairwise|incremental|dagdp]
+//   check_bench_json <file> [pairwise|incremental|dagdp|sim]
 //
 // The optional second argument selects the schema; "pairwise" (the
 // kernel-vs-reference comparison) is the default, "incremental" validates
 // the mutation-API-vs-fresh-rebuild sweep, "dagdp" the DAG-DP backend's
-// agreement-plus-throughput record.
+// agreement-plus-throughput record, "sim" the simulator rewrite's
+// 100-seed trace-equivalence sweep and replication throughput.
 
 #include <fstream>
 #include <iostream>
@@ -109,17 +110,54 @@ int check_dagdp(const ceta::testing::JsonValue& doc, const std::string& path) {
   return 0;
 }
 
+int check_sim(const ceta::testing::JsonValue& doc, const std::string& path) {
+  for (const char* key :
+       {"bench", "graph_tasks", "seeds_checked", "match", "reference_ns",
+        "simulator_ns", "fleet_reference_s", "fleet_simulator_s", "speedup",
+        "replications", "events", "sims_per_sec", "events_per_sec"}) {
+    if (!doc.has(key)) return fail(path + " lacks member '" + key + "'");
+  }
+  if (doc.at("bench").string != "sim_montecarlo_vs_reference") {
+    return fail("unexpected bench id '" + doc.at("bench").string + "'");
+  }
+  if (doc.at("seeds_checked").number < 100 ||
+      doc.at("replications").number < 100 ||
+      doc.at("simulator_ns").number <= 0 ||
+      doc.at("fleet_simulator_s").number <= 0 ||
+      doc.at("events").number <= 0) {
+    return fail("degenerate bench record in " + path);
+  }
+  if (!doc.at("match").boolean) {
+    return fail(
+        "Simulator diverged from the reference engine (match: false in " +
+        path + ")");
+  }
+  // The acceptance target on a quiet box is >= 5x on the replication
+  // fleet; CI boxes are shared and noisy, so the hard gate only insists
+  // the resettable core actually beats per-run construction.
+  if (doc.at("speedup").number <= 1.0) {
+    return fail("simulator rewrite is not faster than the reference engine "
+                "on the replication fleet (speedup <= 1 in " +
+                path + ")");
+  }
+  std::cout << "OK: " << path << " (" << doc.at("seeds_checked").number
+            << " seeds, speedup " << doc.at("speedup").number << "x, "
+            << doc.at("sims_per_sec").number << " sims/s, match: true)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2 || argc > 3) {
     std::cerr << "usage: check_bench_json <BENCH_*.json> "
-                 "[pairwise|incremental|dagdp]\n";
+                 "[pairwise|incremental|dagdp|sim]\n";
     return 2;
   }
   const std::string path = argv[1];
   const std::string schema = argc == 3 ? argv[2] : "pairwise";
-  if (schema != "pairwise" && schema != "incremental" && schema != "dagdp") {
+  if (schema != "pairwise" && schema != "incremental" && schema != "dagdp" &&
+      schema != "sim") {
     std::cerr << "unknown schema '" << schema << "'\n";
     return 2;
   }
@@ -137,7 +175,8 @@ int main(int argc, char** argv) {
         ceta::testing::JsonParser::parse(buf.str());
     if (schema == "pairwise") return check_pairwise(doc, path);
     if (schema == "incremental") return check_incremental(doc, path);
-    return check_dagdp(doc, path);
+    if (schema == "dagdp") return check_dagdp(doc, path);
+    return check_sim(doc, path);
   } catch (const std::exception& e) {
     std::cerr << "FAIL: " << path << " is not valid JSON: " << e.what()
               << "\n";

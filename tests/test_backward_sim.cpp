@@ -40,7 +40,7 @@ TEST(BackwardSim, DeterministicOffsetChain) {
 
   SimOptions opt = traced(Duration::ms(200));
   opt.exec_model = ExecTimeModel::kWorstCase;
-  const SimResult res = simulate(g, opt);
+  const SimResult res = Simulator(g, opt).run();
   const BackwardMeasurement m =
       measured_backward_times(g, res.trace, {sid, aid});
   EXPECT_EQ(m.incomplete, 0u);
@@ -69,7 +69,7 @@ TEST(BackwardSim, IncompleteChainsCountedAtStartup) {
   g.add_edge(sid, aid);
   g.validate();
 
-  const SimResult res = simulate(g, traced(Duration::ms(100)));
+  const SimResult res = Simulator(g, traced(Duration::ms(100))).run();
   const BackwardMeasurement m =
       measured_backward_times(g, res.trace, {sid, aid});
   EXPECT_EQ(m.incomplete, 1u);
@@ -81,7 +81,7 @@ TEST(BackwardSim, LengthsWithinLemma45Bounds) {
     const TaskGraph g = testing::random_dag_graph(10, 3, seed + 10);
     const ResponseTimeMap rtm = testing::response_times_of(g);
     const TaskId sink = g.sinks().front();
-    const SimResult res = simulate(g, traced(Duration::s(1), seed));
+    const SimResult res = Simulator(g, traced(Duration::s(1), seed)).run();
     for (const Path& chain : enumerate_source_chains(g, sink)) {
       const BackwardBounds b = backward_bounds(g, chain, rtm);
       const BackwardMeasurement m =
@@ -98,7 +98,7 @@ TEST(BackwardSim, SchedulingAgnosticBoundAlsoHolds) {
   const TaskGraph g = testing::random_dag_graph(10, 3, 33);
   const ResponseTimeMap rtm = testing::response_times_of(g);
   const TaskId sink = g.sinks().front();
-  const SimResult res = simulate(g, traced(Duration::s(1), 3));
+  const SimResult res = Simulator(g, traced(Duration::s(1), 3)).run();
   for (const Path& chain : enumerate_source_chains(g, sink)) {
     const Duration w =
         wcbt_bound(g, chain, rtm, HopBoundMethod::kSchedulingAgnostic);
@@ -118,7 +118,7 @@ TEST(BackwardSim, BufferedChainRespectsLemma6) {
   const Path lambda = {0, 1, 2, 4};
   const BackwardBounds shifted = backward_bounds(g, lambda, rtm);
 
-  const SimResult res = simulate(g, traced(Duration::s(2), 7));
+  const SimResult res = Simulator(g, traced(Duration::s(2), 7)).run();
   const Instant warmup = Duration::ms(200);
   const BackwardMeasurement m =
       measured_backward_times(g, res.trace, lambda, warmup);
@@ -139,7 +139,7 @@ TEST(BackwardSim, PairDiffsWithinTheorem2Bound) {
     const Duration bound =
         sdiff_pair_bound(g, chains[0], chains[1], rtm).bound;
 
-    const SimResult res = simulate(g, traced(Duration::s(1), seed));
+    const SimResult res = Simulator(g, traced(Duration::s(1), seed)).run();
     const auto diffs = measured_pair_timestamp_diffs(
         g, res.trace, chains[0], chains[1], Duration::ms(500));
     for (Duration d : diffs) {
@@ -157,7 +157,7 @@ TEST(BackwardSim, PairDiffsMatchProvenanceDisparity) {
 
   SimOptions opt = traced(Duration::s(1), 5);
   opt.warmup = Duration::ms(500);
-  const SimResult res = simulate(g, opt);
+  const SimResult res = Simulator(g, opt).run();
   const auto diffs = measured_pair_timestamp_diffs(
       g, res.trace, chains[0], chains[1], opt.warmup);
   ASSERT_FALSE(diffs.empty());
@@ -168,7 +168,7 @@ TEST(BackwardSim, PairDiffsMatchProvenanceDisparity) {
 
 TEST(BackwardSim, Preconditions) {
   const TaskGraph g = testing::simple_chain_graph();
-  const SimResult res = simulate(g, traced(Duration::ms(100)));
+  const SimResult res = Simulator(g, traced(Duration::ms(100))).run();
   EXPECT_THROW(measured_backward_times(g, res.trace, {0, 2}),
                PreconditionError);
   EXPECT_THROW(

@@ -1,0 +1,205 @@
+// Calendar-queue unit tests: the queue must reproduce, event for event,
+// the (time, kind, seq) total order a binary heap would produce — across
+// same-instant FIFO ties, year wraparound, far-future overflow storage
+// and clear()-based reuse.  The geometry is deliberately tiny (a few
+// nanosecond-wide buckets) so every test crosses year boundaries.
+
+#include "sim/calendar_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace ceta::sim {
+namespace {
+
+SimEvent ev(std::int64_t t, EventKind kind, std::uint64_t seq,
+            std::int64_t job = 0) {
+  SimEvent e;
+  e.time = Instant::ns(t);
+  e.kind = kind;
+  e.seq = seq;
+  e.job = job;
+  return e;
+}
+
+std::vector<SimEvent> drain(CalendarQueue& q) {
+  std::vector<SimEvent> out;
+  while (!q.empty()) out.push_back(q.pop());
+  return out;
+}
+
+TEST(CalendarQueue, PopsInTimeOrderAcrossYears) {
+  CalendarQueue q;
+  q.configure(Duration::ns(8), 4);  // year = 32 ns
+  // Push out of time order, spanning several years.
+  std::uint64_t seq = 0;
+  for (std::int64_t t : {5, 120, 37, 41, 200, 39, 80, 6}) {
+    q.push(ev(t, EventKind::kRelease, seq++));
+  }
+  const std::vector<SimEvent> got = drain(q);
+  ASSERT_EQ(got.size(), 8u);
+  for (std::size_t i = 1; i < got.size(); ++i) {
+    EXPECT_FALSE(event_before(got[i], got[i - 1]))
+        << "pop " << i << " out of order";
+  }
+  EXPECT_EQ(got.front().time, Instant::ns(5));
+  EXPECT_EQ(got.back().time, Instant::ns(200));
+}
+
+TEST(CalendarQueue, SameTickIsFifoWithinKind) {
+  CalendarQueue q;
+  q.configure(Duration::ns(8), 4);
+  // Ten events at the same instant and kind, tagged by push order in
+  // `job`; seq is what makes them FIFO.
+  for (std::int64_t i = 0; i < 10; ++i) {
+    q.push(ev(25, EventKind::kRelease, static_cast<std::uint64_t>(i), i));
+  }
+  const std::vector<SimEvent> got = drain(q);
+  ASSERT_EQ(got.size(), 10u);
+  for (std::int64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)].job, i) << "FIFO broken";
+  }
+}
+
+TEST(CalendarQueue, KindsOrderWritesBeforeReadsAtSameInstant) {
+  CalendarQueue q;
+  q.configure(Duration::ns(8), 4);
+  // Push in reverse kind order at one instant; pops must come back as
+  // finish < publish < source-release < release (engine total order).
+  q.push(ev(7, EventKind::kRelease, 0));
+  q.push(ev(7, EventKind::kSourceRelease, 1));
+  q.push(ev(7, EventKind::kPublish, 2));
+  q.push(ev(7, EventKind::kFinish, 3));
+  const std::vector<SimEvent> got = drain(q);
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[0].kind, EventKind::kFinish);
+  EXPECT_EQ(got[1].kind, EventKind::kPublish);
+  EXPECT_EQ(got[2].kind, EventKind::kSourceRelease);
+  EXPECT_EQ(got[3].kind, EventKind::kRelease);
+}
+
+TEST(CalendarQueue, FarFutureEventsWaitInOverflow) {
+  CalendarQueue q;
+  q.configure(Duration::ns(8), 4);  // year = 32 ns
+  // One event thousands of years out, plus near-term traffic.  The far
+  // event must neither block the near pops nor get lost; draining must
+  // cross the empty years without visiting them bucket by bucket.
+  q.push(ev(3, EventKind::kRelease, 0));
+  q.push(ev(1'000'000, EventKind::kRelease, 1));
+  q.push(ev(12, EventKind::kRelease, 2));
+  EXPECT_EQ(q.pop().time, Instant::ns(3));
+  EXPECT_EQ(q.pop().time, Instant::ns(12));
+  // Still pending: only the far-future one.
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.peek().time, Instant::ns(1'000'000));
+  // New near-term work (relative to the far event's year) interleaves
+  // correctly after the year advances.
+  EXPECT_EQ(q.pop().time, Instant::ns(1'000'000));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, OverflowSpillsAcrossMultipleYears) {
+  CalendarQueue q;
+  q.configure(Duration::ns(8), 4);  // year = 32 ns
+  // Three events in three distinct far-future years: advancing to the
+  // first must respill the others instead of binning them mod year.
+  q.push(ev(0, EventKind::kRelease, 0));
+  q.push(ev(100, EventKind::kRelease, 1));
+  q.push(ev(500, EventKind::kRelease, 2));
+  q.push(ev(900, EventKind::kRelease, 3));
+  const std::vector<SimEvent> got = drain(q);
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[0].time, Instant::ns(0));
+  EXPECT_EQ(got[1].time, Instant::ns(100));
+  EXPECT_EQ(got[2].time, Instant::ns(500));
+  EXPECT_EQ(got[3].time, Instant::ns(900));
+}
+
+TEST(CalendarQueue, ClearKeepsGeometryAndAcceptsEarlierTimes) {
+  CalendarQueue q;
+  q.configure(Duration::ns(8), 4);
+  q.push(ev(1'000'000, EventKind::kRelease, 0));
+  EXPECT_EQ(q.pop().time, Instant::ns(1'000'000));
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  // After clear() the calendar rebases on the next push, so "earlier"
+  // times are fine again — this is exactly what Simulator::reset() relies
+  // on between seeded replications.
+  q.push(ev(5, EventKind::kRelease, 1));
+  q.push(ev(45, EventKind::kRelease, 2));
+  EXPECT_EQ(q.pop().time, Instant::ns(5));
+  EXPECT_EQ(q.pop().time, Instant::ns(45));
+}
+
+TEST(CalendarQueue, NegativeTimesAreHandled) {
+  // Offsets can make the first nominal release negative after jitter
+  // subtraction in principle; the calendar's year-floor mask must not
+  // bin negative instants into the wrong year.
+  CalendarQueue q;
+  q.configure(Duration::ns(8), 4);
+  q.push(ev(-35, EventKind::kRelease, 0));
+  q.push(ev(-1, EventKind::kRelease, 1));
+  q.push(ev(2, EventKind::kRelease, 2));
+  const std::vector<SimEvent> got = drain(q);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].time, Instant::ns(-35));
+  EXPECT_EQ(got[1].time, Instant::ns(-1));
+  EXPECT_EQ(got[2].time, Instant::ns(2));
+}
+
+TEST(CalendarQueue, RandomSoakMatchesReferenceSort) {
+  // Differential soak against std::sort on the same comparator: random
+  // times over many years, interleaved pushes and pops respecting the
+  // discrete-event invariant (never push before the current minimum).
+  Rng rng(7);
+  CalendarQueue q;
+  q.configure(Duration::ns(16), 8);  // year = 128 ns
+  std::vector<SimEvent> reference;
+  std::uint64_t seq = 0;
+  std::int64_t now = 0;
+  std::vector<SimEvent> popped;
+  for (int step = 0; step < 5000; ++step) {
+    const bool do_push = q.empty() || rng.uniform_int(0, 2) != 0;
+    if (do_push) {
+      const std::int64_t t =
+          now + static_cast<std::int64_t>(rng.uniform_int(0, 1000));
+      const auto kind = static_cast<EventKind>(rng.uniform_int(0, 3));
+      const SimEvent e = ev(t, kind, seq++);
+      q.push(e);
+      reference.push_back(e);
+    } else {
+      const SimEvent e = q.pop();
+      now = e.time.count();
+      popped.push_back(e);
+    }
+  }
+  while (!q.empty()) popped.push_back(q.pop());
+  std::sort(reference.begin(), reference.end(), event_before);
+  ASSERT_EQ(popped.size(), reference.size());
+  for (std::size_t i = 0; i < popped.size(); ++i) {
+    EXPECT_EQ(popped[i].seq, reference[i].seq) << "divergence at pop " << i;
+  }
+}
+
+TEST(CalendarQueue, RejectsBadGeometry) {
+  CalendarQueue q;
+  EXPECT_THROW(q.configure(Duration::zero(), 4), PreconditionError);
+  EXPECT_THROW(q.configure(Duration::ns(10), 4), PreconditionError);  // !pow2
+  EXPECT_THROW(q.configure(Duration::ns(16), 3), PreconditionError);
+  EXPECT_THROW(q.configure(Duration::ns(16), 1), PreconditionError);
+}
+
+TEST(CalendarQueue, PopOnEmptyIsRejected) {
+  CalendarQueue q;
+  EXPECT_THROW(q.pop(), PreconditionError);
+  EXPECT_THROW(q.peek(), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ceta::sim

@@ -48,7 +48,7 @@ SimOptions traced(Duration duration) {
 
 TEST(Engine, PeriodicReleases) {
   const TaskGraph g = testing::simple_chain_graph();
-  const SimResult res = simulate(g, traced(Duration::ms(100)));
+  const SimResult res = Simulator(g, traced(Duration::ms(100))).run();
   // S and A: T = 10ms → 10 jobs each; B: T = 20ms → 5 jobs.
   EXPECT_EQ(res.jobs_finished[0], 10);
   EXPECT_EQ(res.jobs_finished[1], 10);
@@ -64,7 +64,7 @@ TEST(Engine, PeriodicReleases) {
 TEST(Engine, OffsetShiftsReleases) {
   TaskGraph g = testing::simple_chain_graph();
   g.task(1).offset = Duration::ms(3);
-  const SimResult res = simulate(g, traced(Duration::ms(50)));
+  const SimResult res = Simulator(g, traced(Duration::ms(50))).run();
   const auto& jobs = res.trace.tasks[1].jobs;
   ASSERT_GE(jobs.size(), 2u);
   EXPECT_EQ(jobs[0].release, Duration::ms(3));
@@ -73,7 +73,7 @@ TEST(Engine, OffsetShiftsReleases) {
 
 TEST(Engine, SourceJobsExecuteInstantly) {
   const TaskGraph g = testing::simple_chain_graph();
-  const SimResult res = simulate(g, traced(Duration::ms(50)));
+  const SimResult res = Simulator(g, traced(Duration::ms(50))).run();
   for (const JobRecord& j : res.trace.tasks[0].jobs) {
     EXPECT_EQ(j.release, j.start);
     EXPECT_EQ(j.start, j.finish);
@@ -82,7 +82,7 @@ TEST(Engine, SourceJobsExecuteInstantly) {
 
 TEST(Engine, NonPreemptiveBlocking) {
   const TaskGraph g = blocking_graph();
-  const SimResult res = simulate(g, traced(Duration::ms(100)));
+  const SimResult res = Simulator(g, traced(Duration::ms(100))).run();
   // low starts at 0 and runs to 5ms; high released at 1ms must wait.
   const JobRecord& hi = res.trace.tasks[2].jobs.at(0);
   EXPECT_EQ(hi.release, Duration::ms(1));
@@ -94,7 +94,7 @@ TEST(Engine, NonPreemptiveBlocking) {
 TEST(Engine, PriorityOrderAtSimultaneousRelease) {
   TaskGraph g = blocking_graph();
   g.task(2).offset = Duration::zero();  // both ready at t = 0
-  const SimResult res = simulate(g, traced(Duration::ms(100)));
+  const SimResult res = Simulator(g, traced(Duration::ms(100))).run();
   const JobRecord& hi = res.trace.tasks[2].jobs.at(0);
   const JobRecord& lo = res.trace.tasks[1].jobs.at(0);
   EXPECT_EQ(hi.start, Duration::zero());
@@ -128,7 +128,7 @@ TEST(Engine, ImplicitReadAtStartNotAtRelease) {
   g.add_edge(sid, loid);
   g.validate();
 
-  const SimResult res = simulate(g, traced(Duration::ms(20)));
+  const SimResult res = Simulator(g, traced(Duration::ms(20))).run();
   const JobRecord& hij = res.trace.tasks[hiid].jobs.at(0);
   EXPECT_EQ(hij.start, Duration::ms(5));
   ASSERT_EQ(hij.reads.size(), 1u);
@@ -139,7 +139,7 @@ TEST(Engine, SameInstantWriteVisibleToStart) {
   // Source releases at t=0 and the consumer also starts at t=0: the token
   // "finishes no later than the start" and must be readable.
   const TaskGraph g = testing::simple_chain_graph();
-  const SimResult res = simulate(g, traced(Duration::ms(30)));
+  const SimResult res = Simulator(g, traced(Duration::ms(30))).run();
   const JobRecord& a0 = res.trace.tasks[1].jobs.at(0);
   EXPECT_EQ(a0.start, Duration::zero());
   ASSERT_EQ(a0.reads.size(), 1u);
@@ -150,7 +150,7 @@ TEST(Engine, SameInstantWriteVisibleToStart) {
 TEST(Engine, RegisterKeepsLatestToken) {
   // Slow consumer (T=20) of a fast source (T=10) reads the newest sample.
   const TaskGraph g = testing::simple_chain_graph();
-  const SimResult res = simulate(g, traced(Duration::ms(100)));
+  const SimResult res = Simulator(g, traced(Duration::ms(100))).run();
   // B@k releases at 20k; at its start the latest finished A job is the one
   // released at 20k (A runs 1ms from 20k; B starts after A finishes...).
   // Instead of re-deriving exact pipeline timing, assert monotone
@@ -183,7 +183,7 @@ TEST(Engine, FifoBufferDelaysData) {
   g.add_edge(sid, aid, ChannelSpec{3});
   g.validate();
 
-  const SimResult res = simulate(g, traced(Duration::ms(200)));
+  const SimResult res = Simulator(g, traced(Duration::ms(200))).run();
   for (const JobRecord& j : res.trace.tasks[aid].jobs) {
     if (j.release < Duration::ms(50)) continue;  // let the FIFO fill
     ASSERT_EQ(j.reads.size(), 1u);
@@ -204,7 +204,7 @@ TEST(Engine, DisparityMeasuredAtJoin) {
   const Duration bound = analyze_time_disparity(g, 4, rtm).worst_case;
 
   SimOptions opt = traced(Duration::s(2));
-  const SimResult res = simulate(g, opt);
+  const SimResult res = Simulator(g, opt).run();
   EXPECT_GT(res.jobs_observed[4], 0);
   EXPECT_GT(res.max_disparity[4], Duration::zero());
   EXPECT_LE(res.max_disparity[4], bound);
@@ -215,9 +215,9 @@ TEST(Engine, WarmupExcludesEarlyJobs) {
   SimOptions opt;
   opt.duration = Duration::ms(400);
   opt.exec_model = ExecTimeModel::kWorstCase;
-  const SimResult all = simulate(g, opt);
+  const SimResult all = Simulator(g, opt).run();
   opt.warmup = Duration::ms(200);
-  const SimResult late = simulate(g, opt);
+  const SimResult late = Simulator(g, opt).run();
   EXPECT_LT(late.jobs_observed[4], all.jobs_observed[4]);
   EXPECT_LE(late.max_disparity[4], all.max_disparity[4]);
 }
@@ -227,8 +227,8 @@ TEST(Engine, DeterministicPerSeed) {
   SimOptions opt;
   opt.duration = Duration::ms(500);
   opt.seed = 99;
-  const SimResult a = simulate(g, opt);
-  const SimResult b = simulate(g, opt);
+  const SimResult a = Simulator(g, opt).run();
+  const SimResult b = Simulator(g, opt).run();
   EXPECT_EQ(a.max_disparity, b.max_disparity);
   EXPECT_EQ(a.jobs_finished, b.jobs_finished);
 }
@@ -240,7 +240,7 @@ TEST(Engine, ResponseTimesRespectRtaBound) {
     SimOptions opt;
     opt.duration = Duration::s(1);
     opt.seed = seed;
-    const SimResult res = simulate(g, opt);
+    const SimResult res = Simulator(g, opt).run();
     for (TaskId id = 0; id < g.num_tasks(); ++id) {
       EXPECT_LE(res.max_response_time[id], rtm[id])
           << "seed " << seed << " task " << g.task(id).name;
@@ -255,12 +255,12 @@ TEST(Engine, BestCaseModelRunsFaster) {
   opt.duration = Duration::ms(200);
   opt.record_trace = true;
   opt.exec_model = ExecTimeModel::kBestCase;
-  const SimResult bc = simulate(g, opt);
+  const SimResult bc = Simulator(g, opt).run();
   for (const JobRecord& j : bc.trace.tasks[1].jobs) {
     EXPECT_EQ(j.finish - j.start, Duration::us(100));
   }
   opt.exec_model = ExecTimeModel::kWorstCase;
-  const SimResult wc = simulate(g, opt);
+  const SimResult wc = Simulator(g, opt).run();
   for (const JobRecord& j : wc.trace.tasks[1].jobs) {
     EXPECT_EQ(j.finish - j.start, Duration::ms(1));
   }
@@ -273,7 +273,7 @@ TEST(Engine, UniformModelStaysInRange) {
   opt.duration = Duration::ms(500);
   opt.record_trace = true;
   opt.exec_model = ExecTimeModel::kUniform;
-  const SimResult res = simulate(g, opt);
+  const SimResult res = Simulator(g, opt).run();
   bool varied = false;
   Duration first;
   bool have_first = false;
@@ -302,7 +302,7 @@ TEST(Engine, CustomExecHook) {
     // Alternate between BCET and WCET per job index.
     return (job % 2 == 0) ? t.bcet : t.wcet;
   };
-  const SimResult res = simulate(g, opt);
+  const SimResult res = Simulator(g, opt).run();
   const auto& jobs = res.trace.tasks[1].jobs;
   ASSERT_GE(jobs.size(), 2u);
   EXPECT_EQ(jobs[0].finish - jobs[0].start, Duration::us(1));
@@ -317,7 +317,7 @@ TEST(Engine, CustomHookOutOfRangeRejected) {
   opt.exec_hook = [](const Task& t, std::int64_t, Rng&) {
     return t.wcet + Duration::ns(1);
   };
-  EXPECT_THROW(simulate(g, opt), PreconditionError);
+  EXPECT_THROW(Simulator(g, opt).run(), PreconditionError);
 }
 
 TEST(Engine, JobCapGuards) {
@@ -325,22 +325,70 @@ TEST(Engine, JobCapGuards) {
   SimOptions opt;
   opt.duration = Duration::s(10);
   opt.max_jobs = 100;
-  EXPECT_THROW(simulate(g, opt), CapacityError);
+  EXPECT_THROW(Simulator(g, opt).run(), CapacityError);
 }
 
 TEST(Engine, OptionValidation) {
+  // SimOptions::validate() rejects nonsensical combinations with
+  // InvalidOptionsError before any simulation state exists; the same gate
+  // covers the Simulator ctor, the simulate() shim and the Monte-Carlo
+  // driver.
   const TaskGraph g = testing::simple_chain_graph();
   SimOptions opt;
   opt.duration = Duration::zero();
-  EXPECT_THROW(simulate(g, opt), PreconditionError);
+  EXPECT_THROW(Simulator(g, opt), InvalidOptionsError);
+  EXPECT_THROW(simulate(g, opt), InvalidOptionsError);
   opt.duration = Duration::ms(10);
   opt.warmup = Duration::ms(10);
-  EXPECT_THROW(simulate(g, opt), PreconditionError);
+  EXPECT_THROW(Simulator(g, opt), InvalidOptionsError);
+  opt.warmup = Duration::ms(-1);
+  EXPECT_THROW(Simulator(g, opt), InvalidOptionsError);
+  opt.warmup = Duration::zero();
+  opt.max_jobs = 0;
+  EXPECT_THROW(Simulator(g, opt), InvalidOptionsError);
+  opt.max_jobs = 1000;
+  opt.exec_model = ExecTimeModel::kCustom;  // no hook
+  EXPECT_THROW(Simulator(g, opt), InvalidOptionsError);
+  opt.exec_model = ExecTimeModel::kUniform;
+  opt.exec_hook = [](const Task& t, std::int64_t, Rng&) { return t.wcet; };
+  EXPECT_THROW(Simulator(g, opt), InvalidOptionsError);  // ignored hook
+  opt.exec_hook = {};
+  EXPECT_NO_THROW(Simulator(g, opt));
+}
+
+TEST(Engine, ShimBitIdenticalToSimulator) {
+  // The deprecated simulate() entry point is a thin wrapper over
+  // Simulator and must stay field-for-field identical to it (the only
+  // remaining caller of simulate() is this test).
+  const TaskGraph g = testing::random_dag_graph(10, 3, 17);
+  SimOptions opt;
+  opt.duration = Duration::ms(300);
+  opt.seed = 1234;
+  opt.record_trace = true;
+  const SimResult via_shim = simulate(g, opt);
+  const SimResult via_api = Simulator(g, opt).run();
+  EXPECT_EQ(via_shim.max_disparity, via_api.max_disparity);
+  EXPECT_EQ(via_shim.jobs_observed, via_api.jobs_observed);
+  EXPECT_EQ(via_shim.jobs_finished, via_api.jobs_finished);
+  EXPECT_EQ(via_shim.max_response_time, via_api.max_response_time);
+  EXPECT_EQ(via_shim.preemptions, via_api.preemptions);
+  ASSERT_EQ(via_shim.trace.tasks.size(), via_api.trace.tasks.size());
+  for (std::size_t t = 0; t < via_shim.trace.tasks.size(); ++t) {
+    const auto& a = via_shim.trace.tasks[t].jobs;
+    const auto& b = via_api.trace.tasks[t].jobs;
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].index, b[i].index);
+      EXPECT_EQ(a[i].release, b[i].release);
+      EXPECT_EQ(a[i].start, b[i].start);
+      EXPECT_EQ(a[i].finish, b[i].finish);
+    }
+  }
 }
 
 TEST(Engine, InvalidGraphRejected) {
   TaskGraph g;  // empty
-  EXPECT_THROW(simulate(g, SimOptions{}), PreconditionError);
+  EXPECT_THROW(Simulator(g, SimOptions{}).run(), PreconditionError);
 }
 
 }  // namespace

@@ -45,7 +45,7 @@ TEST_P(ExactLet, AgreesWithSimulationExactly) {
   opt.duration = Duration::s(8);
   opt.seed = seed;
   opt.exec_model = ExecTimeModel::kUniform;  // execution times irrelevant
-  const SimResult res = simulate(g, opt);
+  const SimResult res = Simulator(g, opt).run();
   EXPECT_EQ(res.max_disparity[sink], exact.worst_disparity)
       << "seed " << seed;
 }
@@ -251,7 +251,7 @@ TEST(ExactLet, DeepChainWithLargeBuffersDoesNotUnderProvisionWarmup) {
   opt.duration = opt.warmup + Duration::s(2);
   opt.seed = 99;
   opt.exec_model = ExecTimeModel::kUniform;
-  const SimResult res = simulate(g, opt);
+  const SimResult res = Simulator(g, opt).run();
   EXPECT_EQ(res.max_disparity[f], exact.worst_disparity);
 }
 
@@ -290,7 +290,7 @@ TEST(ExactLet, SourceReadAtExactCoincidenceIsVisible) {
   opt.duration = Duration::s(1);
   opt.seed = 5;
   opt.exec_model = ExecTimeModel::kUniform;
-  EXPECT_EQ(simulate(g, opt).max_disparity[fid], Duration::ms(9));
+  EXPECT_EQ(Simulator(g, opt).run().max_disparity[fid], Duration::ms(9));
 }
 
 TEST(ExactLet, NonSourcePublishAtExactCoincidenceIsVisible) {
@@ -334,7 +334,7 @@ TEST(ExactLet, NonSourcePublishAtExactCoincidenceIsVisible) {
   opt.duration = Duration::s(1);
   opt.seed = 5;
   opt.exec_model = ExecTimeModel::kUniform;
-  EXPECT_EQ(simulate(g, opt).max_disparity[fid], Duration::ms(1));
+  EXPECT_EQ(Simulator(g, opt).run().max_disparity[fid], Duration::ms(1));
 }
 
 TEST(ExactLet, SingleChainIsZero) {

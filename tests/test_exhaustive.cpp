@@ -100,7 +100,7 @@ TEST(Exhaustive, DiamondDisparityOverFullOffsetGrid) {
             SimOptions opt;
             opt.duration = Duration::ms(200);
             opt.exec_model = ExecTimeModel::kWorstCase;
-            const SimResult res = simulate(g, opt);
+            const SimResult res = Simulator(g, opt).run();
             ASSERT_LE(res.max_disparity[4], bound)
                 << "offsets " << so << ',' << ao << ',' << co << ',' << do_
                 << ',' << eo;
@@ -139,7 +139,7 @@ TEST(Exhaustive, FusionPairBoundOverFullOffsetGrid) {
             SimOptions opt;
             opt.duration = Duration::ms(150);
             opt.exec_model = ExecTimeModel::kWorstCase;
-            const SimResult res = simulate(g, opt);
+            const SimResult res = Simulator(g, opt).run();
             ASSERT_LE(res.max_disparity[4], bound)
                 << "offsets " << o1 << ',' << o2 << ',' << oa << ',' << ob
                 << ',' << of;
@@ -171,7 +171,7 @@ TEST(Exhaustive, BackwardTimesOverOffsetGridBothExecExtremes) {
           opt.duration = Duration::ms(100);
           opt.exec_model = model;
           opt.record_trace = true;
-          const SimResult res = simulate(g, opt);
+          const SimResult res = Simulator(g, opt).run();
           for (std::size_t ci = 0; ci < chains.size(); ++ci) {
             const BackwardMeasurement m =
                 measured_backward_times(g, res.trace, chains[ci]);
@@ -204,7 +204,7 @@ TEST(Exhaustive, BufferedFusionOverOffsetGrid) {
         opt.warmup = Duration::ms(100);
         opt.duration = Duration::ms(300);
         opt.exec_model = ExecTimeModel::kWorstCase;
-        const SimResult res = simulate(buffered, opt);
+        const SimResult res = Simulator(buffered, opt).run();
         ASSERT_LE(res.max_disparity[4], d.optimized_bound)
             << "offsets " << o1 << ',' << o2 << ',' << of;
       }

@@ -41,7 +41,7 @@ TEST(Gantt, DeterministicChainLayout) {
   opt.duration = Duration::ms(20);
   opt.record_trace = true;
   opt.exec_model = ExecTimeModel::kWorstCase;
-  const SimResult res = simulate(g, opt);
+  const SimResult res = Simulator(g, opt).run();
 
   GanttOptions gopt;
   gopt.from = Duration::zero();
@@ -62,7 +62,7 @@ TEST(Gantt, ReleaseMarkerDoesNotOverwriteExecution) {
   opt.duration = Duration::ms(10);
   opt.record_trace = true;
   opt.exec_model = ExecTimeModel::kWorstCase;
-  const SimResult res = simulate(g, opt);
+  const SimResult res = Simulator(g, opt).run();
   GanttOptions gopt;
   gopt.from = Duration::zero();
   gopt.to = Duration::ms(10);
@@ -76,7 +76,7 @@ TEST(Gantt, AutoWindowCoversAllEvents) {
   SimOptions opt;
   opt.duration = Duration::ms(60);
   opt.record_trace = true;
-  const SimResult res = simulate(g, opt);
+  const SimResult res = Simulator(g, opt).run();
   const std::string out = render_gantt(g, res.trace);
   EXPECT_FALSE(out.empty());
   const auto lines = lines_of(out);

@@ -43,7 +43,7 @@ Duration simulate_max_disparity(TaskGraph g, TaskId sink, Duration warmup,
     opt.warmup = warmup;
     opt.duration = warmup + Duration::s(1);
     opt.seed = seed + static_cast<std::uint64_t>(r);
-    const SimResult res = simulate(g, opt);
+    const SimResult res = Simulator(g, opt).run();
     best = std::max(best, res.max_disparity[sink]);
   }
   return best;

@@ -38,7 +38,7 @@ TEST_P(DisparitySafety, SimNeverExceedsBoundsAtSink) {
     sopt.duration = Duration::s(2);
     sopt.seed = seed + static_cast<std::uint64_t>(run);
     sopt.exec_model = ExecTimeModel::kUniform;
-    const SimResult res = simulate(g, sopt);
+    const SimResult res = Simulator(g, sopt).run();
     EXPECT_LE(res.max_disparity[sink], sdiff)
         << "seed " << seed << " run " << run;
   }
@@ -64,7 +64,7 @@ TEST_P(DisparitySafety, HoldsForEveryIntermediateTask) {
   SimOptions sopt;
   sopt.duration = Duration::s(2);
   sopt.seed = seed;
-  const SimResult res = simulate(g, sopt);
+  const SimResult res = Simulator(g, sopt).run();
   for (const auto& [task, bound] : bounds) {
     EXPECT_LE(res.max_disparity[task], bound)
         << "seed " << seed << " task " << g.task(task).name;
@@ -86,7 +86,7 @@ TEST_P(DisparitySafety, ExtremeExecutionModelsAlsoSafe) {
     sopt.duration = Duration::s(2);
     sopt.seed = seed;
     sopt.exec_model = model;
-    const SimResult res = simulate(g, sopt);
+    const SimResult res = Simulator(g, sopt).run();
     EXPECT_LE(res.max_disparity[sink], sdiff) << "seed " << seed;
   }
 }
@@ -108,7 +108,7 @@ TEST_P(DisparitySafety, AdversarialAlternatingExecution) {
   sopt.exec_hook = [](const Task& t, std::int64_t job, Rng&) {
     return (job % 2 == 0) ? t.bcet : t.wcet;
   };
-  const SimResult res = simulate(g, sopt);
+  const SimResult res = Simulator(g, sopt).run();
   EXPECT_LE(res.max_disparity[sink], sdiff) << "seed " << seed;
 }
 
@@ -149,7 +149,7 @@ TEST_P(DisparitySafety, FunnelTopologySafeToo) {
     SimOptions sopt;
     sopt.duration = Duration::s(2);
     sopt.seed = seed + static_cast<std::uint64_t>(run);
-    const SimResult res = simulate(g, sopt);
+    const SimResult res = Simulator(g, sopt).run();
     EXPECT_LE(res.max_disparity[sink], sdiff)
         << "seed " << seed << " run " << run;
   }
@@ -178,7 +178,7 @@ TEST_P(DisparitySafety, RandomFifoBuffersStaySafe) {
   sopt.warmup = Duration::s(4);
   sopt.duration = Duration::s(8);
   sopt.seed = seed;
-  const SimResult res = simulate(g, sopt);
+  const SimResult res = Simulator(g, sopt).run();
   EXPECT_LE(res.max_disparity[sink], sdiff) << "seed " << seed;
 }
 

@@ -132,7 +132,7 @@ TEST(JitterEngine, ReleasesWithinJitterWindow) {
   opt.duration = Duration::ms(300);
   opt.record_trace = true;
   opt.seed = 5;
-  const SimResult res = simulate(g, opt);
+  const SimResult res = Simulator(g, opt).run();
   bool jittered = false;
   for (const JobRecord& j : res.trace.tasks[1].jobs) {
     const Duration nominal = Duration::ms(10) * j.index;
@@ -150,7 +150,7 @@ TEST(JitterEngine, ZeroJitterStaysNominal) {
   SimOptions opt;
   opt.duration = Duration::ms(100);
   opt.record_trace = true;
-  const SimResult res = simulate(g, opt);
+  const SimResult res = Simulator(g, opt).run();
   for (const JobRecord& j : res.trace.tasks[1].jobs) {
     EXPECT_EQ(j.release, Duration::ms(10) * j.index);
   }
@@ -178,7 +178,7 @@ TEST_P(JitterSafety, BackwardTimesWithinBounds) {
   opt.duration = Duration::s(2);
   opt.seed = seed;
   opt.record_trace = true;
-  const SimResult res = simulate(g, opt);
+  const SimResult res = Simulator(g, opt).run();
   for (const Path& chain : enumerate_source_chains(g, sink)) {
     const BackwardBounds b = backward_bounds(g, chain, rta.response_time);
     const BackwardMeasurement m =
@@ -211,7 +211,7 @@ TEST_P(JitterSafety, DisparityWithinBounds) {
   SimOptions opt;
   opt.duration = Duration::s(2);
   opt.seed = seed + 1;
-  const SimResult res = simulate(g, opt);
+  const SimResult res = Simulator(g, opt).run();
   EXPECT_LE(res.max_disparity[sink], sdiff) << "seed " << seed;
 }
 

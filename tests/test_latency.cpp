@@ -74,7 +74,7 @@ TEST(MeasuredDataAge, DeterministicChain) {
 
   SimOptions opt = traced(Duration::ms(200));
   opt.exec_model = ExecTimeModel::kWorstCase;
-  const SimResult res = simulate(g, opt);
+  const SimResult res = Simulator(g, opt).run();
   const DataAgeMeasurement m = measured_data_ages(g, res.trace, {sid, aid});
   ASSERT_FALSE(m.ages.empty());
   for (Duration age : m.ages) {
@@ -87,7 +87,7 @@ TEST(MeasuredDataAge, WithinAnalyticalBounds) {
     const TaskGraph g = testing::random_dag_graph(10, 3, seed + 60);
     const ResponseTimeMap rtm = testing::response_times_of(g);
     const TaskId sink = g.sinks().front();
-    const SimResult res = simulate(g, traced(Duration::s(1), seed));
+    const SimResult res = Simulator(g, traced(Duration::s(1), seed)).run();
     for (const Path& chain : enumerate_source_chains(g, sink)) {
       const Duration hi = max_data_age_bound(g, chain, rtm);
       const Duration lo = min_data_age_bound(g, chain, rtm);
@@ -121,7 +121,7 @@ TEST(MeasuredReaction, DeterministicChain) {
 
   SimOptions opt = traced(Duration::ms(200));
   opt.exec_model = ExecTimeModel::kWorstCase;
-  const SimResult res = simulate(g, opt);
+  const SimResult res = Simulator(g, opt).run();
   const ReactionMeasurement m = measured_reaction_times(
       g, res.trace, {sid, aid}, Duration::zero(), Duration::ms(150));
   ASSERT_FALSE(m.reactions.empty());
@@ -136,7 +136,7 @@ TEST(MeasuredReaction, WithinAnalyticalBound) {
     const TaskGraph g = testing::random_dag_graph(10, 3, seed + 90);
     const ResponseTimeMap rtm = testing::response_times_of(g);
     const TaskId sink = g.sinks().front();
-    const SimResult res = simulate(g, traced(Duration::s(2), seed));
+    const SimResult res = Simulator(g, traced(Duration::s(2), seed)).run();
     for (const Path& chain : enumerate_source_chains(g, sink)) {
       const Duration bound = max_reaction_time_bound(g, chain, rtm);
       // Only query stimuli early enough that an in-trace answer must
@@ -153,7 +153,7 @@ TEST(MeasuredReaction, WithinAnalyticalBound) {
 
 TEST(MeasuredReaction, UnansweredAtTraceEnd) {
   TaskGraph g = testing::simple_chain_graph();
-  const SimResult res = simulate(g, traced(Duration::ms(100)));
+  const SimResult res = Simulator(g, traced(Duration::ms(100))).run();
   // Querying stimuli right up to the end leaves the last ones unanswered.
   const ReactionMeasurement m = measured_reaction_times(
       g, res.trace, {0, 1, 2}, Duration::zero(), Instant::max());
@@ -162,7 +162,7 @@ TEST(MeasuredReaction, UnansweredAtTraceEnd) {
 
 TEST(MeasuredReaction, Preconditions) {
   const TaskGraph g = testing::simple_chain_graph();
-  const SimResult res = simulate(g, traced(Duration::ms(50)));
+  const SimResult res = Simulator(g, traced(Duration::ms(50))).run();
   EXPECT_THROW(measured_reaction_times(g, res.trace, {1, 2}, Instant::zero(),
                                        Instant::max()),
                PreconditionError);

@@ -63,7 +63,7 @@ TEST(LetEngine, PublishAtDeadlineNotAtFinish) {
   const TaskGraph g = let_chain();
   SimOptions opt = traced(Duration::ms(200));
   opt.exec_model = ExecTimeModel::kBestCase;  // finish long before deadline
-  const SimResult res = simulate(g, opt);
+  const SimResult res = Simulator(g, opt).run();
   for (const JobRecord& j : res.trace.tasks[2].jobs) {  // B
     if (j.release < Duration::ms(40)) continue;
     ASSERT_EQ(j.reads.size(), 1u);
@@ -100,7 +100,7 @@ TEST(LetEngine, ReadAtReleaseNotAtStart) {
   g.add_edge(sid, loid);
   g.validate();
 
-  const SimResult res = simulate(g, traced(Duration::ms(20)));
+  const SimResult res = Simulator(g, traced(Duration::ms(20))).run();
   const JobRecord& hij = res.trace.tasks[hiid].jobs.at(0);
   EXPECT_EQ(hij.start, Duration::ms(5));  // blocked by `low`
   ASSERT_EQ(hij.reads.size(), 1u);
@@ -119,7 +119,7 @@ TEST(LetEngine, DeterministicDataFlowAcrossExecutionModels) {
     opt.exec_model = variant == 0   ? ExecTimeModel::kBestCase
                      : variant == 1 ? ExecTimeModel::kWorstCase
                                     : ExecTimeModel::kUniform;
-    const SimResult res = simulate(g, opt);
+    const SimResult res = Simulator(g, opt).run();
     const BackwardMeasurement m =
         measured_backward_times(g, res.trace, {0, 1, 2}, Duration::ms(50));
     ASSERT_FALSE(m.lengths.empty());
@@ -145,10 +145,10 @@ TEST(LetEngine, ImplicitDataFlowIsNotDeterministic) {
   SimOptions opt = traced(Duration::ms(400), 17);
   opt.exec_model = ExecTimeModel::kBestCase;
   const auto fast =
-      measured_backward_times(g, simulate(g, opt).trace, {0, 1, 2}).lengths;
+      measured_backward_times(g, Simulator(g, opt).run().trace, {0, 1, 2}).lengths;
   opt.exec_model = ExecTimeModel::kWorstCase;
   const auto slow =
-      measured_backward_times(g, simulate(g, opt).trace, {0, 1, 2}).lengths;
+      measured_backward_times(g, Simulator(g, opt).run().trace, {0, 1, 2}).lengths;
   EXPECT_NE(fast, slow);
 }
 
@@ -165,7 +165,7 @@ TEST(LetBounds, MeasuredWithinBounds) {
   const TaskGraph g = let_chain();
   const ResponseTimeMap rtm = testing::response_times_of(g);
   const BackwardBounds b = backward_bounds(g, {0, 1, 2}, rtm);
-  const SimResult res = simulate(g, traced(Duration::s(1), 3));
+  const SimResult res = Simulator(g, traced(Duration::s(1), 3)).run();
   const BackwardMeasurement m =
       measured_backward_times(g, res.trace, {0, 1, 2}, Duration::ms(100));
   ASSERT_FALSE(m.lengths.empty());
@@ -179,7 +179,7 @@ TEST(LetBounds, MeasuredExactValueFromDerivation) {
   // Hand-derived steady state: B@20k reads A released 20k−18, which read
   // S@20k−20 → len = 20ms for every job.
   const TaskGraph g = let_chain();
-  const SimResult res = simulate(g, traced(Duration::s(1), 3));
+  const SimResult res = Simulator(g, traced(Duration::s(1), 3)).run();
   const BackwardMeasurement m =
       measured_backward_times(g, res.trace, {0, 1, 2}, Duration::ms(100));
   for (Duration len : m.lengths) {
@@ -199,7 +199,7 @@ TEST(LetBounds, MixedChainSafe) {
     g.validate();
     const ResponseTimeMap rtm = testing::response_times_of(g);
     const BackwardBounds b = backward_bounds(g, {0, 1, 2}, rtm);
-    const SimResult res = simulate(g, traced(Duration::s(1), 5));
+    const SimResult res = Simulator(g, traced(Duration::s(1), 5)).run();
     const BackwardMeasurement m =
         measured_backward_times(g, res.trace, {0, 1, 2}, Duration::ms(100));
     ASSERT_FALSE(m.lengths.empty());
@@ -220,7 +220,7 @@ TEST(LetBounds, FifoBufferComposesWithLet) {
   EXPECT_EQ(wcbt_bound(g, {0, 1, 2}, rtm), Duration::ms(30 + 20));
   EXPECT_EQ(bcbt_bound(g, {0, 1, 2}, rtm), Duration::ms(10 + 20));
 
-  const SimResult res = simulate(g, traced(Duration::s(1), 3));
+  const SimResult res = Simulator(g, traced(Duration::s(1), 3)).run();
   const BackwardMeasurement m =
       measured_backward_times(g, res.trace, {0, 1, 2}, Duration::ms(200));
   ASSERT_FALSE(m.lengths.empty());
@@ -245,7 +245,7 @@ TEST_P(LetDisparitySafety, RandomLetGraphsWithinBounds) {
   SimOptions opt;
   opt.duration = Duration::s(2);
   opt.seed = seed;
-  const SimResult res = simulate(g, opt);
+  const SimResult res = Simulator(g, opt).run();
   EXPECT_LE(res.max_disparity[sink], sdiff) << "seed " << seed;
 }
 
@@ -268,7 +268,7 @@ TEST_P(LetDisparitySafety, MixedGraphsWithinBounds) {
   SimOptions opt;
   opt.duration = Duration::s(2);
   opt.seed = seed;
-  const SimResult res = simulate(g, opt);
+  const SimResult res = Simulator(g, opt).run();
   EXPECT_LE(res.max_disparity[sink], sdiff) << "seed " << seed;
 }
 

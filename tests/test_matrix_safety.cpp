@@ -98,7 +98,7 @@ TEST_P(MatrixSafety, SimWithinBound) {
   sopt.policy = policy;
   sopt.duration = Duration::s(2);
   sopt.seed = seed;
-  const SimResult res = simulate(g, sopt);
+  const SimResult res = Simulator(g, sopt).run();
   EXPECT_LE(res.max_disparity[sink], bound);
   EXPECT_GT(res.jobs_observed[sink], 0);
 }

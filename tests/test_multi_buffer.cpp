@@ -85,7 +85,7 @@ TEST(MultiBuffer, OptimizedBoundIsSafe) {
     opt.warmup = warmup;
     opt.duration = warmup + Duration::s(2);
     opt.seed = static_cast<std::uint64_t>(run) + 1;
-    const SimResult res = simulate(buffered, opt);
+    const SimResult res = Simulator(buffered, opt).run();
     worst = std::max(worst, res.max_disparity[fuse]);
   }
   EXPECT_LE(worst, d.optimized_bound);

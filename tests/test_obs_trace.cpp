@@ -55,7 +55,7 @@ void run_instrumented_workload() {
 
   SimOptions sopt;
   sopt.duration = Duration::ms(200);
-  (void)simulate(g, sopt);
+  (void)Simulator(g, sopt).run();
 }
 
 JsonValue record_trace() {
@@ -115,7 +115,7 @@ TEST(TraceSchema, GoldenShape) {
   for (const char* name :
        {"analyze_response_times", "enumerate_source_chains", "hop_bound",
         "rta", "hop", "chain_bounds", "chains", "disparity", "disparity_all",
-        "pool.job", "simulate"}) {
+        "pool.job", "simulator.run"}) {
     EXPECT_TRUE(names.count(name)) << "missing span '" << name << "'";
   }
   for (const char* cat : {"sched", "graph", "chain", "disparity", "engine",

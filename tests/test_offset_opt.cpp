@@ -73,7 +73,7 @@ TEST(OffsetPlan, SimulationConfirmsOptimizedSystem) {
   SimOptions opt;
   opt.warmup = Duration::s(1);
   opt.duration = Duration::s(3);
-  const SimResult res = simulate(tuned, opt);
+  const SimResult res = Simulator(tuned, opt).run();
   EXPECT_EQ(res.max_disparity[4], plan.optimized);
 }
 

@@ -80,7 +80,7 @@ TEST(Pareto, IntermediatePointIsSafe) {
     opt.duration = Duration::s(5);
     opt.seed = static_cast<std::uint64_t>(run) + 1;
     worst = std::max(worst,
-                     simulate(buffered, opt).max_disparity[in.sink]);
+                     Simulator(buffered, opt).run().max_disparity[in.sink]);
   }
   EXPECT_LE(worst, mid.bound);
 }

@@ -103,7 +103,7 @@ TEST(PreemptiveEngine, HigherPriorityPreemptsImmediately) {
   opt.duration = Duration::ms(50);
   opt.record_trace = true;
   opt.exec_model = ExecTimeModel::kWorstCase;
-  const SimResult res = simulate(g, opt);
+  const SimResult res = Simulator(g, opt).run();
 
   const JobRecord& hij = res.trace.tasks[hi].jobs.at(0);
   const JobRecord& loj = res.trace.tasks[lo].jobs.at(0);
@@ -114,7 +114,7 @@ TEST(PreemptiveEngine, HigherPriorityPreemptsImmediately) {
 
   // The same scenario non-preemptively: hi waits for lo.
   opt.policy = SchedPolicy::kNonPreemptive;
-  const SimResult np = simulate(g, opt);
+  const SimResult np = Simulator(g, opt).run();
   EXPECT_EQ(np.trace.tasks[hi].jobs.at(0).start, Duration::ms(5));
 }
 
@@ -140,7 +140,7 @@ TEST(PreemptiveEngine, ReadsStayAtFirstStart) {
   opt.duration = Duration::ms(20);
   opt.record_trace = true;
   opt.exec_model = ExecTimeModel::kWorstCase;
-  const SimResult res = simulate(g, opt);
+  const SimResult res = Simulator(g, opt).run();
   const JobRecord& vj = res.trace.tasks[victim].jobs.at(0);
   EXPECT_EQ(vj.start, Duration::zero());
   EXPECT_EQ(vj.finish, Duration::ms(6));  // suspended for 1ms
@@ -161,7 +161,7 @@ TEST(PreemptiveEngine, ResponseTimesWithinPreemptiveRta) {
     opt.policy = SchedPolicy::kPreemptive;
     opt.duration = Duration::s(1);
     opt.seed = seed;
-    const SimResult res = simulate(g, opt);
+    const SimResult res = Simulator(g, opt).run();
     for (TaskId id = 0; id < g.num_tasks(); ++id) {
       EXPECT_LE(res.max_response_time[id], rta.response_time[id])
           << "seed " << seed << " task " << g.task(id).name;
@@ -193,7 +193,7 @@ TEST_P(PreemptiveSafety, DisparityWithinAgnosticBounds) {
   opt.policy = SchedPolicy::kPreemptive;
   opt.duration = Duration::s(2);
   opt.seed = seed;
-  const SimResult res = simulate(g, opt);
+  const SimResult res = Simulator(g, opt).run();
   EXPECT_LE(res.max_disparity[sink], bound) << "seed " << seed;
 }
 
@@ -211,7 +211,7 @@ TEST_P(PreemptiveSafety, BackwardTimesWithinAgnosticBounds) {
   opt.duration = Duration::s(1);
   opt.seed = seed;
   opt.record_trace = true;
-  const SimResult res = simulate(g, opt);
+  const SimResult res = Simulator(g, opt).run();
   for (const Path& chain : enumerate_source_chains(g, sink)) {
     const Duration w = wcbt_bound(g, chain, rta.response_time,
                                   HopBoundMethod::kSchedulingAgnostic);
@@ -249,7 +249,7 @@ TEST(PreemptiveEngine, LetUnaffectedByPolicy) {
     opt.policy = policy;
     opt.duration = Duration::ms(400);
     opt.record_trace = true;
-    const SimResult res = simulate(g, opt);
+    const SimResult res = Simulator(g, opt).run();
     lengths[i++] = measured_backward_times(g, res.trace, {s, a, b},
                                            Duration::ms(50))
                        .lengths;

@@ -112,7 +112,7 @@ TEST(Requirements, RemedyVerifiedBySimulation) {
   SimOptions opt;
   opt.warmup = Duration::s(3);
   opt.duration = Duration::s(6);
-  const SimResult res = simulate(rep.final_graph, opt);
+  const SimResult res = Simulator(rep.final_graph, opt).run();
   EXPECT_LE(res.max_disparity[6], rep.outcomes[0].final_bound);
 }
 

@@ -101,7 +101,7 @@ TEST_P(SystemLevel, EndToEndFlowConsistent) {
   opt.warmup = Duration::s(2);
   opt.duration = Duration::s(5);
   opt.seed = GetParam();
-  const SimResult res = simulate(tight.final_graph, opt);
+  const SimResult res = Simulator(tight.final_graph, opt).run();
   const Duration final_bound =
       analyze_time_disparity(tight.final_graph, sys.fusion, rtm).worst_case;
   EXPECT_LE(res.max_disparity[sys.fusion], final_bound);

@@ -95,6 +95,21 @@ TEST(PropertyChecker, InjectedFaultIsCaughtAndShrunk) {
                   .violated());
 }
 
+TEST(PropertyChecker, InjectedMcFaultIsCaughtByMonteCarloProperty) {
+  // kCorruptMcSamples inflates every Monte-Carlo disparity sample 1000x;
+  // on a graph with any measured disparity at all, the empirical samples
+  // must then blow through the S-diff bound.  Checked on the diamond
+  // directly — no campaign needed.
+  const TaskGraph g = testing::diamond_graph();
+  const TaskId sink = 4;
+  ProbeConfig cfg;
+  cfg.fault = FaultInjection::kCorruptMcSamples;
+  const PropertyOutcome out = verify::check_property(
+      Property::kMonteCarloWithinBounds, g, sink, cfg);
+  ASSERT_TRUE(out.violated()) << out.detail;
+  EXPECT_NE(out.detail.find("monte-carlo"), std::string::npos) << out.detail;
+}
+
 TEST(Fixture, RoundTripsThroughText) {
   Fixture f;
   f.property = Property::kSimWithinBound;
