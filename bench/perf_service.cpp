@@ -1,0 +1,328 @@
+// Fleet driver for the cetad service core: thousands of concurrent named
+// sessions under mixed read / mutate / subscribe traffic.
+//
+// The driver speaks the real wire protocol (JSON payloads through
+// ServiceCore::handle) but in-process — no sockets — so the measured
+// latencies are the service's own: parse, admission, dispatch, engine
+// query, serialization.  Traffic shape:
+//
+//   * every session is a small two-source fusion graph (5 tasks);
+//   * sessions are partitioned across driver threads (parallelism across
+//     sessions, deterministic request order within one);
+//   * each thread mixes disparity queries, latency queries, graph dumps,
+//     WCET/period mutations and subscribe/unsubscribe churn;
+//   * a subscribed thread cross-checks a sample of the pushes it receives
+//     against an immediate re-query — the push must carry exactly the
+//     committed worst case;
+//   * at the end, sampled sessions are re-validated against a *fresh*
+//     AnalysisEngine built from the session's own serialized graph.
+//
+// Emits BENCH_service.json (schema-checked by tests/check_bench_json.cpp
+// mode "service") with p50/p95/p99 request latencies per traffic class,
+// and exits nonzero on any cross-check mismatch.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "engine/analysis_engine.hpp"
+#include "engine/thread_pool.hpp"
+#include "graph/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "service/service.hpp"
+
+namespace {
+
+using ceta::AnalysisEngine;
+using ceta::Duration;
+using ceta::service::ClientId;
+using ceta::service::JsonValue;
+using ceta::service::Outcome;
+using ceta::service::ServiceConfig;
+using ceta::service::ServiceCore;
+
+std::string session_graph_text(std::size_t i) {
+  // Two sources fusing at F; periods vary per session so the fleet is not
+  // one graph analyzed a thousand times.
+  const long p0 = 10'000'000 + static_cast<long>(i % 7) * 1'000'000;
+  const long p1 = 15'000'000 + static_cast<long>(i % 5) * 1'000'000;
+  std::ostringstream os;
+  os << "task S0 0 0 " << p0 << " 0 0 -1\n"
+     << "task S1 0 0 " << p1 << " 0 0 -1\n"
+     << "task A 1000000 500000 " << p0 << " 0 0 0\n"
+     << "task B 1000000 500000 " << p1 << " 0 1 0\n"
+     << "task F 2000000 1000000 30000000 0 0 1\n"
+     << "edge S0 A\nedge S1 B\nedge A F\nedge B F\n";
+  return os.str();
+}
+
+std::string request(std::uint64_t id, const std::string& op,
+                    const std::string& body_members) {
+  std::ostringstream os;
+  os << "{\"id\":" << id << ",\"op\":\"" << op << "\"";
+  if (!body_members.empty()) os << "," << body_members;
+  os << "}";
+  return os.str();
+}
+
+/// Parse a reply and return its "result"; abort the bench on an error
+/// reply (the driver only sends requests it expects to succeed, except
+/// where noted).
+JsonValue expect_ok(const std::string& reply) {
+  const JsonValue doc = ceta::service::parse_json(reply);
+  if (!doc.at("ok").boolean) {
+    throw ceta::Error("unexpected error reply: " + reply);
+  }
+  return doc.at("result");
+}
+
+struct ThreadResult {
+  std::uint64_t ops = 0;
+  std::uint64_t pushes = 0;
+  std::uint64_t push_checks = 0;
+  std::uint64_t mismatches = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ceta::bench::CliOptions cli = ceta::bench::parse_cli(argc, argv);
+  const std::uint64_t seed = cli.seed != 0 ? cli.seed : 42;
+
+  const std::size_t kSessions = cli.paper ? 4000 : (cli.fast ? 1000 : 1500);
+  const std::size_t kTotalOps =
+      cli.paper ? 400'000 : (cli.fast ? 30'000 : 120'000);
+  // Floor at 4 drivers: even a 1-core CI box must exercise the service's
+  // concurrent paths (shared/unique session locks, subscription churn).
+  const std::size_t kThreads =
+      std::max<std::size_t>(4, ceta::ThreadPool::default_concurrency());
+
+  ServiceConfig cfg;
+  cfg.max_sessions = kSessions + 16;
+  cfg.engine_threads = 1;  // parallelism comes from concurrent sessions
+  ServiceCore core(cfg);
+
+  // --- phase 1: create the fleet -----------------------------------------
+  const auto t_create0 = std::chrono::steady_clock::now();
+  {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> creators;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      creators.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1); i < kSessions;
+             i = next.fetch_add(1)) {
+          std::ostringstream body;
+          body << "\"name\":\"s" << i << "\",\"graph\":\""
+               << ceta::obs::JsonWriter::escape(session_graph_text(i)) << "\"";
+          expect_ok(core.handle(0, request(i, "create_session", body.str()))
+                        .reply);
+        }
+      });
+    }
+    for (auto& th : creators) th.join();
+  }
+  const double create_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    t_create0)
+          .count();
+  if (core.session_count() != kSessions) {
+    std::cerr << "FAIL: fleet creation lost sessions\n";
+    return 1;
+  }
+
+  // --- phase 2: mixed traffic --------------------------------------------
+  ceta::obs::MetricsRegistry bench_metrics;
+  auto& query_hist = bench_metrics.histogram("query_ns");
+  auto& mutate_hist = bench_metrics.histogram("mutate_ns");
+  auto& subscribe_hist = bench_metrics.histogram("subscribe_ns");
+
+  std::vector<ThreadResult> results(kThreads);
+  const std::size_t ops_per_thread = kTotalOps / kThreads;
+
+  const auto t_traffic0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> drivers;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      drivers.emplace_back([&, t] {
+        const ClientId me = static_cast<ClientId>(t + 1);
+        std::mt19937_64 rng(seed * 7919 + t);
+        ThreadResult& r = results[t];
+
+        // My sessions: i ≡ t (mod kThreads).
+        std::vector<std::size_t> mine;
+        for (std::size_t i = t; i < kSessions; i += kThreads) {
+          mine.push_back(i);
+        }
+        // Subscribe to the sink of every 4th owned session up front.
+        for (std::size_t k = 0; k < mine.size(); k += 4) {
+          const std::string body =
+              "\"session\":\"s" + std::to_string(mine[k]) +
+              "\",\"sink\":\"F\"";
+          expect_ok(core.handle(me, request(1, "subscribe", body)).reply);
+        }
+
+        std::uint64_t id = 100;
+        for (std::size_t op = 0; op < ops_per_thread; ++op) {
+          const std::size_t si = mine[rng() % mine.size()];
+          const std::string session = "\"session\":\"s" + std::to_string(si) +
+                                      "\"";
+          const std::uint32_t dice = static_cast<std::uint32_t>(rng() % 100);
+          const auto t0 = std::chrono::steady_clock::now();
+          if (dice < 55) {  // disparity query
+            expect_ok(
+                core.handle(me, request(++id, "disparity",
+                                        session + ",\"sink\":\"F\""))
+                    .reply);
+            query_hist.observe(Duration::ns(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count()));
+          } else if (dice < 70) {  // latency query
+            expect_ok(core.handle(
+                              me, request(++id, "latency",
+                                          session +
+                                              ",\"chain\":[\"S0\",\"A\",\"F\"]"))
+                          .reply);
+            query_hist.observe(Duration::ns(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count()));
+          } else if (dice < 75) {  // graph dump
+            expect_ok(core.handle(me, request(++id, "graph", session)).reply);
+            query_hist.observe(Duration::ns(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count()));
+          } else if (dice < 90) {  // mutation
+            const long wcet = 600'000 + static_cast<long>(rng() % 9) * 100'000;
+            const std::string edits =
+                ",\"edits\":[{\"kind\":\"set_wcet_range\",\"task\":\"A\","
+                "\"bcet_ns\":500000,\"wcet_ns\":" +
+                std::to_string(wcet) + "}]";
+            const Outcome out =
+                core.handle(me, request(++id, "mutate", session + edits));
+            mutate_hist.observe(Duration::ns(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count()));
+            expect_ok(out.reply);
+            r.pushes += out.pushes.size();
+            // Cross-check a sample of pushes: the pushed worst case must
+            // equal an immediate re-query (no other writer touches this
+            // session).
+            if (!out.pushes.empty() && (rng() % 8) == 0) {
+              const JsonValue push =
+                  ceta::service::parse_json(out.pushes.front().payload);
+              const JsonValue re = expect_ok(
+                  core.handle(me, request(++id, "disparity",
+                                          session + ",\"sink\":\"F\""))
+                      .reply);
+              ++r.push_checks;
+              if (push.at("worst_case_ns").number !=
+                  re.at("worst_case_ns").number) {
+                ++r.mismatches;
+              }
+            }
+          } else {  // subscribe / unsubscribe churn
+            const char* op_name = (dice % 2 == 0) ? "subscribe" : "unsubscribe";
+            expect_ok(core.handle(me, request(++id, op_name,
+                                              session + ",\"sink\":\"F\""))
+                          .reply);
+            subscribe_hist.observe(Duration::ns(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count()));
+          }
+          ++r.ops;
+        }
+      });
+    }
+    for (auto& th : drivers) th.join();
+  }
+  const double traffic_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    t_traffic0)
+          .count();
+
+  ThreadResult total;
+  for (const ThreadResult& r : results) {
+    total.ops += r.ops;
+    total.pushes += r.pushes;
+    total.push_checks += r.push_checks;
+    total.mismatches += r.mismatches;
+  }
+
+  // --- phase 3: fresh-engine validation of sampled sessions ---------------
+  bool match = total.mismatches == 0;
+  {
+    std::mt19937_64 rng(seed);
+    for (int k = 0; k < 16; ++k) {
+      const std::size_t si = rng() % kSessions;
+      const std::string session = "\"session\":\"s" + std::to_string(si) +
+                                  "\"";
+      const JsonValue dump =
+          expect_ok(core.handle(0, request(1, "graph", session)).reply);
+      AnalysisEngine fresh(ceta::graph_from_text(dump.at("text").string));
+      const ceta::DisparityReport expect = fresh.disparity(4);  // F
+      const JsonValue got = expect_ok(
+          core.handle(0, request(2, "disparity", session + ",\"sink\":\"F\""))
+              .reply);
+      if (got.at("worst_case_ns").number !=
+          static_cast<double>(expect.worst_case.count())) {
+        match = false;
+        std::cerr << "MISMATCH: session s" << si << " service="
+                  << got.at("worst_case_ns").number
+                  << " fresh=" << expect.worst_case.count() << "\n";
+      }
+    }
+  }
+
+  const auto query_snap = query_hist.snapshot();
+  const auto mutate_snap = mutate_hist.snapshot();
+  const auto subscribe_snap = subscribe_hist.snapshot();
+  const double ops_per_sec =
+      traffic_s > 0 ? static_cast<double>(total.ops) / traffic_s : 0.0;
+
+  ceta::bench::write_json_file("BENCH_service.json", [&](ceta::obs::JsonWriter&
+                                                             w) {
+    w.member("bench", "service_fleet");
+    w.member("mode", cli.paper ? "paper" : (cli.fast ? "fast" : "default"));
+    w.member("sessions", static_cast<std::uint64_t>(kSessions));
+    w.member("threads", static_cast<std::uint64_t>(kThreads));
+    w.member("create_s", create_s);
+    w.member("traffic_s", traffic_s);
+    w.member("ops", total.ops);
+    w.member("ops_per_sec", ops_per_sec);
+    w.member("pushes", total.pushes);
+    w.member("push_checks", total.push_checks);
+    w.member("match", match);
+    w.member("query_count", query_snap.count);
+    w.member("query_p50_ns", query_snap.p50.count());
+    w.member("query_p95_ns", query_snap.p95.count());
+    w.member("query_p99_ns", query_snap.p99.count());
+    w.member("mutate_count", mutate_snap.count);
+    w.member("mutate_p50_ns", mutate_snap.p50.count());
+    w.member("mutate_p95_ns", mutate_snap.p95.count());
+    w.member("mutate_p99_ns", mutate_snap.p99.count());
+    w.member("subscribe_count", subscribe_snap.count);
+    w.member("subscribe_p50_ns", subscribe_snap.p50.count());
+    ceta::bench::write_metrics_member(w, "service_metrics",
+                                      core.metrics_registry().snapshot());
+  });
+
+  std::cout << "service_fleet: " << kSessions << " sessions, " << kThreads
+            << " threads, " << total.ops << " ops in " << traffic_s << "s ("
+            << static_cast<std::uint64_t>(ops_per_sec) << " ops/s), "
+            << total.pushes << " pushes, query p50 "
+            << query_snap.p50.count() << "ns p99 " << query_snap.p99.count()
+            << "ns, match: " << (match ? "true" : "false") << "\n";
+  return match ? 0 : 1;
+}

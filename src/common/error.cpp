@@ -2,6 +2,25 @@
 
 #include <sstream>
 
+namespace ceta {
+
+std::string exception_message(std::exception_ptr e) noexcept {
+  if (e == nullptr) return "unknown error (no exception in flight)";
+  try {
+    std::rethrow_exception(e);
+  } catch (const std::exception& ex) {
+    try {
+      return ex.what();
+    } catch (...) {
+      return "unknown error (what() failed)";
+    }
+  } catch (...) {
+    return "unknown error (non-standard exception)";
+  }
+}
+
+}  // namespace ceta
+
 namespace ceta::detail {
 
 namespace {

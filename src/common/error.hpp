@@ -9,6 +9,7 @@
 
 #pragma once
 
+#include <exception>
 #include <stdexcept>
 #include <string>
 
@@ -48,6 +49,20 @@ class InvalidOptionsError : public Error {
  public:
   explicit InvalidOptionsError(const std::string& what) : Error(what) {}
 };
+
+/// A state rollback performed while another exception was in flight has
+/// itself failed: the object could not be restored to its pre-call state.
+/// what() carries both messages (the rollback failure and the original
+/// error) so neither is lost.
+class RollbackError : public Error {
+ public:
+  explicit RollbackError(const std::string& what) : Error(what) {}
+};
+
+/// Best-effort human-readable message of a captured exception: what() for
+/// std::exception descendants, a fixed placeholder otherwise.  Never
+/// throws; safe inside catch blocks and rollback paths.
+std::string exception_message(std::exception_ptr e) noexcept;
 
 namespace detail {
 [[noreturn]] void throw_precondition(const char* expr, const char* file,

@@ -47,6 +47,10 @@ OffsetPlan plan_source_offsets(const TaskGraph& g, TaskId task,
             exact_let_disparity(work, task, opt.path_cap, opt.max_releases)
                 .worst_disparity;
         ++plan.evaluations;
+        if (opt.fault_fail_after_evaluations != 0 &&
+            plan.evaluations >= opt.fault_fail_after_evaluations) {
+          throw Error("plan_source_offsets: injected offset-sweep fault");
+        }
         if (d < best) {
           best = d;
           best_offset = cand;

@@ -43,6 +43,15 @@ struct OffsetPlanOptions {
   std::size_t path_cap = kDefaultPathCap;
   /// Exact-oracle release cap per evaluation (CapacityError beyond).
   std::size_t max_releases = 1'000'000;
+  /// TEST ONLY — throw a planted ceta::Error("injected offset-sweep
+  /// fault") once this many exact-oracle evaluations have run (0 = never).
+  /// Exists so the mid-sweep rollback path of the engine overload
+  /// (engine/incremental.cpp) can be exercised deterministically: tests
+  /// assert the planted message survives the offset restore verbatim.
+  /// Honored identically by the free function, preserving the
+  /// bit-identical contract between the two forms.  Never set in
+  /// production code.
+  std::size_t fault_fail_after_evaluations = 0;
 };
 
 /// One tuned offset of an OffsetPlan.

@@ -658,8 +658,12 @@ void AnalysisEngine::apply_mutations(
       for (const engine::Mutation& m : edits) apply_one(m);
       graph_.validate();
     } catch (...) {
+      // Capture before restoring: the caller (and a cetad error reply)
+      // must report the original validation failure, never anything the
+      // restore could substitute for it.
+      const std::exception_ptr original = std::current_exception();
       graph_ = std::move(backup);
-      throw;
+      std::rethrow_exception(original);
     }
   } else {
     validate_staged(edits);
@@ -669,33 +673,35 @@ void AnalysisEngine::apply_mutations(
   const engine::InvalidationPlan plan =
       engine::plan_invalidation(graph_, deps_, edits, removed_closures);
 
-  // One epoch bump under every cache mutex: lookups either see the
-  // pre-commit state or the fully bumped epochs, never a mix.
-  const std::scoped_lock all(rta_mutex_, hop_mutex_, chain_bound_mutex_,
-                             chain_set_mutex_, report_mutex_);
-  ++commit_epoch_;
-  if (!plan.rta_tasks.empty()) {
-    rta_dirty_.insert(rta_dirty_.end(), plan.rta_tasks.begin(),
-                      plan.rta_tasks.end());
-    std::sort(rta_dirty_.begin(), rta_dirty_.end());
-    rta_dirty_.erase(std::unique(rta_dirty_.begin(), rta_dirty_.end()),
-                     rta_dirty_.end());
-  }
-  for (const TaskId t : plan.bound_tasks) task_epoch_[t] = commit_epoch_;
-  if (!opt_.fault_skip_edge_invalidation) {
-    for (const auto& [u, v] : plan.buffer_edges) {
-      buffer_edge_epoch_[static_cast<std::uint64_t>(u) * graph_.num_tasks() +
-                         v] = commit_epoch_;
+  {
+    // One epoch bump under every cache mutex: lookups either see the
+    // pre-commit state or the fully bumped epochs, never a mix.
+    const std::scoped_lock all(rta_mutex_, hop_mutex_, chain_bound_mutex_,
+                               chain_set_mutex_, report_mutex_);
+    ++commit_epoch_;
+    if (!plan.rta_tasks.empty()) {
+      rta_dirty_.insert(rta_dirty_.end(), plan.rta_tasks.begin(),
+                        plan.rta_tasks.end());
+      std::sort(rta_dirty_.begin(), rta_dirty_.end());
+      rta_dirty_.erase(std::unique(rta_dirty_.begin(), rta_dirty_.end()),
+                       rta_dirty_.end());
     }
+    for (const TaskId t : plan.bound_tasks) task_epoch_[t] = commit_epoch_;
+    if (!opt_.fault_skip_edge_invalidation) {
+      for (const auto& [u, v] : plan.buffer_edges) {
+        buffer_edge_epoch_[static_cast<std::uint64_t>(u) * graph_.num_tasks() +
+                           v] = commit_epoch_;
+      }
+    }
+    for (const auto& [u, v] : plan.removed_edges) {
+      removed_edge_epoch_[static_cast<std::uint64_t>(u) * graph_.num_tasks() +
+                          v] = commit_epoch_;
+    }
+    for (const TaskId t : plan.chain_set_tasks) {
+      chain_set_epoch_[t] = commit_epoch_;
+    }
+    for (const TaskId t : plan.report_tasks) report_epoch_[t] = commit_epoch_;
   }
-  for (const auto& [u, v] : plan.removed_edges) {
-    removed_edge_epoch_[static_cast<std::uint64_t>(u) * graph_.num_tasks() +
-                        v] = commit_epoch_;
-  }
-  for (const TaskId t : plan.chain_set_tasks) {
-    chain_set_epoch_[t] = commit_epoch_;
-  }
-  for (const TaskId t : plan.report_tasks) report_epoch_[t] = commit_epoch_;
 
   ins_.mutate_commits.add();
   ins_.mutate_edits.add(edits.size());
@@ -708,6 +714,16 @@ void AnalysisEngine::apply_mutations(
   span.arg("dirty_bounds", static_cast<std::int64_t>(plan.bound_tasks.size()));
   span.arg("dirty_reports",
            static_cast<std::int64_t>(plan.report_tasks.size()));
+
+  // Last, outside every cache mutex: queries the observer issues (e.g. the
+  // subscription layer recomputing dirtied sinks) see the committed state.
+  if (commit_observer_) {
+    commit_observer_(CommitInfo{commit_epoch_, plan});
+  }
+}
+
+void AnalysisEngine::set_commit_observer(CommitObserver observer) {
+  commit_observer_ = std::move(observer);
 }
 
 void AnalysisEngine::set_period(TaskId task, Duration period) {

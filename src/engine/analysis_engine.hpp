@@ -47,6 +47,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -365,6 +366,26 @@ class AnalysisEngine {
     bool committed_ = false;
   };
 
+  /// What a commit observer learns about one committed mutation batch:
+  /// the commit epoch (monotonically increasing, one per commit) and the
+  /// invalidation plan the engine derived from the batch.  `plan` is
+  /// borrowed — valid only for the duration of the callback.
+  /// plan.report_tasks is the exact set of tasks whose disparity report
+  /// may have changed; this is what the cetad subscription layer threads
+  /// through to its notifier (only dirtied sinks re-notify).
+  struct CommitInfo {
+    std::uint64_t epoch = 0;
+    const engine::InvalidationPlan& plan;
+  };
+  using CommitObserver = std::function<void(const CommitInfo&)>;
+
+  /// @brief Register `observer` to run after every committed mutation
+  /// batch (replacing any previous observer; nullptr unregisters).  The
+  /// observer runs on the committing thread, *after* the epoch bumps are
+  /// published, so queries it issues observe the post-commit state.  Like
+  /// mutations themselves it must not race concurrent commits.
+  void set_commit_observer(CommitObserver observer);
+
   /// @brief Snapshot of the engine's private metrics registry: the cache
   /// counters ("engine.rta.runs", "engine.hop.hits", ...), the mutation /
   /// invalidation counters ("engine.mutate.commits",
@@ -554,6 +575,10 @@ class AnalysisEngine {
 
   mutable std::mutex pool_mutex_;
   mutable std::unique_ptr<ThreadPool> pool_;
+
+  /// Post-commit hook (subscription layers); runs outside every cache
+  /// mutex on the committing thread.
+  CommitObserver commit_observer_;
 };
 
 }  // namespace ceta

@@ -103,12 +103,22 @@ MultiBufferDesign design_buffers_for_task(AnalysisEngine& engine, TaskId task,
   try {
     optimized = engine.disparity(task, opt).worst_case;
   } catch (...) {
-    AnalysisEngine::Transaction revert(engine);
-    for (const ChannelBuffer& cb : channels) {
-      revert.set_buffer(cb.from, cb.to, 1);
+    // Capture the analysis failure before reverting: the caller must see
+    // *what* failed, and a throwing revert must not replace it silently.
+    const std::exception_ptr original = std::current_exception();
+    try {
+      AnalysisEngine::Transaction revert(engine);
+      for (const ChannelBuffer& cb : channels) {
+        revert.set_buffer(cb.from, cb.to, 1);
+      }
+      revert.commit();
+    } catch (...) {
+      throw RollbackError(
+          "design_buffers_for_task: buffer revert failed: " +
+          exception_message(std::current_exception()) +
+          " (original error: " + exception_message(original) + ")");
     }
-    revert.commit();
-    throw;
+    std::rethrow_exception(original);
   }
   {
     AnalysisEngine::Transaction revert(engine);
@@ -159,8 +169,16 @@ std::vector<ParetoPoint> buffer_pareto(AnalysisEngine& engine,
       points.push_back(p);
     }
   } catch (...) {
-    if (design.buffer_size > 1) engine.set_buffer(design.from, design.to, 1);
-    throw;
+    const std::exception_ptr original = std::current_exception();
+    try {
+      if (design.buffer_size > 1) engine.set_buffer(design.from, design.to, 1);
+    } catch (...) {
+      throw RollbackError(
+          "buffer_pareto: buffer revert failed: " +
+          exception_message(std::current_exception()) +
+          " (original error: " + exception_message(original) + ")");
+    }
+    std::rethrow_exception(original);
   }
   if (design.buffer_size > 1) engine.set_buffer(design.from, design.to, 1);
   CETA_ASSERT(!points.empty(), "buffer_pareto: no points");
@@ -215,8 +233,16 @@ std::vector<SensitivityEntry> disparity_sensitivity(
         try {
           e.schedulable = bound_of(e.perturbed);
         } catch (...) {
-          engine.set_period(anc, original);
-          throw;
+          const std::exception_ptr failure = std::current_exception();
+          try {
+            engine.set_period(anc, original);
+          } catch (...) {
+            throw RollbackError(
+                "disparity_sensitivity: period restore failed: " +
+                exception_message(std::current_exception()) +
+                " (original error: " + exception_message(failure) + ")");
+          }
+          std::rethrow_exception(failure);
         }
         if (!e.schedulable) e.perturbed = baseline;
         entries.push_back(e);
@@ -237,8 +263,16 @@ std::vector<SensitivityEntry> disparity_sensitivity(
       try {
         e.schedulable = bound_of(e.perturbed);
       } catch (...) {
-        engine.set_wcet_range(anc, old_bcet, old_wcet);
-        throw;
+        const std::exception_ptr failure = std::current_exception();
+        try {
+          engine.set_wcet_range(anc, old_bcet, old_wcet);
+        } catch (...) {
+          throw RollbackError(
+              "disparity_sensitivity: WCET restore failed: " +
+              exception_message(std::current_exception()) +
+              " (original error: " + exception_message(failure) + ")");
+        }
+        std::rethrow_exception(failure);
       }
       if (!e.schedulable) e.perturbed = baseline;
       entries.push_back(e);
@@ -314,6 +348,10 @@ OffsetPlan plan_source_offsets(AnalysisEngine& engine, TaskId task,
               exact_let_disparity(g, task, opt.path_cap, opt.max_releases)
                   .worst_disparity;
           ++plan.evaluations;
+          if (opt.fault_fail_after_evaluations != 0 &&
+              plan.evaluations >= opt.fault_fail_after_evaluations) {
+            throw Error("plan_source_offsets: injected offset-sweep fault");
+          }
           if (d < best) {
             best = d;
             best_offset = cand;
@@ -328,8 +366,16 @@ OffsetPlan plan_source_offsets(AnalysisEngine& engine, TaskId task,
       if (!improved) break;
     }
   } catch (...) {
-    restore();
-    throw;
+    const std::exception_ptr original = std::current_exception();
+    try {
+      restore();
+    } catch (...) {
+      throw RollbackError(
+          "plan_source_offsets: offset restore failed: " +
+          exception_message(std::current_exception()) +
+          " (original error: " + exception_message(original) + ")");
+    }
+    std::rethrow_exception(original);
   }
 
   for (const TaskId src : tunables) {

@@ -127,6 +127,13 @@ JsonWriter& JsonWriter::null() {
   return *this;
 }
 
+JsonWriter& JsonWriter::raw(std::string_view json) {
+  CETA_EXPECTS(!json.empty(), "JsonWriter::raw: empty splice");
+  before_value();
+  os_ << json;
+  return *this;
+}
+
 void JsonWriter::done() {
   CETA_EXPECTS(stack_.empty() && !key_pending_,
                "JsonWriter: done() with unbalanced containers");

@@ -61,6 +61,13 @@ class JsonWriter {
   JsonWriter& value(bool v);
   JsonWriter& null();
 
+  /// Splice `json` — already-serialized JSON text — as exactly one value.
+  /// The writer tracks it like any other value (commas, key pairing) but
+  /// does not validate it; the caller vouches that it is one well-formed
+  /// document.  Lets composed writers embed sub-documents (e.g. a service
+  /// reply embedding a prebuilt options object) without reparsing.
+  JsonWriter& raw(std::string_view json);
+
   template <typename T>
   JsonWriter& member(std::string_view k, T v) {
     key(k);

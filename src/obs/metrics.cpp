@@ -56,10 +56,19 @@ DurationHistogram::Snapshot DurationHistogram::snapshot() const {
     counts[i] = buckets_[i].load(std::memory_order_relaxed);
   }
   s.count = count_.load(std::memory_order_relaxed);
+  // count == 0: the all-zero Snapshot is the defined empty value — the
+  // INT64_MAX min sentinel must never leak into a BENCH_*.json snapshot
+  // of an idle histogram.
   if (s.count == 0) return s;
   s.sum = Duration::ns(sum_ns_.load(std::memory_order_relaxed));
-  s.min = Duration::ns(min_ns_.load(std::memory_order_relaxed));
-  s.max = Duration::ns(max_ns_.load(std::memory_order_relaxed));
+  std::int64_t min_ns = min_ns_.load(std::memory_order_relaxed);
+  const std::int64_t max_ns = max_ns_.load(std::memory_order_relaxed);
+  // A snapshot racing the first observe() can see count == 1 with the min
+  // slot still at its sentinel (count is bumped before min/max settle);
+  // clamp instead of reporting a garbage minimum.
+  if (min_ns > max_ns) min_ns = max_ns;
+  s.min = Duration::ns(min_ns);
+  s.max = Duration::ns(max_ns);
 
   const auto quantile = [&](double q) {
     // Nearest-rank target, then linear interpolation across the bucket.
@@ -81,9 +90,14 @@ DurationHistogram::Snapshot DurationHistogram::snapshot() const {
     }
     return s.max;
   };
-  s.p50 = std::min(quantile(0.50), s.max);
-  s.p95 = std::min(quantile(0.95), s.max);
-  s.p99 = std::min(quantile(0.99), s.max);
+  // Clamp into [min, max] (a single sample reports p50 = p95 = p99 =
+  // min = max — the defined degenerate value) and force the quantiles
+  // monotone: bucket interpolation against torn per-bucket counts could
+  // otherwise invert them.
+  const auto clamp = [&](Duration d) { return std::clamp(d, s.min, s.max); };
+  s.p50 = clamp(quantile(0.50));
+  s.p95 = std::max(clamp(quantile(0.95)), s.p50);
+  s.p99 = std::max(clamp(quantile(0.99)), s.p95);
   return s;
 }
 

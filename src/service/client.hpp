@@ -1,0 +1,136 @@
+// ceta_client — a small blocking client for the cetad wire protocol.
+//
+// One Client is one connection.  It frames and sends requests, correlates
+// replies by id, and queues pushes (subscription updates) arriving in
+// between for the caller to drain:
+//
+//   Client c = Client::connect_tcp(port);
+//   JsonValue r = c.call(RequestBuilder("create_session")
+//                            .str("name", "s0").str("graph", text));
+//   ...
+//   c.call(RequestBuilder("subscribe").str("session", "s0").num("sink", 3));
+//   ...                                  // someone mutates the session
+//   std::optional<JsonValue> push = c.wait_push(1000);
+//
+// call() throws ServiceError (carrying the server's code + message) on an
+// error reply, and Error on transport failure.  Not thread-safe: one
+// Client per thread, like a database cursor.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "obs/json_writer.hpp"
+#include "service/framing.hpp"
+#include "service/json.hpp"
+
+namespace ceta::service {
+
+/// An error reply from the server, surfaced as an exception.
+class ServiceError : public Error {
+ public:
+  ServiceError(std::string code, const std::string& message)
+      : Error("[" + code + "] " + message), code_(std::move(code)) {}
+  const std::string& code() const { return code_; }
+
+ private:
+  std::string code_;
+};
+
+/// Fluent request body builder (the client stamps the id on send).
+class RequestBuilder {
+ public:
+  explicit RequestBuilder(std::string_view op) { w_.begin_object(); w_.member("op", op); }
+
+  RequestBuilder& str(std::string_view key, std::string_view v) {
+    w_.member(key, v);
+    return *this;
+  }
+  RequestBuilder& num(std::string_view key, std::int64_t v) {
+    w_.member(key, v);
+    return *this;
+  }
+  RequestBuilder& boolean(std::string_view key, bool v) {
+    w_.member(key, v);
+    return *this;
+  }
+  /// Splice a raw JSON value (e.g. a prebuilt options object or edits
+  /// array) as member `key`.
+  RequestBuilder& raw(std::string_view key, std::string_view json) {
+    w_.key(key);
+    w_.raw(json);
+    return *this;
+  }
+
+ private:
+  friend class Client;
+  /// Finish with the given id; the builder is spent afterwards.
+  std::string build(std::uint64_t id) {
+    w_.member("id", static_cast<std::int64_t>(id));
+    w_.end_object();
+    w_.done();
+    return os_.str();
+  }
+
+  std::ostringstream os_;
+  obs::JsonWriter w_{os_};
+};
+
+class Client {
+ public:
+  /// Connect to a Unix-domain socket.
+  static Client connect_unix(const std::string& path);
+  /// Connect to 127.0.0.1:port.
+  static Client connect_tcp(int port);
+
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&&) = delete;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Send the request and block for its reply.  Returns the "result"
+  /// object of an ok reply; throws ServiceError on an error reply.
+  /// Pushes arriving before the reply are queued for poll_push().
+  /// (A chained `RequestBuilder("op").str(...)` expression is an lvalue —
+  /// the fluent members return RequestBuilder& — so the lvalue overload
+  /// is the one fluent call sites actually hit.)
+  JsonValue call(RequestBuilder& req);
+  JsonValue call(RequestBuilder&& req) { return call(req); }
+
+  /// Fire-and-forget send (the reply will be consumed by a later wait);
+  /// returns the request id.
+  std::uint64_t send(RequestBuilder& req);
+  std::uint64_t send(RequestBuilder&& req) { return send(req); }
+  /// Block for the reply to a specific previously send()-sent id.
+  JsonValue wait_reply(std::uint64_t id);
+
+  /// Pop a queued push, if any (non-blocking).
+  std::optional<JsonValue> poll_push();
+  /// Block up to timeout_ms for a push (<0 = forever).
+  std::optional<JsonValue> wait_push(int timeout_ms);
+
+  /// Close the connection early (dtor does this too).
+  void close();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  void send_payload(std::string_view payload);
+  /// Read one frame (blocking, up to timeout; -1 = forever).  nullopt on
+  /// timeout; throws Error on EOF/transport failure.
+  std::optional<std::string> read_frame(int timeout_ms);
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+  std::uint64_t next_id_ = 1;
+  std::deque<JsonValue> pushes_;
+};
+
+}  // namespace ceta::service

@@ -1,0 +1,104 @@
+#include "service/framing.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace ceta::service {
+
+std::string encode_frame(std::string_view payload) {
+  CETA_EXPECTS(payload.size() <= std::numeric_limits<std::uint32_t>::max(),
+               "encode_frame: payload exceeds the 32-bit header range");
+  const auto n = static_cast<std::uint32_t>(payload.size());
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  out.push_back(static_cast<char>((n >> 24) & 0xff));
+  out.push_back(static_cast<char>((n >> 16) & 0xff));
+  out.push_back(static_cast<char>((n >> 8) & 0xff));
+  out.push_back(static_cast<char>(n & 0xff));
+  out.append(payload);
+  return out;
+}
+
+FrameDecoder::FrameDecoder(std::size_t max_frame_bytes)
+    : max_(max_frame_bytes) {
+  CETA_EXPECTS(max_ >= 1, "FrameDecoder: frame cap must be positive");
+}
+
+void FrameDecoder::feed(const char* data, std::size_t n) {
+  if (n == 0) return;
+  CETA_EXPECTS(data != nullptr, "FrameDecoder::feed: null data");
+  // Skip-eligible bytes never enter the buffer: consume them right here
+  // so an oversized frame costs no memory at all.
+  if (skip_ > 0 && buf_.size() == pos_) {
+    const std::size_t take = n < skip_ ? n : skip_;
+    skip_ -= take;
+    data += take;
+    n -= take;
+    if (n == 0) return;
+  }
+  buf_.append(data, n);
+}
+
+std::optional<FrameDecoder::Frame> FrameDecoder::next() {
+  for (;;) {
+    if (skip_ > 0) {
+      const std::size_t avail = buf_.size() - pos_;
+      const std::size_t take = avail < skip_ ? avail : skip_;
+      pos_ += take;
+      skip_ -= take;
+      compact();
+      if (skip_ > 0) return std::nullopt;  // wait for more bytes
+      continue;
+    }
+    if (buf_.size() - pos_ < kFrameHeaderBytes) {
+      compact();
+      return std::nullopt;
+    }
+    const auto b = [&](std::size_t i) {
+      return static_cast<std::uint32_t>(
+          static_cast<unsigned char>(buf_[pos_ + i]));
+    };
+    const std::uint32_t len = (b(0) << 24) | (b(1) << 16) | (b(2) << 8) | b(3);
+    if (len > max_) {
+      // Report once, then swallow the payload without buffering it.
+      pos_ += kFrameHeaderBytes;
+      skip_ = len;
+      Frame f;
+      f.oversized = true;
+      f.declared_size = len;
+      // Any bytes already buffered count against the skip immediately.
+      const std::size_t avail = buf_.size() - pos_;
+      const std::size_t take = avail < skip_ ? avail : skip_;
+      pos_ += take;
+      skip_ -= take;
+      compact();
+      return f;
+    }
+    if (buf_.size() - pos_ < kFrameHeaderBytes + len) {
+      compact();
+      return std::nullopt;
+    }
+    Frame f;
+    f.declared_size = len;
+    f.payload = buf_.substr(pos_ + kFrameHeaderBytes, len);
+    pos_ += kFrameHeaderBytes + len;
+    compact();
+    return f;
+  }
+}
+
+void FrameDecoder::compact() {
+  if (pos_ == 0) return;
+  // Reclaim consumed prefix bytes once they dominate the buffer, keeping
+  // feed() amortized O(1) per byte.
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ >= 4096 && pos_ * 2 >= buf_.size()) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+}
+
+}  // namespace ceta::service

@@ -1,0 +1,86 @@
+// Length-prefixed framing for the cetad wire protocol.
+//
+// Every message — request, reply, push — travels as one frame:
+//
+//   +----------------------------+------------------------+
+//   | 4-byte big-endian length N |  N bytes JSON payload  |
+//   +----------------------------+------------------------+
+//
+// The decoder is transport-agnostic (feed() raw bytes from any socket or
+// buffer, next() pops completed frames), incremental (partial frames
+// accumulate across feeds), and survives hostile input by construction:
+//
+//  * Oversized frames — a declared length beyond the configured cap — are
+//    reported once as a structured Frame{oversized} event and then their
+//    payload bytes are *skipped without buffering*, so a client declaring
+//    a 4 GiB frame costs the daemon nothing and keeps its connection (it
+//    receives an error reply, not a disconnect).
+//  * Truncated frames simply wait for more bytes; a connection closing
+//    mid-frame leaves no state to clean up beyond the decoder itself.
+//  * Corrupt payloads (bad JSON) are not the decoder's business: framing
+//    is recovered after exactly N bytes either way, and the JSON layer
+//    turns the garbage into a "bad_request" reply.
+//
+// A zero-length frame is delivered as an empty payload (the JSON layer
+// rejects it); it cannot desynchronize the stream.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ceta::service {
+
+/// Bytes of the frame header (big-endian payload length).
+inline constexpr std::size_t kFrameHeaderBytes = 4;
+
+/// Default cap on one frame's payload (requests *and* replies): 8 MiB,
+/// comfortably above any graph upload or report and far below anything
+/// that could exhaust the daemon.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 8u << 20;
+
+/// Prepend the length header to `payload`.  Throws PreconditionError when
+/// the payload exceeds the uint32 header range.
+std::string encode_frame(std::string_view payload);
+
+/// Incremental frame decoder; see the file comment for the contract.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  /// One decoded event: either a complete payload, or the notification
+  /// that an oversized frame was (is being) skipped.
+  struct Frame {
+    std::string payload;            ///< empty when oversized
+    bool oversized = false;         ///< declared length beyond the cap
+    std::size_t declared_size = 0;  ///< the header's length field
+  };
+
+  /// Append raw bytes from the transport.  Buffered memory is bounded by
+  /// max_frame_bytes + the feed chunk size (oversized payloads are never
+  /// buffered).
+  void feed(const char* data, std::size_t n);
+  void feed(std::string_view data) { feed(data.data(), data.size()); }
+
+  /// Pop the next completed frame event, if any.
+  std::optional<Frame> next();
+
+  /// Bytes currently buffered (diagnostics/tests).
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+  /// The configured payload cap.
+  std::size_t max_frame_bytes() const { return max_; }
+
+ private:
+  void compact();
+
+  std::size_t max_;
+  std::string buf_;
+  std::size_t pos_ = 0;   ///< consumed prefix of buf_
+  std::size_t skip_ = 0;  ///< remaining payload bytes of an oversized frame
+};
+
+}  // namespace ceta::service

@@ -1,0 +1,400 @@
+#include "service/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "engine/thread_pool.hpp"
+
+namespace ceta::service {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  CETA_ASSERT(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+              "fcntl(O_NONBLOCK) failed");
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+struct Server::Impl {
+  explicit Impl(ServerConfig cfg_in)
+      : cfg(std::move(cfg_in)), core(cfg.service) {}
+
+  struct Connection {
+    explicit Connection(int fd_, ClientId id_, std::size_t max_frame)
+        : fd(fd_), id(id_), decoder(max_frame) {}
+
+    const int fd;
+    const ClientId id;
+    FrameDecoder decoder;
+
+    // Decoded frames awaiting a worker; `worker_active` latches FIFO
+    // handling per connection.  Guarded by `mutex`.
+    std::deque<FrameDecoder::Frame> inbox;
+    bool worker_active = false;
+
+    // Outbound bytes; drained by the event loop under POLLOUT.  Guarded
+    // by `mutex`.
+    std::string out;
+    std::size_t out_pos = 0;
+    bool closed = false;  ///< loop closed the fd; drop further writes
+
+    std::mutex mutex;
+  };
+
+  ServerConfig cfg;
+  ServiceCore core;
+
+  int listen_fd = -1;
+  int wake_rd = -1;
+  int wake_wr = -1;
+  int bound_port = 0;
+
+  std::thread loop_thread;
+  std::atomic<bool> running{false};
+  std::atomic<bool> stopping{false};
+
+  std::unique_ptr<ThreadPool> pool;
+
+  mutable std::mutex conn_mutex;
+  std::unordered_map<ClientId, std::shared_ptr<Connection>> conns;
+  ClientId next_client = 1;
+
+  std::chrono::steady_clock::time_point epoch;
+
+  // ---------------------------------------------------------------------
+
+  std::uint64_t now_tick() const {
+    return static_cast<std::uint64_t>(
+               std::chrono::duration_cast<std::chrono::seconds>(
+                   std::chrono::steady_clock::now() - epoch)
+                   .count()) +
+           1;  // +1 keeps tick 0 meaning "untracked"
+  }
+
+  void wake() {
+    const char b = 1;
+    // Best-effort: a full pipe already guarantees a pending wakeup.
+    [[maybe_unused]] const ssize_t n = ::write(wake_wr, &b, 1);
+  }
+
+  void bind_and_listen() {
+    if (!cfg.unix_path.empty()) {
+      listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (listen_fd < 0) throw_errno("socket(AF_UNIX)");
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      if (cfg.unix_path.size() >= sizeof(addr.sun_path)) {
+        throw Error("unix socket path too long: " + cfg.unix_path);
+      }
+      std::strncpy(addr.sun_path, cfg.unix_path.c_str(),
+                   sizeof(addr.sun_path) - 1);
+      ::unlink(cfg.unix_path.c_str());
+      if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                 sizeof(addr)) != 0) {
+        throw_errno("bind(" + cfg.unix_path + ")");
+      }
+    } else {
+      listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (listen_fd < 0) throw_errno("socket(AF_INET)");
+      const int one = 1;
+      ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(static_cast<std::uint16_t>(cfg.tcp_port));
+      if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                 sizeof(addr)) != 0) {
+        throw_errno("bind(127.0.0.1:" + std::to_string(cfg.tcp_port) + ")");
+      }
+      sockaddr_in bound{};
+      socklen_t len = sizeof(bound);
+      ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &len);
+      bound_port = ntohs(bound.sin_port);
+    }
+    if (::listen(listen_fd, 512) != 0) throw_errno("listen");
+    set_nonblocking(listen_fd);
+
+    int pipefd[2];
+    if (::pipe(pipefd) != 0) throw_errno("pipe");
+    wake_rd = pipefd[0];
+    wake_wr = pipefd[1];
+    set_nonblocking(wake_rd);
+    set_nonblocking(wake_wr);
+  }
+
+  // --- worker side ------------------------------------------------------
+
+  /// Append an encoded frame to `conn`'s output and wake the loop.
+  void send_to(const std::shared_ptr<Connection>& conn,
+               std::string_view payload) {
+    {
+      const std::lock_guard<std::mutex> lock(conn->mutex);
+      if (conn->closed) return;
+      conn->out += encode_frame(payload);
+    }
+    wake();
+  }
+
+  std::shared_ptr<Connection> find_conn(ClientId id) {
+    const std::lock_guard<std::mutex> lock(conn_mutex);
+    const auto it = conns.find(id);
+    return it == conns.end() ? nullptr : it->second;
+  }
+
+  /// Drain one connection's inbox in FIFO order (at most one worker per
+  /// connection at a time).
+  void drain_inbox(const std::shared_ptr<Connection>& conn) {
+    for (;;) {
+      FrameDecoder::Frame frame;
+      {
+        const std::lock_guard<std::mutex> lock(conn->mutex);
+        if (conn->inbox.empty() || conn->closed) {
+          conn->worker_active = false;
+          return;
+        }
+        frame = std::move(conn->inbox.front());
+        conn->inbox.pop_front();
+      }
+      if (frame.oversized) {
+        send_to(conn, core.oversized_reply(frame.declared_size));
+        continue;
+      }
+      const Outcome out = core.handle(conn->id, frame.payload, now_tick());
+      send_to(conn, out.reply);
+      for (const Push& push : out.pushes) {
+        if (const auto target = find_conn(push.client)) {
+          send_to(target, push.payload);
+        }
+      }
+    }
+  }
+
+  /// Called by the loop after feeding the decoder: schedule a worker if
+  /// none is active for this connection.
+  void kick_worker(const std::shared_ptr<Connection>& conn) {
+    {
+      const std::lock_guard<std::mutex> lock(conn->mutex);
+      if (conn->worker_active || conn->inbox.empty()) return;
+      conn->worker_active = true;
+    }
+    pool->post([this, conn] { drain_inbox(conn); });
+  }
+
+  // --- event loop -------------------------------------------------------
+
+  void close_conn(const std::shared_ptr<Connection>& conn) {
+    {
+      const std::lock_guard<std::mutex> lock(conn->mutex);
+      if (conn->closed) return;
+      conn->closed = true;
+    }
+    ::close(conn->fd);
+    core.disconnect(conn->id);
+    const std::lock_guard<std::mutex> lock(conn_mutex);
+    conns.erase(conn->id);
+  }
+
+  void accept_new() {
+    for (;;) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) return;  // EAGAIN or transient error; poll again
+      set_nonblocking(fd);
+      if (cfg.unix_path.empty()) {
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      }
+      auto conn = std::make_shared<Connection>(fd, next_client++,
+                                               cfg.service.max_frame_bytes);
+      const std::lock_guard<std::mutex> lock(conn_mutex);
+      conns.emplace(conn->id, std::move(conn));
+    }
+  }
+
+  /// Read everything available; returns false when the connection died.
+  bool read_from(const std::shared_ptr<Connection>& conn) {
+    char buf[65536];
+    for (;;) {
+      const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+      if (n > 0) {
+        conn->decoder.feed(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) return false;  // EOF
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    bool got = false;
+    while (auto frame = conn->decoder.next()) {
+      const std::lock_guard<std::mutex> lock(conn->mutex);
+      conn->inbox.push_back(std::move(*frame));
+      got = true;
+    }
+    if (got) kick_worker(conn);
+    return true;
+  }
+
+  /// Flush pending output; returns false when the connection died.
+  bool write_to(const std::shared_ptr<Connection>& conn) {
+    const std::lock_guard<std::mutex> lock(conn->mutex);
+    while (conn->out_pos < conn->out.size()) {
+      const ssize_t n =
+          ::write(conn->fd, conn->out.data() + conn->out_pos,
+                  conn->out.size() - conn->out_pos);
+      if (n > 0) {
+        conn->out_pos += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (conn->out_pos == conn->out.size()) {
+      conn->out.clear();
+      conn->out_pos = 0;
+    } else if (conn->out_pos >= 65536) {
+      conn->out.erase(0, conn->out_pos);
+      conn->out_pos = 0;
+    }
+    return true;
+  }
+
+  void run_loop() {
+    std::uint64_t last_evict_tick = 0;
+    while (!stopping.load(std::memory_order_relaxed)) {
+      // Snapshot connections for this poll round.
+      std::vector<std::shared_ptr<Connection>> snapshot;
+      {
+        const std::lock_guard<std::mutex> lock(conn_mutex);
+        snapshot.reserve(conns.size());
+        for (const auto& [id, c] : conns) snapshot.push_back(c);
+      }
+      std::vector<pollfd> fds;
+      fds.reserve(snapshot.size() + 2);
+      fds.push_back(pollfd{listen_fd, POLLIN, 0});
+      fds.push_back(pollfd{wake_rd, POLLIN, 0});
+      for (const auto& c : snapshot) {
+        short events = POLLIN;
+        {
+          const std::lock_guard<std::mutex> lock(c->mutex);
+          if (c->out_pos < c->out.size()) events |= POLLOUT;
+        }
+        fds.push_back(pollfd{c->fd, events, 0});
+      }
+
+      const int rc = ::poll(fds.data(), fds.size(), 200);
+      if (rc < 0 && errno != EINTR) break;
+
+      if (fds[1].revents & POLLIN) {
+        char sink[256];
+        while (::read(wake_rd, sink, sizeof(sink)) > 0) {
+        }
+      }
+      if (fds[0].revents & POLLIN) accept_new();
+
+      for (std::size_t i = 0; i < snapshot.size(); ++i) {
+        const auto& conn = snapshot[i];
+        const short rev = fds[i + 2].revents;
+        bool alive = true;
+        if (rev & (POLLERR | POLLHUP | POLLNVAL)) {
+          // Drain remaining input first: a client may write its requests
+          // and half-close before we ever read them.
+          alive = read_from(conn) && alive;
+          if (rev & (POLLERR | POLLNVAL)) alive = false;
+        } else {
+          if (rev & POLLIN) alive = read_from(conn);
+          if (alive && (rev & POLLOUT)) alive = write_to(conn);
+        }
+        if (!alive) close_conn(conn);
+      }
+
+      // Even with nothing polled in, workers may have queued output —
+      // POLLOUT interest is recomputed next round; the wake pipe got us
+      // here.  Idle eviction runs at most once per tick.
+      if (cfg.idle_timeout_s > 0) {
+        const std::uint64_t tick = now_tick();
+        if (tick != last_evict_tick && tick > cfg.idle_timeout_s) {
+          last_evict_tick = tick;
+          core.evict_idle(tick - cfg.idle_timeout_s);
+        }
+      }
+    }
+  }
+
+  void start() {
+    CETA_EXPECTS(!running.load(), "Server already started");
+    epoch = std::chrono::steady_clock::now();
+    bind_and_listen();
+    const std::size_t workers = cfg.num_workers != 0
+                                    ? cfg.num_workers
+                                    : ThreadPool::default_concurrency();
+    pool = std::make_unique<ThreadPool>(workers);
+    running.store(true);
+    loop_thread = std::thread([this] { run_loop(); });
+  }
+
+  void stop() {
+    if (!running.exchange(false)) return;
+    stopping.store(true);
+    wake();
+    if (loop_thread.joinable()) loop_thread.join();
+    // Drain workers before closing fds: drain_inbox still writes replies.
+    pool.reset();
+    std::vector<std::shared_ptr<Connection>> remaining;
+    {
+      const std::lock_guard<std::mutex> lock(conn_mutex);
+      for (const auto& [id, c] : conns) remaining.push_back(c);
+    }
+    for (const auto& c : remaining) {
+      // Best-effort final flush of anything workers queued post-loop.
+      write_to(c);
+      close_conn(c);
+    }
+    if (listen_fd >= 0) ::close(listen_fd);
+    if (wake_rd >= 0) ::close(wake_rd);
+    if (wake_wr >= 0) ::close(wake_wr);
+    listen_fd = wake_rd = wake_wr = -1;
+    if (!cfg.unix_path.empty()) ::unlink(cfg.unix_path.c_str());
+  }
+};
+
+Server::Server(ServerConfig cfg) : impl_(std::make_unique<Impl>(std::move(cfg))) {}
+
+Server::~Server() {
+  if (impl_) impl_->stop();
+}
+
+void Server::start() { impl_->start(); }
+void Server::stop() { impl_->stop(); }
+int Server::port() const { return impl_->bound_port; }
+ServiceCore& Server::core() { return impl_->core; }
+
+std::size_t Server::connection_count() const {
+  const std::lock_guard<std::mutex> lock(impl_->conn_mutex);
+  return impl_->conns.size();
+}
+
+}  // namespace ceta::service

@@ -1,0 +1,75 @@
+// The cetad socket server: one poll()-based event loop + a worker pool.
+//
+// Layering (all hand-rolled on POSIX sockets — no dependencies):
+//
+//   accept/read/write   event-loop thread (poll over listen fd, a wakeup
+//                       pipe, and every connection)
+//   frame decode        event-loop thread (FrameDecoder per connection)
+//   request handling    ThreadPool workers calling ServiceCore::handle
+//   reply/push writes   workers append to per-connection output buffers
+//                       and wake the loop, which drains them via POLLOUT
+//
+// Per-connection request order is preserved: decoded frames land in the
+// connection's queue and at most one worker drains it at a time (the
+// `worker_active` latch), so two requests from one client never race each
+// other — while different connections are handled fully in parallel.
+//
+// Listens on a Unix-domain socket (config.unix_path) or a loopback TCP
+// port (config.tcp_port; 0 picks an ephemeral port, readable from port()
+// after start()).  Malformed frames, oversized frames and handler errors
+// all produce structured error replies on a live connection; only EOF or
+// a transport error closes it, and closing drops the client's
+// subscriptions.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "service/service.hpp"
+
+namespace ceta::service {
+
+struct ServerConfig {
+  /// Non-empty: bind a Unix-domain socket at this path (unlinked on
+  /// stop).  Empty: bind TCP on 127.0.0.1:tcp_port.
+  std::string unix_path;
+  int tcp_port = 0;  ///< 0 = ephemeral (query via port())
+  /// Worker threads handling requests; 0 = ThreadPool::default_concurrency.
+  std::size_t num_workers = 0;
+  /// Evict sessions idle for more than this many seconds (0 = never).
+  std::uint64_t idle_timeout_s = 0;
+  ServiceConfig service;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig cfg);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen and spawn the event loop.  Throws Error on bind/listen
+  /// failure.
+  void start();
+
+  /// Graceful shutdown: stop accepting, drain workers, close every
+  /// connection.  Idempotent; also run by the destructor.
+  void stop();
+
+  /// Bound TCP port (valid after start(); 0 in Unix-socket mode).
+  int port() const;
+
+  /// The service core (e.g. for metrics snapshots).
+  ServiceCore& core();
+
+  /// Connections currently open (diagnostics).
+  std::size_t connection_count() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ceta::service

@@ -1,0 +1,148 @@
+#include "service/session.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace ceta::service {
+
+Session::Session(std::string name, TaskGraph graph, EngineOptions opt)
+    : name_(std::move(name)), engine_(std::move(graph), opt) {
+  engine_.set_commit_observer([this](const AnalysisEngine::CommitInfo& info) {
+    // Runs on the committing thread, which holds the unique lock — plain
+    // members are safe and are read back under the same lock.
+    last_commit_epoch_ = info.epoch;
+    last_dirty_ = info.plan.report_tasks;
+  });
+}
+
+void Session::subscribe(TaskId sink, ClientId client) {
+  const std::lock_guard<std::mutex> lock(sub_mutex_);
+  subs_[sink].insert(client);
+}
+
+bool Session::unsubscribe(TaskId sink, ClientId client) {
+  const std::lock_guard<std::mutex> lock(sub_mutex_);
+  const auto it = subs_.find(sink);
+  if (it == subs_.end()) return false;
+  const bool erased = it->second.erase(client) > 0;
+  if (it->second.empty()) subs_.erase(it);
+  return erased;
+}
+
+void Session::unsubscribe_all(ClientId client) {
+  const std::lock_guard<std::mutex> lock(sub_mutex_);
+  for (auto it = subs_.begin(); it != subs_.end();) {
+    it->second.erase(client);
+    it = it->second.empty() ? subs_.erase(it) : std::next(it);
+  }
+}
+
+std::vector<ClientId> Session::subscribers(TaskId sink) const {
+  const std::lock_guard<std::mutex> lock(sub_mutex_);
+  const auto it = subs_.find(sink);
+  if (it == subs_.end()) return {};
+  return std::vector<ClientId>(it->second.begin(), it->second.end());
+}
+
+std::size_t Session::subscription_count() const {
+  const std::lock_guard<std::mutex> lock(sub_mutex_);
+  std::size_t n = 0;
+  for (const auto& [sink, clients] : subs_) n += clients.size();
+  return n;
+}
+
+bool Session::begin_request(std::size_t max_inflight) {
+  // Optimistic increment; back out when over quota.  The quota is a
+  // backpressure valve, not an exact admission ticket, so the transient
+  // overshoot between fetch_add and the check is harmless.
+  const std::size_t prev = inflight_.fetch_add(1, std::memory_order_relaxed);
+  if (prev >= max_inflight) {
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+void Session::end_request() {
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::shared_ptr<Session> SessionRegistry::create(const std::string& name,
+                                                 TaskGraph graph,
+                                                 EngineOptions opt) {
+  CETA_EXPECTS(!name.empty(), "session name must be non-empty");
+  // Engine construction (graph validation, RTA setup) happens outside the
+  // registry lock so a slow create never stalls unrelated lookups; the
+  // duplicate check is re-run at insert.
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (sessions_.size() >= max_sessions_) {
+      throw CapacityError("session limit reached (" +
+                          std::to_string(max_sessions_) + ")");
+    }
+    if (sessions_.count(name) > 0) {
+      throw PreconditionError("session '" + name + "' already exists");
+    }
+  }
+  auto session = std::make_shared<Session>(name, std::move(graph), opt);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (sessions_.size() >= max_sessions_) {
+    throw CapacityError("session limit reached (" +
+                        std::to_string(max_sessions_) + ")");
+  }
+  const auto [it, inserted] = sessions_.emplace(name, std::move(session));
+  if (!inserted) {
+    throw PreconditionError("session '" + name + "' already exists");
+  }
+  return it->second;
+}
+
+std::shared_ptr<Session> SessionRegistry::find(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sessions_.find(name);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+bool SessionRegistry::drop(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.erase(name) > 0;
+}
+
+std::vector<std::shared_ptr<Session>> SessionRegistry::list() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::shared_ptr<Session>> out;
+  out.reserve(sessions_.size());
+  for (const auto& [name, s] : sessions_) out.push_back(s);
+  return out;
+}
+
+std::vector<std::string> SessionRegistry::evict_idle(std::uint64_t older_than) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> evicted;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    Session& s = *it->second;
+    if (s.last_used() < older_than && s.inflight() == 0 &&
+        s.subscription_count() == 0) {
+      evicted.push_back(it->first);
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+void SessionRegistry::remove_client(ClientId client) {
+  // Snapshot under the registry lock, then clean per-session tables
+  // outside it (each has its own mutex).
+  std::vector<std::shared_ptr<Session>> all = list();
+  for (const auto& s : all) s->unsubscribe_all(client);
+}
+
+std::size_t SessionRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+}  // namespace ceta::service

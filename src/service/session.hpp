@@ -1,0 +1,185 @@
+// Multi-tenant session registry for the cetad analysis service.
+//
+// A Session is one named, long-lived AnalysisEngine plus the service state
+// that makes it shareable between clients:
+//
+//  * a readers/writer lock — engine queries are const and thread-safe, so
+//    they run under a shared lock from any number of pool workers, while
+//    mutations (which the engine requires exclusive access for) take the
+//    lock uniquely;
+//  * the subscription table sink → {clients}, fed by the engine's commit
+//    observer: a committed transaction reports the exact set of sinks
+//    whose disparity report may have changed (InvalidationPlan::
+//    report_tasks), and only those sinks re-notify;
+//  * admission counters — a per-session in-flight quota (excess requests
+//    get a structured "busy" reply instead of queueing unboundedly) and a
+//    last-used tick for idle eviction.
+//
+// The SessionRegistry owns the sessions by shared_ptr: request handlers
+// pin the session they operate on, so dropping or evicting a session
+// concurrently with in-flight requests is safe — the engine is destroyed
+// when the last handler lets go.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "engine/analysis_engine.hpp"
+#include "graph/task_graph.hpp"
+
+namespace ceta::service {
+
+/// Identifies one connected client (connection) within the daemon.
+using ClientId = std::uint64_t;
+
+class Session {
+ public:
+  /// Construct over a validated graph.  Throws whatever AnalysisEngine
+  /// construction throws (graph validation errors) — the registry turns
+  /// that into a structured error reply.
+  Session(std::string name, TaskGraph graph, EngineOptions opt = {});
+
+  const std::string& name() const { return name_; }
+
+  /// The engine.  Callers MUST hold query_lock() for const access and
+  /// mutate_lock() for mutations — the lock is not taken here.
+  AnalysisEngine& engine() { return engine_; }
+  const AnalysisEngine& engine() const { return engine_; }
+
+  /// Shared lock for queries, unique lock for mutations.
+  std::shared_lock<std::shared_mutex> query_lock() const {
+    return std::shared_lock<std::shared_mutex>(rw_);
+  }
+  std::unique_lock<std::shared_mutex> mutate_lock() const {
+    return std::unique_lock<std::shared_mutex>(rw_);
+  }
+
+  // --- commit observation ---------------------------------------------------
+
+  /// Epoch and dirty-sink set of the most recent commit, as reported by
+  /// the engine's commit observer.  Read them while still holding the
+  /// mutate_lock() that covered the commit — they belong to that commit
+  /// only (the next one overwrites them).
+  std::uint64_t last_commit_epoch() const { return last_commit_epoch_; }
+  const std::vector<TaskId>& last_dirty_sinks() const { return last_dirty_; }
+
+  // --- subscriptions --------------------------------------------------------
+
+  /// Register `client` for pushes on `sink`'s disparity.  Idempotent.
+  void subscribe(TaskId sink, ClientId client);
+  /// Remove one subscription; returns false when it did not exist.
+  bool unsubscribe(TaskId sink, ClientId client);
+  /// Remove every subscription held by `client` (disconnect path).
+  void unsubscribe_all(ClientId client);
+  /// Clients currently subscribed to `sink` (snapshot).
+  std::vector<ClientId> subscribers(TaskId sink) const;
+  /// Total subscriptions across all sinks (diagnostics).
+  std::size_t subscription_count() const;
+
+  /// Monotonic per-session push serial: every push carries one, so a
+  /// client can detect drops/reordering.
+  std::uint64_t next_push_serial() { return ++push_serial_; }
+
+  // --- admission ------------------------------------------------------------
+
+  /// Try to enter the session's in-flight window; false when the quota is
+  /// exhausted (caller replies "busy").  Pair with end_request().
+  bool begin_request(std::size_t max_inflight);
+  void end_request();
+  std::size_t inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+
+  /// Idle-eviction bookkeeping: the registry stamps a monotone tick on
+  /// every touch and evicts sessions whose stamp is too old.
+  void touch(std::uint64_t tick) {
+    last_used_.store(tick, std::memory_order_relaxed);
+  }
+  std::uint64_t last_used() const {
+    return last_used_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::string name_;
+  AnalysisEngine engine_;
+  mutable std::shared_mutex rw_;
+
+  // Written by the commit observer on the committing thread (which holds
+  // the unique lock), read by the same thread right after commit.
+  std::uint64_t last_commit_epoch_ = 0;
+  std::vector<TaskId> last_dirty_;
+
+  mutable std::mutex sub_mutex_;
+  std::map<TaskId, std::set<ClientId>> subs_;
+  std::atomic<std::uint64_t> push_serial_{0};
+
+  std::atomic<std::size_t> inflight_{0};
+  std::atomic<std::uint64_t> last_used_{0};
+};
+
+/// RAII guard for Session::begin_request/end_request.
+class InflightGuard {
+ public:
+  InflightGuard(Session& s, std::size_t max_inflight)
+      : session_(&s), admitted_(s.begin_request(max_inflight)) {}
+  ~InflightGuard() {
+    if (admitted_) session_->end_request();
+  }
+  InflightGuard(const InflightGuard&) = delete;
+  InflightGuard& operator=(const InflightGuard&) = delete;
+  bool admitted() const { return admitted_; }
+
+ private:
+  Session* session_;
+  bool admitted_;
+};
+
+class SessionRegistry {
+ public:
+  explicit SessionRegistry(std::size_t max_sessions)
+      : max_sessions_(max_sessions) {}
+
+  /// Create a session; throws CapacityError at the session cap and
+  /// PreconditionError on a duplicate name (and propagates graph
+  /// validation errors from engine construction).
+  std::shared_ptr<Session> create(const std::string& name, TaskGraph graph,
+                                  EngineOptions opt = {});
+
+  /// Look up (nullptr when absent).  The returned shared_ptr pins the
+  /// session against concurrent drop/eviction.
+  std::shared_ptr<Session> find(const std::string& name) const;
+
+  /// Drop by name; returns false when absent.  In-flight requests holding
+  /// the shared_ptr finish normally.
+  bool drop(const std::string& name);
+
+  /// All sessions, name-ordered (snapshot).
+  std::vector<std::shared_ptr<Session>> list() const;
+
+  /// Evict sessions whose last_used tick is older than `older_than` and
+  /// that have no request in flight; returns the evicted names.  Sessions
+  /// with active subscriptions are kept — a subscriber is a user even
+  /// when silent.
+  std::vector<std::string> evict_idle(std::uint64_t older_than);
+
+  /// Disconnect path: remove `client`'s subscriptions everywhere.
+  void remove_client(ClientId client);
+
+  std::size_t size() const;
+  std::size_t max_sessions() const { return max_sessions_; }
+
+ private:
+  const std::size_t max_sessions_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+};
+
+}  // namespace ceta::service

@@ -146,18 +146,67 @@ int check_sim(const ceta::testing::JsonValue& doc, const std::string& path) {
   return 0;
 }
 
+int check_service(const ceta::testing::JsonValue& doc,
+                  const std::string& path) {
+  for (const char* key :
+       {"bench", "sessions", "threads", "ops", "ops_per_sec", "pushes",
+        "push_checks", "match", "query_count", "query_p50_ns", "query_p95_ns",
+        "query_p99_ns", "mutate_count", "mutate_p50_ns", "mutate_p95_ns",
+        "mutate_p99_ns"}) {
+    if (!doc.has(key)) return fail(path + " lacks member '" + key + "'");
+  }
+  if (doc.at("bench").string != "service_fleet") {
+    return fail("unexpected bench id '" + doc.at("bench").string + "'");
+  }
+  if (doc.at("sessions").number < 1000) {
+    return fail("fleet below the 1000-session floor in " + path);
+  }
+  if (doc.at("ops").number <= 0 || doc.at("ops_per_sec").number <= 0 ||
+      doc.at("query_count").number <= 0 || doc.at("mutate_count").number <= 0) {
+    return fail("degenerate bench record in " + path);
+  }
+  if (doc.at("pushes").number < 1) {
+    return fail("no subscription pushes delivered in " + path);
+  }
+  // Percentiles must be defined and monotone — the histogram hardening
+  // contract (empty/single-sample snapshots are exercised elsewhere; a
+  // live fleet must produce ordered, positive quantiles).
+  const double q50 = doc.at("query_p50_ns").number;
+  const double q95 = doc.at("query_p95_ns").number;
+  const double q99 = doc.at("query_p99_ns").number;
+  if (!(q50 > 0) || q95 < q50 || q99 < q95) {
+    return fail("query latency percentiles not positive/monotone in " + path);
+  }
+  const double m50 = doc.at("mutate_p50_ns").number;
+  const double m95 = doc.at("mutate_p95_ns").number;
+  const double m99 = doc.at("mutate_p99_ns").number;
+  if (!(m50 > 0) || m95 < m50 || m99 < m95) {
+    return fail("mutate latency percentiles not positive/monotone in " + path);
+  }
+  if (!doc.at("match").boolean) {
+    return fail(
+        "service replies/pushes diverged from fresh-engine recomputes "
+        "(match: false in " +
+        path + ")");
+  }
+  std::cout << "OK: " << path << " (" << doc.at("sessions").number
+            << " sessions, " << doc.at("ops_per_sec").number
+            << " ops/s, query p99 " << q99 << "ns, match: true)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2 || argc > 3) {
     std::cerr << "usage: check_bench_json <BENCH_*.json> "
-                 "[pairwise|incremental|dagdp|sim]\n";
+                 "[pairwise|incremental|dagdp|sim|service]\n";
     return 2;
   }
   const std::string path = argv[1];
   const std::string schema = argc == 3 ? argv[2] : "pairwise";
   if (schema != "pairwise" && schema != "incremental" && schema != "dagdp" &&
-      schema != "sim") {
+      schema != "sim" && schema != "service") {
     std::cerr << "unknown schema '" << schema << "'\n";
     return 2;
   }
@@ -176,7 +225,8 @@ int main(int argc, char** argv) {
     if (schema == "pairwise") return check_pairwise(doc, path);
     if (schema == "incremental") return check_incremental(doc, path);
     if (schema == "dagdp") return check_dagdp(doc, path);
-    return check_sim(doc, path);
+    if (schema == "sim") return check_sim(doc, path);
+    return check_service(doc, path);
   } catch (const std::exception& e) {
     std::cerr << "FAIL: " << path << " is not valid JSON: " << e.what()
               << "\n";

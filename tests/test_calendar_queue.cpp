@@ -153,6 +153,95 @@ TEST(CalendarQueue, NegativeTimesAreHandled) {
   EXPECT_EQ(got[2].time, Instant::ns(2));
 }
 
+TEST(CalendarQueue, ExactYearBoundaryInstantsBinCorrectly) {
+  // year = 32ns: instants at k·32 are the first bucket of year k, k·32-1
+  // the last bucket of year k-1.  Straddling pushes in adversarial order
+  // must still drain sorted — a mis-bucketing at the boundary would pop
+  // 32 before 31 or lose an event to overflow.
+  CalendarQueue q;
+  q.configure(Duration::ns(8), 4);
+  std::uint64_t seq = 0;
+  for (std::int64_t t : {32, 31, 0, 63, 64, 33, 1, 95, 96, 65}) {
+    q.push(ev(t, EventKind::kRelease, seq++));
+  }
+  const std::vector<SimEvent> got = drain(q);
+  ASSERT_EQ(got.size(), 10u);
+  const std::vector<std::int64_t> want{0, 1, 31, 32, 33, 63, 64, 65, 95, 96};
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].time, Instant::ns(want[i])) << "pop " << i;
+  }
+}
+
+TEST(CalendarQueue, NegativeYearBoundariesBinCorrectly) {
+  // Two's-complement year flooring: -32 opens its own year, -1 is the
+  // last instant of year [-32, 0), 0 the first of [0, 32).
+  CalendarQueue q;
+  q.configure(Duration::ns(8), 4);
+  std::uint64_t seq = 0;
+  for (std::int64_t t : {0, -32, -1, -33, 31, -64, -31, 1}) {
+    q.push(ev(t, EventKind::kRelease, seq++));
+  }
+  const std::vector<SimEvent> got = drain(q);
+  ASSERT_EQ(got.size(), 8u);
+  const std::vector<std::int64_t> want{-64, -33, -32, -31, -1, 0, 1, 31};
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].time, Instant::ns(want[i])) << "pop " << i;
+  }
+}
+
+TEST(CalendarQueue, ClearedQueueRebasesOnNegativeAndBoundaryTimes) {
+  // Simulator::reset() reuse: after clear(), a replication starting at a
+  // negative or exactly-on-boundary instant must rebase cleanly, with no
+  // state leaking from the previous run's years.
+  CalendarQueue q;
+  q.configure(Duration::ns(8), 4);
+  for (int round = 0; round < 3; ++round) {
+    q.push(ev(1000 + round, EventKind::kRelease, 0));
+    EXPECT_EQ(q.pop().time, Instant::ns(1000 + round));
+    q.clear();
+
+    std::uint64_t seq = 0;
+    for (std::int64_t t : {-32, 32, -1, 0, 31}) {
+      q.push(ev(t, EventKind::kRelease, seq++));
+    }
+    const std::vector<SimEvent> got = drain(q);
+    ASSERT_EQ(got.size(), 5u) << "round " << round;
+    const std::vector<std::int64_t> want{-32, -1, 0, 31, 32};
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].time, Instant::ns(want[i]))
+          << "round " << round << " pop " << i;
+    }
+    q.clear();
+  }
+}
+
+TEST(CalendarQueue, RandomSoakWithNegativeTimesAfterClearMatchesSort) {
+  // Differential soak across clear() boundaries with a signed time range:
+  // every round drains bit-identically to std::sort on event_before.
+  Rng rng(99);
+  CalendarQueue q;
+  q.configure(Duration::ns(16), 8);  // year = 128 ns
+  for (int round = 0; round < 20; ++round) {
+    std::vector<SimEvent> ref;
+    const int n = static_cast<int>(rng.uniform_int(1, 60));
+    for (int i = 0; i < n; ++i) {
+      const std::int64_t t = rng.uniform_int(-1000, 1000);
+      const SimEvent e =
+          ev(t, EventKind::kRelease, static_cast<std::uint64_t>(i));
+      ref.push_back(e);
+      q.push(e);
+    }
+    std::sort(ref.begin(), ref.end(), event_before);
+    const std::vector<SimEvent> got = drain(q);
+    ASSERT_EQ(got.size(), ref.size()) << "round " << round;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(got[i].time, ref[i].time) << "round " << round << " pop " << i;
+      EXPECT_EQ(got[i].seq, ref[i].seq) << "round " << round << " pop " << i;
+    }
+    q.clear();
+  }
+}
+
 TEST(CalendarQueue, RandomSoakMatchesReferenceSort) {
   // Differential soak against std::sort on the same comparator: random
   // times over many years, interleaved pushes and pops respecting the

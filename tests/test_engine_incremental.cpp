@@ -646,6 +646,98 @@ TEST(EngineIncremental, InjectedFaultViolationShrinks) {
                   .violated());
 }
 
+// ---- rollback exception-safety ---------------------------------------------
+//
+// Every rollback path must (a) restore the pre-error state exactly and
+// (b) rethrow the *original* exception — the diagnostic that names the
+// actual problem — never a generic "mutation failed" that swallows it.
+
+TEST(EngineIncremental, StructuralRollbackPreservesOriginalDiagnostic) {
+  const TaskGraph g = two_ecu_chains();
+  const TaskId f = g.sinks().front();
+  const TaskId a1 = g.successors(g.sources().front()).front();
+  AnalysisEngine e{TaskGraph{g}};
+  const DisparityReport before = e.disparity(f);
+
+  // add_edge(f, a1) closes the a-chain into a cycle: the batch applies
+  // structurally, whole-graph validation rejects it, and the snapshot
+  // rollback must rethrow the validator's own message.
+  try {
+    AnalysisEngine::Transaction txn(e);
+    txn.set_period(a1, Duration::ms(7));  // valid edit, rolled back too
+    txn.add_edge(f, a1);
+    txn.commit();
+    FAIL() << "expected the cycle to be rejected";
+  } catch (const RollbackError& err) {
+    FAIL() << "rollback itself failed: " << err.what();
+  } catch (const Error& err) {
+    EXPECT_NE(std::string(err.what()).find("cycle"), std::string::npos)
+        << err.what();
+  }
+
+  // Strong guarantee: the valid edit of the batch is gone with the bad
+  // one, and the engine still answers bit-identically to a fresh build.
+  expect_graphs_equal(e.graph(), g);
+  EXPECT_EQ(e.disparity(f).worst_case, before.worst_case);
+  AnalysisEngine fresh{TaskGraph{g}};
+  EXPECT_EQ(e.disparity(f).worst_case, fresh.disparity(f).worst_case);
+}
+
+TEST(EngineIncremental, OffsetSweepFaultRestoresOffsetsAndMessage) {
+  // The misaligned LET fixture of test_offset_opt.cpp: sink 4, every
+  // closure task offset-tunable, so the sweep is several evaluations deep
+  // when the injected fault fires mid-pass.
+  TaskGraph g;
+  Task s1;
+  s1.name = "S1";
+  s1.period = Duration::ms(10);
+  const TaskId s1id = g.add_task(s1);
+  Task s2;
+  s2.name = "S2";
+  s2.period = Duration::ms(20);
+  s2.offset = Duration::ms(5);
+  const TaskId s2id = g.add_task(s2);
+  auto mk = [](const char* name, Duration period, EcuId ecu, int prio) {
+    Task t;
+    t.name = name;
+    t.wcet = t.bcet = Duration::ms(1);
+    t.period = period;
+    t.ecu = ecu;
+    t.priority = prio;
+    t.comm = CommSemantics::kLet;
+    return t;
+  };
+  const TaskId a = g.add_task(mk("A", Duration::ms(10), 0, 0));
+  const TaskId b = g.add_task(mk("B", Duration::ms(20), 0, 1));
+  const TaskId f = g.add_task(mk("F", Duration::ms(20), 1, 0));
+  g.add_edge(s1id, a);
+  g.add_edge(s2id, b);
+  g.add_edge(a, f);
+  g.add_edge(b, f);
+  g.validate();
+
+  AnalysisEngine e{TaskGraph{g}};
+  OffsetPlanOptions opt;
+  opt.fault_fail_after_evaluations = 3;  // mid-sweep, offsets already moved
+  try {
+    plan_source_offsets(e, f, opt);
+    FAIL() << "expected the injected fault";
+  } catch (const RollbackError& err) {
+    FAIL() << "offset restore failed: " << err.what();
+  } catch (const Error& err) {
+    EXPECT_NE(std::string(err.what()).find("injected offset-sweep fault"),
+              std::string::npos)
+        << err.what();
+  }
+
+  // The tentative sweep offsets were rolled back; the engine is as if the
+  // plan was never attempted.
+  expect_graphs_equal(e.graph(), g);
+  const OffsetPlan clean = plan_source_offsets(e, f);
+  EXPECT_EQ(clean.baseline, plan_source_offsets(g, f).baseline);
+  expect_graphs_equal(e.graph(), g);
+}
+
 TEST(EngineIncremental, PropertyNameRoundTrips) {
   EXPECT_STREQ(
       verify::property_name(verify::Property::kIncrementalMatchesFresh),

@@ -106,6 +106,65 @@ TEST(Metrics, HistogramSpreadKeepsPercentilesOrdered) {
   EXPECT_LE(s.p95, s.p99);
 }
 
+TEST(Metrics, EmptyHistogramSnapshotIsAllZero) {
+  // The defined empty value: every field zero.  In particular the min
+  // must be 0, not the INT64_MAX sentinel the live instrument carries —
+  // that sentinel leaking into a BENCH_*.json of an idle histogram is the
+  // bug this pins.
+  MetricsRegistry reg;
+  const DurationHistogram::Snapshot s = reg.histogram("idle").snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, Duration::zero());
+  EXPECT_EQ(s.min, Duration::zero());
+  EXPECT_EQ(s.max, Duration::zero());
+  EXPECT_EQ(s.p50, Duration::zero());
+  EXPECT_EQ(s.p95, Duration::zero());
+  EXPECT_EQ(s.p99, Duration::zero());
+
+  // And the serialized form agrees, via the independent parser.
+  const JsonValue doc = JsonParser::parse(reg.snapshot().to_json());
+  const JsonValue& h = doc.at("histograms").at("idle");
+  for (const char* key :
+       {"count", "sum_ns", "min_ns", "max_ns", "p50_ns", "p95_ns", "p99_ns"}) {
+    EXPECT_EQ(h.at(key).number, 0.0) << key;
+  }
+}
+
+TEST(Metrics, SingleSampleHistogramReportsDegenerateQuantiles) {
+  // One sample defines every statistic: p50 = p95 = p99 = min = max =
+  // the sample, not an interpolated point somewhere in its octave.
+  MetricsRegistry reg;
+  DurationHistogram& h = reg.histogram("one");
+  h.observe(Duration::ns(777));
+  const DurationHistogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.sum, Duration::ns(777));
+  EXPECT_EQ(s.min, Duration::ns(777));
+  EXPECT_EQ(s.max, Duration::ns(777));
+  EXPECT_EQ(s.p50, Duration::ns(777));
+  EXPECT_EQ(s.p95, Duration::ns(777));
+  EXPECT_EQ(s.p99, Duration::ns(777));
+
+  const JsonValue doc = JsonParser::parse(reg.snapshot().to_json());
+  const JsonValue& j = doc.at("histograms").at("one");
+  EXPECT_EQ(j.at("count").number, 1.0);
+  EXPECT_EQ(j.at("p50_ns").number, 777.0);
+  EXPECT_EQ(j.at("p99_ns").number, 777.0);
+}
+
+TEST(Metrics, ZeroAndNegativeDurationsLandInTheZeroBucket) {
+  MetricsRegistry reg;
+  DurationHistogram& h = reg.histogram("clamped");
+  h.observe(Duration::zero());
+  h.observe(Duration::ns(-5));  // clamped, never a corrupt bucket index
+  const DurationHistogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_EQ(s.sum, Duration::zero());
+  EXPECT_EQ(s.min, Duration::zero());
+  EXPECT_EQ(s.max, Duration::zero());
+  EXPECT_EQ(s.p99, Duration::zero());
+}
+
 TEST(Metrics, SnapshotIsNameSorted) {
   MetricsRegistry reg;
   // Registered out of order; the snapshot must come back sorted so that

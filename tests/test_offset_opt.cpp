@@ -143,5 +143,24 @@ TEST(OffsetPlan, Preconditions) {
   EXPECT_THROW(plan_source_offsets(g, 4, opt), PreconditionError);
 }
 
+TEST(OffsetPlan, InjectedSweepFaultSurfacesVerbatim) {
+  // The fault hook aborts the sweep mid-pass; the caller must receive the
+  // planted message itself, not a wrapper that swallows it.
+  const TaskGraph g = misaligned_let();
+  OffsetPlanOptions opt;
+  opt.fault_fail_after_evaluations = 2;
+  try {
+    plan_source_offsets(g, 4, opt);
+    FAIL() << "expected the injected fault";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("injected offset-sweep fault"),
+              std::string::npos)
+        << e.what();
+  }
+  // The fault counter is per-call state: a clean rerun is unaffected.
+  const OffsetPlan plan = plan_source_offsets(g, 4);
+  EXPECT_EQ(plan.baseline, Duration::ms(25));
+}
+
 }  // namespace
 }  // namespace ceta

@@ -1,0 +1,231 @@
+// service framing + wire JSON: the two hardened layers every byte from a
+// client passes through.  Covers incremental decode across arbitrary
+// split points, zero-length and oversized frames (skip-state recovery on
+// a live stream), and the parser's rejection paths — truncated input,
+// bad escapes, depth bombs, trailing garbage — each of which must throw
+// ProtocolError, never crash or return a partial tree.
+
+#include "service/framing.hpp"
+#include "service/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+namespace ceta::service {
+namespace {
+
+// --- framing ----------------------------------------------------------------
+
+TEST(Framing, EncodeRoundtrip) {
+  const std::string payload = "{\"op\":\"ping\"}";
+  const std::string frame = encode_frame(payload);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + payload.size());
+  FrameDecoder dec;
+  dec.feed(frame);
+  const auto f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_FALSE(f->oversized);
+  EXPECT_EQ(f->payload, payload);
+  EXPECT_EQ(f->declared_size, payload.size());
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(Framing, ZeroLengthFrame) {
+  FrameDecoder dec;
+  dec.feed(encode_frame(""));
+  const auto f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->payload, "");
+  EXPECT_FALSE(f->oversized);
+}
+
+TEST(Framing, ByteByByteFeed) {
+  const std::string frame = encode_frame("hello") + encode_frame("world");
+  FrameDecoder dec;
+  std::vector<std::string> got;
+  for (const char c : frame) {
+    dec.feed(&c, 1);
+    while (const auto f = dec.next()) got.push_back(f->payload);
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], "hello");
+  EXPECT_EQ(got[1], "world");
+}
+
+TEST(Framing, RandomSplitPoints) {
+  std::string stream;
+  std::vector<std::string> payloads;
+  for (int i = 0; i < 20; ++i) {
+    payloads.push_back(std::string(static_cast<std::size_t>(i * 7), 'x') +
+                       std::to_string(i));
+    stream += encode_frame(payloads.back());
+  }
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    FrameDecoder dec;
+    std::vector<std::string> got;
+    std::size_t pos = 0;
+    while (pos < stream.size()) {
+      const std::size_t n =
+          std::min<std::size_t>(1 + rng() % 13, stream.size() - pos);
+      dec.feed(stream.data() + pos, n);
+      pos += n;
+      while (const auto f = dec.next()) got.push_back(f->payload);
+    }
+    ASSERT_EQ(got, payloads);
+  }
+}
+
+TEST(Framing, OversizedFrameIsReportedOnceAndSkipped) {
+  FrameDecoder dec(/*max_frame_bytes=*/16);
+  const std::string big(100, 'j');
+  dec.feed(encode_frame(big));
+
+  const auto f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_TRUE(f->oversized);
+  EXPECT_EQ(f->declared_size, 100u);
+  EXPECT_TRUE(f->payload.empty());
+
+  // The payload is swallowed, not delivered, and the stream recovers:
+  dec.feed(encode_frame("after"));
+  const auto g = dec.next();
+  ASSERT_TRUE(g.has_value());
+  EXPECT_FALSE(g->oversized);
+  EXPECT_EQ(g->payload, "after");
+}
+
+TEST(Framing, OversizedPayloadArrivingInPiecesIsNeverBuffered) {
+  FrameDecoder dec(/*max_frame_bytes=*/8);
+  const std::string big(1 << 16, 'z');
+  const std::string frame = encode_frame(big);
+  // Header first: the oversized event fires before any payload arrives.
+  dec.feed(frame.data(), kFrameHeaderBytes);
+  const auto f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_TRUE(f->oversized);
+  // Dribble the payload in; the decoder must not accumulate it.
+  std::size_t pos = kFrameHeaderBytes;
+  while (pos < frame.size()) {
+    const std::size_t n = std::min<std::size_t>(4096, frame.size() - pos);
+    dec.feed(frame.data() + pos, n);
+    pos += n;
+    EXPECT_FALSE(dec.next().has_value());
+    EXPECT_LE(dec.buffered(), 0u) << "oversized payload bytes were buffered";
+  }
+  dec.feed(encode_frame("ok"));
+  const auto g = dec.next();
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->payload, "ok");
+}
+
+TEST(Framing, InterleavedOversizedBetweenGoodFrames) {
+  FrameDecoder dec(/*max_frame_bytes=*/16);
+  std::string stream = encode_frame("first") + encode_frame(std::string(64, 'q')) +
+                       encode_frame("last");
+  dec.feed(stream);
+  auto a = dec.next();
+  ASSERT_TRUE(a && !a->oversized && a->payload == "first");
+  auto b = dec.next();
+  ASSERT_TRUE(b && b->oversized);
+  auto c = dec.next();
+  ASSERT_TRUE(c && !c->oversized && c->payload == "last");
+  EXPECT_FALSE(dec.next().has_value());
+}
+
+TEST(Framing, HeaderSplitAcrossFeeds) {
+  const std::string frame = encode_frame("abc");
+  FrameDecoder dec;
+  dec.feed(frame.data(), 2);
+  EXPECT_FALSE(dec.next().has_value());
+  dec.feed(frame.data() + 2, frame.size() - 2);
+  const auto f = dec.next();
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(f->payload, "abc");
+}
+
+// --- wire JSON --------------------------------------------------------------
+
+TEST(WireJson, ParsesScalarsAndContainers) {
+  const JsonValue v = parse_json(
+      R"({"a": 1, "b": -2.5, "c": "s", "d": true, "e": null,
+          "f": [1, 2, 3], "g": {"h": false}})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.at("a").number, 1.0);
+  EXPECT_EQ(v.at("b").number, -2.5);
+  EXPECT_EQ(v.at("c").string, "s");
+  EXPECT_TRUE(v.at("d").boolean);
+  EXPECT_TRUE(v.at("e").is_null());
+  ASSERT_EQ(v.at("f").items().size(), 3u);
+  EXPECT_EQ(v.at("f").items()[2].number, 3.0);
+  EXPECT_FALSE(v.at("g").at("h").boolean);
+  EXPECT_TRUE(v.has("a"));
+  EXPECT_FALSE(v.has("zz"));
+  EXPECT_EQ(v.find("zz"), nullptr);
+  EXPECT_THROW(v.at("zz"), ProtocolError);
+}
+
+TEST(WireJson, EscapesDecodeAndExponents) {
+  const JsonValue v =
+      parse_json(R"({"s": "a\"b\\c\nd\u0041", "x": 1.5e3, "y": 2E-2})");
+  EXPECT_EQ(v.at("s").string, "a\"b\\c\ndA");
+  EXPECT_EQ(v.at("x").number, 1500.0);
+  EXPECT_EQ(v.at("y").number, 0.02);
+}
+
+TEST(WireJson, RejectsMalformedInput) {
+  const char* cases[] = {
+      "",
+      "{",
+      "}",
+      "[1,]",
+      "{\"a\":}",
+      "{\"a\" 1}",
+      "{'a': 1}",
+      "\"unterminated",
+      "1 2",
+      "tru",
+      "nul",
+      "+1",
+      "1.",
+      "1e",
+      "{\"a\": 1} trailing",
+      "\"bad \\x escape\"",
+      "\"trunc \\u00",
+      "\"ctrl \x01 char\"",
+  };
+  for (const char* c : cases) {
+    EXPECT_THROW(parse_json(c), ProtocolError) << "accepted: " << c;
+  }
+}
+
+TEST(WireJson, ErrorsCarryByteOffsets) {
+  try {
+    parse_json("{\"a\": tru}");
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+TEST(WireJson, DepthCapStopsNestingBombs) {
+  // Depth exactly at the cap parses; one deeper is rejected.
+  std::string ok, bomb;
+  for (std::size_t i = 0; i < kMaxJsonDepth; ++i) ok += "[";
+  for (std::size_t i = 0; i < kMaxJsonDepth; ++i) ok += "]";
+  bomb = "[" + ok + "]";
+  EXPECT_NO_THROW(parse_json(ok));
+  EXPECT_THROW(parse_json(bomb), ProtocolError);
+}
+
+TEST(WireJson, DuplicateKeysLastWins) {
+  const JsonValue v = parse_json(R"({"k": 1, "k": 2})");
+  EXPECT_EQ(v.at("k").number, 2.0);
+}
+
+}  // namespace
+}  // namespace ceta::service
