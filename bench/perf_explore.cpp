@@ -1,0 +1,251 @@
+// Design-space explorer throughput on the incremental engine.
+//
+// The tentpole claim of the explorer (explore/explorer.hpp): scoring a
+// candidate move as one batched Transaction on a warm AnalysisEngine
+// clone costs O(invalidated cache entries), so a local-search campaign
+// sustains orders of magnitude more moves/sec than re-analyzing each
+// candidate with a freshly constructed engine.  This driver measures both
+// sides on the 64-task merged two-chain WATERS reference instance
+// (merge_chains_at_sink(33, 32), first schedulable seed):
+//
+//   * campaigns at growing move budgets, recording best-found disparity
+//     per budget (diminishing-returns curve);
+//   * incremental moves/sec of the largest campaign, against a
+//     fresh-engine-per-evaluation baseline replaying archived
+//     configurations — the bench FAILS (nonzero exit) below 5x;
+//   * the determinism contract: one seed, 1 thread vs default
+//     concurrency, bit-identical Pareto archives (entries, keys, epochs);
+//   * the revalidation contract: every archived delta replays onto a
+//     fresh engine to exactly the archived objective vector;
+//   * a hypervolume proxy of the final front against the start point
+//     (sum over entries of the product of per-objective normalized
+//     improvements; overlaps are not subtracted — a monotone coverage
+//     indicator, not an exact hypervolume).
+//
+// Emits BENCH_explore.json (schema-checked by tests/check_bench_json.cpp
+// mode "explore").  --fast shrinks budgets for smoke runs; --paper grows
+// them toward the 10^5+-move campaigns of the title claim.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "engine/analysis_engine.hpp"
+#include "engine/incremental.hpp"
+#include "engine/thread_pool.hpp"
+#include "explore/explorer.hpp"
+#include "graph/generator.hpp"
+#include "waters/generator.hpp"
+
+namespace {
+
+using ceta::AnalysisEngine;
+using ceta::Duration;
+using ceta::Rng;
+using ceta::TaskGraph;
+using ceta::TaskId;
+namespace ex = ceta::explore;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Hypervolume proxy: Σ over entries of Π_dim (ref - v) / ref against the
+/// nadir reference point (component-wise worst over front ∪ {start},
+/// padded 5%), so every non-dominated entry contributes positively.
+double hypervolume_proxy(const std::vector<ex::ArchiveEntry>& front,
+                         const ex::Objectives& start) {
+  ex::Objectives nadir = start;
+  for (const ex::ArchiveEntry& e : front) {
+    nadir.disparity = std::max(nadir.disparity, e.objectives.disparity);
+    nadir.data_age = std::max(nadir.data_age, e.objectives.data_age);
+    nadir.memory = std::max(nadir.memory, e.objectives.memory);
+  }
+  const auto gain = [](std::int64_t r, std::int64_t v) {
+    const double ref = static_cast<double>(r) * 1.05 + 1.0;
+    return std::max(0.0, (ref - static_cast<double>(v)) / ref);
+  };
+  double hv = 0.0;
+  for (const ex::ArchiveEntry& e : front) {
+    hv += gain(nadir.disparity.count(), e.objectives.disparity.count()) *
+          gain(nadir.data_age.count(), e.objectives.data_age.count()) *
+          gain(nadir.memory, e.objectives.memory);
+  }
+  return hv;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ceta::bench::CliOptions cli = ceta::bench::parse_cli(argc, argv);
+  const std::uint64_t seed = cli.seed != 0 ? cli.seed : 42;
+
+  const std::vector<std::size_t> kBudgets =
+      cli.paper ? std::vector<std::size_t>{512, 2048, 16384}
+                : (cli.fast ? std::vector<std::size_t>{32, 64, 192}
+                            : std::vector<std::size_t>{128, 512, 2048});
+  const std::size_t kRestarts = cli.fast ? 4 : 8;
+  const std::size_t kFreshEvals = cli.fast ? 64 : 256;
+
+  // The 64-task reference instance: two WATERS chains of 33 and 32 tasks
+  // sharing their sink, first schedulable parameterization.
+  std::uint64_t waters_seed = 1;
+  TaskGraph g;
+  for (;; ++waters_seed) {
+    g = ceta::merge_chains_at_sink(33, 32);
+    Rng rng(waters_seed);
+    ceta::assign_waters_parameters(g, ceta::WatersAssignOptions{}, rng);
+    if (AnalysisEngine probe(g); probe.schedulable()) break;
+  }
+  const TaskId sink = g.sinks().front();
+
+  AnalysisEngine base(g);
+  ceta::seed_priorities(base);
+  const TaskGraph seeded = base.graph();  // Audsley-seeded replay base
+
+  ex::ExploreOptions opt;
+  opt.seed = seed;
+  opt.restarts = kRestarts;
+
+  // --- budget sweep: best disparity per move budget ----------------------
+  struct BudgetPoint {
+    std::size_t moves_budget = 0;
+    Duration best_disparity = Duration::zero();
+    std::size_t archive_size = 0;
+    double wall_seconds = 0.0;
+  };
+  std::vector<BudgetPoint> points;
+  ex::ExploreResult last;
+  double last_wall = 0.0;
+  for (const std::size_t budget : kBudgets) {
+    opt.moves_per_restart = budget;
+    const auto t0 = std::chrono::steady_clock::now();
+    last = ex::explore(base, sink, opt);
+    last_wall = seconds_since(t0);
+    BudgetPoint p;
+    p.moves_budget = budget * kRestarts;
+    p.best_disparity = last.archive.empty()
+                           ? last.start.disparity
+                           : last.archive.front().objectives.disparity;
+    p.archive_size = last.archive.size();
+    p.wall_seconds = last_wall;
+    points.push_back(p);
+  }
+  const ex::ExploreResult& ref = last;  // largest budget = timing campaign
+
+  const double moves_per_sec =
+      static_cast<double>(ref.stats.proposed) / last_wall;
+  const double evals_per_sec =
+      static_cast<double>(ref.stats.evaluations) / last_wall;
+
+  // --- fresh-engine-per-evaluation baseline ------------------------------
+  // Replay archived configurations (cyclically) with one freshly
+  // constructed engine per evaluation — what every move would cost
+  // without the incremental commit/rollback path.
+  std::size_t fresh_evals = 0;
+  const auto t_fresh = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kFreshEvals; ++i) {
+    const ex::ArchiveEntry& e = ref.archive[i % ref.archive.size()];
+    (void)ex::replay_objectives(seeded, e, sink, opt);
+    ++fresh_evals;
+  }
+  const double fresh_wall = seconds_since(t_fresh);
+  const double fresh_per_sec = static_cast<double>(fresh_evals) / fresh_wall;
+  const double speedup = evals_per_sec / fresh_per_sec;
+
+  // --- revalidation: every archived delta reproduces its objectives -----
+  bool revalidate_ok = true;
+  for (const ex::ArchiveEntry& e : ref.archive) {
+    if (!(ex::replay_objectives(seeded, e, sink, opt) == e.objectives)) {
+      revalidate_ok = false;
+      std::cerr << "perf_explore: archive entry key " << e.key
+                << " does not revalidate\n";
+    }
+  }
+
+  // --- determinism: same seed, 1 thread vs N threads ---------------------
+  opt.moves_per_restart = kBudgets[1];
+  opt.num_threads = 1;
+  const ex::ExploreResult serial = ex::explore(base, sink, opt);
+  opt.num_threads = ceta::ThreadPool::default_concurrency();
+  const ex::ExploreResult pooled = ex::explore(base, sink, opt);
+  const bool determinism_ok = serial.archive == pooled.archive;
+  if (!determinism_ok) {
+    std::cerr << "perf_explore: 1-thread and " << opt.num_threads
+              << "-thread archives differ (" << serial.archive.size() << " vs "
+              << pooled.archive.size() << " entries)\n";
+  }
+
+  const double hv = hypervolume_proxy(ref.archive, ref.start);
+  const bool speedup_ok = speedup >= 5.0;
+  if (!speedup_ok) {
+    std::cerr << "perf_explore: incremental/fresh speedup " << speedup
+              << " below the 5x gate\n";
+  }
+
+  std::cout << "perf_explore: " << g.num_tasks() << " tasks, waters seed "
+            << waters_seed << "\n"
+            << "  incremental: " << ref.stats.proposed << " moves ("
+            << ref.stats.evaluations << " evals) in " << last_wall << " s = "
+            << moves_per_sec << " moves/sec, " << evals_per_sec
+            << " evals/sec\n"
+            << "  fresh:       " << fresh_evals << " evals in " << fresh_wall
+            << " s = " << fresh_per_sec << " evals/sec\n"
+            << "  speedup " << speedup << "x (gate 5x), archive "
+            << ref.archive.size() << " entries, hypervolume proxy " << hv
+            << "\n"
+            << "  best disparity: start " << ref.start.disparity.count()
+            << " ns -> " << points.back().best_disparity.count() << " ns\n"
+            << "  revalidate " << (revalidate_ok ? "ok" : "FAIL")
+            << ", determinism " << (determinism_ok ? "ok" : "FAIL") << "\n";
+
+  ceta::bench::write_json_file("BENCH_explore.json", [&](ceta::obs::JsonWriter&
+                                                             w) {
+    w.member("bench", "explore");
+    w.member("tasks", static_cast<std::uint64_t>(g.num_tasks()));
+    w.member("sink", static_cast<std::uint64_t>(sink));
+    w.member("waters_seed", waters_seed);
+    w.member("seed", seed);
+    w.member("restarts", static_cast<std::uint64_t>(kRestarts));
+    w.member("threads",
+             static_cast<std::uint64_t>(ceta::ThreadPool::default_concurrency()));
+    w.key("budgets");
+    w.begin_array();
+    for (const BudgetPoint& p : points) {
+      w.begin_object();
+      w.member("moves_budget", static_cast<std::uint64_t>(p.moves_budget));
+      w.member("best_disparity_ns", p.best_disparity.count());
+      w.member("archive_size", static_cast<std::uint64_t>(p.archive_size));
+      w.member("wall_seconds", p.wall_seconds);
+      w.end_object();
+    }
+    w.end_array();
+    w.member("start_disparity_ns", ref.start.disparity.count());
+    w.member("moves", ref.stats.proposed);
+    w.member("evaluations", ref.stats.evaluations);
+    w.member("accepted", ref.stats.accepted);
+    w.member("rolled_back", ref.stats.rolled_back);
+    w.member("wall_seconds", last_wall);
+    w.member("moves_per_sec_incremental", moves_per_sec);
+    w.member("evals_per_sec_incremental", evals_per_sec);
+    w.member("fresh_evals", static_cast<std::uint64_t>(fresh_evals));
+    w.member("fresh_wall_seconds", fresh_wall);
+    w.member("evals_per_sec_fresh", fresh_per_sec);
+    w.member("speedup", speedup);
+    w.member("speedup_gate", 5.0);
+    w.member("archive_size", static_cast<std::uint64_t>(ref.archive.size()));
+    w.member("hypervolume_proxy", hv);
+    w.member("revalidate_ok", revalidate_ok);
+    w.member("determinism_ok", determinism_ok);
+    ceta::bench::write_metrics_member(
+        w, "metrics", base.metrics_registry().snapshot());
+  });
+
+  return (revalidate_ok && determinism_ok && speedup_ok) ? 0 : 1;
+}

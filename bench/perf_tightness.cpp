@@ -1,0 +1,173 @@
+// Sim-vs-bound tightness at Monte-Carlo scale (ROADMAP item 2).
+//
+// Pushes run_monte_carlo to 10^5 replications (10^6 with --paper) on
+// three WATERS instances — a G(n,m) DAG, a funnel, and the merged
+// two-chain topology — and compares the measured disparity distribution
+// of each sink against the analyzer's Theorem 2 bound: per instance, the
+// worst empirical sample, the tightness ratio worst/bound (in [0, 1]
+// whenever the bound is sound), the number of bound violations (must be
+// zero) and the fig6-style log2 histogram of measured disparities.
+//
+// Every sample is a pure function of its replication seed, so the
+// aggregate — histograms included — is bit-identical for every thread
+// count; the bench runs the fleet on the default pool and exits nonzero
+// if any sample exceeded its bound.
+//
+// Emits BENCH_tightness.json (schema-checked by tests/check_bench_json.cpp
+// mode "tightness").  --fast drops to 2000 replications for smoke runs.
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "disparity/analyzer.hpp"
+#include "engine/analysis_engine.hpp"
+#include "graph/generator.hpp"
+#include "sim/montecarlo.hpp"
+#include "waters/generator.hpp"
+
+namespace {
+
+using ceta::AnalysisEngine;
+using ceta::Duration;
+using ceta::Rng;
+using ceta::TaskGraph;
+using ceta::TaskId;
+
+struct Instance {
+  std::string name;
+  TaskGraph g;
+  TaskId sink = 0;
+  std::uint64_t waters_seed = 0;
+};
+
+TaskGraph make_topology(const std::string& name, Rng& rng) {
+  if (name == "gnm") {
+    ceta::GnmDagOptions o;
+    o.num_tasks = 12;
+    o.num_edges = 18;
+    return ceta::gnm_random_dag(o, rng);
+  }
+  if (name == "funnel") {
+    ceta::FunnelDagOptions o;
+    o.num_tasks = 12;
+    return ceta::funnel_random_dag(o, rng);
+  }
+  return ceta::merge_chains_at_sink(7, 6);
+}
+
+/// First schedulable WATERS parameterization of `name` whose sink fuses
+/// >= 2 source chains.
+Instance make_instance(const std::string& name, std::uint64_t seed0) {
+  for (std::uint64_t s = seed0;; ++s) {
+    Rng rng(s);
+    TaskGraph g = make_topology(name, rng);
+    Rng prng = rng.split();
+    ceta::assign_waters_parameters(g, ceta::WatersAssignOptions{}, prng);
+    const AnalysisEngine probe(g);
+    if (!probe.schedulable()) continue;
+    const TaskId sink = g.sinks().front();
+    if (probe.chains(sink).size() < 2) continue;
+    return {name, std::move(g), sink, s};
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ceta::bench::CliOptions cli = ceta::bench::parse_cli(argc, argv);
+  const std::uint64_t seed = cli.seed != 0 ? cli.seed : 1;
+  const std::uint64_t kReplications =
+      cli.paper ? 1'000'000 : (cli.fast ? 2'000 : 100'000);
+
+  bool all_ok = true;
+  struct Row {
+    Instance inst;
+    Duration bound;
+    ceta::sim::MonteCarloResult mc;
+  };
+  std::vector<Row> rows;
+
+  for (const std::string& name : {std::string("gnm"), std::string("funnel"),
+                                  std::string("merged")}) {
+    Instance inst = make_instance(name, seed);
+    const AnalysisEngine engine(inst.g);
+
+    ceta::DisparityOptions dopt;
+    dopt.keep_pairs = ceta::KeepPairs::kWorstOnly;
+    const Duration bound = engine.disparity(inst.sink, dopt).worst_case;
+
+    ceta::sim::MonteCarloOptions mopt;
+    mopt.first_seed = seed;
+    mopt.replications = kReplications;
+    mopt.observed = {inst.sink};
+    mopt.bounds = {bound};
+    mopt.sim.duration = Duration::ms(60);
+    mopt.sim.warmup = Duration::ms(20);
+    const ceta::sim::MonteCarloResult mc =
+        ceta::sim::run_monte_carlo(inst.g, mopt);
+
+    const ceta::sim::TaskMonteCarlo& t = mc.tasks.front();
+    std::cout << "perf_tightness: " << name << " (" << inst.g.num_tasks()
+              << " tasks, waters seed " << inst.waters_seed << "): "
+              << mc.replications << " replications, " << mc.sims_per_sec
+              << " sims/sec, bound " << bound.count() << " ns, worst sample "
+              << t.worst_sample.count() << " ns, tightness " << t.tightness
+              << ", violations " << t.bound_violations << "\n";
+    if (!mc.all_within_bounds) {
+      std::cerr << "perf_tightness: " << name << ": " << t.bound_violations
+                << " sample(s) exceeded the analyzer bound\n";
+      all_ok = false;
+    }
+    rows.push_back({std::move(inst), bound, std::move(mc)});
+  }
+
+  ceta::bench::write_json_file(
+      "BENCH_tightness.json", [&](ceta::obs::JsonWriter& w) {
+        w.member("bench", "tightness");
+        w.member("replications", kReplications);
+        w.member("all_within_bounds", all_ok);
+        w.key("instances");
+        w.begin_array();
+        for (const Row& r : rows) {
+          const ceta::sim::TaskMonteCarlo& t = r.mc.tasks.front();
+          w.begin_object();
+          w.member("name", r.inst.name);
+          w.member("tasks", static_cast<std::uint64_t>(r.inst.g.num_tasks()));
+          w.member("waters_seed", r.inst.waters_seed);
+          w.member("sink", static_cast<std::uint64_t>(r.inst.sink));
+          w.member("bound_ns", r.bound.count());
+          w.member("worst_sample_ns", t.worst_sample.count());
+          w.member("mean_sample_ns", t.disparity.mean().count());
+          w.member("tightness", t.tightness);
+          w.member("bound_violations", t.bound_violations);
+          w.member("samples", t.disparity.count);
+          w.member("sims_per_sec", r.mc.sims_per_sec);
+          w.member("wall_seconds", r.mc.wall_seconds);
+          // fig6-style measured-vs-bound histogram: log2 buckets of the
+          // measured disparity samples, plus the bucket the bound lands
+          // in (the gap between mass and bound bucket *is* the figure).
+          w.member("bound_bucket",
+                   static_cast<std::uint64_t>(
+                       ceta::sim::EmpiricalHistogram::bucket_of(r.bound)));
+          w.key("histogram");
+          w.begin_array();
+          for (std::size_t b = 0; b < t.disparity.buckets.size(); ++b) {
+            if (t.disparity.buckets[b] == 0) continue;
+            w.begin_object();
+            w.member("bucket", static_cast<std::uint64_t>(b));
+            w.member("count", t.disparity.buckets[b]);
+            w.end_object();
+          }
+          w.end_array();
+          w.end_object();
+        }
+        w.end_array();
+      });
+
+  return all_ok ? 0 : 1;
+}

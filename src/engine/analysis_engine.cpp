@@ -104,6 +104,42 @@ AnalysisEngine::AnalysisEngine(TaskGraph graph, ResponseTimeMap rtm,
 
 AnalysisEngine::~AnalysisEngine() = default;
 
+AnalysisEngine::AnalysisEngine(const AnalysisEngine& other, CloneTag)
+    : graph_(other.graph_),
+      opt_(other.opt_),
+      deps_(other.deps_),
+      commit_epoch_(other.commit_epoch_),
+      task_epoch_(other.task_epoch_),
+      chain_set_epoch_(other.chain_set_epoch_),
+      report_epoch_(other.report_epoch_),
+      buffer_edge_epoch_(other.buffer_edge_epoch_),
+      removed_edge_epoch_(other.removed_edge_epoch_),
+      hop_cache_(other.hop_cache_),
+      chain_bound_cache_(other.chain_bound_cache_),
+      report_cache_(other.report_cache_) {
+  if (other.rta_) rta_ = std::make_unique<RtaResult>(*other.rta_);
+  if (other.external_rtm_) {
+    external_rtm_ = std::make_unique<ResponseTimeMap>(*other.external_rtm_);
+  }
+  rta_dirty_ = other.rta_dirty_;
+  // Chain-set entries sit behind unique_ptr for reference stability; each
+  // clone gets its own allocation so in-place refreshes never cross engines.
+  chain_set_cache_.reserve(other.chain_set_cache_.size());
+  for (const auto& [key, entry] : other.chain_set_cache_) {
+    chain_set_cache_.emplace(key, std::make_unique<ChainSetEntry>(*entry));
+  }
+  // Deliberately not copied: metrics_/ins_ (fresh, zeroed registry — cache
+  // statistics never bleed across engines), pool_ (lazy) and
+  // commit_observer_ (observers are per-engine wiring).
+}
+
+std::unique_ptr<AnalysisEngine> AnalysisEngine::clone() const {
+  obs::Span span("engine", "clone");
+  const std::scoped_lock lock(rta_mutex_, hop_mutex_, chain_bound_mutex_,
+                              chain_set_mutex_, report_mutex_);
+  return std::unique_ptr<AnalysisEngine>(new AnalysisEngine(*this, CloneTag{}));
+}
+
 void AnalysisEngine::ensure_rta() const {
   const std::lock_guard<std::mutex> lock(rta_mutex_);
   if (external_rtm_) return;

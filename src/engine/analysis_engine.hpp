@@ -157,6 +157,25 @@ class AnalysisEngine {
   AnalysisEngine(const AnalysisEngine&) = delete;
   AnalysisEngine& operator=(const AnalysisEngine&) = delete;
 
+  /// @brief Deep, independent copy of this engine with every cache warm.
+  ///
+  /// The clone owns its own copy of the graph, the RTA state (engine-owned
+  /// or adopted external map), the invalidation epochs and the hop /
+  /// chain-bound / chain-set / report caches, so it answers every memoized
+  /// query bit-identically to the original while mutations on either side
+  /// never invalidate the other (tests/test_engine_clone.cpp).  Cached
+  /// DisparityReports are immutable and shared by reference; everything
+  /// else is copied.  Not cloned: the metrics registry (the clone starts
+  /// with fresh, all-zero counters), the commit observer (the clone has
+  /// none) and the thread pool (recreated lazily on first disparity_all).
+  ///
+  /// Thread safety: clone() is a const query and may run concurrently with
+  /// other queries on this engine, but — like every query — not with
+  /// commits.
+  /// @return The cloned engine (never null).
+  /// Complexity: O(graph + cached entries); no analysis is recomputed.
+  std::unique_ptr<AnalysisEngine> clone() const;
+
   /// @brief The engine's copy of the analyzed graph (always reflects every
   /// committed mutation).
   const TaskGraph& graph() const { return graph_; }
@@ -409,6 +428,12 @@ class AnalysisEngine {
   EngineCacheStats cache_stats() const;
 
  private:
+  /// Tag selecting the private deep-copy constructor behind clone().
+  struct CloneTag {};
+  /// Deep copy of `other`; the calling clone() holds every cache mutex of
+  /// `other` for the duration.
+  AnalysisEngine(const AnalysisEngine& other, CloneTag);
+
   struct ChainKey {
     Path chain;
     HopBoundMethod method;

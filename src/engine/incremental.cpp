@@ -24,6 +24,24 @@ Duration scaled(Duration d, double factor) {
 
 }  // namespace
 
+AudsleyResult seed_priorities(AnalysisEngine& engine) {
+  obs::Span span("engine", "seed_priorities");
+  TaskGraph scratch = engine.graph();
+  const AudsleyResult result =
+      assign_priorities_audsley(scratch, engine.options().rta);
+  if (!result.feasible) return result;
+  AnalysisEngine::Transaction txn(engine);
+  for (TaskId t = 0; t < scratch.num_tasks(); ++t) {
+    if (scratch.is_source(t)) continue;
+    const int assigned = scratch.task(t).priority;
+    if (assigned != engine.graph().task(t).priority) {
+      txn.set_priority(t, assigned);
+    }
+  }
+  txn.commit();
+  return result;
+}
+
 MultiBufferDesign design_buffers_for_task(AnalysisEngine& engine, TaskId task,
                                           const DisparityOptions& opt) {
   obs::Span span("engine", "design_buffers_for_task");

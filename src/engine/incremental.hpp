@@ -27,8 +27,24 @@
 #include "disparity/pareto.hpp"
 #include "disparity/sensitivity.hpp"
 #include "engine/analysis_engine.hpp"
+#include "sched/audsley.hpp"
 
 namespace ceta {
+
+/// @brief Audsley-seeded priority assignment, committed through the
+/// mutation API.  Runs assign_priorities_audsley on a scratch copy of
+/// `engine`'s graph under the engine's own RtaOptions; when the
+/// assignment is feasible, every changed priority is committed as one
+/// Transaction (batch-validated, strong guarantee).  The natural starting
+/// point of a design-space exploration (explore/explorer.hpp).
+/// @param engine  Engine owning the graph.  Must own its RTA (priority
+///   edits are rejected in external-rtm mode).
+/// @return As assign_priorities_audsley: the engine's graph carries the
+///   Audsley assignment iff `feasible`, and is untouched otherwise
+///   (pinned against the free function by tests/test_explore.cpp).
+/// Complexity: the OPA feasibility runs dominate; the commit costs one
+/// invalidation walk over the edited cohorts.
+AudsleyResult seed_priorities(AnalysisEngine& engine);
 
 /// @brief §IV multi-chain buffer design for `task`, probing the buffered
 /// configuration through `engine`'s mutation API.

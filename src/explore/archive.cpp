@@ -1,0 +1,141 @@
+#include "explore/archive.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "engine/analysis_engine.hpp"
+
+namespace ceta::explore {
+
+namespace {
+
+/// Canonical archive order: lexicographic on the objective vector, then
+/// the entry key.  Total (keys are unique within a campaign), so sorted
+/// fronts compare bit-for-bit across thread counts.
+bool entry_less(const ArchiveEntry& a, const ArchiveEntry& b) {
+  if (a.objectives.disparity != b.objectives.disparity) {
+    return a.objectives.disparity < b.objectives.disparity;
+  }
+  if (a.objectives.data_age != b.objectives.data_age) {
+    return a.objectives.data_age < b.objectives.data_age;
+  }
+  if (a.objectives.memory != b.objectives.memory) {
+    return a.objectives.memory < b.objectives.memory;
+  }
+  return a.key < b.key;
+}
+
+/// True iff archived `e` blocks candidate objectives `o` with key `key`:
+/// it dominates them, or wins the objective tie canonically.
+bool blocks(const ArchiveEntry& e, const Objectives& o, std::uint64_t key) {
+  return dominates(e.objectives, o) || (e.objectives == o && e.key <= key);
+}
+
+}  // namespace
+
+bool dominates(const Objectives& a, const Objectives& b) {
+  return a.disparity <= b.disparity && a.data_age <= b.data_age &&
+         a.memory <= b.memory && !(a == b);
+}
+
+ConfigState ConfigState::of(const TaskGraph& g) {
+  ConfigState s;
+  s.priorities.reserve(g.num_tasks());
+  s.offsets.reserve(g.num_tasks());
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    s.priorities.push_back(g.task(t).priority);
+    s.offsets.push_back(g.task(t).offset);
+  }
+  s.buffers.reserve(g.num_edges());
+  for (const Edge& e : g.edges()) s.buffers.push_back(e.channel.buffer_size);
+  return s;
+}
+
+ConfigDelta delta_between(const TaskGraph& base, const ConfigState& current) {
+  ConfigDelta d;
+  for (TaskId t = 0; t < base.num_tasks(); ++t) {
+    if (base.task(t).priority != current.priorities[t]) {
+      d.priorities.emplace_back(t, current.priorities[t]);
+    }
+    if (base.task(t).offset != current.offsets[t]) {
+      d.offsets.emplace_back(t, current.offsets[t]);
+    }
+  }
+  const std::vector<Edge>& edges = base.edges();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (edges[i].channel.buffer_size != current.buffers[i]) {
+      d.buffers.push_back({edges[i].from, edges[i].to, current.buffers[i]});
+    }
+  }
+  return d;
+}
+
+void apply_delta(AnalysisEngine& engine, const ConfigDelta& delta) {
+  if (delta.empty()) return;
+  AnalysisEngine::Transaction txn(engine);
+  for (const auto& [task, priority] : delta.priorities) {
+    txn.set_priority(task, priority);
+  }
+  for (const auto& [task, offset] : delta.offsets) txn.set_offset(task, offset);
+  for (const ConfigDelta::BufferChange& b : delta.buffers) {
+    txn.set_buffer(b.from, b.to, b.buffer_size);
+  }
+  txn.commit();
+}
+
+ParetoArchive::ParetoArchive() {
+  snap_.store(std::make_shared<const std::vector<ArchiveEntry>>(),
+              std::memory_order_release);
+}
+
+bool ParetoArchive::would_accept(const Objectives& o,
+                                 std::uint64_t key) const {
+  const auto snap = snap_.load(std::memory_order_acquire);
+  for (const ArchiveEntry& e : *snap) {
+    if (blocks(e, o, key)) return false;
+  }
+  return true;
+}
+
+bool ParetoArchive::insert(ArchiveEntry e) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto cur = snap_.load(std::memory_order_acquire);
+  for (const ArchiveEntry& x : *cur) {
+    if (blocks(x, e.objectives, e.key)) {
+      rejects_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+  }
+  auto next = std::make_shared<std::vector<ArchiveEntry>>();
+  next->reserve(cur->size() + 1);
+  for (const ArchiveEntry& x : *cur) {
+    if (dominates(e.objectives, x.objectives) ||
+        (x.objectives == e.objectives && e.key < x.key)) {
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    next->push_back(x);
+  }
+  e.epoch = epoch_++;
+  next->insert(std::lower_bound(next->begin(), next->end(), e, entry_less),
+               std::move(e));
+  snap_.store(std::move(next), std::memory_order_release);
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ParetoArchive::merge(const ParetoArchive& other) {
+  const auto snap = other.snapshot();
+  for (const ArchiveEntry& e : *snap) insert(e);
+}
+
+std::shared_ptr<const std::vector<ArchiveEntry>> ParetoArchive::snapshot()
+    const {
+  return snap_.load(std::memory_order_acquire);
+}
+
+std::size_t ParetoArchive::size() const {
+  return snap_.load(std::memory_order_acquire)->size();
+}
+
+}  // namespace ceta::explore

@@ -1,0 +1,171 @@
+// Pareto archive of explored configurations.
+//
+// The explorer scores every candidate configuration on three minimized
+// objectives — worst-case time disparity, worst-case data age, and memory
+// (Σ FIFO buffer depths) — and archives every candidate not dominated by
+// an already-archived one.  Each entry carries the full configuration
+// delta against the base graph (priorities, offsets, buffer depths that
+// differ), which is everything needed to replay the configuration onto a
+// fresh AnalysisEngine; the `explored_configs_revalidate` verify property
+// does exactly that and demands bit-identical objective vectors.
+//
+// Determinism contract: the archived *set* is a pure function of the
+// multiset of inserted entries, independent of insertion order.  Ties on
+// the objective vector are broken canonically by the entry key (the
+// (restart, step) coordinate that produced the candidate — total over a
+// campaign), so merging per-restart archives yields the same front no
+// matter how restarts were sharded over threads.  snapshot() readers are
+// lock-free: writers publish an immutable entry vector through an atomic
+// shared_ptr, so a reader never blocks behind an insert (and vice versa).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/time.hpp"
+#include "graph/task_graph.hpp"
+
+namespace ceta {
+class AnalysisEngine;
+}  // namespace ceta
+
+namespace ceta::explore {
+
+/// Objective vector of one configuration; every component is minimized.
+struct Objectives {
+  /// Analyzer worst-case disparity of the explored sink (or the exact LET
+  /// disparity under ObjectiveMode::kExactLet).
+  Duration disparity = Duration::zero();
+  /// Worst max-data-age bound over the sink's source chains.
+  Duration data_age = Duration::zero();
+  /// Σ buffer depths over all channels (the paper's memory cost).
+  std::int64_t memory = 0;
+
+  bool operator==(const Objectives&) const = default;
+};
+
+/// True iff `a` Pareto-dominates `b`: no worse in every component and
+/// strictly better in at least one.
+bool dominates(const Objectives& a, const Objectives& b);
+
+/// Diff of a candidate configuration against the base graph: only the
+/// parameters that differ, each list sorted by task / edge id.  Replayable
+/// onto any engine owning the base graph (apply_delta) — the full
+/// configuration record of an archive entry.
+struct ConfigDelta {
+  /// (task, priority) pairs differing from the base assignment.
+  std::vector<std::pair<TaskId, int>> priorities;
+  /// (task, offset) pairs differing from the base offsets.
+  std::vector<std::pair<TaskId, Duration>> offsets;
+  /// One FIFO depth change of channel (from, to).
+  struct BufferChange {
+    TaskId from = 0;
+    TaskId to = 0;
+    int buffer_size = 1;
+    bool operator==(const BufferChange&) const = default;
+  };
+  /// Channel depth changes differing from the base graph.
+  std::vector<BufferChange> buffers;
+
+  /// Total number of changed parameters.
+  std::size_t size() const {
+    return priorities.size() + offsets.size() + buffers.size();
+  }
+  bool empty() const { return size() == 0; }
+  bool operator==(const ConfigDelta&) const = default;
+};
+
+/// Flat snapshot of the explored parameters of a graph: per-task
+/// priorities and offsets, per-edge buffer depths in graph edge order.
+/// The explorer's cheap mirror of its engine's configuration (updated per
+/// accepted move instead of re-reading the graph).
+struct ConfigState {
+  std::vector<int> priorities;
+  std::vector<Duration> offsets;
+  std::vector<int> buffers;
+
+  /// Snapshot `g`'s current configuration.
+  static ConfigState of(const TaskGraph& g);
+  bool operator==(const ConfigState&) const = default;
+};
+
+/// Delta of `current` (a configuration of `base`'s graph shape) against
+/// `base`'s own parameters.  O(V + E).
+ConfigDelta delta_between(const TaskGraph& base, const ConfigState& current);
+
+/// Apply `delta` to `engine` (which must own a graph with the base
+/// configuration's shape) as one batched Transaction; no-op for an empty
+/// delta.  Throws as Transaction::commit on invalid targets.
+void apply_delta(AnalysisEngine& engine, const ConfigDelta& delta);
+
+/// One archived configuration.
+struct ArchiveEntry {
+  Objectives objectives;
+  /// Replay record against the campaign's base graph.
+  ConfigDelta delta;
+  /// Canonical identity of the candidate: (restart << 40) | step.  Total
+  /// over a campaign; the tie-break for equal objective vectors.
+  std::uint64_t key = 0;
+  /// Archive insertion epoch (monotone per archive, assigned by insert).
+  std::uint64_t epoch = 0;
+
+  bool operator==(const ArchiveEntry&) const = default;
+};
+
+/// Pack the canonical entry key.
+inline std::uint64_t entry_key(std::uint64_t restart, std::uint64_t step) {
+  return (restart << 40) | step;
+}
+
+/// The archive.  insert()/merge() serialize on an internal mutex;
+/// snapshot() is lock-free (atomic load of the published entry vector).
+class ParetoArchive {
+ public:
+  ParetoArchive();
+
+  /// True iff `o` would enter the archive right now: no current entry
+  /// dominates it and no equal-objective entry with a smaller-or-equal key
+  /// exists.  Lock-free (reads the published snapshot); the explorer uses
+  /// this to skip building deltas for dominated candidates.  A subsequent
+  /// insert() revalidates under the writer lock, so a stale answer here
+  /// costs only a wasted delta, never a wrong archive.
+  bool would_accept(const Objectives& o, std::uint64_t key) const;
+
+  /// Insert `e` (epoch assigned here) unless an existing entry dominates
+  /// it or wins its objective tie; evicts every entry it dominates or
+  /// out-ties.  Returns true iff inserted.  The resulting entry *set* is
+  /// independent of insertion order (canonical tie-break on `key`).
+  bool insert(ArchiveEntry e);
+
+  /// Merge every entry of `other`'s current snapshot (original keys and
+  /// deltas preserved, epochs re-assigned by this archive's insert).
+  void merge(const ParetoArchive& other);
+
+  /// The published front: immutable, canonically sorted by (objectives,
+  /// key).  Lock-free; the pointer stays valid after later mutations.
+  std::shared_ptr<const std::vector<ArchiveEntry>> snapshot() const;
+
+  /// Current number of archived entries (lock-free).
+  std::size_t size() const;
+
+  /// Lifetime counters (successful inserts / evicted entries / rejected
+  /// candidates), for the explorer's metrics.
+  std::uint64_t inserts() const { return inserts_.load(std::memory_order_relaxed); }
+  std::uint64_t evictions() const { return evictions_.load(std::memory_order_relaxed); }
+  std::uint64_t rejects() const { return rejects_.load(std::memory_order_relaxed); }
+
+ private:
+  mutable std::mutex mutex_;  ///< serializes writers
+  /// Published front; replaced wholesale on every successful insert.
+  std::atomic<std::shared_ptr<const std::vector<ArchiveEntry>>> snap_;
+  std::uint64_t epoch_ = 0;
+  std::atomic<std::uint64_t> inserts_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> rejects_{0};
+};
+
+}  // namespace ceta::explore

@@ -1,0 +1,80 @@
+// Counter-based deterministic draw streams for the design-space explorer.
+//
+// The explorer's determinism contract mirrors the simulator's
+// (sim/exec_model.hpp): every random decision of a search trajectory is a
+// *pure function* of (seed, restart, step, purpose) — no generator state
+// is carried between draws, so a restart's trajectory is identical no
+// matter which pool thread runs it, in what order restarts are scheduled,
+// or how many workers share the campaign.  Same seed ⇒ same Pareto front
+// on 1 and N threads (asserted by tests/test_explore.cpp and gated by
+// bench/perf_explore.cpp).
+//
+// The mix chain is SplitMix64, the same construction SimStream uses; the
+// restart coordinate is folded into the per-stream seed so two restarts of
+// one campaign never share bits.
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+
+namespace ceta::explore {
+
+/// One restart's draw stream: stateless, pure in (seed, restart, step,
+/// purpose).
+class ExploreStream {
+ public:
+  /// Purpose coordinate of a draw; extend rather than reuse so distinct
+  /// decisions never share bits.
+  enum Draw : std::uint32_t {
+    kMoveKind = 0,      ///< which move family to propose
+    kTarget = 1,        ///< edge / cohort / source the move targets
+    kParam = 2,         ///< primary move parameter (delta, member, slot)
+    kParam2 = 3,        ///< secondary move parameter (swap partner)
+    kAccept = 4,        ///< simulated-annealing acceptance draw
+    kWeightAge = 5,     ///< per-restart data-age scalarization weight
+    kWeightMemory = 6,  ///< per-restart memory scalarization weight
+  };
+
+  ExploreStream(std::uint64_t seed, std::uint64_t restart)
+      : seed_(mix(seed + kGamma * (restart + 1))) {}
+
+  /// Raw 64-bit draw for (step, purpose); pure in all four coordinates.
+  std::uint64_t bits(std::uint64_t step, Draw purpose) const {
+    std::uint64_t h = seed_;
+    h = mix(h + kGamma * (step + 1));
+    h = mix(h + kGamma * (static_cast<std::uint64_t>(purpose) + 1));
+    return h;
+  }
+
+  /// Uniform draw in [0, n); n must be nonzero.  Fixed-point multiply of
+  /// the mix output (no modulo bias worth caring about at these ranges).
+  std::uint64_t below(std::uint64_t step, Draw purpose,
+                      std::uint64_t n) const {
+    __extension__ using Wide = unsigned __int128;
+    return static_cast<std::uint64_t>(
+        (static_cast<Wide>(bits(step, purpose)) * n) >> 64);
+  }
+
+  /// Uniform draw in [0, 1) with 53-bit resolution.
+  double unit(std::uint64_t step, Draw purpose) const {
+    return static_cast<double>(bits(step, purpose) >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ull;
+
+  static std::uint64_t mix(std::uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x;
+  }
+
+  std::uint64_t seed_;
+};
+
+}  // namespace ceta::explore

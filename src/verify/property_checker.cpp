@@ -19,6 +19,7 @@
 #include "disparity/pair_kernel.hpp"
 #include "disparity/pairwise.hpp"
 #include "engine/analysis_engine.hpp"
+#include "explore/explorer.hpp"
 #include "graph/algorithms.hpp"
 #include "graph/generator.hpp"
 #include "graph/paths.hpp"
@@ -43,7 +44,8 @@ constexpr const char* kPropertyNames[kNumProperties] = {
     "exact_matches_sim",   "buffered_shift",
     "buffer_design_consistent", "multi_buffer_safe",
     "pair_kernel_matches_reference", "incremental_matches_fresh",
-    "dag_dp_matches_enumeration", "montecarlo_within_bounds"};
+    "dag_dp_matches_enumeration", "montecarlo_within_bounds",
+    "explored_configs_revalidate"};
 
 constexpr Property kAllProperties[kNumProperties] = {
     Property::kEngineMatchesFree,
@@ -59,7 +61,8 @@ constexpr Property kAllProperties[kNumProperties] = {
     Property::kPairKernelMatchesReference,
     Property::kIncrementalMatchesFresh,
     Property::kDagDpMatchesEnumeration,
-    Property::kMonteCarloWithinBounds};
+    Property::kMonteCarloWithinBounds,
+    Property::kExploredConfigsRevalidate};
 
 std::string dur(Duration d) { return std::to_string(d.count()) + "ns"; }
 
@@ -894,6 +897,42 @@ PropertyOutcome check_dag_dp_matches_enumeration(const Inputs& in) {
   return holds();
 }
 
+// --- explored_configs_revalidate -------------------------------------------
+
+PropertyOutcome check_explored_configs_revalidate(const Inputs& in) {
+  explore::ExploreOptions eopt;
+  eopt.strategy = explore::Strategy::kPortfolio;
+  eopt.seed = in.cfg.sim_seed;
+  eopt.moves_per_restart = 48;
+  eopt.restarts = 2;
+  eopt.num_threads = 1;
+  eopt.path_cap = in.cfg.path_cap;
+  eopt.fault_skip_rollback =
+      in.cfg.fault == FaultInjection::kSkipExploreRollback;
+
+  AnalysisEngine engine(in.g);
+  if (!engine.schedulable()) {
+    return skipped("unschedulable under the engine's own RTA");
+  }
+  const explore::ExploreResult result =
+      explore::explore(engine, in.task, eopt);
+  for (const explore::ArchiveEntry& e : result.archive) {
+    const explore::Objectives replayed =
+        explore::replay_objectives(in.g, e, in.task, eopt);
+    if (!(replayed == e.objectives)) {
+      return violated(
+          "archive entry (key " + std::to_string(e.key) + ", " +
+          std::to_string(e.delta.size()) + " edits) archived disparity " +
+          dur(e.objectives.disparity) + "/age " + dur(e.objectives.data_age) +
+          "/memory " + std::to_string(e.objectives.memory) +
+          " but replays to disparity " + dur(replayed.disparity) + "/age " +
+          dur(replayed.data_age) + "/memory " +
+          std::to_string(replayed.memory));
+    }
+  }
+  return holds();
+}
+
 PropertyOutcome dispatch(Property p, const Inputs& in) {
   switch (p) {
     case Property::kEngineMatchesFree: return check_engine_matches_free(in);
@@ -915,6 +954,8 @@ PropertyOutcome dispatch(Property p, const Inputs& in) {
       return check_dag_dp_matches_enumeration(in);
     case Property::kMonteCarloWithinBounds:
       return check_montecarlo_within_bounds(in);
+    case Property::kExploredConfigsRevalidate:
+      return check_explored_configs_revalidate(in);
   }
   throw Error("check_property: unknown property");
 }

@@ -64,9 +64,16 @@ enum class Property {
   /// analyzer's task-level bound, and the driver's aggregate is
   /// bit-identical between single-threaded and pooled execution.
   kMonteCarloWithinBounds,
+  /// Every entry of an explore() campaign's Pareto archive
+  /// (explore/explorer.hpp) revalidates: replaying its ConfigDelta onto a
+  /// fresh AnalysisEngine reproduces the archived objective vector
+  /// bit-for-bit.  Catches any drift between the explorer's rollback
+  /// bookkeeping and the engine's actual configuration (the
+  /// kSkipExploreRollback fault is the canonical example).
+  kExploredConfigsRevalidate,
 };
 
-inline constexpr std::size_t kNumProperties = 14;
+inline constexpr std::size_t kNumProperties = 15;
 
 /// Stable lowercase identifier ("sim_within_bound", ...), used in fixture
 /// files and reports.
@@ -99,6 +106,13 @@ enum class FaultInjection {
   /// recorded as ns) — the montecarlo_within_bounds property must reject
   /// the batch.  Affects only that property.
   kCorruptMcSamples,
+  /// Run the explorer with ExploreOptions::fault_skip_rollback, so the
+  /// engine silently keeps one strategy-rejected buffer move the
+  /// explorer's config mirror forgot — every later archive entry then
+  /// carries a delta that cannot reproduce its objectives, which the
+  /// explored_configs_revalidate property must catch.  Affects only that
+  /// property.
+  kSkipExploreRollback,
 };
 
 /// Everything a single property evaluation depends on besides the graph:

@@ -4,6 +4,7 @@
 //                 [--min-tasks N] [--max-tasks N] [--ecus N]
 //                 [--shrink | --no-shrink] [--fixture-dir PATH]
 //                 [--inject-fault] [--inject-dp-fault] [--inject-mc-fault]
+//                 [--inject-explore-fault]
 //                 [--trace PATH] [--metrics PATH] [--quiet]
 //
 // Draws N seeded random WATERS instances, checks every cross-implementation
@@ -24,7 +25,10 @@
 // fault_drop_source_period), which dag_dp_matches_enumeration must catch.
 // --inject-mc-fault inflates every Monte-Carlo disparity sample 1000x
 // (MonteCarloOptions::fault_scale_samples), which
-// montecarlo_within_bounds must catch.
+// montecarlo_within_bounds must catch.  --inject-explore-fault makes the
+// design-space explorer skip one engine rollback
+// (ExploreOptions::fault_skip_rollback), which
+// explored_configs_revalidate must catch.
 
 #include <cstdint>
 #include <exception>
@@ -48,7 +52,7 @@ int usage(const char* argv0) {
          " [--max-tasks N]\n"
          "       [--ecus N] [--shrink | --no-shrink] [--fixture-dir PATH]\n"
          "       [--inject-fault] [--inject-stale-cache] [--inject-dp-fault]\n"
-         "       [--inject-mc-fault]\n"
+         "       [--inject-mc-fault] [--inject-explore-fault]\n"
          "       [--trace PATH] [--metrics PATH] [--quiet]\n";
   return 2;
 }
@@ -121,6 +125,8 @@ int main(int argc, char** argv) {
         opt.probe.fault = FaultInjection::kCorruptDpSummary;
       } else if (arg == "--inject-mc-fault") {
         opt.probe.fault = FaultInjection::kCorruptMcSamples;
+      } else if (arg == "--inject-explore-fault") {
+        opt.probe.fault = FaultInjection::kSkipExploreRollback;
       } else if (arg == "--trace") {
         const char* v = next_arg(i);
         if (!v) return usage(argv[0]);

@@ -3,7 +3,8 @@
 // tests use, checks the schema the bench promises, and fails (exit 1) if
 // the recorded cross-check ever reported a divergence.
 //
-//   check_bench_json <file> [pairwise|incremental|dagdp|sim]
+//   check_bench_json <file> [pairwise|incremental|dagdp|sim|service|
+//                            explore|tightness]
 //
 // The optional second argument selects the schema; "pairwise" (the
 // kernel-vs-reference comparison) is the default, "incremental" validates
@@ -195,18 +196,112 @@ int check_service(const ceta::testing::JsonValue& doc,
   return 0;
 }
 
+int check_explore(const ceta::testing::JsonValue& doc,
+                  const std::string& path) {
+  for (const char* key :
+       {"bench", "tasks", "restarts", "budgets", "moves", "evaluations",
+        "wall_seconds", "moves_per_sec_incremental", "evals_per_sec_incremental",
+        "fresh_evals", "evals_per_sec_fresh", "speedup", "archive_size",
+        "hypervolume_proxy", "revalidate_ok", "determinism_ok"}) {
+    if (!doc.has(key)) return fail(path + " lacks member '" + key + "'");
+  }
+  if (doc.at("bench").string != "explore") {
+    return fail("unexpected bench id '" + doc.at("bench").string + "'");
+  }
+  if (doc.at("tasks").number < 64 || doc.at("moves").number < 1 ||
+      doc.at("archive_size").number < 1 ||
+      doc.at("moves_per_sec_incremental").number <= 0 ||
+      doc.at("evals_per_sec_fresh").number <= 0) {
+    return fail("degenerate bench record in " + path);
+  }
+  if (!doc.at("revalidate_ok").boolean) {
+    return fail(
+        "an archived configuration failed to replay to its recorded "
+        "objectives (revalidate_ok: false in " +
+        path + ")");
+  }
+  if (!doc.at("determinism_ok").boolean) {
+    return fail(
+        "explorer Pareto front depends on the thread count "
+        "(determinism_ok: false in " +
+        path + ")");
+  }
+  if (doc.at("speedup").number < 5.0) {
+    return fail(
+        "incremental move evaluation below the 5x gate over "
+        "fresh-engine-per-move (speedup < 5 in " +
+        path + ")");
+  }
+  std::cout << "OK: " << path << " ("
+            << doc.at("moves_per_sec_incremental").number << " moves/s, speedup "
+            << doc.at("speedup").number << "x, archive "
+            << doc.at("archive_size").number << ", deterministic)\n";
+  return 0;
+}
+
+int check_tightness(const ceta::testing::JsonValue& doc,
+                    const std::string& path) {
+  for (const char* key : {"bench", "replications", "all_within_bounds",
+                          "instances"}) {
+    if (!doc.has(key)) return fail(path + " lacks member '" + key + "'");
+  }
+  if (doc.at("bench").string != "tightness") {
+    return fail("unexpected bench id '" + doc.at("bench").string + "'");
+  }
+  if (doc.at("replications").number < 1000) {
+    return fail("replication count below the 1000 floor in " + path);
+  }
+  const auto& instances = doc.at("instances").items();
+  if (instances.size() < 3) {
+    return fail("fewer than 3 instances recorded in " + path);
+  }
+  for (const auto& inst : instances) {
+    for (const char* key :
+         {"name", "tasks", "bound_ns", "worst_sample_ns", "tightness",
+          "bound_violations", "samples", "sims_per_sec", "histogram"}) {
+      if (!inst.has(key)) {
+        return fail(path + " instance lacks member '" + std::string(key) + "'");
+      }
+    }
+    if (inst.at("bound_violations").number != 0) {
+      return fail("instance '" + inst.at("name").string +
+                  "' measured a disparity above the analyzer bound in " +
+                  path);
+    }
+    if (inst.at("samples").number < 1 || inst.at("sims_per_sec").number <= 0 ||
+        inst.at("tightness").number < 0 || inst.at("tightness").number > 1) {
+      return fail("degenerate instance record in " + path);
+    }
+    if (inst.at("histogram").items().empty()) {
+      return fail("instance '" + inst.at("name").string +
+                  "' recorded an empty measured-disparity histogram in " +
+                  path);
+    }
+  }
+  if (!doc.at("all_within_bounds").boolean) {
+    return fail("a Monte-Carlo sample exceeded its analyzer bound "
+                "(all_within_bounds: false in " +
+                path + ")");
+  }
+  std::cout << "OK: " << path << " (" << doc.at("replications").number
+            << " replications x " << instances.size()
+            << " instances, all within bounds)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2 || argc > 3) {
     std::cerr << "usage: check_bench_json <BENCH_*.json> "
-                 "[pairwise|incremental|dagdp|sim|service]\n";
+                 "[pairwise|incremental|dagdp|sim|service|explore|tightness]\n";
     return 2;
   }
   const std::string path = argv[1];
   const std::string schema = argc == 3 ? argv[2] : "pairwise";
   if (schema != "pairwise" && schema != "incremental" && schema != "dagdp" &&
-      schema != "sim" && schema != "service") {
+      schema != "sim" && schema != "service" && schema != "explore" &&
+      schema != "tightness") {
     std::cerr << "unknown schema '" << schema << "'\n";
     return 2;
   }
@@ -226,6 +321,8 @@ int main(int argc, char** argv) {
     if (schema == "incremental") return check_incremental(doc, path);
     if (schema == "dagdp") return check_dagdp(doc, path);
     if (schema == "sim") return check_sim(doc, path);
+    if (schema == "explore") return check_explore(doc, path);
+    if (schema == "tightness") return check_tightness(doc, path);
     return check_service(doc, path);
   } catch (const std::exception& e) {
     std::cerr << "FAIL: " << path << " is not valid JSON: " << e.what()

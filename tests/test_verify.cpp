@@ -95,6 +95,30 @@ TEST(PropertyChecker, InjectedFaultIsCaughtAndShrunk) {
                   .violated());
 }
 
+TEST(PropertyChecker, InjectedExploreFaultIsCaughtAndShrunk) {
+  // kSkipExploreRollback desynchronizes the explorer's engine from its
+  // config mirror; the explored_configs_revalidate property must catch the
+  // resulting non-replayable archive entries within a fixed-seed campaign,
+  // and the shrunk fixture must still fail through the pure entry point.
+  CheckerOptions opt;
+  opt.seed = 42;
+  opt.trials = 40;
+  opt.probe.fault = FaultInjection::kSkipExploreRollback;
+  opt.max_violations = 1;
+  PropertyChecker checker(opt);
+  const CheckerReport report = checker.run();
+  ASSERT_FALSE(report.ok())
+      << "skipped rollback survived " << report.stats.trials << " trials";
+  const verify::Violation& v = report.violations.front();
+  EXPECT_EQ(v.property, Property::kExploredConfigsRevalidate);
+  EXPECT_GE(v.original_tasks, v.graph.num_tasks());
+  EXPECT_NO_THROW(v.graph.validate());
+  ProbeConfig cfg = opt.probe;
+  cfg.sim_seed = v.sim_seed;
+  EXPECT_TRUE(verify::check_property(v.property, v.graph, v.task, cfg)
+                  .violated());
+}
+
 TEST(PropertyChecker, InjectedMcFaultIsCaughtByMonteCarloProperty) {
   // kCorruptMcSamples inflates every Monte-Carlo disparity sample 1000x;
   // on a graph with any measured disparity at all, the empirical samples
