@@ -88,8 +88,25 @@ Duration hop_bound(const TaskGraph& g, TaskId from, TaskId to,
       u.jitter > Duration::zero() || v.jitter > Duration::zero()) {
     return u.period + R;
   }
+  // Same-ECU refinements are routed by the ECU's dispatching discipline:
+  //  * kEdf: priorities do not order dispatch at all, so neither
+  //    refinement applies — fall back to θ = T + R.
+  //  * kPreemptive: the higher-priority-producer case still gives θ = T.
+  //    When the consumer is first dispatched at s, no same-ECU
+  //    higher-priority job is ready or running, so every producer job
+  //    released <= s — in particular the one released in (s − T, s] —
+  //    has finished and written.  The lower-priority-producer refinement
+  //    relies on non-preemptive blocking and drops to θ = T + R.
+  //  * kNonPreemptive: Lemma 4 verbatim.
+  const SchedPolicy policy = g.policy(u.ecu);
+  if (policy == SchedPolicy::kEdf) {
+    return u.period + R;
+  }
   if (higher_priority(u, v)) {
     return u.period;
+  }
+  if (policy == SchedPolicy::kPreemptive) {
+    return u.period + R;
   }
   return u.period + R - (u.wcet + v.bcet);
 }

@@ -574,6 +574,9 @@ void AnalysisEngine::apply_one(const engine::Mutation& m) {
     case MutationKind::kRemoveEdge:
       graph_.remove_edge(m.from, m.to);
       break;
+    case MutationKind::kPolicy:
+      graph_.set_policy(m.ecu, m.policy);
+      break;
   }
 }
 
@@ -614,6 +617,11 @@ void AnalysisEngine::validate_staged(
         CETA_EXPECTS(m.channel.buffer_size >= 1,
                      "validate: channel buffer size must be >= 1");
         break;
+      case MutationKind::kPolicy:
+        // Non-structural; TaskGraph::set_policy cannot throw past this.
+        CETA_EXPECTS(m.ecu != kNoEcu,
+                     "AnalysisEngine::set_policy: sources occupy no ECU");
+        break;
       case MutationKind::kAddEdge:
       case MutationKind::kRemoveEdge:
         CETA_EXPECTS(false, "validate_staged: structural edit in a "
@@ -653,7 +661,8 @@ void AnalysisEngine::apply_mutations(
     for (const engine::Mutation& m : edits) {
       const bool sched_edit = m.kind == engine::MutationKind::kPeriod ||
                               m.kind == engine::MutationKind::kWcetRange ||
-                              m.kind == engine::MutationKind::kPriority;
+                              m.kind == engine::MutationKind::kPriority ||
+                              m.kind == engine::MutationKind::kPolicy;
       CETA_EXPECTS(!sched_edit,
                    "AnalysisEngine: scheduling mutations are unavailable "
                    "when the engine adopted an external response-time map "
@@ -788,6 +797,14 @@ void AnalysisEngine::set_priority(TaskId task, int priority) {
   apply_mutations({m});
 }
 
+void AnalysisEngine::set_policy(EcuId ecu, SchedPolicy policy) {
+  engine::Mutation m;
+  m.kind = engine::MutationKind::kPolicy;
+  m.ecu = ecu;
+  m.policy = policy;
+  apply_mutations({m});
+}
+
 void AnalysisEngine::set_buffer(TaskId from, TaskId to, int buffer_size) {
   engine::Mutation m;
   m.kind = engine::MutationKind::kBuffer;
@@ -849,6 +866,16 @@ AnalysisEngine::Transaction& AnalysisEngine::Transaction::set_priority(
   m.kind = engine::MutationKind::kPriority;
   m.task = task;
   m.priority = priority;
+  staged_.push_back(m);
+  return *this;
+}
+
+AnalysisEngine::Transaction& AnalysisEngine::Transaction::set_policy(
+    EcuId ecu, SchedPolicy policy) {
+  engine::Mutation m;
+  m.kind = engine::MutationKind::kPolicy;
+  m.ecu = ecu;
+  m.policy = policy;
   staged_.push_back(m);
   return *this;
 }

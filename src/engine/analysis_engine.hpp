@@ -310,6 +310,17 @@ class AnalysisEngine {
   /// Invalidates: like set_wcet_range (§9 row "priority").
   void set_priority(TaskId task, int priority);
 
+  /// @brief Set the dispatching discipline of `ecu` and commit.
+  /// @param ecu  Any ECU id except kNoEcu (sources never contend); an ECU
+  ///   no task currently uses is accepted and recorded.
+  /// @param policy  New per-ECU discipline (TaskGraph::set_policy).
+  /// @throws PreconditionError in external-rtm mode (the adopted WCRT map
+  ///   was computed under the old discipline), or on kNoEcu.
+  /// Invalidates: RTA + hop/chain bounds of the ECU's cohort and reports
+  /// downstream — exactly a priority edit's footprint (§9 row "policy");
+  /// other ECUs' entries and all chain sets survive.
+  void set_policy(EcuId ecu, SchedPolicy policy);
+
   /// @brief Resize the FIFO of channel (from, to) and commit.
   /// @param buffer_size  New depth (>= 1; 1 is the overwrite register).
   /// Invalidates: chain bounds traversing the edge (Lemma 6 shift) and
@@ -363,6 +374,7 @@ class AnalysisEngine {
     Transaction& set_period(TaskId task, Duration period);
     Transaction& set_wcet_range(TaskId task, Duration bcet, Duration wcet);
     Transaction& set_priority(TaskId task, int priority);
+    Transaction& set_policy(EcuId ecu, SchedPolicy policy);
     Transaction& set_buffer(TaskId from, TaskId to, int buffer_size);
     Transaction& set_offset(TaskId task, Duration offset);
     Transaction& add_edge(TaskId from, TaskId to, ChannelSpec spec = {});

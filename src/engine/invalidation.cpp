@@ -127,6 +127,21 @@ InvalidationPlan plan_invalidation(
         chain_set_seeds.push_back(m.to);
         report_seeds.push_back(m.to);
         break;
+      case MutationKind::kPolicy:
+        // A dispatching-discipline flip re-derives the whole ECU's RTA
+        // and the hop bounds touching its members (the Lemma 4 same-ECU
+        // refinements are routed by the policy) — exactly a priority
+        // edit's footprint.  Chain structure is untouched.
+        for (TaskId id = 0; id < post.num_tasks(); ++id) {
+          if (post.task(id).ecu != m.ecu) continue;
+          for (const TaskId c : deps.ecu_cohort(id)) {
+            plan.rta_tasks.push_back(c);
+            plan.bound_tasks.push_back(c);
+            report_seeds.push_back(c);
+          }
+          break;  // one member reaches the whole cohort
+        }
+        break;
       case MutationKind::kRemoveEdge: {
         // Chains through the dead edge vanish; anything keyed by a task
         // downstream of the old head is stale.  Reachability was destroyed

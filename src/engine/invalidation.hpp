@@ -44,6 +44,7 @@ enum class MutationKind {
   kOffset,
   kAddEdge,
   kRemoveEdge,
+  kPolicy,
 };
 
 /// One primitive edit, as staged by AnalysisEngine::Transaction.  Only the
@@ -62,6 +63,10 @@ struct Mutation {
   int priority = 0;
   /// New FIFO depth (kBuffer) or the spec of an added edge (kAddEdge).
   ChannelSpec channel;
+  /// Target ECU and new dispatching discipline (kPolicy).  A policy edit
+  /// dirties exactly the ECU's cohort, like a priority edit.
+  EcuId ecu = kNoEcu;
+  SchedPolicy policy = SchedPolicy::kNonPreemptive;
 };
 
 /// Static dependency structure of a graph, built once per engine.

@@ -25,6 +25,12 @@ std::string to_text(const TaskGraph& g) {
     if (e.channel.buffer_size != 1) os << ' ' << e.channel.buffer_size;
     os << '\n';
   }
+  // Only non-default overrides are emitted, so pre-policy graphs
+  // round-trip byte-identically.
+  for (const auto& [ecu, pol] : g.policies()) {
+    os << "policy " << ecu << ' '
+       << (pol == SchedPolicy::kPreemptive ? "preemptive" : "edf") << '\n';
+  }
   return os.str();
 }
 
@@ -86,6 +92,20 @@ TaskGraph graph_from_text(const std::string& text) {
       if (ti == by_name.end()) fail("unknown task '" + to + "'");
       if (buffer < 1) fail("buffer size must be >= 1");
       g.add_edge(fi->second, ti->second, ChannelSpec{buffer});
+    } else if (kind == "policy") {
+      EcuId ecu = kNoEcu;
+      std::string pol;
+      if (!(ls >> ecu >> pol)) fail("malformed policy line");
+      if (ecu == kNoEcu) fail("policy: sources occupy no ECU");
+      if (pol == "nonpreemptive") {
+        g.set_policy(ecu, SchedPolicy::kNonPreemptive);
+      } else if (pol == "preemptive") {
+        g.set_policy(ecu, SchedPolicy::kPreemptive);
+      } else if (pol == "edf") {
+        g.set_policy(ecu, SchedPolicy::kEdf);
+      } else {
+        fail("unknown scheduling policy '" + pol + "'");
+      }
     } else {
       fail("unknown directive '" + kind + "'");
     }

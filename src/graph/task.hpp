@@ -26,6 +26,25 @@ using EcuId = std::int32_t;
 /// Source tasks are external stimuli and occupy no ECU.
 inline constexpr EcuId kNoEcu = -1;
 
+/// Per-ECU dispatching discipline.  The paper's model (and every bound
+/// derived in §III) assumes kNonPreemptive; the other two are the RTA
+/// variants of ROADMAP item 4, each differentially verified against the
+/// preemptive simulator.  Stored per ECU on the TaskGraph (policy()/
+/// set_policy()) so a single system may mix semantics across ECUs.
+enum class SchedPolicy {
+  /// Non-preemptive fixed priority: a dispatched job runs to completion;
+  /// lower-priority jobs block at most once (the paper's platform model).
+  kNonPreemptive,
+  /// Preemptive fixed priority: a newly released higher-priority job
+  /// preempts the running job immediately (classic busy-window RTA).
+  kPreemptive,
+  /// Preemptive earliest-deadline-first with implicit deadlines (D = T):
+  /// the ready job with the earliest absolute deadline runs; priorities
+  /// still order tie-breaks and stay unique per ECU, but do not gate
+  /// dispatch.  Response bounds come from processor-demand analysis.
+  kEdf,
+};
+
 /// Communication discipline of a task's I/O.
 enum class CommSemantics {
   /// AUTOSAR implicit communication (§II-B): read all inputs when the job

@@ -152,6 +152,35 @@ bool TaskGraph::reaches(TaskId from, TaskId to) const {
   return false;
 }
 
+SchedPolicy TaskGraph::policy(EcuId ecu) const {
+  const auto it = std::lower_bound(
+      policies_.begin(), policies_.end(), ecu,
+      [](const std::pair<EcuId, SchedPolicy>& p, EcuId e) {
+        return p.first < e;
+      });
+  if (it != policies_.end() && it->first == ecu) return it->second;
+  return SchedPolicy::kNonPreemptive;
+}
+
+void TaskGraph::set_policy(EcuId ecu, SchedPolicy policy) {
+  CETA_EXPECTS(ecu != kNoEcu, "set_policy: sources occupy no ECU");
+  const auto it = std::lower_bound(
+      policies_.begin(), policies_.end(), ecu,
+      [](const std::pair<EcuId, SchedPolicy>& p, EcuId e) {
+        return p.first < e;
+      });
+  const bool present = it != policies_.end() && it->first == ecu;
+  if (policy == SchedPolicy::kNonPreemptive) {
+    if (present) policies_.erase(it);
+    return;
+  }
+  if (present) {
+    it->second = policy;
+  } else {
+    policies_.insert(it, {ecu, policy});
+  }
+}
+
 void TaskGraph::set_comm_semantics(CommSemantics comm) {
   for (TaskId id = 0; id < tasks_.size(); ++id) {
     if (!pred_[id].empty()) tasks_[id].comm = comm;

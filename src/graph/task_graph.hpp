@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "graph/task.hpp"
@@ -86,6 +87,23 @@ class TaskGraph {
   /// Set the communication discipline of every non-source task.
   void set_comm_semantics(CommSemantics comm);
 
+  /// Dispatching discipline of `ecu`; kNonPreemptive unless overridden.
+  /// Any EcuId (even one no task currently uses) may be queried; kNoEcu
+  /// reports kNonPreemptive (sources never contend).
+  SchedPolicy policy(EcuId ecu) const;
+
+  /// Override the dispatching discipline of `ecu`.  Setting the default
+  /// (kNonPreemptive) erases the override, so graphs that never leave the
+  /// paper's platform model serialize byte-identically to before the
+  /// policy axis existed.  Throws PreconditionError on kNoEcu.
+  void set_policy(EcuId ecu, SchedPolicy policy);
+
+  /// Non-default per-ECU policy overrides, sorted by EcuId (the canonical
+  /// serialization order).
+  const std::vector<std::pair<EcuId, SchedPolicy>>& policies() const {
+    return policies_;
+  }
+
   /// Full structural + parameter validation (paper §II-A):
   ///  - graph is a DAG,
   ///  - every task's parameters are sane (validate_task),
@@ -101,6 +119,9 @@ class TaskGraph {
 
   std::vector<Task> tasks_;
   std::vector<Edge> edges_;
+  /// Sorted non-default per-ECU policy overrides; absent means
+  /// kNonPreemptive.
+  std::vector<std::pair<EcuId, SchedPolicy>> policies_;
   std::vector<std::vector<TaskId>> succ_;
   std::vector<std::vector<TaskId>> pred_;
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);

@@ -1,0 +1,109 @@
+#include "sched/edf_rta.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/math.hpp"
+
+namespace ceta {
+
+namespace {
+
+/// Cap on the deadline-coincidence candidate set.  Past it the analysis
+/// gives up and reports divergence (treated as unschedulable — safe);
+/// WATERS-style period sets stay orders of magnitude below this.
+constexpr std::int64_t kMaxCandidates = 200'000;
+
+/// Synchronous busy period of the whole cohort:
+/// L = Σ_j ceil((L + J_j)/T_j)·C_j.  Duration::max() on divergence.
+Duration edf_busy_period(const std::vector<CompetingTask>& cohort,
+                         int max_iterations) {
+  Duration L = Duration::zero();
+  for (const CompetingTask& c : cohort) L += c.wcet;
+  if (L == Duration::zero()) return Duration::zero();
+  for (int it = 0; it < max_iterations; ++it) {
+    Duration next = Duration::zero();
+    for (const CompetingTask& c : cohort) {
+      next += c.wcet * ceil_div(L + c.jitter, c.period);
+    }
+    if (next == L) return L;
+    CETA_ASSERT(next > L, "EDF busy period iteration must be non-decreasing");
+    L = next;
+  }
+  return Duration::max();
+}
+
+}  // namespace
+
+Duration edf_response_time(Duration wcet, Duration period,
+                           const std::vector<CompetingTask>& others,
+                           Duration own_jitter, int max_iterations,
+                           bool fault_undercount) {
+  CETA_EXPECTS(period > Duration::zero(),
+               "edf_response_time: period must be positive");
+  double density = wcet.ratio(period);
+  for (const CompetingTask& c : others) density += c.wcet.ratio(c.period);
+  if (density >= 1.0) return Duration::max();
+
+  std::vector<CompetingTask> cohort = others;
+  cohort.push_back({wcet, period, own_jitter});
+  const Duration L = edf_busy_period(cohort, max_iterations);
+  if (L == Duration::max()) return Duration::max();
+  if (L == Duration::zero()) return own_jitter + wcet;
+
+  // Candidate arrivals of the analyzed task: every point in [0, L) where
+  // its absolute deadline a + D_i coincides with a (jitter-shifted)
+  // cohort deadline k·T_j + D_j − J_j, plus its own nominal releases
+  // k·T_i (the steps of the own-demand term).  The response function is
+  // piecewise in a with steps exactly at these points, so maximizing over
+  // them is exact for the formula above.
+  std::vector<Duration> candidates;
+  std::int64_t budget = kMaxCandidates;
+  const auto push_lattice = [&](Duration start, Duration step) -> bool {
+    Duration a = start;
+    while (a < Duration::zero()) a += step;
+    budget -= ceil_div(L - a, step);
+    if (budget < 0) return false;
+    for (; a < L; a += step) candidates.push_back(a);
+    return true;
+  };
+  if (!push_lattice(Duration::zero(), period)) return Duration::max();
+  for (const CompetingTask& c : others) {
+    // k·T_j + D_j − D_i − J_j with implicit deadlines D = T.
+    if (!push_lattice(c.period - period - c.jitter, c.period)) {
+      return Duration::max();
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  Duration worst = wcet;
+  for (const Duration a : candidates) {
+    const Duration d = a + period;  // absolute deadline of the a-instance
+    Duration w = wcet * (floor_div(a, period) + 1);
+    bool converged = false;
+    for (int it = 0; it < max_iterations; ++it) {
+      Duration next = wcet * (floor_div(a, period) + 1);
+      for (const CompetingTask& c : others) {
+        const std::int64_t in_window = ceil_div(w + c.jitter, c.period);
+        std::int64_t by_deadline =
+            floor_div(d - c.period + c.jitter, c.period) + 1;
+        if (fault_undercount) --by_deadline;
+        by_deadline = std::max<std::int64_t>(0, by_deadline);
+        next += c.wcet * std::min(in_window, by_deadline);
+      }
+      if (next == w) {
+        converged = true;
+        break;
+      }
+      CETA_ASSERT(next > w, "EDF response iteration must be non-decreasing");
+      w = next;
+    }
+    if (!converged) return Duration::max();
+    worst = std::max(worst, std::max(wcet, w - a));
+  }
+  return own_jitter + worst;
+}
+
+}  // namespace ceta

@@ -1,0 +1,49 @@
+// Worst-case response-time analysis for preemptive EDF (ROADMAP item 4).
+//
+// Processor-demand analysis in the style of Spuri / George et al. for
+// implicit deadlines (D = T).  For a task i on its resource:
+//
+//   busy len  L     = fixpoint of  L = Σ_j ceil((L + J_j)/T_j)·C_j
+//                     over the *whole* cohort (priorities do not gate
+//                     dispatch under EDF),
+//   arrivals  a     ∈ deadline-coincidence points { k·T_j + D_j − D_i −
+//                     J_j } ∪ { k·T_i } within [0, L),
+//   workload  w(a)  = fixpoint of  w = (floor(a/T_i)+1)·C_i +
+//                     Σ_{j≠i} min( ceil((w + J_j)/T_j),
+//                                  floor((a + D_i − D_j + J_j)/T_j) + 1 )·C_j
+//   response  R_i   = J_i + max_a ( max(C_i, w(a) − a) )
+//
+// The min() clamps competitor demand to jobs that are both released
+// inside the busy window *and* have an absolute deadline no later than
+// the analyzed job's (only those run first under EDF).  Jitter is treated
+// conservatively on both terms — competitor releases and deadlines are
+// pulled earlier by J_j, which can only add interference — so the result
+// stays a safe upper bound for jittered release patterns; the analyzed
+// task's own jitter is added at the end (response relative to the
+// *nominal* release, matching npfp_response_time's convention).
+//
+// Source tasks never reach this analysis (R = jitter, like NP-FP).
+
+#pragma once
+
+#include <vector>
+
+#include "common/time.hpp"
+#include "sched/npfp_rta.hpp"
+
+namespace ceta {
+
+/// WCRT of a single task under preemptive EDF with implicit deadlines,
+/// given *every* other task sharing its resource (not just
+/// higher-priority ones — EDF ignores priorities).  Returns
+/// Duration::max() if the fixpoint diverges or the candidate-arrival set
+/// exceeds an internal capacity cap (both are reported as unschedulable
+/// by analyze_response_times, the safe direction).  `fault_undercount`
+/// is the verify-only hook of RtaOptions::fault_edf_undercount.
+Duration edf_response_time(Duration wcet, Duration period,
+                           const std::vector<CompetingTask>& others,
+                           Duration own_jitter = Duration::zero(),
+                           int max_iterations = 100'000,
+                           bool fault_undercount = false);
+
+}  // namespace ceta

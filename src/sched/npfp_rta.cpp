@@ -7,6 +7,7 @@
 #include "common/math.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
+#include "sched/edf_rta.hpp"
 
 namespace ceta {
 
@@ -67,8 +68,10 @@ void analyze_task_into(const TaskGraph& g, const RtaOptions& opt, TaskId id,
     return;
   }
 
-  // Partition same-resource competitors by priority.
+  // Partition same-resource competitors by priority (EDF ignores the
+  // partition and contends against the full cohort).
   std::vector<Competitor> hp;
+  std::vector<Competitor> cohort;
   Duration blocking = Duration::zero();
   for (TaskId other = 0; other < g.num_tasks(); ++other) {
     if (other == id) continue;
@@ -77,6 +80,7 @@ void analyze_task_into(const TaskGraph& g, const RtaOptions& opt, TaskId id,
     CETA_EXPECTS(o.priority != t.priority,
                  "analyze_response_times: duplicate priority on ECU " +
                      std::to_string(t.ecu));
+    cohort.push_back({o.wcet, o.period, o.jitter});
     if (higher_priority(o, t)) {
       hp.push_back({o.wcet, o.period, o.jitter});
     } else {
@@ -90,12 +94,29 @@ void analyze_task_into(const TaskGraph& g, const RtaOptions& opt, TaskId id,
     return;
   }
 
-  const Duration worst =
-      opt.policy == SchedPolicy::kPreemptive
-          ? preemptive_response_time(t.wcet, t.period, hp, t.jitter,
-                                     opt.max_iterations)
-          : npfp_response_time(t.wcet, t.period, blocking, hp, t.jitter,
-                               opt.max_iterations);
+  const SchedPolicy policy = opt.policy.value_or(g.policy(t.ecu));
+  Duration worst = Duration::zero();
+  switch (policy) {
+    case SchedPolicy::kNonPreemptive:
+      worst = npfp_response_time(t.wcet, t.period, blocking, hp, t.jitter,
+                                 opt.max_iterations);
+      break;
+    case SchedPolicy::kPreemptive:
+      if (opt.fault_drop_largest_hp && !hp.empty()) {
+        const auto widest = std::max_element(
+            hp.begin(), hp.end(), [](const Competitor& a, const Competitor& b) {
+              return a.wcet < b.wcet;
+            });
+        hp.erase(widest);
+      }
+      worst = preemptive_response_time(t.wcet, t.period, hp, t.jitter,
+                                       opt.max_iterations);
+      break;
+    case SchedPolicy::kEdf:
+      worst = edf_response_time(t.wcet, t.period, cohort, t.jitter,
+                                opt.max_iterations, opt.fault_edf_undercount);
+      break;
+  }
   if (worst == Duration::max()) {
     res.response_time[id] = Duration::max();
     res.schedulable[id] = false;

@@ -21,6 +21,7 @@
 
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "common/time.hpp"
@@ -28,27 +29,32 @@
 
 namespace ceta {
 
-/// Dispatching discipline of every ECU.
-///
-/// The paper's model is non-preemptive (§II-B) and Lemma 4's same-ECU hop
-/// refinements are only valid there.  When analyzing a *preemptive*
-/// system, pair SchedPolicy::kPreemptive response times with
-/// HopBoundMethod::kSchedulingAgnostic (θ = T + R holds under any
-/// work-conserving scheduler).
-enum class SchedPolicy {
-  kNonPreemptive,
-  kPreemptive,
-};
-
+/// Options of the per-resource response-time analysis.  The scheduling
+/// discipline itself lives per ECU on the TaskGraph (SchedPolicy in
+/// graph/task.hpp); `policy` here is a global override for callers that
+/// want to force one discipline everywhere (ablations, what-if columns).
 struct RtaOptions {
-  SchedPolicy policy = SchedPolicy::kNonPreemptive;
+  /// Force a single discipline on every ECU; nullopt (the default) means
+  /// each ECU is analyzed under its own TaskGraph::policy().
+  std::optional<SchedPolicy> policy;
   /// Abort fixpoint iterations beyond this bound (diverging systems).
   int max_iterations = 100'000;
   /// Consider a task schedulable iff R <= deadline, with implicit
   /// deadline = period (the paper's schedulability notion, §II-B).
   bool implicit_deadline = true;
+  /// Fault hook (verify only): the preemptive-FP branch drops its
+  /// largest-WCET higher-priority competitor — an unsound bound the
+  /// rta_policy_matches_sim property must catch.  Affects only
+  /// SchedPolicy::kPreemptive tasks.
+  bool fault_drop_largest_hp = false;
+  /// Fault hook (verify only): the EDF branch undercounts the
+  /// deadline-constrained interfering jobs of every competitor by one.
+  /// Affects only SchedPolicy::kEdf tasks.
+  bool fault_edf_undercount = false;
 };
 
+/// Output of analyze_response_times: per-task WCRT upper bounds plus the
+/// schedulability verdicts derived from them.
 struct RtaResult {
   /// WCRT upper bound per task; Duration::max() if the fixpoint diverged
   /// (over-utilized resource).
@@ -84,11 +90,12 @@ void reanalyze_response_times(const TaskGraph& g, const RtaOptions& opt,
                               const std::vector<TaskId>& tasks,
                               RtaResult& res);
 
-/// A higher-priority competitor on the same resource.
+/// A competing task on the same resource (higher-priority under the FP
+/// analyses; any cohort member under EDF).
 struct CompetingTask {
-  Duration wcet;
-  Duration period;
-  Duration jitter = Duration::zero();
+  Duration wcet;    ///< Worst-case execution time of the competitor.
+  Duration period;  ///< Release period of the competitor.
+  Duration jitter = Duration::zero();  ///< Release jitter of the competitor.
 };
 
 /// WCRT of a single task under NP-FP given its blocking term (max WCET of

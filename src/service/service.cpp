@@ -132,6 +132,14 @@ HopBoundMethod parse_hop_method(const std::string& s) {
                       "' (want nonpreemptive | scheduling_agnostic)");
 }
 
+SchedPolicy parse_policy(const std::string& s) {
+  if (s == "nonpreemptive") return SchedPolicy::kNonPreemptive;
+  if (s == "preemptive") return SchedPolicy::kPreemptive;
+  if (s == "edf") return SchedPolicy::kEdf;
+  throw ProtocolError("unknown policy '" + s +
+                      "' (want nonpreemptive | preemptive | edf)");
+}
+
 JointTruncation parse_truncation(const std::string& s) {
   if (s == "auto") return JointTruncation::kAuto;
   if (s == "always") return JointTruncation::kAlways;
@@ -560,6 +568,10 @@ Outcome ServiceCore::op_mutate(ClientId /*client*/, const Request& req,
       txn.set_priority(
           resolve_task(g, e.at("task"), "edit.task"),
           static_cast<int>(to_int64(e.at("priority"), "edit.priority")));
+    } else if (kind == "set_policy") {
+      txn.set_policy(
+          static_cast<EcuId>(to_int64(e.at("ecu"), "edit.ecu")),
+          parse_policy(to_string_member(e.at("policy"), "edit.policy")));
     } else if (kind == "set_buffer") {
       txn.set_buffer(
           resolve_task(g, e.at("from"), "edit.from"),

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "graph/task_graph.hpp"
@@ -21,11 +22,14 @@
 namespace ceta {
 
 struct SimOptions {
-  /// Dispatching discipline of every ECU.  The paper's model (and the
-  /// default) is non-preemptive; kPreemptive suspends the running job
-  /// whenever a higher-priority job is released on its ECU.  Implicit
-  /// communication reads stay at the job's *first* start.
-  SchedPolicy policy = SchedPolicy::kNonPreemptive;
+  /// Dispatching-discipline override.  nullopt (the default) simulates
+  /// each ECU under its own TaskGraph::policy(); setting a value forces
+  /// that discipline on every ECU.  kPreemptive suspends the running job
+  /// whenever a higher-priority job is released on its ECU; kEdf whenever
+  /// a ready job has a strictly earlier absolute deadline (release +
+  /// period).  Implicit communication reads stay at the job's *first*
+  /// start under every discipline.
+  std::optional<SchedPolicy> policy;
   /// Simulated horizon; jobs released at t < duration are processed to
   /// completion.
   Duration duration = Duration::s(1);

@@ -43,6 +43,8 @@ struct JobState {
   TaskId task = 0;
   std::int64_t job = -1;
   Instant release;
+  /// Implicit absolute deadline (release + period); orders EDF dispatch.
+  Instant deadline;
   /// LET jobs snapshot their inputs at release; implicit jobs read when
   /// they first start.
   bool has_snapshot = false;
@@ -73,13 +75,15 @@ class ReferenceEngine {
     opt_.validate();
     g_.validate();
 
-    // Dense ECU indexing.
+    // Dense ECU indexing, plus the resolved discipline per dense index
+    // (options override if set, else the graph's per-ECU policy).
     for (TaskId id = 0; id < g_.num_tasks(); ++id) {
       const EcuId e = g_.task(id).ecu;
       if (e != kNoEcu && !ecu_index_.count(e)) {
         const std::size_t idx = ecus_.size();
         ecu_index_[e] = idx;
         ecus_.emplace_back();
+        ecu_policy_.push_back(opt_.policy.value_or(g_.policy(e)));
       }
     }
 
@@ -218,6 +222,7 @@ class ReferenceEngine {
     job.task = ev.task;
     job.job = ev.job;
     job.release = ev.time;
+    job.deadline = ev.time + g_.task(ev.task).period;
     if (g_.task(ev.task).comm == CommSemantics::kLet) {
       // LET: inputs are logically read at release.
       read_inputs(ev.task, job.provenance, job.reads);
@@ -228,19 +233,30 @@ class ReferenceEngine {
     schedule_next_release(ev.task, ev.job);
   }
 
-  /// Under preemptive scheduling: if a strictly higher-priority job is
-  /// ready while a lower one runs, suspend the running job (its pending
-  /// finish event goes stale) and requeue it with its remaining work.
+  /// Under preemptive scheduling: if a strictly higher-priority (FP) or
+  /// strictly earlier-deadline (EDF) job is ready while another runs,
+  /// suspend the running job (its pending finish event goes stale) and
+  /// requeue it with its remaining work.
   void maybe_preempt(std::size_t ecu_idx, Instant now) {
-    if (opt_.policy != SchedPolicy::kPreemptive) return;
+    const SchedPolicy policy = ecu_policy_[ecu_idx];
+    if (policy == SchedPolicy::kNonPreemptive) return;
     EcuState& ecu = ecus_[ecu_idx];
     if (!ecu.busy || ecu.ready.empty()) return;
-    const Task& running = g_.task(ecu.running.task);
     bool higher_ready = false;
-    for (const JobState& j : ecu.ready) {
-      if (g_.task(j.task).priority < running.priority) {
-        higher_ready = true;
-        break;
+    if (policy == SchedPolicy::kPreemptive) {
+      const Task& running = g_.task(ecu.running.task);
+      for (const JobState& j : ecu.ready) {
+        if (g_.task(j.task).priority < running.priority) {
+          higher_ready = true;
+          break;
+        }
+      }
+    } else {  // kEdf
+      for (const JobState& j : ecu.ready) {
+        if (j.deadline < ecu.running.deadline) {
+          higher_ready = true;
+          break;
+        }
       }
     }
     if (!higher_ready) return;
@@ -276,18 +292,27 @@ class ReferenceEngine {
     EcuState& ecu = ecus_[ecu_idx];
     CETA_ASSERT(!ecu.busy, "dispatch on a busy ECU");
     if (ecu.ready.empty()) return;
-    // Highest priority first (smaller value), ties by task id, then by
-    // release (a preempted job resumes before a later instance).
+    // Fixed priority: highest priority first (smaller value), ties by
+    // task id, then by release (a preempted job resumes before a later
+    // instance).  EDF: earliest absolute deadline first, same tie order.
+    const bool edf = ecu_policy_[ecu_idx] == SchedPolicy::kEdf;
     auto best = ecu.ready.begin();
     for (auto it = ecu.ready.begin() + 1; it != ecu.ready.end(); ++it) {
-      const Task& a = g_.task(it->task);
-      const Task& b = g_.task(best->task);
-      if (a.priority < b.priority ||
-          (a.priority == b.priority &&
-           (it->task < best->task ||
-            (it->task == best->task && it->release < best->release)))) {
-        best = it;
+      bool wins = false;
+      if (edf) {
+        wins = it->deadline < best->deadline ||
+               (it->deadline == best->deadline &&
+                (it->task < best->task ||
+                 (it->task == best->task && it->release < best->release)));
+      } else {
+        const Task& a = g_.task(it->task);
+        const Task& b = g_.task(best->task);
+        wins = a.priority < b.priority ||
+               (a.priority == b.priority &&
+                (it->task < best->task ||
+                 (it->task == best->task && it->release < best->release)));
       }
+      if (wins) best = it;
     }
     JobState job = std::move(*best);
     ecu.ready.erase(best);
@@ -382,6 +407,7 @@ class ReferenceEngine {
 
   std::map<EcuId, std::size_t> ecu_index_;
   std::vector<EcuState> ecus_;
+  std::vector<SchedPolicy> ecu_policy_;  // resolved, by dense ECU index
   std::vector<SimChannel> channels_;           // by edge index
   std::vector<std::vector<std::size_t>> inputs_;   // task -> edge indices
   std::vector<std::vector<std::size_t>> outputs_;  // task -> edge indices

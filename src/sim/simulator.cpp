@@ -75,6 +75,10 @@ Simulator::Simulator(const TaskGraph& g, SimOptions opt)
   }
   num_ecus_ = static_cast<std::uint32_t>(ecu_index.size());
   ecus_.resize(num_ecus_);
+  ecu_policy_.assign(num_ecus_, SchedPolicy::kNonPreemptive);
+  for (const auto& [ecu, idx] : ecu_index) {
+    ecu_policy_[idx] = opt_.policy.value_or(g_.policy(ecu));
+  }
 
   // Flatten per-task constants for the event handlers.
   rows_.resize(n);
@@ -390,6 +394,9 @@ void Simulator::on_release(const SimEvent& ev) {
   js.task = ev.task;
   js.job = ev.job;
   js.release = ev.time;
+  // Implicit absolute deadline: actual release + period (orders EDF
+  // dispatch; inert under the fixed-priority disciplines).
+  js.deadline = ev.time + rows_[ev.task].period;
   if (rows_[ev.task].is_let) {
     // LET: inputs are logically read at release.
     read_inputs(ev.task, job_prov_.data() + slot * prov_stride(),
@@ -402,16 +409,26 @@ void Simulator::on_release(const SimEvent& ev) {
 }
 
 void Simulator::maybe_preempt(std::uint32_t ecu_idx, Instant now) {
-  if (opt_.policy != SchedPolicy::kPreemptive) return;
+  const SchedPolicy policy = ecu_policy_[ecu_idx];
+  if (policy == SchedPolicy::kNonPreemptive) return;
   EcuRun& ecu = ecus_[ecu_idx];
   if (!ecu.busy || ecu.ready.empty()) return;
   JobSlot& run = jobs_[ecu.running];
-  const std::int32_t running_prio = rows_[run.task].priority;
   bool higher_ready = false;
-  for (const std::uint32_t s : ecu.ready) {
-    if (rows_[jobs_[s].task].priority < running_prio) {
-      higher_ready = true;
-      break;
+  if (policy == SchedPolicy::kPreemptive) {
+    const std::int32_t running_prio = rows_[run.task].priority;
+    for (const std::uint32_t s : ecu.ready) {
+      if (rows_[jobs_[s].task].priority < running_prio) {
+        higher_ready = true;
+        break;
+      }
+    }
+  } else {  // kEdf: a strictly earlier absolute deadline preempts
+    for (const std::uint32_t s : ecu.ready) {
+      if (jobs_[s].deadline < run.deadline) {
+        higher_ready = true;
+        break;
+      }
     }
   }
   if (!higher_ready) return;
@@ -428,19 +445,28 @@ void Simulator::dispatch(std::uint32_t ecu_idx, Instant now) {
   EcuRun& ecu = ecus_[ecu_idx];
   CETA_ASSERT(!ecu.busy, "dispatch on a busy ECU");
   if (ecu.ready.empty()) return;
-  // Highest priority first (smaller value), ties by task id, then by
-  // release (a preempted job resumes before a later instance).
+  // Fixed priority: highest priority first (smaller value), ties by task
+  // id, then by release (a preempted job resumes before a later
+  // instance).  EDF: earliest absolute deadline first, same tie order.
+  const bool edf = ecu_policy_[ecu_idx] == SchedPolicy::kEdf;
   auto best = ecu.ready.begin();
   for (auto it = ecu.ready.begin() + 1; it != ecu.ready.end(); ++it) {
     const JobSlot& ja = jobs_[*it];
     const JobSlot& jb = jobs_[*best];
-    const std::int32_t pa = rows_[ja.task].priority;
-    const std::int32_t pb = rows_[jb.task].priority;
-    if (pa < pb ||
-        (pa == pb && (ja.task < jb.task ||
-                      (ja.task == jb.task && ja.release < jb.release)))) {
-      best = it;
+    bool wins = false;
+    if (edf) {
+      wins = ja.deadline < jb.deadline ||
+             (ja.deadline == jb.deadline &&
+              (ja.task < jb.task ||
+               (ja.task == jb.task && ja.release < jb.release)));
+    } else {
+      const std::int32_t pa = rows_[ja.task].priority;
+      const std::int32_t pb = rows_[jb.task].priority;
+      wins = pa < pb ||
+             (pa == pb && (ja.task < jb.task ||
+                           (ja.task == jb.task && ja.release < jb.release)));
     }
+    if (wins) best = it;
   }
   const std::uint32_t slot = *best;
   ecu.ready.erase(best);

@@ -113,6 +113,7 @@ class Simulator {
     TaskId task = 0;
     std::int64_t job = -1;
     Instant release;
+    Instant deadline;  ///< release + period; orders dispatch under EDF
     Instant start;
     Duration remaining;
     bool has_snapshot = false;
@@ -182,6 +183,9 @@ class Simulator {
   TaskGraph g_;
   SimOptions opt_;
   std::uint32_t num_ecus_ = 0;
+  /// Resolved discipline per dense ECU index: the options override if
+  /// set, else the graph's per-ECU policy.
+  std::vector<SchedPolicy> ecu_policy_;
   std::vector<TaskRow> rows_;               ///< flattened per-task constants
   std::vector<std::uint32_t> ecu_of_task_;  ///< dense ECU index or kNoEcuIdx
   std::vector<TaskId> sources_;             ///< dense source order

@@ -45,7 +45,8 @@ constexpr const char* kPropertyNames[kNumProperties] = {
     "buffer_design_consistent", "multi_buffer_safe",
     "pair_kernel_matches_reference", "incremental_matches_fresh",
     "dag_dp_matches_enumeration", "montecarlo_within_bounds",
-    "explored_configs_revalidate"};
+    "explored_configs_revalidate", "rta_policy_matches_sim",
+    "mixed_policy_disparity_within_bounds"};
 
 constexpr Property kAllProperties[kNumProperties] = {
     Property::kEngineMatchesFree,
@@ -62,7 +63,9 @@ constexpr Property kAllProperties[kNumProperties] = {
     Property::kIncrementalMatchesFresh,
     Property::kDagDpMatchesEnumeration,
     Property::kMonteCarloWithinBounds,
-    Property::kExploredConfigsRevalidate};
+    Property::kExploredConfigsRevalidate,
+    Property::kRtaPolicyMatchesSim,
+    Property::kMixedPolicyDisparityWithinBounds};
 
 std::string dur(Duration d) { return std::to_string(d.count()) + "ns"; }
 
@@ -933,6 +936,112 @@ PropertyOutcome check_explored_configs_revalidate(const Inputs& in) {
   return holds();
 }
 
+// --- mixed-policy properties -----------------------------------------------
+
+/// Deterministic discipline draw for one ECU: a splitmix64 finalizer over
+/// (seed, ecu).  A pure function of the probe config and the ECU id, so a
+/// shrink candidate (same cfg, subset of tasks) re-derives the identical
+/// per-ECU mix and fixture replays stay exact.
+SchedPolicy seeded_policy(std::uint64_t seed, EcuId ecu) {
+  std::uint64_t x =
+      seed ^ (0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(ecu) + 1));
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  switch (x % 3) {
+    case 0: return SchedPolicy::kNonPreemptive;
+    case 1: return SchedPolicy::kPreemptive;
+    default: return SchedPolicy::kEdf;
+  }
+}
+
+/// The graph with every occupied ECU flipped to its seed-derived
+/// discipline — the differential subject of the mixed-policy properties.
+TaskGraph policy_twin(const TaskGraph& g, std::uint64_t seed) {
+  TaskGraph twin = g;
+  for (TaskId id = 0; id < g.num_tasks(); ++id) {
+    const EcuId ecu = g.task(id).ecu;
+    if (ecu == kNoEcu) continue;
+    twin.set_policy(ecu, seeded_policy(seed, ecu));
+  }
+  return twin;
+}
+
+/// sim_warmup for the policy twin: same derivation, but from the twin's
+/// own (policy-routed) backward bounds and response times.
+Duration twin_warmup(const Inputs& in, const TaskGraph& twin,
+                     const ResponseTimeMap& rtm) {
+  Duration w = Duration::zero();
+  for (const Path& c : in.chains) {
+    w = std::max(w, backward_bounds(twin, c, rtm).wcbt);
+  }
+  return w + exact_warmup_horizon(twin, in.task, in.cfg.path_cap);
+}
+
+PropertyOutcome check_rta_policy_matches_sim(const Inputs& in) {
+  const TaskGraph twin = policy_twin(in.g, in.cfg.sim_seed);
+  RtaOptions ropt;
+  ropt.fault_drop_largest_hp =
+      in.cfg.fault == FaultInjection::kDropPreemptiveInterference;
+  ropt.fault_edf_undercount = in.cfg.fault == FaultInjection::kEdfUndercount;
+  const RtaResult rta = analyze_response_times(twin, ropt);
+  if (!rta.all_schedulable) {
+    return skipped("policy twin unschedulable under mixed-policy RTA");
+  }
+  const Duration warmup = twin_warmup(in, twin, rta.response_time);
+  const Duration horizon = warmup + in.cfg.sim_window;
+  if (horizon > in.cfg.max_sim_horizon) {
+    return skipped("simulation horizon exceeds max_sim_horizon");
+  }
+  const SimResult res = run_sim(twin, in.cfg, warmup, horizon, false);
+  for (TaskId id = 0; id < twin.num_tasks(); ++id) {
+    if (res.max_response_time[id] > rta.response_time[id]) {
+      const char* policy =
+          twin.task(id).ecu == kNoEcu
+              ? "source"
+              : (twin.policy(twin.task(id).ecu) == SchedPolicy::kEdf
+                     ? "edf"
+                     : (twin.policy(twin.task(id).ecu) ==
+                                SchedPolicy::kPreemptive
+                            ? "preemptive"
+                            : "nonpreemptive"));
+      return violated("simulated response time " +
+                      dur(res.max_response_time[id]) + " of task '" +
+                      twin.task(id).name + "' (" + policy + ") > WCRT " +
+                      dur(rta.response_time[id]) + " (seed " +
+                      std::to_string(in.cfg.sim_seed) + ")");
+    }
+  }
+  return holds();
+}
+
+PropertyOutcome check_mixed_policy_disparity_within_bounds(const Inputs& in) {
+  const TaskGraph twin = policy_twin(in.g, in.cfg.sim_seed);
+  const RtaResult rta = analyze_response_times(twin);
+  if (!rta.all_schedulable) {
+    return skipped("policy twin unschedulable under mixed-policy RTA");
+  }
+  const Duration warmup = twin_warmup(in, twin, rta.response_time);
+  const Duration horizon = warmup + in.cfg.sim_window;
+  if (horizon > in.cfg.max_sim_horizon) {
+    return skipped("simulation horizon exceeds max_sim_horizon");
+  }
+  const Duration bound =
+      analyze_time_disparity(twin, in.task, rta.response_time,
+                             disparity_options(in, DisparityMethod::kForkJoin))
+          .worst_case;
+  const SimResult res = run_sim(twin, in.cfg, warmup, horizon, false);
+  if (res.max_disparity[in.task] > bound) {
+    return violated("mixed-policy simulated disparity " +
+                    dur(res.max_disparity[in.task]) + " > S-diff bound " +
+                    dur(bound) + " (seed " +
+                    std::to_string(in.cfg.sim_seed) + ")");
+  }
+  return holds();
+}
+
 PropertyOutcome dispatch(Property p, const Inputs& in) {
   switch (p) {
     case Property::kEngineMatchesFree: return check_engine_matches_free(in);
@@ -956,6 +1065,10 @@ PropertyOutcome dispatch(Property p, const Inputs& in) {
       return check_montecarlo_within_bounds(in);
     case Property::kExploredConfigsRevalidate:
       return check_explored_configs_revalidate(in);
+    case Property::kRtaPolicyMatchesSim:
+      return check_rta_policy_matches_sim(in);
+    case Property::kMixedPolicyDisparityWithinBounds:
+      return check_mixed_policy_disparity_within_bounds(in);
   }
   throw Error("check_property: unknown property");
 }

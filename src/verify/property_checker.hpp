@@ -71,9 +71,22 @@ enum class Property {
   /// bookkeeping and the engine's actual configuration (the
   /// kSkipExploreRollback fault is the canonical example).
   kExploredConfigsRevalidate,
+  /// Policy-aware RTA ≡ preemptive/EDF simulation: on a twin of the graph
+  /// whose ECUs are assigned a seed-derived mix of dispatching disciplines
+  /// (non-preemptive / preemptive FP / EDF), every task's simulated
+  /// worst-observed response time stays ≤ the per-ECU policy-routed RTA.
+  /// Exercises the preemptive busy-window and EDF processor-demand
+  /// analyses differentially against sim/simulator.hpp's preemptive
+  /// execution modes.
+  kRtaPolicyMatchesSim,
+  /// Theorem 2 under mixed policies: the simulated time disparity of the
+  /// same mixed-policy twin stays ≤ the S-diff bound assembled from
+  /// policy-routed hop bounds (Lemma 4's same-ECU refinements degrade
+  /// soundly under preemptive FP and EDF dispatching).
+  kMixedPolicyDisparityWithinBounds,
 };
 
-inline constexpr std::size_t kNumProperties = 15;
+inline constexpr std::size_t kNumProperties = 17;
 
 /// Stable lowercase identifier ("sim_within_bound", ...), used in fixture
 /// files and reports.
@@ -113,6 +126,18 @@ enum class FaultInjection {
   /// explored_configs_revalidate property must catch.  Affects only that
   /// property.
   kSkipExploreRollback,
+  /// Run the preemptive-FP busy-window analysis with
+  /// RtaOptions::fault_drop_largest_hp, silently dropping the largest
+  /// higher-priority interferer from every preemptive fixpoint — the
+  /// rta_policy_matches_sim property must observe a simulated response
+  /// time above the weakened WCRT.  Affects only that property.
+  kDropPreemptiveInterference,
+  /// Run the EDF processor-demand analysis with
+  /// RtaOptions::fault_edf_undercount, shaving one job off every
+  /// deadline-capped interference term — the rta_policy_matches_sim
+  /// property must catch the underestimate on EDF ECUs.  Affects only
+  /// that property.
+  kEdfUndercount,
 };
 
 /// Everything a single property evaluation depends on besides the graph:

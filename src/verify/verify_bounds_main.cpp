@@ -4,7 +4,8 @@
 //                 [--min-tasks N] [--max-tasks N] [--ecus N]
 //                 [--shrink | --no-shrink] [--fixture-dir PATH]
 //                 [--inject-fault] [--inject-dp-fault] [--inject-mc-fault]
-//                 [--inject-explore-fault]
+//                 [--inject-explore-fault] [--inject-pfp-fault]
+//                 [--inject-edf-fault]
 //                 [--trace PATH] [--metrics PATH] [--quiet]
 //
 // Draws N seeded random WATERS instances, checks every cross-implementation
@@ -28,7 +29,12 @@
 // montecarlo_within_bounds must catch.  --inject-explore-fault makes the
 // design-space explorer skip one engine rollback
 // (ExploreOptions::fault_skip_rollback), which
-// explored_configs_revalidate must catch.
+// explored_configs_revalidate must catch.  --inject-pfp-fault drops the
+// largest higher-priority interferer from every preemptive busy-window
+// fixpoint (RtaOptions::fault_drop_largest_hp) and --inject-edf-fault
+// shaves one job off every EDF deadline-capped interference term
+// (RtaOptions::fault_edf_undercount); rta_policy_matches_sim must catch
+// both on its mixed-policy twins.
 
 #include <cstdint>
 #include <exception>
@@ -53,6 +59,7 @@ int usage(const char* argv0) {
          "       [--ecus N] [--shrink | --no-shrink] [--fixture-dir PATH]\n"
          "       [--inject-fault] [--inject-stale-cache] [--inject-dp-fault]\n"
          "       [--inject-mc-fault] [--inject-explore-fault]\n"
+         "       [--inject-pfp-fault] [--inject-edf-fault]\n"
          "       [--trace PATH] [--metrics PATH] [--quiet]\n";
   return 2;
 }
@@ -127,6 +134,10 @@ int main(int argc, char** argv) {
         opt.probe.fault = FaultInjection::kCorruptMcSamples;
       } else if (arg == "--inject-explore-fault") {
         opt.probe.fault = FaultInjection::kSkipExploreRollback;
+      } else if (arg == "--inject-pfp-fault") {
+        opt.probe.fault = FaultInjection::kDropPreemptiveInterference;
+      } else if (arg == "--inject-edf-fault") {
+        opt.probe.fault = FaultInjection::kEdfUndercount;
       } else if (arg == "--trace") {
         const char* v = next_arg(i);
         if (!v) return usage(argv[0]);

@@ -4,7 +4,7 @@
 // the recorded cross-check ever reported a divergence.
 //
 //   check_bench_json <file> [pairwise|incremental|dagdp|sim|service|
-//                            explore|tightness]
+//                            explore|tightness|policy]
 //
 // The optional second argument selects the schema; "pairwise" (the
 // kernel-vs-reference comparison) is the default, "incremental" validates
@@ -289,19 +289,53 @@ int check_tightness(const ceta::testing::JsonValue& doc,
   return 0;
 }
 
+int check_policy(const ceta::testing::JsonValue& doc,
+                 const std::string& path) {
+  for (const char* key :
+       {"bench", "tasks", "rta_iterations", "rta_np_per_sec",
+        "rta_preemptive_per_sec", "rta_edf_per_sec", "disparity_np_ns",
+        "disparity_preemptive_ns", "disparity_edf_ns", "sweep_instances",
+        "sweep_violations", "match"}) {
+    if (!doc.has(key)) return fail(path + " lacks member '" + key + "'");
+  }
+  if (doc.at("bench").string != "policy") {
+    return fail("unexpected bench id '" + doc.at("bench").string + "'");
+  }
+  if (doc.at("tasks").number < 64 || doc.at("rta_np_per_sec").number <= 0 ||
+      doc.at("rta_preemptive_per_sec").number <= 0 ||
+      doc.at("rta_edf_per_sec").number <= 0 ||
+      doc.at("disparity_np_ns").number <= 0 ||
+      doc.at("sweep_instances").number < 1) {
+    return fail("degenerate bench record in " + path);
+  }
+  if (doc.at("sweep_violations").number != 0 || !doc.at("match").boolean) {
+    return fail(
+        "a mixed-policy simulation observed a response time above its "
+        "policy-routed WCRT (match: false in " +
+        path + ")");
+  }
+  std::cout << "OK: " << path << " (" << doc.at("sweep_instances").number
+            << " mixed-policy instances, RTA np/p/edf "
+            << doc.at("rta_np_per_sec").number << "/"
+            << doc.at("rta_preemptive_per_sec").number << "/"
+            << doc.at("rta_edf_per_sec").number << " runs/s, match: true)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2 || argc > 3) {
     std::cerr << "usage: check_bench_json <BENCH_*.json> "
-                 "[pairwise|incremental|dagdp|sim|service|explore|tightness]\n";
+                 "[pairwise|incremental|dagdp|sim|service|explore|tightness|"
+                 "policy]\n";
     return 2;
   }
   const std::string path = argv[1];
   const std::string schema = argc == 3 ? argv[2] : "pairwise";
   if (schema != "pairwise" && schema != "incremental" && schema != "dagdp" &&
       schema != "sim" && schema != "service" && schema != "explore" &&
-      schema != "tightness") {
+      schema != "tightness" && schema != "policy") {
     std::cerr << "unknown schema '" << schema << "'\n";
     return 2;
   }
@@ -323,6 +357,7 @@ int main(int argc, char** argv) {
     if (schema == "sim") return check_sim(doc, path);
     if (schema == "explore") return check_explore(doc, path);
     if (schema == "tightness") return check_tightness(doc, path);
+    if (schema == "policy") return check_policy(doc, path);
     return check_service(doc, path);
   } catch (const std::exception& e) {
     std::cerr << "FAIL: " << path << " is not valid JSON: " << e.what()

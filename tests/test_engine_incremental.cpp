@@ -248,6 +248,86 @@ TEST(EngineIncremental, PeriodEditAlsoInvalidatesChainSets) {
   expect_matches_fresh(e, f);
 }
 
+TEST(EngineIncremental, PolicyEditInvalidatesEcuCohortOnly) {
+  const TaskGraph g = two_ecu_chains();
+  AnalysisEngine e{TaskGraph{g}};
+  const TaskId f = g.sinks().front();
+  warm(e, f);
+  const std::vector<Path> chains = e.chains(f);
+  const Path chain_a = chain_with_front(chains, 0);  // s1 -> a1 -> a2 -> f
+  const Path chain_b = chain_with_front(chains, 1);  // s2 -> b1 -> b2 -> f
+
+  const EngineCacheStats before = e.cache_stats();
+  e.set_policy(0, SchedPolicy::kPreemptive);  // flips a1/a2's ECU only
+  EXPECT_EQ(e.graph().policy(0), SchedPolicy::kPreemptive);
+  EXPECT_EQ(e.graph().policy(1), SchedPolicy::kNonPreemptive);
+
+  // §9 row "policy", column RTA: scoped refresh of the ECU's cohort
+  // {a1, a2} only — not a full rerun; b-side and f entries untouched.
+  (void)e.response_times();
+  EXPECT_EQ(e.cache_stats().rta_runs, 1u);
+  EXPECT_EQ(e.cache_stats().rta_refreshed_tasks, 2u);
+
+  // Column WCBT/BCBT: the other ECU's chain survives as a pure hit; the
+  // a-chain is stale (its members' epochs moved with the cohort).
+  (void)e.chain_bounds(chain_b);
+  EXPECT_EQ(e.cache_stats().chain_bound_stale, before.chain_bound_stale);
+  EXPECT_EQ(e.cache_stats().chain_bound_hits, before.chain_bound_hits + 1);
+  EXPECT_GT(e.cache_stats().survived_hits, before.survived_hits);
+
+  // Column hop bounds: exactly the hops touching a cohort member re-derive
+  // (the Lemma 4 refinements are routed by the policy); the three b-side
+  // and f-side hops survive.  Checked before the a-chain bound recompute,
+  // which consumes the stale entries itself.
+  std::size_t hop_stale = 0;
+  for (const Edge& edge : e.graph().edges()) {
+    const std::size_t s0 = e.cache_stats().hop_stale;
+    (void)e.hop(edge.from, edge.to);
+    hop_stale += e.cache_stats().hop_stale - s0;
+  }
+  EXPECT_EQ(hop_stale, 3u);  // s1->a1, a1->a2, a2->f
+
+  (void)e.chain_bounds(chain_a);
+  EXPECT_EQ(e.cache_stats().chain_bound_stale, before.chain_bound_stale + 1);
+
+  // Column chain sets: kept — dispatching cannot change the topology.
+  (void)e.chains(f);
+  EXPECT_EQ(e.cache_stats().chain_set_stale, before.chain_set_stale);
+
+  // Column disparity reports: invalidated downstream of the cohort.
+  (void)e.disparity(f);
+  EXPECT_EQ(e.cache_stats().report_stale, before.report_stale + 1);
+
+  expect_matches_fresh(e, f);
+}
+
+TEST(EngineIncremental, MixedPolicyEditsStayFreshEquivalent) {
+  // Drive one ECU through all three disciplines (direct setter and
+  // batched transaction) and check the engine stays field-identical to a
+  // fresh engine at every step — the §9 contract under the policy row.
+  const TaskGraph g = two_ecu_chains();
+  AnalysisEngine e{TaskGraph{g}};
+  const TaskId f = g.sinks().front();
+  warm(e, f);
+
+  e.set_policy(0, SchedPolicy::kEdf);
+  expect_matches_fresh(e, f);
+
+  AnalysisEngine::Transaction txn(e);
+  txn.set_policy(0, SchedPolicy::kPreemptive)
+      .set_policy(1, SchedPolicy::kEdf);
+  txn.commit();
+  EXPECT_EQ(e.graph().policy(0), SchedPolicy::kPreemptive);
+  EXPECT_EQ(e.graph().policy(1), SchedPolicy::kEdf);
+  expect_matches_fresh(e, f);
+
+  // Restoring the default erases the override (canonical serialization).
+  e.set_policy(0, SchedPolicy::kNonPreemptive);
+  e.set_policy(1, SchedPolicy::kNonPreemptive);
+  EXPECT_TRUE(e.graph().policies().empty());
+  expect_matches_fresh(e, f);
+}
+
 TEST(EngineIncremental, OffsetEditInvalidatesNothing) {
   const TaskGraph g = two_ecu_chains();
   AnalysisEngine e{TaskGraph{g}};
@@ -576,6 +656,7 @@ TEST(EngineIncremental, ExternalRtmModeRejectsSchedulingEdits) {
   EXPECT_THROW(e.set_wcet_range(2, Duration::zero(), Duration::ms(1)),
                PreconditionError);
   EXPECT_THROW(e.set_priority(2, 7), PreconditionError);
+  EXPECT_THROW(e.set_policy(0, SchedPolicy::kEdf), PreconditionError);
 
   // ...while buffer/offset/structural edits stay available and correct.
   const TaskId f = g.sinks().front();

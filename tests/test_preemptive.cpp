@@ -9,6 +9,7 @@
 #include "common/error.hpp"
 #include "disparity/analyzer.hpp"
 #include "helpers.hpp"
+#include "sched/edf_rta.hpp"
 #include "sched/priority.hpp"
 #include "sim/backward.hpp"
 #include "sim/engine.hpp"
@@ -224,6 +225,152 @@ TEST_P(PreemptiveSafety, BackwardTimesWithinAgnosticBounds) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PreemptiveSafety,
                          ::testing::Range<std::uint64_t>(1, 9));
+
+TEST(EdfRta, HandComputedTwoTaskSet) {
+  // A (C=1,T=10), B (C=2,T=12), implicit deadlines.  Hand-computed
+  // processor-demand fixpoints: the cohort busy period is L = 3; A's only
+  // candidate with B-interference is a = 2 (B's deadline coincidence),
+  // where w = 3 and w − a = 1, so R_A = 1; B at a = 0 admits one A job by
+  // deadline, w = 3, so R_B = 3.
+  const std::vector<CompetingTask> none;
+  EXPECT_EQ(edf_response_time(Duration::ms(1), Duration::ms(10), none),
+            Duration::ms(1));
+  const std::vector<CompetingTask> vs_b = {
+      {Duration::ms(2), Duration::ms(12)}};
+  EXPECT_EQ(edf_response_time(Duration::ms(1), Duration::ms(10), vs_b),
+            Duration::ms(1));
+  const std::vector<CompetingTask> vs_a = {
+      {Duration::ms(1), Duration::ms(10)}};
+  EXPECT_EQ(edf_response_time(Duration::ms(2), Duration::ms(12), vs_a),
+            Duration::ms(3));
+}
+
+TEST(EdfRta, OwnJitterAddedToNominalResponse) {
+  const std::vector<CompetingTask> none;
+  EXPECT_EQ(edf_response_time(Duration::ms(1), Duration::ms(10), none,
+                              Duration::ms(4)),
+            Duration::ms(5));
+}
+
+TEST(EdfRta, OverUtilizationIsUnschedulable) {
+  const std::vector<CompetingTask> other = {
+      {Duration::ms(2), Duration::ms(6)}};
+  EXPECT_EQ(edf_response_time(Duration::ms(3), Duration::ms(4), other),
+            Duration::max());
+}
+
+TEST(EdfRta, IgnoresPrioritiesNoBlocking) {
+  // Same set as PreemptiveRta.NoBlockingFromLowerPriority: under EDF the
+  // 100ms-period task's deadline is always later than hi's, so hi runs
+  // untouched (R = 1) despite NP-FP charging it 3ms of blocking (R = 4).
+  TaskGraph g;
+  const TaskId s = g.add_task([] {
+    Task t;
+    t.name = "s";
+    t.period = Duration::ms(100);
+    return t;
+  }());
+  const TaskId hi = add(g, "hi", Duration::ms(1), Duration::ms(4), 0, 0);
+  const TaskId lo = add(g, "lo", Duration::ms(3), Duration::ms(100), 0, 1);
+  g.add_edge(s, hi);
+  g.add_edge(s, lo);
+
+  RtaOptions forced;
+  forced.policy = SchedPolicy::kEdf;
+  const RtaResult e = analyze_response_times(g, forced);
+  EXPECT_EQ(e.response_time[hi], Duration::ms(1));
+  EXPECT_LE(e.response_time[lo], Duration::ms(100));
+
+  // Per-ECU routing: the graph policy alone (RtaOptions::policy unset)
+  // must select the same analysis.
+  g.set_policy(0, SchedPolicy::kEdf);
+  const RtaResult routed = analyze_response_times(g, RtaOptions{});
+  EXPECT_EQ(routed.response_time[hi], e.response_time[hi]);
+  EXPECT_EQ(routed.response_time[lo], e.response_time[lo]);
+}
+
+TEST(EdfEngine, EarliestDeadlinePreemptsRegardlessOfPriority) {
+  // long (C=5, T=100, highest priority) starts at 0; short (C=1, T=50,
+  // *lowest* priority) releases at 1 with absolute deadline 51 < 100.
+  // EDF dispatches by deadline, so short preempts long — the exact
+  // opposite of both fixed-priority disciplines.
+  TaskGraph g;
+  const TaskId s = g.add_task([] {
+    Task t;
+    t.name = "s";
+    t.period = Duration::ms(100);
+    return t;
+  }());
+  const TaskId lng = add(g, "long", Duration::ms(5), Duration::ms(100), 0, 0);
+  const TaskId shrt = add(g, "short", Duration::ms(1), Duration::ms(50), 0, 1,
+                          Duration::ms(1));
+  g.add_edge(s, lng);
+  g.add_edge(s, shrt);
+  g.validate();
+  g.set_policy(0, SchedPolicy::kEdf);
+
+  SimOptions opt;  // policy unset: the simulator routes on the graph
+  opt.duration = Duration::ms(40);
+  opt.record_trace = true;
+  opt.exec_model = ExecTimeModel::kWorstCase;
+  const SimResult res = Simulator(g, opt).run();
+
+  const JobRecord& sj = res.trace.tasks[shrt].jobs.at(0);
+  const JobRecord& lj = res.trace.tasks[lng].jobs.at(0);
+  EXPECT_EQ(sj.start, Duration::ms(1));
+  EXPECT_EQ(sj.finish, Duration::ms(2));
+  EXPECT_EQ(lj.start, Duration::zero());
+  EXPECT_EQ(lj.finish, Duration::ms(6));  // 5ms of work + 1ms suspended
+
+  // Under preemptive FP the same scenario never preempts: short has the
+  // lower priority and waits for long to finish.
+  SimOptions fp = opt;
+  fp.policy = SchedPolicy::kPreemptive;
+  const SimResult fpr = Simulator(g, fp).run();
+  EXPECT_EQ(fpr.trace.tasks[shrt].jobs.at(0).start, Duration::ms(5));
+}
+
+TEST(EdfEngine, ResponseTimesWithinEdfRta) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const TaskGraph g = testing::random_dag_graph(12, 3, seed + 50000);
+    RtaOptions ropt;
+    ropt.policy = SchedPolicy::kEdf;
+    const RtaResult rta = analyze_response_times(g, ropt);
+    ASSERT_TRUE(rta.all_schedulable);
+
+    SimOptions opt;
+    opt.policy = SchedPolicy::kEdf;
+    opt.duration = Duration::s(1);
+    opt.seed = seed;
+    const SimResult res = Simulator(g, opt).run();
+    for (TaskId id = 0; id < g.num_tasks(); ++id) {
+      EXPECT_LE(res.max_response_time[id], rta.response_time[id])
+          << "seed " << seed << " task " << g.task(id).name;
+    }
+  }
+}
+
+TEST(EdfEngine, MixedPolicyGraphResponseTimesWithinRta) {
+  // One discipline per ECU, both the RTA and the simulator routed purely
+  // by the graph's policy map.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    TaskGraph g = testing::random_dag_graph(12, 3, seed + 90000);
+    g.set_policy(0, SchedPolicy::kNonPreemptive);
+    g.set_policy(1, SchedPolicy::kPreemptive);
+    g.set_policy(2, SchedPolicy::kEdf);
+    const RtaResult rta = analyze_response_times(g, RtaOptions{});
+    ASSERT_TRUE(rta.all_schedulable);
+
+    SimOptions opt;
+    opt.duration = Duration::s(1);
+    opt.seed = seed;
+    const SimResult res = Simulator(g, opt).run();
+    for (TaskId id = 0; id < g.num_tasks(); ++id) {
+      EXPECT_LE(res.max_response_time[id], rta.response_time[id])
+          << "seed " << seed << " task " << g.task(id).name;
+    }
+  }
+}
 
 TEST(PreemptiveEngine, LetUnaffectedByPolicy) {
   // LET data flow is deterministic regardless of the dispatch policy.

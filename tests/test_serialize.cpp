@@ -74,6 +74,43 @@ TEST(Serialize, ParseRejectsDuplicatesAndUnknowns) {
   EXPECT_THROW(graph_from_text("task A\n"), PreconditionError);
 }
 
+TEST(Serialize, PolicyDirectiveRoundTrips) {
+  TaskGraph g = testing::diamond_graph();
+  g.set_policy(0, SchedPolicy::kPreemptive);
+  g.set_policy(1, SchedPolicy::kEdf);
+  const std::string text = to_text(g);
+  EXPECT_NE(text.find("policy 0 preemptive"), std::string::npos);
+  EXPECT_NE(text.find("policy 1 edf"), std::string::npos);
+  const TaskGraph parsed = graph_from_text(text);
+  EXPECT_TRUE(graphs_equal(g, parsed));
+  EXPECT_EQ(parsed.policy(0), SchedPolicy::kPreemptive);
+  EXPECT_EQ(parsed.policy(1), SchedPolicy::kEdf);
+  EXPECT_EQ(parsed.policy(2), SchedPolicy::kNonPreemptive);
+}
+
+TEST(Serialize, DefaultPolicyIsNotEmitted) {
+  // Pre-seam graphs must serialize byte-identically: resetting an
+  // override to the default erases it from the text entirely.
+  TaskGraph g = testing::diamond_graph();
+  const std::string before = to_text(g);
+  EXPECT_EQ(before.find("policy"), std::string::npos);
+  g.set_policy(0, SchedPolicy::kEdf);
+  g.set_policy(0, SchedPolicy::kNonPreemptive);
+  EXPECT_EQ(to_text(g), before);
+  // An explicit nonpreemptive directive parses but round-trips to
+  // nothing, since it is the default.
+  const TaskGraph parsed = graph_from_text(before + "policy 0 nonpreemptive\n");
+  EXPECT_EQ(to_text(parsed), before);
+}
+
+TEST(Serialize, PolicyParseErrors) {
+  const std::string base = "task A 0 0 10000000 0 0 -1\n";
+  EXPECT_THROW(graph_from_text(base + "policy 0 bogus\n"), PreconditionError);
+  EXPECT_THROW(graph_from_text(base + "policy -1 edf\n"), PreconditionError);
+  EXPECT_THROW(graph_from_text(base + "policy zero edf\n"), PreconditionError);
+  EXPECT_THROW(graph_from_text(base + "policy 0\n"), PreconditionError);
+}
+
 TEST(Dot, ContainsStructure) {
   TaskGraph g = testing::diamond_graph();
   g.set_buffer_size(0, 1, 3);

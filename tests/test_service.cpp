@@ -284,6 +284,62 @@ TEST(ServiceRollback, RejectedMutationPreservesMessageAndState) {
   EXPECT_EQ(dump_after.at("text").string, dump_before.at("text").string);
 }
 
+TEST(ServiceMutate, SetPolicyRoundTripsThroughGraphDump) {
+  ServiceCore core;
+  create(core, "g", kTwoSinkGraph);
+
+  // ECU 0 hosts A and B (both feeding F1 only): flipping its policy must
+  // commit, dirty F1 alone, and round-trip through the graph dump.
+  const JsonValue r = expect_ok(core.handle(
+      1, request(2, "mutate",
+                 "\"session\":\"g\",\"edits\":[{\"kind\":\"set_policy\","
+                 "\"ecu\":0,\"policy\":\"edf\"}]")));
+  EXPECT_EQ(r.at("edits").number, 1.0);
+  std::set<double> dirty;
+  for (const JsonValue& d : r.at("dirty_sinks").items()) dirty.insert(d.number);
+  EXPECT_TRUE(dirty.count(kSinkF1));
+  EXPECT_FALSE(dirty.count(kSinkF2));
+
+  const JsonValue dump =
+      expect_ok(core.handle(1, request(3, "graph", "\"session\":\"g\"")));
+  EXPECT_NE(dump.at("text").string.find("policy 0 edf"), std::string::npos);
+  EXPECT_EQ(graph_from_text(dump.at("text").string).policy(0),
+            SchedPolicy::kEdf);
+
+  // Setting the default back erases the directive from the dump.
+  expect_ok(core.handle(
+      1, request(4, "mutate",
+                 "\"session\":\"g\",\"edits\":[{\"kind\":\"set_policy\","
+                 "\"ecu\":0,\"policy\":\"nonpreemptive\"}]")));
+  const JsonValue dump2 =
+      expect_ok(core.handle(1, request(5, "graph", "\"session\":\"g\"")));
+  EXPECT_EQ(dump2.at("text").string.find("policy"), std::string::npos);
+}
+
+TEST(ServiceMutate, SetPolicyRejectsBadArguments) {
+  ServiceCore core;
+  create(core, "g", kTwoSinkGraph);
+  const JsonValue dump_before =
+      expect_ok(core.handle(1, request(2, "graph", "\"session\":\"g\"")));
+
+  // Unknown policy name: schema-level rejection, nothing committed.
+  expect_error(core.handle(
+                   1, request(3, "mutate",
+                              "\"session\":\"g\",\"edits\":[{\"kind\":"
+                              "\"set_policy\",\"ecu\":0,\"policy\":\"rr\"}]")),
+               "bad_request");
+  // kNoEcu: the engine's precondition surfaces as invalid_argument.
+  expect_error(core.handle(
+                   1, request(4, "mutate",
+                              "\"session\":\"g\",\"edits\":[{\"kind\":"
+                              "\"set_policy\",\"ecu\":-1,\"policy\":\"edf\"}]")),
+               "invalid_argument");
+
+  const JsonValue dump_after =
+      expect_ok(core.handle(1, request(5, "graph", "\"session\":\"g\"")));
+  EXPECT_EQ(dump_after.at("text").string, dump_before.at("text").string);
+}
+
 // --- subscriptions ----------------------------------------------------------
 
 /// One full subscribe → mutate → push cycle on the two-sink graph.

@@ -214,6 +214,45 @@ TEST(TaskGraph, SamePriorityOnDifferentEcusIsFine) {
   EXPECT_NO_THROW(g.validate());
 }
 
+TEST(TaskGraph, PolicyDefaultsToNonPreemptive) {
+  TaskGraph g;
+  g.add_task(simple_task("a"));
+  EXPECT_EQ(g.policy(0), SchedPolicy::kNonPreemptive);
+  EXPECT_EQ(g.policy(17), SchedPolicy::kNonPreemptive);  // never-set ECU
+  EXPECT_TRUE(g.policies().empty());
+}
+
+TEST(TaskGraph, SetPolicyStoresSortedOverrides) {
+  TaskGraph g;
+  g.set_policy(3, SchedPolicy::kEdf);
+  g.set_policy(1, SchedPolicy::kPreemptive);
+  EXPECT_EQ(g.policy(1), SchedPolicy::kPreemptive);
+  EXPECT_EQ(g.policy(3), SchedPolicy::kEdf);
+  EXPECT_EQ(g.policy(2), SchedPolicy::kNonPreemptive);
+  ASSERT_EQ(g.policies().size(), 2u);
+  EXPECT_EQ(g.policies()[0].first, 1);  // canonical order: sorted by ECU
+  EXPECT_EQ(g.policies()[1].first, 3);
+  g.set_policy(3, SchedPolicy::kPreemptive);  // overwrite in place
+  EXPECT_EQ(g.policy(3), SchedPolicy::kPreemptive);
+  EXPECT_EQ(g.policies().size(), 2u);
+}
+
+TEST(TaskGraph, SetPolicyDefaultErasesOverride) {
+  TaskGraph g;
+  g.set_policy(0, SchedPolicy::kEdf);
+  EXPECT_EQ(g.policies().size(), 1u);
+  g.set_policy(0, SchedPolicy::kNonPreemptive);
+  EXPECT_TRUE(g.policies().empty());
+  // Erasing an override that was never set is a no-op, not an error.
+  g.set_policy(5, SchedPolicy::kNonPreemptive);
+  EXPECT_TRUE(g.policies().empty());
+}
+
+TEST(TaskGraph, SetPolicyRejectsNoEcu) {
+  TaskGraph g;
+  EXPECT_THROW(g.set_policy(kNoEcu, SchedPolicy::kEdf), PreconditionError);
+}
+
 TEST(TaskGraph, ValidateRejectsEmptyGraph) {
   TaskGraph g;
   EXPECT_THROW(g.validate(), PreconditionError);

@@ -119,6 +119,56 @@ TEST(PropertyChecker, InjectedExploreFaultIsCaughtAndShrunk) {
                   .violated());
 }
 
+TEST(PropertyChecker, InjectedPreemptiveFaultIsCaughtAndShrunk) {
+  // kDropPreemptiveInterference removes the largest higher-priority
+  // interferer from every preemptive busy-window fixpoint; on the checker's
+  // mixed-policy twins the simulator must observe a response time above the
+  // weakened WCRT within a fixed-seed campaign, and the shrunk fixture must
+  // still fail through the pure entry point.
+  CheckerOptions opt;
+  opt.seed = 42;
+  opt.trials = 80;
+  opt.max_tasks = 10;
+  opt.probe.fault = FaultInjection::kDropPreemptiveInterference;
+  opt.max_violations = 1;
+  PropertyChecker checker(opt);
+  const CheckerReport report = checker.run();
+  ASSERT_FALSE(report.ok()) << "dropped preemptive interference survived "
+                            << report.stats.trials << " trials";
+  const verify::Violation& v = report.violations.front();
+  EXPECT_EQ(v.property, Property::kRtaPolicyMatchesSim);
+  EXPECT_GE(v.original_tasks, v.graph.num_tasks());
+  EXPECT_NO_THROW(v.graph.validate());
+  ProbeConfig cfg = opt.probe;
+  cfg.sim_seed = v.sim_seed;
+  EXPECT_TRUE(verify::check_property(v.property, v.graph, v.task, cfg)
+                  .violated());
+}
+
+TEST(PropertyChecker, InjectedEdfFaultIsCaughtAndShrunk) {
+  // kEdfUndercount shaves one job off every EDF deadline-capped
+  // interference term; rta_policy_matches_sim must catch the underestimate
+  // on the EDF ECUs of its mixed-policy twins.
+  CheckerOptions opt;
+  opt.seed = 42;
+  opt.trials = 80;
+  opt.max_tasks = 10;
+  opt.probe.fault = FaultInjection::kEdfUndercount;
+  opt.max_violations = 1;
+  PropertyChecker checker(opt);
+  const CheckerReport report = checker.run();
+  ASSERT_FALSE(report.ok()) << "EDF interference undercount survived "
+                            << report.stats.trials << " trials";
+  const verify::Violation& v = report.violations.front();
+  EXPECT_EQ(v.property, Property::kRtaPolicyMatchesSim);
+  EXPECT_GE(v.original_tasks, v.graph.num_tasks());
+  EXPECT_NO_THROW(v.graph.validate());
+  ProbeConfig cfg = opt.probe;
+  cfg.sim_seed = v.sim_seed;
+  EXPECT_TRUE(verify::check_property(v.property, v.graph, v.task, cfg)
+                  .violated());
+}
+
 TEST(PropertyChecker, InjectedMcFaultIsCaughtByMonteCarloProperty) {
   // kCorruptMcSamples inflates every Monte-Carlo disparity sample 1000x;
   // on a graph with any measured disparity at all, the empirical samples
